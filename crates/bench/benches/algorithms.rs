@@ -1,0 +1,83 @@
+//! Criterion wall-clock benchmarks for the main algorithms — one group
+//! per headline experiment (T1–T4). These measure simulation cost; the
+//! round-complexity results themselves come from the table binaries.
+
+use asm_core::{almost_regular_asm, asm, rand_asm, AlmostRegularParams, AsmConfig, RandAsmParams};
+use asm_instance::generators;
+use asm_maximal::MatcherBackend;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn t1_stability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_stability");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for eps in [1.0, 0.5, 0.25] {
+        let inst = generators::complete(64, 1);
+        g.bench_with_input(BenchmarkId::new("asm_complete64", eps), &eps, |b, &eps| {
+            b.iter(|| asm(black_box(&inst), &AsmConfig::new(eps)).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn t2_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_rounds");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 128, 256] {
+        let inst = generators::complete(n, 2);
+        g.bench_with_input(BenchmarkId::new("asm_hkp", n), &inst, |b, inst| {
+            b.iter(|| asm(black_box(inst), &AsmConfig::new(1.0)).unwrap())
+        });
+        let greedy = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        g.bench_with_input(BenchmarkId::new("asm_det_greedy", n), &inst, |b, inst| {
+            b.iter(|| asm(black_box(inst), &greedy).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("distributed_gs", n), &inst, |b, inst| {
+            b.iter(|| asm_core::baselines::distributed_gs(black_box(inst)))
+        });
+    }
+    g.finish();
+}
+
+fn t3_randasm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t3_randasm");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 256] {
+        let inst = generators::erdos_renyi(n, n, 0.25, 3);
+        g.bench_with_input(BenchmarkId::new("rand_asm", n), &inst, |b, inst| {
+            b.iter(|| {
+                rand_asm(black_box(inst), &RandAsmParams::new(1.0, 0.1).with_seed(7)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn t4_almost_regular(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t4_almost_regular");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 256, 1024] {
+        let inst = generators::regular(n, 8, 4);
+        g.bench_with_input(BenchmarkId::new("almost_regular_asm", n), &inst, |b, inst| {
+            b.iter(|| {
+                almost_regular_asm(
+                    black_box(inst),
+                    &AlmostRegularParams::new(1.0, 0.1).with_seed(9),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, t1_stability, t2_rounds, t3_randasm, t4_almost_regular);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the convergence-dynamics experiments (F3–F6):
+//! instrumented ASM runs, stability audits, and the truncated-GS
+//! baseline.
+
+use asm_core::baselines::truncated_gs;
+use asm_core::{asm, AsmConfig};
+use asm_instance::generators;
+use asm_matching::{blocking_pairs, eps_blocking_pairs, StabilityReport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn f3_inner_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f3_inner_loop");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let inst = generators::complete(128, 3);
+    g.bench_function("asm_with_snapshots_complete128", |b| {
+        b.iter(|| asm(black_box(&inst), &AsmConfig::new(1.0)).unwrap())
+    });
+    g.finish();
+}
+
+fn f4_good_men(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f4_good_men");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let inst = generators::erdos_renyi(128, 128, 0.3, 5);
+    let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+    g.bench_function("blocking_pair_audit", |b| {
+        b.iter(|| blocking_pairs(black_box(&inst), black_box(&report.matching)))
+    });
+    g.bench_function("eps_blocking_audit", |b| {
+        b.iter(|| eps_blocking_pairs(black_box(&inst), black_box(&report.matching), 0.25))
+    });
+    g.finish();
+}
+
+fn f5_eps_blocking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f5_eps_blocking");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let inst = generators::zipf(128, 12, 1.2, 7);
+    let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+    g.bench_function("stability_report", |b| {
+        b.iter(|| StabilityReport::analyze(black_box(&inst), black_box(&report.matching)))
+    });
+    g.finish();
+}
+
+fn f6_truncated_gs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f6_truncated_gs");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for d in [4usize, 16] {
+        let inst = generators::regular(256, d, 9);
+        g.bench_with_input(BenchmarkId::new("truncated_gs_8cycles", d), &inst, |b, inst| {
+            b.iter(|| truncated_gs(black_box(inst), 8))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, f3_inner_loop, f4_good_men, f5_eps_blocking, f6_truncated_gs);
+criterion_main!(benches);

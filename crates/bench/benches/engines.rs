@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the execution engines and configuration
+//! ablations (T5–T6): fast vector engine vs message-passing CONGEST
+//! engine, and the cost of each matcher backend.
+
+use asm_core::congest::asm_congest;
+use asm_core::{asm, AsmConfig};
+use asm_instance::generators;
+use asm_maximal::MatcherBackend;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn t5_local_work(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t5_local_work");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [32usize, 64, 128] {
+        let inst = generators::complete(n, 1);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        g.bench_with_input(BenchmarkId::new("fast_engine", n), &inst, |b, inst| {
+            b.iter(|| asm(black_box(inst), &config).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("congest_engine", n), &inst, |b, inst| {
+            b.iter(|| asm_congest(black_box(inst), &config).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn t6_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t6_ablations");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let inst = generators::erdos_renyi(96, 96, 0.3, 3);
+    for (name, backend) in [
+        ("hkp_oracle", MatcherBackend::HkpOracle),
+        ("det_greedy", MatcherBackend::DetGreedy),
+        ("bipartite_proposal", MatcherBackend::BipartiteProposal),
+        ("panconesi_rizzi", MatcherBackend::PanconesiRizzi),
+        ("israeli_itai_32", MatcherBackend::IsraeliItai { max_iterations: 32 }),
+    ] {
+        let config = AsmConfig::new(0.5).with_backend(backend);
+        g.bench_function(BenchmarkId::new("backend", name), |b| {
+            b.iter(|| asm(black_box(&inst), &config).unwrap())
+        });
+    }
+    for k in [4usize, 16, 64] {
+        let config = AsmConfig {
+            quantiles: Some(k),
+            ..AsmConfig::new(0.5)
+        };
+        g.bench_function(BenchmarkId::new("quantiles", k), |b| {
+            b.iter(|| asm(black_box(&inst), &config).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, t5_local_work, t6_ablations);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the maximal-matching subroutines (experiments
+//! F1–F2) across backend and graph size.
+
+use asm_congest::{NodeId, SplitRng};
+use asm_maximal::{amm, bipartite_proposal, det_greedy, greedy_maximal, hkp_oracle, israeli_itai, panconesi_rizzi};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn random_bipartite(n: u32, d: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = SplitRng::new(seed);
+    (0..n)
+        .flat_map(|u| {
+            (0..d)
+                .map(|_| (u, n + rng.next_range(n as usize) as u32))
+                .collect::<Vec<_>>()
+        })
+        .map(|(u, v)| (NodeId::new(u), NodeId::new(v)))
+        .collect()
+}
+
+fn f1_ii_decay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f1_ii_decay");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [256u32, 1024, 4096] {
+        let edges = random_bipartite(n, 4, 11);
+        let rng = SplitRng::new(5);
+        g.bench_with_input(BenchmarkId::new("israeli_itai_full", n), &edges, |b, e| {
+            b.iter(|| israeli_itai(black_box(e), 10_000, &rng, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("det_greedy", n), &edges, |b, e| {
+            b.iter(|| det_greedy(black_box(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("sequential", n), &edges, |b, e| {
+            b.iter(|| greedy_maximal(black_box(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("hkp_oracle", n), &edges, |b, e| {
+            b.iter(|| hkp_oracle(2 * n as usize, black_box(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("panconesi_rizzi", n), &edges, |b, e| {
+            b.iter(|| panconesi_rizzi(black_box(e)))
+        });
+        g.bench_with_input(BenchmarkId::new("bipartite_proposal", n), &edges, |b, e| {
+            b.iter(|| bipartite_proposal(black_box(e), |v| v.raw() < n))
+        });
+    }
+    g.finish();
+}
+
+fn f2_amm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("f2_amm");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let edges = random_bipartite(2048, 4, 13);
+    let rng = SplitRng::new(7);
+    for eta in [0.1, 0.01] {
+        g.bench_with_input(BenchmarkId::new("amm", eta), &eta, |b, &eta| {
+            b.iter(|| amm(black_box(&edges), eta, 0.1, 0.6, &rng, 0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, f1_ii_decay, f2_amm);
+criterion_main!(benches);

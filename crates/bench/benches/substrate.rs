@@ -1,0 +1,117 @@
+//! Criterion benchmarks for the substrate crates: instance generation,
+//! stability auditing, and raw CONGEST simulator throughput. These keep
+//! the supporting machinery honest — a slow audit or simulator would
+//! bottleneck every experiment above it.
+
+use asm_congest::{Envelope, Network, NodeId, Outbox, Payload, Process};
+use asm_instance::generators;
+use asm_matching::{blocking_pairs, man_optimal_stable, StabilityReport};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn generators_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_generators");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("complete", n), &n, |b, &n| {
+            b.iter(|| generators::complete(black_box(n), 7))
+        });
+        g.bench_with_input(BenchmarkId::new("regular_d8", n), &n, |b, &n| {
+            b.iter(|| generators::regular(black_box(n), 8, 7))
+        });
+        g.bench_with_input(BenchmarkId::new("zipf_d8", n), &n, |b, &n| {
+            b.iter(|| generators::zipf(black_box(n), 8, 1.2, 7))
+        });
+        g.bench_with_input(BenchmarkId::new("geometric_d8", n), &n, |b, &n| {
+            b.iter(|| generators::geometric(black_box(n), 8, 7))
+        });
+    }
+    g.finish();
+}
+
+fn analysis_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_analysis");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [128usize, 512] {
+        let inst = generators::complete(n, 3);
+        let gs = man_optimal_stable(&inst);
+        g.bench_with_input(BenchmarkId::new("gale_shapley", n), &inst, |b, inst| {
+            b.iter(|| man_optimal_stable(black_box(inst)))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("blocking_pairs", n),
+            &(&inst, &gs.matching),
+            |b, (inst, m)| b.iter(|| blocking_pairs(black_box(inst), black_box(m))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("stability_report", n),
+            &(&inst, &gs.matching),
+            |b, (inst, m)| b.iter(|| StabilityReport::analyze(black_box(inst), black_box(m))),
+        );
+    }
+    g.finish();
+}
+
+/// A chatter protocol: every node echoes every received message once, for
+/// `ttl` generations — pure simulator overhead measurement.
+struct Chatter {
+    neighbors: Vec<NodeId>,
+    start: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Ttl(u8);
+impl Payload for Ttl {
+    fn bits(&self) -> usize {
+        8
+    }
+}
+
+impl Process for Chatter {
+    type Msg = Ttl;
+    fn on_round(&mut self, inbox: &[Envelope<Ttl>], outbox: &mut Outbox<Ttl>) {
+        if self.start {
+            self.start = false;
+            for &nb in &self.neighbors {
+                outbox.send(nb, Ttl(6));
+            }
+        }
+        for e in inbox {
+            if e.payload.0 > 0 {
+                outbox.send(e.src, Ttl(e.payload.0 - 1));
+            }
+        }
+    }
+}
+
+fn simulator_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrate_simulator");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_secs(1));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [64usize, 256] {
+        let inst = generators::regular(n, 8, 5);
+        let topo = inst.topology();
+        g.bench_with_input(BenchmarkId::new("echo_storm", n), &topo, |b, topo| {
+            b.iter(|| {
+                let procs: Vec<Chatter> = (0..topo.num_nodes())
+                    .map(|i| Chatter {
+                        neighbors: topo.neighbors(NodeId::new(i as u32)).to_vec(),
+                        start: i == 0,
+                    })
+                    .collect();
+                let mut net = Network::new(topo.clone(), procs).unwrap();
+                net.run_until_quiescent(100).unwrap();
+                black_box(net.stats().messages)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, generators_bench, analysis_bench, simulator_bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Runs the full experiment suite and prints every table; `--markdown`
+//! emits GitHub-flavored Markdown (used to build EXPERIMENTS.md), `--csv`
+//! emits comma-separated values for plotting.
+fn main() {
+    let quick = asm_bench::quick_flag();
+    let args: Vec<String> = std::env::args().collect();
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let csv = args.iter().any(|a| a == "--csv");
+    for t in asm_bench::exp::run_all(quick) {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else if csv {
+            println!("# {}", t.title());
+            println!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the f1_ii_decay experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::f1_ii_decay::run(asm_bench::quick_flag()));
+}

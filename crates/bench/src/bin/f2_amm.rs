@@ -1,0 +1,4 @@
+//! Prints the f2_amm experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::f2_amm::run(asm_bench::quick_flag()));
+}

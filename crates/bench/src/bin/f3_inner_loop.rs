@@ -1,0 +1,4 @@
+//! Prints the f3_inner_loop experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::f3_inner_loop::run(asm_bench::quick_flag()));
+}

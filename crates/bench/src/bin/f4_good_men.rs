@@ -1,0 +1,4 @@
+//! Prints the f4_good_men experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::f4_good_men::run(asm_bench::quick_flag()));
+}

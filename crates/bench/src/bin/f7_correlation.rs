@@ -1,0 +1,4 @@
+//! Prints the f7_correlation experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::f7_correlation::run(asm_bench::quick_flag()));
+}

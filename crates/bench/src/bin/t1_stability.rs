@@ -1,0 +1,4 @@
+//! Prints the t1_stability experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t1_stability::run(asm_bench::quick_flag()));
+}

@@ -1,0 +1,4 @@
+//! Prints the t2_rounds experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t2_rounds::run(asm_bench::quick_flag()));
+}

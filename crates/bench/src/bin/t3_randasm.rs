@@ -1,0 +1,4 @@
+//! Prints the t3_randasm experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t3_randasm::run(asm_bench::quick_flag()));
+}

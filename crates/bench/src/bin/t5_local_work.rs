@@ -1,0 +1,4 @@
+//! Prints the t5_local_work experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t5_local_work::run(asm_bench::quick_flag()));
+}

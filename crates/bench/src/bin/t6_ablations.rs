@@ -1,0 +1,4 @@
+//! Prints the t6_ablations experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t6_ablations::run(asm_bench::quick_flag()));
+}

@@ -1,0 +1,4 @@
+//! Prints the t7_welfare experiment tables (see DESIGN.md §5).
+fn main() {
+    asm_bench::print_tables(&asm_bench::exp::t7_welfare::run(asm_bench::quick_flag()));
+}

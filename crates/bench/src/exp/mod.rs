@@ -1,0 +1,86 @@
+//! The experiment suite: one module per table/figure of DESIGN.md §5.
+//!
+//! Every module exposes `run(quick: bool) -> Vec<Table>`; the matching
+//! binary in `src/bin/` prints the tables, and `bin/all_experiments`
+//! runs the whole suite (used to produce EXPERIMENTS.md).
+
+pub mod f1_ii_decay;
+pub mod f2_amm;
+pub mod f3_inner_loop;
+pub mod f4_good_men;
+pub mod f5_eps_blocking;
+pub mod f6_truncated_gs;
+pub mod f7_correlation;
+pub mod t1_stability;
+pub mod t2_rounds;
+pub mod t3_randasm;
+pub mod t4_almost_regular;
+pub mod t5_local_work;
+pub mod t6_ablations;
+pub mod t7_welfare;
+pub mod t8_congest_traffic;
+
+use asm_instance::{generators, Instance};
+
+/// The named instance families every sweep draws from.
+pub fn families(n: usize, seed: u64) -> Vec<(&'static str, Instance)> {
+    let d = (n / 8).clamp(2, 12);
+    vec![
+        ("complete", generators::complete(n, seed)),
+        ("erdos-renyi", generators::erdos_renyi(n, n, 0.25, seed)),
+        ("regular", generators::regular(n, d, seed)),
+        ("zipf", generators::zipf(n, d, 1.2, seed)),
+        ("almost-reg", generators::almost_regular(n, d.max(2), 2.0, seed)),
+        ("chain", generators::adversarial_chain(n)),
+        ("master-list", generators::master_list(n, seed)),
+    ]
+}
+
+/// Standard "quick vs full" size sweep.
+pub fn n_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![32, 64]
+    } else {
+        vec![64, 128, 256, 512, 1024]
+    }
+}
+
+/// Runs the entire suite in order.
+pub fn run_all(quick: bool) -> Vec<crate::Table> {
+    let mut tables = Vec::new();
+    tables.extend(t1_stability::run(quick));
+    tables.extend(t2_rounds::run(quick));
+    tables.extend(t3_randasm::run(quick));
+    tables.extend(t4_almost_regular::run(quick));
+    tables.extend(t5_local_work::run(quick));
+    tables.extend(t6_ablations::run(quick));
+    tables.extend(t7_welfare::run(quick));
+    tables.extend(t8_congest_traffic::run(quick));
+    tables.extend(f1_ii_decay::run(quick));
+    tables.extend(f2_amm::run(quick));
+    tables.extend(f3_inner_loop::run(quick));
+    tables.extend(f4_good_men::run(quick));
+    tables.extend(f5_eps_blocking::run(quick));
+    tables.extend(f6_truncated_gs::run(quick));
+    tables.extend(f7_correlation::run(quick));
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_cover_the_paper_classes() {
+        let fams = families(16, 1);
+        assert_eq!(fams.len(), 7);
+        let names: Vec<_> = fams.iter().map(|(n, _)| *n).collect();
+        assert!(names.contains(&"complete"));
+        assert!(names.contains(&"chain"));
+    }
+
+    #[test]
+    fn quick_sweep_is_small() {
+        assert!(n_sweep(true).len() < n_sweep(false).len());
+    }
+}

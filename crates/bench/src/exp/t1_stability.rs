@@ -1,0 +1,50 @@
+//! **T1 — Theorem 3.** The matching produced by `ASM` induces at most
+//! `ε·|E|` blocking pairs, on every preference family and for every ε.
+
+use super::families;
+use crate::{f4, Table};
+use asm_core::{asm, AsmConfig};
+
+/// Runs the sweep and returns the result table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T1: ASM blocking pairs vs budget eps*|E| (Theorem 3)",
+        &[
+            "family", "n", "eps", "|E|", "|M|", "blocking", "fraction", "budget",
+            "ok",
+        ],
+    );
+    let sizes: &[usize] = if quick { &[32] } else { &[64, 256] };
+    let epsilons = [1.0, 0.5, 0.25];
+    for &n in sizes {
+        for (name, inst) in families(n, 0xA5) {
+            for eps in epsilons {
+                let report = asm(&inst, &AsmConfig::new(eps)).expect("valid config");
+                let st = report.stability(&inst);
+                t.row(vec![
+                    name.to_string(),
+                    n.to_string(),
+                    format!("{eps}"),
+                    st.num_edges.to_string(),
+                    st.matching_size.to_string(),
+                    st.blocking_pairs.to_string(),
+                    f4(st.blocking_fraction()),
+                    f4(eps),
+                    st.is_one_minus_eps_stable(eps).to_string(),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_row_meets_budget() {
+        let tables = super::run(true);
+        let md = tables[0].to_markdown();
+        assert!(!md.contains("| false |"), "a run exceeded its eps budget");
+        assert!(tables[0].len() >= 21); // 7 families x 3 epsilons
+    }
+}

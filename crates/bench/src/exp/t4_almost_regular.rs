@@ -1,0 +1,83 @@
+//! **T4 — Theorem 6.** `AlmostRegularASM` runs in rounds independent of
+//! `n` for fixed α, ε, δ (complete preferences are 1-almost-regular),
+//! and its schedule grows with α.
+
+use super::n_sweep;
+use crate::{f4, Table};
+use asm_core::{almost_regular_asm, AlmostRegularParams};
+use asm_instance::generators;
+
+/// Runs the sweep and returns the result tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let eps = 1.0;
+    let delta = 0.1;
+
+    let mut by_n = Table::new(
+        "T4a: AlmostRegularASM rounds vs n on complete preferences (Theorem 6)",
+        &[
+            "n",
+            "nominal rounds",
+            "effective rounds",
+            "blocking frac",
+            "removed men",
+            "ok",
+        ],
+    );
+    for n in n_sweep(quick) {
+        let inst = generators::complete(n, 0xC1);
+        let report = almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(3))
+            .expect("valid params");
+        let st = report.stability(&inst);
+        by_n.row(vec![
+            n.to_string(),
+            report.nominal_rounds.to_string(),
+            report.rounds.to_string(),
+            f4(st.blocking_fraction()),
+            report.removed_men.len().to_string(),
+            st.is_one_minus_eps_stable(eps).to_string(),
+        ]);
+    }
+
+    let mut by_alpha = Table::new(
+        "T4b: AlmostRegularASM schedule vs alpha at fixed n",
+        &[
+            "alpha",
+            "scheduled QMs",
+            "nominal rounds",
+            "effective rounds",
+            "blocking frac",
+        ],
+    );
+    let n = if quick { 48 } else { 128 };
+    for alpha in [1.0, 2.0, 4.0] {
+        let d_min = 4;
+        let inst = generators::almost_regular(n, d_min, alpha, 0xC2);
+        let report = almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(5))
+            .expect("valid params");
+        let st = report.stability(&inst);
+        by_alpha.row(vec![
+            format!("{alpha}"),
+            report.scheduled_quantile_matches.to_string(),
+            report.nominal_rounds.to_string(),
+            report.rounds.to_string(),
+            f4(st.blocking_fraction()),
+        ]);
+    }
+    vec![by_n, by_alpha]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn nominal_rounds_constant_in_n() {
+        let tables = super::run(true);
+        let rows: Vec<Vec<String>> = tables[0]
+            .to_markdown()
+            .lines()
+            .skip(4)
+            .map(|l| l.split('|').map(|c| c.trim().to_string()).collect())
+            .collect();
+        let nominals: Vec<&String> = rows.iter().filter(|r| r.len() > 2).map(|r| &r[2]).collect();
+        assert!(nominals.windows(2).all(|w| w[0] == w[1]), "{nominals:?}");
+    }
+}

@@ -1,0 +1,45 @@
+//! **T5 — Remark 4.** Local computation per round is near-linear: the
+//! simulated wall-clock per effective round grows roughly linearly in the
+//! instance size (the CONGEST model allows unbounded local computation,
+//! but ASM does not need it).
+
+use crate::{f2, Table};
+use asm_core::{asm, AsmConfig};
+use asm_instance::generators;
+use asm_maximal::MatcherBackend;
+use std::time::Instant;
+
+/// Runs the measurement and returns the result table.
+pub fn run(quick: bool) -> Vec<Table> {
+    let mut t = Table::new(
+        "T5: simulation wall-clock per effective round (Remark 4)",
+        &["n", "|E|", "rounds", "total ms", "us/round", "us/round/edge x1e3"],
+    );
+    let sizes: &[usize] = if quick { &[32, 64] } else { &[64, 128, 256, 512] };
+    for &n in sizes {
+        let inst = generators::complete(n, 0xD3);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let start = Instant::now();
+        let report = asm(&inst, &config).expect("valid config");
+        let elapsed = start.elapsed();
+        let us_per_round = elapsed.as_micros() as f64 / report.rounds.max(1) as f64;
+        t.row(vec![
+            n.to_string(),
+            inst.num_edges().to_string(),
+            report.rounds.to_string(),
+            f2(elapsed.as_secs_f64() * 1e3),
+            f2(us_per_round),
+            f2(us_per_round / inst.num_edges() as f64 * 1e3),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_and_reports() {
+        let tables = super::run(true);
+        assert_eq!(tables[0].len(), 2);
+    }
+}

@@ -1,0 +1,95 @@
+//! **T6 — Ablations.** How sensitive is ASM to its knobs? Sweeps the
+//! quantile count `k`, the inner-loop multiplier, and the matcher backend
+//! on a fixed instance, reporting rounds and achieved stability. The
+//! paper's constants are worst-case; these tables show the observed
+//! slack.
+
+use crate::{f4, Table};
+use asm_core::{asm, AsmConfig};
+use asm_instance::generators;
+use asm_maximal::MatcherBackend;
+
+/// Runs the sweeps and returns the result tables.
+pub fn run(quick: bool) -> Vec<Table> {
+    let n = if quick { 32 } else { 128 };
+    let eps = 0.5;
+    let inst = generators::erdos_renyi(n, n, 0.3, 0xE4);
+
+    let mut by_k = Table::new(
+        "T6a: quantile count k (paper default k = ceil(8/eps))",
+        &["k", "nominal rounds", "effective", "blocking frac", "bad men", "meets eps"],
+    );
+    let default_k = AsmConfig::new(eps).quantile_count();
+    for k in [2, 4, 8, default_k, 2 * default_k] {
+        let config = AsmConfig {
+            quantiles: Some(k),
+            ..AsmConfig::new(eps)
+        };
+        let report = asm(&inst, &config).expect("valid config");
+        let st = report.stability(&inst);
+        by_k.row(vec![
+            k.to_string(),
+            report.nominal_rounds.to_string(),
+            report.rounds.to_string(),
+            f4(st.blocking_fraction()),
+            report.bad_men.len().to_string(),
+            st.is_one_minus_eps_stable(eps).to_string(),
+        ]);
+    }
+
+    let mut by_inner = Table::new(
+        "T6b: inner-loop multiplier (paper default 1.0 => 2k/delta iterations)",
+        &["multiplier", "inner iters", "effective rounds", "blocking frac", "bad men"],
+    );
+    for mult in [0.05, 0.25, 1.0] {
+        let config = AsmConfig {
+            inner_multiplier: mult,
+            ..AsmConfig::new(eps)
+        };
+        let report = asm(&inst, &config).expect("valid config");
+        let st = report.stability(&inst);
+        by_inner.row(vec![
+            format!("{mult}"),
+            config.inner_iterations().to_string(),
+            report.rounds.to_string(),
+            f4(st.blocking_fraction()),
+            report.bad_men.len().to_string(),
+        ]);
+    }
+
+    let mut by_backend = Table::new(
+        "T6c: maximal-matching backend",
+        &["backend", "nominal rounds", "effective rounds", "mm rounds", "blocking frac"],
+    );
+    for (name, backend) in [
+        ("hkp-oracle", MatcherBackend::HkpOracle),
+        ("det-greedy", MatcherBackend::DetGreedy),
+        ("bipartite-proposal", MatcherBackend::BipartiteProposal),
+        ("panconesi-rizzi", MatcherBackend::PanconesiRizzi),
+        ("israeli-itai(32)", MatcherBackend::IsraeliItai { max_iterations: 32 }),
+    ] {
+        let config = AsmConfig::new(eps).with_backend(backend);
+        let report = asm(&inst, &config).expect("valid config");
+        let st = report.stability(&inst);
+        by_backend.row(vec![
+            name.to_string(),
+            report.nominal_rounds.to_string(),
+            report.rounds.to_string(),
+            report.mm_rounds.to_string(),
+            f4(st.blocking_fraction()),
+        ]);
+    }
+    vec![by_k, by_inner, by_backend]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn produces_three_tables() {
+        let tables = super::run(true);
+        assert_eq!(tables.len(), 3);
+        for t in &tables {
+            assert!(!t.is_empty());
+        }
+    }
+}

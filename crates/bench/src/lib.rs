@@ -1,0 +1,37 @@
+//! # asm-bench: experiment harness
+//!
+//! Reproduces every quantitative claim of Ostrovsky & Rosenbaum (PODC
+//! 2015) as a table — the paper is theory-only, so its theorems and
+//! lemmas *are* its tables and figures (see DESIGN.md §5 for the
+//! experiment inventory and EXPERIMENTS.md for recorded results).
+//!
+//! Run a single experiment:
+//!
+//! ```text
+//! cargo run --release -p asm-bench --bin t1_stability
+//! ```
+//!
+//! Run the whole suite (append `--quick` for a smoke-test pass):
+//!
+//! ```text
+//! cargo run --release -p asm-bench --bin all_experiments
+//! ```
+//!
+//! Criterion wall-clock benchmarks live in `benches/`.
+
+pub mod exp;
+mod table;
+
+pub use table::{f2, f4, Table};
+
+/// Parses the common `--quick` flag from the process arguments.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick" || a == "-q")
+}
+
+/// Prints a set of tables with blank-line separation.
+pub fn print_tables(tables: &[Table]) {
+    for t in tables {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-width table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple experiment results table: headers plus string rows, rendered
+/// with aligned fixed-width columns (and convertible to Markdown for
+/// EXPERIMENTS.md).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cell-count mismatch (a bug in the experiment code).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// The number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The table's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders as CSV (RFC-4180-ish; cells containing commas or quotes
+    /// are quoted).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out += &self
+            .headers
+            .iter()
+            .map(|h| escape(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out += &row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",");
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as GitHub-flavored Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out += &format!("| {} |\n", self.headers.join(" | "));
+        out += &format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        );
+        for row in &self.rows {
+            out += &format!("| {} |\n", row.join(" | "));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        writeln!(f, "{}", "-".repeat(header.join("  ").len()))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 4 decimal places.
+pub fn f4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["n", "value"]);
+        t.row(vec!["1".into(), "long-value".into()]);
+        t.row(vec!["1000".into(), "x".into()]);
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new("csv", &["a", "b"]);
+        t.row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("a,b\n"));
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_has_separator() {
+        let mut t = Table::new("md", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        Table::new("bad", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn float_helpers() {
+        assert_eq!(f4(0.123456), "0.1235");
+        assert_eq!(f2(3.0), "3.00");
+    }
+}

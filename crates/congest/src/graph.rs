@@ -1,0 +1,194 @@
+//! Communication graph topology.
+
+use crate::{CongestError, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An undirected communication graph over nodes `0..n`.
+///
+/// The topology is immutable after construction: in the CONGEST model the
+/// communication links are fixed by the problem instance (here, pairs of
+/// players who rank one another). Adjacency lists are kept sorted so that
+/// edge membership queries are `O(log deg)`.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::{NodeId, Topology};
+///
+/// let topo = Topology::from_edges(4, [(0, 1), (0, 2), (2, 3)])?;
+/// assert_eq!(topo.num_nodes(), 4);
+/// assert_eq!(topo.num_edges(), 3);
+/// assert_eq!(topo.degree(NodeId::new(0)), 2);
+/// assert!(topo.has_edge(NodeId::new(2), NodeId::new(3)));
+/// assert!(!topo.has_edge(NodeId::new(1), NodeId::new(3)));
+/// # Ok::<(), asm_congest::CongestError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// `adj[v]` is the sorted list of neighbors of `v`.
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Topology {
+    /// Builds a topology over `n` nodes from an edge list.
+    ///
+    /// Edges may be given in either orientation; `(u, v)` and `(v, u)` count
+    /// as the same edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NodeOutOfRange`] if an endpoint is `>= n` and
+    /// [`CongestError::InvalidEdge`] on self-loops or duplicate edges.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, CongestError>
+    where
+        I: IntoIterator<Item = (u32, u32)>,
+    {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut num_edges = 0;
+        for (u, v) in edges {
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            for id in [u, v] {
+                if id.index() >= n {
+                    return Err(CongestError::NodeOutOfRange { id, nodes: n });
+                }
+            }
+            if u == v {
+                return Err(CongestError::InvalidEdge { u, v });
+            }
+            adj[u.index()].push(v);
+            adj[v.index()].push(u);
+            num_edges += 1;
+        }
+        for (i, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable();
+            if list.windows(2).any(|w| w[0] == w[1]) {
+                let u = NodeId::new(i as u32);
+                let v = *list
+                    .windows(2)
+                    .find(|w| w[0] == w[1])
+                    .map(|w| &w[0])
+                    .expect("duplicate just found");
+                return Err(CongestError::InvalidEdge { u, v });
+            }
+        }
+        Ok(Topology { adj, num_edges })
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u.index() < self.adj.len() && self.adj[u.index()].binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree over all nodes (0 for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over all edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            let u = NodeId::new(u as u32);
+            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Topology {
+        Topology::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn basic_adjacency() {
+        let t = path(5);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_edges(), 4);
+        assert_eq!(t.degree(NodeId::new(0)), 1);
+        assert_eq!(t.degree(NodeId::new(2)), 2);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(
+            t.neighbors(NodeId::new(2)),
+            &[NodeId::new(1), NodeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn reversed_orientation_is_same_edge() {
+        let t = Topology::from_edges(3, [(2, 0)]).unwrap();
+        assert!(t.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(t.has_edge(NodeId::new(2), NodeId::new(0)));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let err = Topology::from_edges(2, [(0, 5)]).unwrap_err();
+        assert!(matches!(err, CongestError::NodeOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = Topology::from_edges(2, [(1, 1)]).unwrap_err();
+        assert!(matches!(err, CongestError::InvalidEdge { .. }));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let err = Topology::from_edges(3, [(0, 1), (1, 0)]).unwrap_err();
+        assert!(matches!(err, CongestError::InvalidEdge { .. }));
+    }
+
+    #[test]
+    fn edges_iterator_reports_each_once() {
+        let t = path(4);
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = Topology::from_edges(0, []).unwrap();
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.max_degree(), 0);
+        assert_eq!(t.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let t = Topology::from_edges(10, [(0, 1)]).unwrap();
+        assert_eq!(t.degree(NodeId::new(9)), 0);
+    }
+}

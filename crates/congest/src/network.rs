@@ -1,0 +1,477 @@
+//! The synchronous round engine.
+
+use crate::{CongestError, Envelope, NetStats, NodeId, Outbox, Payload, Topology, Trace, TraceEvent};
+
+/// A processor participating in a synchronous CONGEST execution.
+///
+/// Each round the network calls [`Process::on_round`] on every node with the
+/// messages sent to it in the previous round; the node performs arbitrary
+/// local computation and queues messages for its neighbors. This matches the
+/// three-stage round structure of Peleg's CONGEST model as used in Section
+/// 2.2 of the paper.
+///
+/// **Event-driven contract.** For the quiescence fast-forwarding of
+/// [`Network::run_phase`] to be sound, a process may send messages only (a)
+/// in the round a *phase* begins (the driver flips phase state between
+/// `run_phase` calls), or (b) in reaction to messages received. Under this
+/// contract a globally silent round implies silence until the next phase
+/// boundary, so skipping the rest of the phase cannot change any state.
+pub trait Process {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Executes one synchronous round: receive `inbox`, compute locally,
+    /// queue outgoing messages on `outbox`.
+    fn on_round(&mut self, inbox: &[Envelope<Self::Msg>], outbox: &mut Outbox<Self::Msg>);
+}
+
+/// Outcome of a single simulated round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Messages delivered to nodes at the start of this round.
+    pub delivered: u64,
+    /// Messages sent during this round (in flight for the next round).
+    pub sent: u64,
+}
+
+impl RoundOutcome {
+    /// Whether the round had any communication at all.
+    pub fn active(&self) -> bool {
+        self.delivered > 0 || self.sent > 0
+    }
+}
+
+/// A synchronous CONGEST network: a [`Topology`] plus one [`Process`] per
+/// node.
+///
+/// # Examples
+///
+/// A two-node ping-pong protocol:
+///
+/// ```
+/// use asm_congest::{Envelope, Network, NodeId, Outbox, Payload, Process, Topology};
+///
+/// #[derive(Clone, Debug)]
+/// struct Ping(u32);
+/// impl Payload for Ping {
+///     fn bits(&self) -> usize { 32 }
+/// }
+///
+/// struct Player { id: NodeId, peer: NodeId, kicked: bool, hops: u32 }
+/// impl Process for Player {
+///     type Msg = Ping;
+///     fn on_round(&mut self, inbox: &[Envelope<Ping>], outbox: &mut Outbox<Ping>) {
+///         if self.id.index() == 0 && !self.kicked {
+///             self.kicked = true;
+///             outbox.send(self.peer, Ping(0));
+///         }
+///         for env in inbox {
+///             self.hops = env.payload.0;
+///             if self.hops < 5 {
+///                 outbox.send(env.src, Ping(self.hops + 1));
+///             }
+///         }
+///     }
+/// }
+///
+/// let topo = Topology::from_edges(2, [(0, 1)])?;
+/// let procs = vec![
+///     Player { id: NodeId::new(0), peer: NodeId::new(1), kicked: false, hops: 0 },
+///     Player { id: NodeId::new(1), peer: NodeId::new(0), kicked: false, hops: 0 },
+/// ];
+/// let mut net = Network::new(topo, procs)?;
+/// net.run_until_quiescent(100)?;
+/// assert_eq!(net.node(NodeId::new(1)).hops + net.node(NodeId::new(0)).hops, 9);
+/// assert_eq!(net.stats().messages, 6);
+/// # Ok::<(), asm_congest::CongestError>(())
+/// ```
+#[derive(Debug)]
+pub struct Network<P: Process> {
+    topo: Topology,
+    procs: Vec<P>,
+    /// Messages awaiting delivery at the start of the next round, per node.
+    inboxes: Vec<Vec<Envelope<P::Msg>>>,
+    in_flight: u64,
+    stats: NetStats,
+    bit_budget: Option<usize>,
+    trace: Option<Trace>,
+}
+
+impl<P: Process> Network<P> {
+    /// Creates a network with one process per topology node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::NodeOutOfRange`] if `procs.len()` differs
+    /// from the topology's node count.
+    pub fn new(topo: Topology, procs: Vec<P>) -> Result<Self, CongestError> {
+        if procs.len() != topo.num_nodes() {
+            return Err(CongestError::NodeOutOfRange {
+                id: NodeId::new(procs.len() as u32),
+                nodes: topo.num_nodes(),
+            });
+        }
+        let n = topo.num_nodes();
+        Ok(Network {
+            topo,
+            procs,
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            in_flight: 0,
+            stats: NetStats::default(),
+            bit_budget: None,
+            trace: None,
+        })
+    }
+
+    /// Enforces the CONGEST per-message budget: any payload whose
+    /// [`Payload::bits`] exceeds `bits` makes the round fail.
+    ///
+    /// A common choice is a small multiple of [`NodeId::bits_for`]`(n)`.
+    pub fn set_bit_budget(&mut self, bits: usize) -> &mut Self {
+        self.bit_budget = Some(bits);
+        self
+    }
+
+    /// Enables tracing of the most recent `capacity` message deliveries.
+    pub fn set_trace_capacity(&mut self, capacity: usize) -> &mut Self {
+        self.trace = Some(Trace::with_capacity(capacity));
+        self
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Cumulative execution statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of messages currently in flight (sent, not yet delivered).
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Immutable access to the process at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> &P {
+        &self.procs[id.index()]
+    }
+
+    /// Mutable access to the process at `id`, for driver-coordinated phase
+    /// changes between rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut P {
+        &mut self.procs[id.index()]
+    }
+
+    /// All processes, indexed by node id.
+    pub fn nodes(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// Mutable access to all processes (driver phase changes).
+    pub fn nodes_mut(&mut self) -> &mut [P] {
+        &mut self.procs
+    }
+
+    /// Consumes the network, returning its processes.
+    pub fn into_nodes(self) -> Vec<P> {
+        self.procs
+    }
+
+    /// Simulates one synchronous round: deliver all in-flight messages, run
+    /// every process, validate and collect the messages they send.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a process sends to a non-neighbor or exceeds the bit budget.
+    pub fn step(&mut self) -> Result<RoundOutcome, CongestError> {
+        let round = self.stats.rounds;
+        let delivered = self.in_flight;
+        self.stats.messages += delivered;
+        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(delivered);
+
+        // Stage 1+2+3 per node: receive, compute, send. Sends are buffered
+        // into `staged` so no node sees a message sent this same round.
+        let mut staged: Vec<Envelope<P::Msg>> = Vec::new();
+        for (i, proc_) in self.procs.iter_mut().enumerate() {
+            let inbox = std::mem::take(&mut self.inboxes[i]);
+            if let Some(trace) = self.trace.as_mut() {
+                for env in &inbox {
+                    trace.record(TraceEvent {
+                        round,
+                        src: env.src,
+                        dst: env.dst,
+                        payload: format!("{:?}", env.payload),
+                    });
+                }
+            }
+            for env in &inbox {
+                self.stats.bits += env.payload.bits() as u64;
+                self.stats.max_message_bits = self.stats.max_message_bits.max(env.payload.bits());
+            }
+            let mut outbox = Outbox::new(NodeId::new(i as u32));
+            proc_.on_round(&inbox, &mut outbox);
+            staged.extend(outbox.into_queued());
+        }
+
+        // Validate and enqueue for the next round.
+        let sent = staged.len() as u64;
+        for env in staged {
+            if !self.topo.has_edge(env.src, env.dst) {
+                return Err(CongestError::NotANeighbor {
+                    src: env.src,
+                    dst: env.dst,
+                });
+            }
+            if let Some(budget) = self.bit_budget {
+                let bits = env.payload.bits();
+                if bits > budget {
+                    return Err(CongestError::MessageTooLarge {
+                        src: env.src,
+                        bits,
+                        budget,
+                    });
+                }
+            }
+            self.inboxes[env.dst.index()].push(env);
+        }
+        self.in_flight = sent;
+        self.stats.rounds += 1;
+        Ok(RoundOutcome { delivered, sent })
+    }
+
+    /// Runs one protocol *phase* with a nominal round budget.
+    ///
+    /// Executes rounds until the network goes silent (a round that neither
+    /// delivered nor sent any message), then credits the unused remainder of
+    /// `budget` to [`NetStats::silent_rounds_skipped`]. Under the
+    /// event-driven contract on [`Process`] this is observationally
+    /// equivalent to simulating all `budget` rounds.
+    ///
+    /// Returns the number of rounds actually simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::PhaseBudgetExhausted`] if messages are still
+    /// in flight after `budget` rounds, and propagates validation errors
+    /// from [`Network::step`].
+    pub fn run_phase(&mut self, budget: u64) -> Result<u64, CongestError> {
+        let mut used = 0;
+        while used < budget {
+            let outcome = self.step()?;
+            used += 1;
+            if !outcome.active() {
+                // This round was itself silent; don't bill it.
+                used -= 1;
+                self.stats.rounds -= 1;
+                break;
+            }
+            if outcome.sent == 0 {
+                break; // Delivered the last in-flight messages; now silent.
+            }
+        }
+        if self.in_flight > 0 {
+            return Err(CongestError::PhaseBudgetExhausted { budget });
+        }
+        self.stats.silent_rounds_skipped += budget - used;
+        Ok(used)
+    }
+
+    /// Runs until a fully silent round, without crediting skipped rounds.
+    ///
+    /// Returns the number of active rounds simulated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CongestError::PhaseBudgetExhausted`] if the network is
+    /// still active after `max_rounds` (a likely livelock), and propagates
+    /// validation errors from [`Network::step`].
+    pub fn run_until_quiescent(&mut self, max_rounds: u64) -> Result<u64, CongestError> {
+        let mut used = 0;
+        loop {
+            if used >= max_rounds {
+                return Err(CongestError::PhaseBudgetExhausted { budget: max_rounds });
+            }
+            let outcome = self.step()?;
+            used += 1;
+            if !outcome.active() {
+                used -= 1;
+                self.stats.rounds -= 1;
+                return Ok(used);
+            }
+            if outcome.sent == 0 {
+                return Ok(used);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug)]
+    struct Num(u64);
+    impl Payload for Num {
+        fn bits(&self) -> usize {
+            64 - self.0.leading_zeros() as usize + 1
+        }
+    }
+
+    /// Sends `initial` greetings to all neighbors in the first round; echoes
+    /// back decremented values until they reach zero.
+    struct Echo {
+        id: NodeId,
+        neighbors: Vec<NodeId>,
+        initial: Option<u64>,
+        received: u64,
+    }
+
+    impl Process for Echo {
+        type Msg = Num;
+        fn on_round(&mut self, inbox: &[Envelope<Num>], outbox: &mut Outbox<Num>) {
+            if let Some(v) = self.initial.take() {
+                for &nb in &self.neighbors {
+                    outbox.send(nb, Num(v));
+                }
+            }
+            for env in inbox {
+                self.received += 1;
+                if env.payload.0 > 0 {
+                    outbox.send(env.src, Num(env.payload.0 - 1));
+                }
+            }
+        }
+    }
+
+    fn echo_net(n: usize, edges: Vec<(u32, u32)>, initial: &[(u32, u64)]) -> Network<Echo> {
+        let topo = Topology::from_edges(n, edges).unwrap();
+        let procs = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                Echo {
+                    id,
+                    neighbors: topo.neighbors(id).to_vec(),
+                    initial: initial
+                        .iter()
+                        .find(|&&(who, _)| who == i as u32)
+                        .map(|&(_, v)| v),
+                    received: 0,
+                }
+            })
+            .collect();
+        let _ = &procs;
+        Network::new(topo, procs).unwrap()
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_exact_counts() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 3)]);
+        let rounds = net.run_until_quiescent(100).unwrap();
+        // Messages: 3, 2, 1, 0 -> 4 messages over 4 delivery rounds + the
+        // initial send round.
+        assert_eq!(net.stats().messages, 4);
+        assert_eq!(rounds, 5);
+        assert_eq!(net.node(NodeId::new(0)).received, 2);
+        assert_eq!(net.node(NodeId::new(1)).received, 2);
+    }
+
+    #[test]
+    fn run_phase_credits_skipped_rounds() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 1)]);
+        let used = net.run_phase(50).unwrap();
+        assert!(used < 50);
+        assert_eq!(net.stats().nominal_rounds(), 50);
+        // A second phase with nothing to do costs zero simulated rounds.
+        let used2 = net.run_phase(10).unwrap();
+        assert_eq!(used2, 0);
+        assert_eq!(net.stats().nominal_rounds(), 60);
+    }
+
+    #[test]
+    fn phase_budget_exhaustion_is_detected() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 1_000_000)]);
+        let err = net.run_phase(3).unwrap_err();
+        assert!(matches!(err, CongestError::PhaseBudgetExhausted { budget: 3 }));
+    }
+
+    #[test]
+    fn non_neighbor_send_is_rejected() {
+        struct Rogue;
+        impl Process for Rogue {
+            type Msg = Num;
+            fn on_round(&mut self, _: &[Envelope<Num>], outbox: &mut Outbox<Num>) {
+                outbox.send(NodeId::new(2), Num(1));
+            }
+        }
+        let topo = Topology::from_edges(3, [(0, 1)]).unwrap();
+        let mut net = Network::new(topo, vec![Rogue, Rogue, Rogue]).unwrap();
+        let err = net.step().unwrap_err();
+        assert!(matches!(err, CongestError::NotANeighbor { .. }));
+    }
+
+    #[test]
+    fn bit_budget_is_enforced() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, u64::MAX)]);
+        net.set_bit_budget(16);
+        let err = net.run_until_quiescent(10).unwrap_err();
+        assert!(matches!(err, CongestError::MessageTooLarge { .. }));
+    }
+
+    #[test]
+    fn messages_are_delayed_one_round() {
+        // Node 0 sends in round 0; node 1 must not see it until round 1.
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 0)]);
+        net.step().unwrap();
+        assert_eq!(net.node(NodeId::new(1)).received, 0);
+        net.step().unwrap();
+        assert_eq!(net.node(NodeId::new(1)).received, 1);
+    }
+
+    #[test]
+    fn trace_records_deliveries() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 1)]);
+        net.set_trace_capacity(16);
+        net.run_until_quiescent(10).unwrap();
+        let trace = net.trace().unwrap();
+        assert_eq!(trace.events().len(), 2);
+        assert!(trace.events()[0].payload.contains("Num"));
+    }
+
+    #[test]
+    fn proc_count_mismatch_rejected() {
+        let topo = Topology::from_edges(2, [(0, 1)]).unwrap();
+        let procs: Vec<Echo> = Vec::new();
+        assert!(Network::new(topo, procs).is_err());
+    }
+
+    #[test]
+    fn star_broadcast_counts_bits() {
+        let edges: Vec<(u32, u32)> = (1..5).map(|i| (0, i)).collect();
+        let mut net = echo_net(5, edges, &[(0, 0)]);
+        net.run_until_quiescent(10).unwrap();
+        assert_eq!(net.stats().messages, 4);
+        assert_eq!(net.stats().max_messages_per_round, 4);
+        assert!(net.stats().bits > 0);
+    }
+
+    #[test]
+    fn unused_id_field_is_set() {
+        let net = echo_net(2, vec![(0, 1)], &[]);
+        assert_eq!(net.node(NodeId::new(1)).id, NodeId::new(1));
+    }
+}

@@ -1,0 +1,113 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a processor (player) in the communication graph.
+///
+/// Node ids are dense indices `0..n`. The simulator and all protocol crates
+/// use `NodeId` as the only addressing primitive, matching the CONGEST
+/// assumption that every processor has a unique `O(log n)`-bit id.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index of this node, suitable for `Vec` indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Number of bits needed to address any of `n` nodes.
+    ///
+    /// This is the CONGEST "word size" for a network of `n` processors;
+    /// message-size accounting in [`crate::Network`] is expressed in
+    /// multiples of it.
+    ///
+    /// ```
+    /// assert_eq!(asm_congest::NodeId::bits_for(1024), 10);
+    /// assert_eq!(asm_congest::NodeId::bits_for(1025), 11);
+    /// assert_eq!(asm_congest::NodeId::bits_for(1), 1);
+    /// ```
+    pub fn bits_for(n: usize) -> usize {
+        (usize::BITS as usize - n.next_power_of_two().leading_zeros() as usize).saturating_sub(1).max(1)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for i in [0u32, 1, 17, u32::MAX] {
+            assert_eq!(NodeId::new(i).raw(), i);
+            assert_eq!(NodeId::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::new(3) < NodeId::new(4));
+        assert_eq!(NodeId::new(5), NodeId::from(5u32));
+    }
+
+    #[test]
+    fn bits_for_powers_of_two() {
+        assert_eq!(NodeId::bits_for(2), 1);
+        assert_eq!(NodeId::bits_for(3), 2);
+        assert_eq!(NodeId::bits_for(4), 2);
+        assert_eq!(NodeId::bits_for(5), 3);
+        assert_eq!(NodeId::bits_for(1 << 20), 20);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let v = NodeId::new(0);
+        assert_eq!(format!("{v}"), "v0");
+        assert_eq!(format!("{v:?}"), "v0");
+    }
+}

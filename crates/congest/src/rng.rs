@@ -1,0 +1,206 @@
+//! Deterministic, splittable randomness.
+//!
+//! Randomized distributed algorithms (Israeli–Itai, `RandASM`) need each
+//! processor to draw private random bits. For reproducibility — and so that
+//! the fast vector engine and the message-passing CONGEST engine of
+//! `asm-core` produce *bit-identical* executions from the same seed — all
+//! randomness in this workspace flows through [`SplitRng`], a small
+//! splitmix64-based generator that can be deterministically *split* by a
+//! key such as `(node id, phase counter)`.
+//!
+//! We deliberately do not use the `rand` crate here: `rand`'s small RNGs do
+//! not guarantee a stable stream across versions, and the engine-equivalence
+//! property tests depend on stability.
+
+/// The splitmix64 step: advances the state by the golden-gamma constant and
+/// returns a scrambled output word.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic, splittable pseudo-random generator.
+///
+/// Streams obtained via [`SplitRng::split`] with distinct keys are
+/// statistically independent for the purposes of this workspace's
+/// simulations (each split re-seeds through two scrambling rounds of
+/// splitmix64).
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::SplitRng;
+///
+/// let root = SplitRng::new(42);
+/// let a = root.split(1, 0).next_range(100);
+/// let b = root.split(2, 0).next_range(100);
+/// // Same construction always yields the same values.
+/// assert_eq!(a, root.split(1, 0).next_range(100));
+/// assert!(a < 100 && b < 100);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitRng {
+    state: u64,
+}
+
+impl SplitRng {
+    /// Creates a generator from a root seed.
+    pub fn new(seed: u64) -> Self {
+        // Scramble once so that small consecutive seeds diverge immediately.
+        let mut state = seed ^ 0xD6E8_FEB8_6659_FD93;
+        splitmix64(&mut state);
+        SplitRng { state }
+    }
+
+    /// Derives an independent generator keyed by `(a, b)`.
+    ///
+    /// Splitting does not advance `self`; it is a pure function of the
+    /// current state and the key, so protocol code can hand out per-node,
+    /// per-phase streams without threading mutable state around.
+    pub fn split(&self, a: u64, b: u64) -> SplitRng {
+        let mut state = self.state ^ a.wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut state);
+        state ^= b.wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        splitmix64(&mut state);
+        SplitRng { state }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    /// Returns a uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "next_range bound must be positive");
+        // Lemire's multiply-shift rejection method for unbiased sampling.
+        let bound = bound as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= low.wrapping_neg() % bound {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_range(slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_range(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SplitRng::new(7);
+        let mut b = SplitRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitRng::new(1);
+        let mut b = SplitRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_pure() {
+        let root = SplitRng::new(99);
+        let x = root.split(3, 4);
+        let y = root.split(3, 4);
+        assert_eq!(x, y);
+        assert_ne!(root.split(3, 5), x);
+        assert_ne!(root.split(4, 4), x);
+    }
+
+    #[test]
+    fn next_range_is_in_bounds_and_covers() {
+        let mut rng = SplitRng::new(5);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_range(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_range_zero_panics() {
+        SplitRng::new(0).next_range(0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_bool_matches_probability_roughly() {
+        let mut rng = SplitRng::new(13);
+        let hits = (0..10_000).filter(|_| rng.next_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits} hits for p=0.25");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = SplitRng::new(17);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitRng::new(23);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be identity");
+    }
+}

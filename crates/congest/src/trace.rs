@@ -1,0 +1,111 @@
+//! Optional message tracing for protocol debugging.
+
+use crate::NodeId;
+use std::fmt;
+
+/// One delivered message, recorded by the tracer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Round in which the message was delivered.
+    pub round: u64,
+    /// Sender.
+    pub src: NodeId,
+    /// Recipient.
+    pub dst: NodeId,
+    /// `Debug` rendering of the payload.
+    pub payload: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[r{}] {} -> {}: {}",
+            self.round, self.src, self.dst, self.payload
+        )
+    }
+}
+
+/// A bounded buffer of [`TraceEvent`]s.
+///
+/// Tracing is off by default on [`crate::Network`]; enabling it records the
+/// most recent `capacity` deliveries, which is usually enough to diagnose a
+/// misbehaving protocol without holding an entire execution in memory.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace buffer retaining at most `capacity` recent events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        if self.events.len() == self.capacity {
+            if self.capacity == 0 {
+                self.dropped += 1;
+                return;
+            }
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(round: u64) -> TraceEvent {
+        TraceEvent {
+            round,
+            src: NodeId::new(0),
+            dst: NodeId::new(1),
+            payload: "X".into(),
+        }
+    }
+
+    #[test]
+    fn retains_most_recent() {
+        let mut t = Trace::with_capacity(2);
+        t.record(ev(1));
+        t.record(ev(2));
+        t.record(ev(3));
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].round, 2);
+        assert_eq!(t.events()[1].round, 3);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::with_capacity(0);
+        t.record(ev(1));
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn event_display() {
+        assert_eq!(ev(4).to_string(), "[r4] v0 -> v1: X");
+    }
+}

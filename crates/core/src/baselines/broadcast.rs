@@ -1,0 +1,78 @@
+//! The broadcast-then-solve baseline of the paper's footnote 1.
+
+use super::GsReport;
+use asm_instance::Instance;
+use asm_matching::man_optimal_stable;
+
+/// The trivial baseline from footnote 1 of the paper: with complete
+/// preferences, every player broadcasts their list to all others in
+/// `O(n)` rounds, after which each player runs *centralized* Gale–Shapley
+/// locally.
+///
+/// The communication cost is low — modeled here as `2n` rounds (each of a
+/// player's `n` links must carry the `2n·n` total list entries it needs
+/// to learn, at one `O(log n)`-bit entry per round per link) — but as the
+/// footnote notes, the **synchronous distributed run-time is still
+/// `Θ̃(n²)`** because of the local Gale–Shapley execution; ASM's point is
+/// to beat that, not the round count alone. Returns `None` for incomplete
+/// preferences, where a single broadcast round-count model is not
+/// meaningful (the graph may even be disconnected).
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::baselines::broadcast_gs;
+/// use asm_instance::generators;
+///
+/// let inst = generators::complete(16, 1);
+/// let report = broadcast_gs(&inst).expect("complete instance");
+/// assert_eq!(report.rounds, 32);
+/// assert!(report.converged);
+///
+/// let sparse = generators::regular(16, 3, 1);
+/// assert!(broadcast_gs(&sparse).is_none());
+/// ```
+pub fn broadcast_gs(inst: &Instance) -> Option<GsReport> {
+    if !inst.is_complete() || inst.ids().num_men() == 0 {
+        return None;
+    }
+    let n = inst.ids().num_men() as u64;
+    let gs = man_optimal_stable(inst);
+    Some(GsReport {
+        matching: gs.matching,
+        cycles: n, // the broadcast phases; no proposal cycles on the wire
+        rounds: 2 * n,
+        proposals: gs.proposals,
+        converged: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators;
+    use asm_matching::count_blocking_pairs;
+
+    #[test]
+    fn matches_centralized_gs_exactly() {
+        let inst = generators::complete(12, 4);
+        let b = broadcast_gs(&inst).unwrap();
+        assert_eq!(b.matching, man_optimal_stable(&inst).matching);
+        assert_eq!(count_blocking_pairs(&inst, &b.matching), 0);
+    }
+
+    #[test]
+    fn rounds_are_linear_in_n() {
+        let small = broadcast_gs(&generators::complete(8, 1)).unwrap();
+        let large = broadcast_gs(&generators::complete(32, 1)).unwrap();
+        assert_eq!(small.rounds, 16);
+        assert_eq!(large.rounds, 64);
+    }
+
+    #[test]
+    fn incomplete_instances_rejected() {
+        assert!(broadcast_gs(&generators::erdos_renyi(8, 8, 0.5, 1)).is_none());
+        let empty = asm_instance::InstanceBuilder::new(0, 0).build().unwrap();
+        assert!(broadcast_gs(&empty).is_none());
+    }
+}

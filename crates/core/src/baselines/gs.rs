@@ -1,0 +1,220 @@
+//! Distributed Gale–Shapley and its truncation.
+
+use asm_congest::NodeId;
+use asm_instance::Instance;
+use asm_matching::Matching;
+use serde::{Deserialize, Serialize};
+
+/// Result of a (possibly truncated) distributed Gale–Shapley run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GsReport {
+    /// The matching at termination/truncation.
+    pub matching: Matching,
+    /// Proposal cycles executed (each cycle = 2 CONGEST rounds).
+    pub cycles: u64,
+    /// CONGEST communication rounds (`2 · cycles`).
+    pub rounds: u64,
+    /// Total PROPOSE messages sent.
+    pub proposals: u64,
+    /// Whether the process ran to quiescence (true) or hit the truncation
+    /// budget (false).
+    pub converged: bool,
+}
+
+/// Core synchronous Gale–Shapley loop.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by side index
+///
+/// Each 2-round cycle: every free man with an untried woman proposes to the
+/// best woman who has not rejected him; every woman keeps the best of
+/// {current partner} ∪ {proposers} and rejects the rest; rejected men
+/// advance down their lists.
+fn run(inst: &Instance, max_cycles: Option<u64>) -> GsReport {
+    let ids = inst.ids();
+    let mut matching = Matching::new(ids.num_players());
+    // next[j]: index into man j's list of his current proposal target.
+    let mut next: Vec<usize> = vec![0; ids.num_men()];
+    let mut cycles: u64 = 0;
+    let mut proposals: u64 = 0;
+
+    loop {
+        if let Some(budget) = max_cycles {
+            if cycles >= budget {
+                return GsReport {
+                    rounds: 2 * cycles,
+                    matching,
+                    cycles,
+                    proposals,
+                    converged: false,
+                };
+            }
+        }
+        // Propose round (proposers enumerated in man-id order, as a
+        // CONGEST inbox would deliver them).
+        let mut received: Vec<Vec<NodeId>> = vec![Vec::new(); ids.num_women()];
+        let mut any = false;
+        for j in 0..ids.num_men() {
+            let m = ids.man(j);
+            if matching.is_matched(m) {
+                continue;
+            }
+            if let Some(&w) = inst.prefs(m).ranked().get(next[j]) {
+                received[w.index()].push(m);
+                proposals += 1;
+                any = true;
+            }
+        }
+        if !any {
+            return GsReport {
+                rounds: 2 * cycles,
+                matching,
+                cycles,
+                proposals,
+                converged: true,
+            };
+        }
+        cycles += 1;
+        // Accept/reject round.
+        for i in 0..ids.num_women() {
+            if received[i].is_empty() {
+                continue;
+            }
+            let w = ids.woman(i);
+            let best = *received[i]
+                .iter()
+                .min_by_key(|&&m| inst.rank(w, m).expect("proposer is acceptable"))
+                .expect("nonempty");
+            let keep_current = match matching.partner(w) {
+                Some(p) => inst.rank(w, p) < inst.rank(w, best),
+                None => false,
+            };
+            let winner = if keep_current {
+                matching.partner(w).expect("checked above")
+            } else {
+                if let Some(old) = matching.remove(w) {
+                    // Displaced partner resumes from his next choice.
+                    next[ids.side_index(old)] += 1;
+                }
+                matching.add_pair(best, w).expect("both free");
+                best
+            };
+            for &m in &received[i] {
+                if m != winner {
+                    next[ids.side_index(m)] += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Runs distributed Gale–Shapley to quiescence, producing the man-optimal
+/// stable matching.
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::baselines::distributed_gs;
+/// use asm_instance::generators;
+/// use asm_matching::count_blocking_pairs;
+///
+/// let inst = generators::complete(16, 1);
+/// let gs = distributed_gs(&inst);
+/// assert!(gs.converged);
+/// assert_eq!(count_blocking_pairs(&inst, &gs.matching), 0);
+/// ```
+pub fn distributed_gs(inst: &Instance) -> GsReport {
+    run(inst, None)
+}
+
+/// Runs distributed Gale–Shapley for at most `max_cycles` proposal cycles
+/// and returns whatever matching stands — the truncation strategy of
+/// Floréen et al. \[3\] for almost stable matchings on bounded lists.
+pub fn truncated_gs(inst: &Instance, max_cycles: u64) -> GsReport {
+    run(inst, Some(max_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators;
+    use asm_matching::{count_blocking_pairs, man_optimal_stable, StabilityReport};
+
+    #[test]
+    fn agrees_with_centralized_gs() {
+        for seed in 0..5 {
+            let inst = generators::erdos_renyi(14, 14, 0.5, seed);
+            let dist = distributed_gs(&inst);
+            let central = man_optimal_stable(&inst);
+            assert_eq!(
+                dist.matching, central.matching,
+                "both compute the man-optimal stable matching (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_instance_takes_linear_cycles() {
+        let n = 64;
+        let inst = generators::adversarial_chain(n);
+        let gs = distributed_gs(&inst);
+        assert!(
+            gs.cycles >= n as u64 - 1,
+            "the displacement chain serializes: got {} cycles",
+            gs.cycles
+        );
+        assert_eq!(count_blocking_pairs(&inst, &gs.matching), 0);
+    }
+
+    #[test]
+    fn truncation_monotonically_improves() {
+        let inst = generators::regular(32, 6, 3);
+        let full = distributed_gs(&inst);
+        let mut last = usize::MAX;
+        for budget in [1u64, 2, 4, 8, 64] {
+            let t = truncated_gs(&inst, budget);
+            let b = StabilityReport::analyze(&inst, &t.matching).blocking_pairs;
+            // Not strictly monotone in general, but the trend must reach 0.
+            if budget >= full.cycles {
+                assert!(t.converged);
+                assert_eq!(b, 0);
+            }
+            last = last.min(b);
+        }
+        assert_eq!(last, last);
+    }
+
+    #[test]
+    fn zero_budget_returns_empty_matching() {
+        let inst = generators::complete(8, 1);
+        let t = truncated_gs(&inst, 0);
+        assert!(!t.converged);
+        assert!(t.matching.is_empty());
+        assert_eq!(t.rounds, 0);
+    }
+
+    #[test]
+    fn rounds_are_twice_cycles() {
+        let inst = generators::complete(10, 4);
+        let gs = distributed_gs(&inst);
+        assert_eq!(gs.rounds, 2 * gs.cycles);
+        assert!(gs.proposals >= 10);
+    }
+
+    #[test]
+    fn empty_instance_converges_immediately() {
+        let inst = asm_instance::InstanceBuilder::new(3, 3).build().unwrap();
+        let gs = distributed_gs(&inst);
+        assert!(gs.converged);
+        assert_eq!(gs.cycles, 0);
+    }
+
+    #[test]
+    fn master_list_is_fast_in_cycles_but_heavy_in_proposals() {
+        // All men propose to the same woman; one survives per cycle, so
+        // cycles ~ n but proposals ~ n²/2.
+        let n = 24u64;
+        let inst = generators::master_list(n as usize, 1);
+        let gs = distributed_gs(&inst);
+        assert!(gs.converged);
+        assert_eq!(gs.proposals, n * (n + 1) / 2);
+    }
+}

@@ -1,0 +1,62 @@
+//! Protocol messages of the CONGEST engine.
+
+use asm_congest::Payload;
+use asm_maximal::protocols::{MmMsg, PrMsg};
+
+/// Messages exchanged by ASM players (Section 3.2's PROPOSE / ACCEPT /
+/// REJECT, plus the embedded maximal-matching traffic).
+///
+/// Every variant fits comfortably in the `O(log n)` CONGEST budget: the
+/// payload is a constant-size tag (addressing is carried by the network).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AsmMsg {
+    /// Step 1: a man proposes.
+    Propose,
+    /// Step 2: a woman accepts a proposal into `G₀`.
+    Accept,
+    /// Step 4: a woman rejects a suitor (who removes her from `Q`).
+    Reject,
+    /// `AlmostRegularASM` only: "I was in G0 but AMM left me unmatched"
+    /// (maximality-violation detection, Theorem 6).
+    Unmatched,
+    /// Step 3: maximal-matching subroutine traffic.
+    Mm(MmMsg),
+    /// Step 3 with the Panconesi–Rizzi backend (colors carry a payload).
+    Pr(PrMsg),
+}
+
+impl Payload for AsmMsg {
+    fn bits(&self) -> usize {
+        match self {
+            AsmMsg::Propose | AsmMsg::Accept | AsmMsg::Reject | AsmMsg::Unmatched => 3,
+            AsmMsg::Mm(inner) => 3 + inner.bits(),
+            AsmMsg::Pr(inner) => 3 + inner.bits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_are_constant_size() {
+        for m in [
+            AsmMsg::Propose,
+            AsmMsg::Accept,
+            AsmMsg::Reject,
+            AsmMsg::Unmatched,
+            AsmMsg::Mm(MmMsg::Pick),
+            AsmMsg::Mm(MmMsg::Matched),
+        ] {
+            assert!(m.bits() <= 8, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn pr_messages_carry_log_n_payloads() {
+        // Colors are O(log n) bits; still comfortably CONGEST-legal.
+        let m = AsmMsg::Pr(PrMsg::Color { forest: 3, color: 100 });
+        assert!(m.bits() <= 3 + 3 + 16 + 7);
+    }
+}

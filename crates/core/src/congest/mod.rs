@@ -1,0 +1,488 @@
+//! The message-passing CONGEST engine.
+//!
+//! Runs `ASM`/`RandASM` as real per-player processes on an
+//! [`asm_congest::Network`]: every PROPOSE/ACCEPT/REJECT and every
+//! maximal-matching message is an `O(log n)`-bit message delivered along
+//! an edge of the communication graph, with the network enforcing both
+//! constraints.
+//!
+//! The driver sequences the globally-known phase schedule (in the CONGEST
+//! model every player can compute the current phase from the synchronized
+//! round number; the driver simulates that shared clock, skipping rounds
+//! that are provably silent). Given the same seed, this engine produces a
+//! matching **identical** to the fast engine's — the engine-equivalence
+//! tests in `tests/` check this across instance families and backends.
+//!
+//! # Examples
+//!
+//! ```
+//! use asm_core::congest::asm_congest;
+//! use asm_core::{asm, AsmConfig};
+//! use asm_instance::generators;
+//! use asm_maximal::MatcherBackend;
+//!
+//! let inst = generators::complete(8, 3);
+//! let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+//! let message_passing = asm_congest(&inst, &config)?;
+//! let fast = asm(&inst, &config).unwrap();
+//! assert_eq!(message_passing.matching, fast.matching);
+//! # Ok::<(), asm_core::congest::CongestRunError>(())
+//! ```
+
+mod messages;
+mod player;
+
+pub use messages::AsmMsg;
+pub use player::{CongestBackend, Player};
+
+use crate::fast::{almost_regular_plan, asm_schedule, SchedulePhase};
+use crate::{rand_asm_config, AlmostRegularParams, AsmConfig, ConfigError, RandAsmParams};
+use asm_congest::{CongestError, NetStats, Network, NodeId, SplitRng};
+use asm_instance::Instance;
+use asm_matching::Matching;
+use asm_maximal::MatcherBackend;
+use player::Phase;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// Result of a CONGEST-engine run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CongestReport {
+    /// The matching produced.
+    pub matching: Matching,
+    /// Network statistics: measured rounds, messages, and bits.
+    pub stats: NetStats,
+    /// `ProposalRound`s in the nominal schedule.
+    pub scheduled_proposal_rounds: u64,
+    /// `ProposalRound`s that actually communicated.
+    pub executed_proposal_rounds: u64,
+    /// Men that are good (matched or fully rejected) at termination.
+    pub good_men: usize,
+    /// Men that are bad (unmatched with surviving preferences).
+    pub bad_men: Vec<NodeId>,
+    /// Men removed from play by `AlmostRegularASM`'s violator rule
+    /// (always empty for `ASM`/`RandASM`).
+    pub removed_men: Vec<NodeId>,
+}
+
+/// Errors from the CONGEST engine.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CongestRunError {
+    /// The charged HKP oracle has no message-passing form; use
+    /// `DetGreedy` or `IsraeliItai`.
+    UnsupportedBackend(MatcherBackend),
+    /// Invalid algorithm configuration.
+    Config(ConfigError),
+    /// Network-level failure (a protocol bug: non-neighbor send, budget
+    /// overrun, livelock cap).
+    Network(CongestError),
+}
+
+impl fmt::Display for CongestRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CongestRunError::UnsupportedBackend(b) => write!(
+                f,
+                "backend {b:?} has no message-passing implementation (use DetGreedy or IsraeliItai)"
+            ),
+            CongestRunError::Config(e) => write!(f, "invalid configuration: {e}"),
+            CongestRunError::Network(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl Error for CongestRunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CongestRunError::Config(e) => Some(e),
+            CongestRunError::Network(e) => Some(e),
+            CongestRunError::UnsupportedBackend(_) => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CongestRunError {
+    fn from(e: ConfigError) -> Self {
+        CongestRunError::Config(e)
+    }
+}
+
+impl From<CongestError> for CongestRunError {
+    fn from(e: CongestError) -> Self {
+        CongestRunError::Network(e)
+    }
+}
+
+/// Runs the deterministic `ASM` (or, with an Israeli–Itai backend, a
+/// `RandASM`-shaped run) on the message-passing engine.
+///
+/// # Errors
+///
+/// Fails on invalid configuration, on the `HkpOracle` backend (which is a
+/// charged sequential oracle, not a protocol), or on network-level
+/// protocol violations.
+pub fn asm_congest(inst: &Instance, config: &AsmConfig) -> Result<CongestReport, CongestRunError> {
+    config.validate()?;
+    let schedule = asm_schedule(config, inst);
+    run(inst, config, &schedule, false)
+}
+
+/// Runs `RandASM` (Theorem 5) on the message-passing engine: the same
+/// truncated-Israeli–Itai configuration as [`crate::rand_asm`], executed
+/// as real message exchange.
+///
+/// # Errors
+///
+/// As for [`asm_congest()`].
+pub fn rand_asm_congest(
+    inst: &Instance,
+    params: &RandAsmParams,
+) -> Result<CongestReport, CongestRunError> {
+    let config = rand_asm_config(inst, params)?;
+    let schedule = asm_schedule(&config, inst);
+    run(inst, &config, &schedule, false)
+}
+
+/// Runs `AlmostRegularASM` (Theorem 6) on the message-passing engine: the
+/// same plan as [`crate::almost_regular_asm`], with the
+/// maximality-violation detection implemented as two extra protocol
+/// rounds per `ProposalRound` (UNMATCHED announcements over `G₀`).
+///
+/// # Errors
+///
+/// As for [`asm_congest()`].
+pub fn almost_regular_asm_congest(
+    inst: &Instance,
+    params: &AlmostRegularParams,
+) -> Result<CongestReport, CongestRunError> {
+    let (config, ell) = almost_regular_plan(inst, params)?;
+    let schedule = [SchedulePhase {
+        gate: 1,
+        iterations: ell,
+        label: 0,
+    }];
+    run(inst, &config, &schedule, true)
+}
+
+fn run(
+    inst: &Instance,
+    config: &AsmConfig,
+    schedule: &[SchedulePhase],
+    amm_removal: bool,
+) -> Result<CongestReport, CongestRunError> {
+    let (backend, mm_cap) = match config.backend {
+        MatcherBackend::DetGreedy => (
+            CongestBackend::DetGreedy,
+            2 * inst.ids().num_players() as u64 + 16,
+        ),
+        MatcherBackend::BipartiteProposal => (
+            CongestBackend::BipartiteProposal,
+            2 * inst.ids().num_players() as u64 + 16,
+        ),
+        MatcherBackend::PanconesiRizzi => (
+            CongestBackend::PanconesiRizzi,
+            // Worst-case fixed schedule: F <= n forests; recomputed
+            // per invocation by the driver from the actual G0.
+            9 * inst.ids().num_players() as u64 + 64,
+        ),
+        MatcherBackend::IsraeliItai { max_iterations } => (
+            CongestBackend::IsraeliItai { max_iterations },
+            4 * max_iterations + 16,
+        ),
+        other => return Err(CongestRunError::UnsupportedBackend(other)),
+    };
+
+    let ids = inst.ids();
+    let k = config.quantile_count();
+    let rng_base = SplitRng::new(config.seed);
+    let players: Vec<Player> = ids
+        .players()
+        .map(|v| {
+            Player::new(
+                v,
+                ids.gender(v),
+                inst.prefs(v).ranked(),
+                k,
+                backend,
+                rng_base.clone(),
+            )
+        })
+        .collect();
+    let mut net = Network::new(inst.topology(), players)?;
+    // The CONGEST allowance: most payloads are constant-size tags, but the
+    // Panconesi–Rizzi colors legitimately carry O(log n) bits.
+    net.set_bit_budget(24 + asm_congest::NodeId::bits_for(ids.num_players().max(2)));
+
+    let mut pr_counter: u64 = 0;
+    let mut executed: u64 = 0;
+    let mut scheduled: u64 = 0;
+
+    'outer: for phase in schedule {
+        for _ in 0..phase.iterations {
+            scheduled += k as u64;
+            // Global termination detection: if no man passes this gate,
+            // none will pass any later (larger) gate.
+            for p in net.nodes_mut() {
+                p.begin_quantile_match(phase.gate);
+            }
+            if !net.nodes().iter().any(Player::would_propose) {
+                let blocked = net
+                    .nodes()
+                    .iter()
+                    .all(|p| p.is_good() || p.remaining() < phase.gate);
+                if blocked && config.early_exit {
+                    // Account the rest of the schedule as scheduled-only.
+                    let mut rest: u64 = 0;
+                    let mut seen_current = false;
+                    for ph in schedule {
+                        if std::ptr::eq(ph, phase) {
+                            seen_current = true;
+                            continue;
+                        }
+                        if seen_current {
+                            rest += ph.iterations * k as u64;
+                        }
+                    }
+                    scheduled += rest;
+                    break 'outer;
+                }
+                continue;
+            }
+            for _ in 0..k {
+                if !net.nodes().iter().any(Player::would_propose) {
+                    break;
+                }
+                pr_counter += 1;
+                executed += 1;
+                run_proposal_round(&mut net, inst, backend, pr_counter << 32, mm_cap, amm_removal)?;
+            }
+        }
+    }
+
+    // Collect the matching from the women's partner fields; assert the
+    // men agree.
+    let mut matching = Matching::new(ids.num_players());
+    for w in ids.women() {
+        if let Some(m) = net.node(w).partner() {
+            debug_assert_eq!(net.node(m).partner(), Some(w), "partner tables agree");
+            matching.add_pair(m, w).expect("players hold disjoint pairs");
+        }
+    }
+    let mut bad = Vec::new();
+    let mut removed = Vec::new();
+    let mut good = 0;
+    for m in ids.men() {
+        let p = net.node(m);
+        if p.removed_from_play() {
+            removed.push(m);
+            if p.partner().is_some() {
+                good += 1; // matched before removal; counted as in the fast engine
+            }
+            continue;
+        }
+        if p.is_good() {
+            good += 1;
+        } else {
+            bad.push(m);
+        }
+    }
+    Ok(CongestReport {
+        matching,
+        stats: net.stats().clone(),
+        scheduled_proposal_rounds: scheduled,
+        executed_proposal_rounds: executed,
+        good_men: good,
+        bad_men: bad,
+        removed_men: removed,
+    })
+}
+
+/// Executes one `ProposalRound` worth of synchronous rounds.
+fn run_proposal_round(
+    net: &mut Network<Player>,
+    inst: &Instance,
+    backend: CongestBackend,
+    tag: u64,
+    mm_cap: u64,
+    amm_removal: bool,
+) -> Result<(), CongestError> {
+    for p in net.nodes_mut() {
+        p.begin_proposal_round(tag); // phase = Propose
+    }
+    net.step()?; // men send PROPOSE
+    set_phase(net, Phase::Respond);
+    net.step()?; // women receive, send ACCEPT, learn G0
+    if backend == CongestBackend::PanconesiRizzi {
+        // Panconesi–Rizzi assumes Δ(G0) is globally known; the driver
+        // plays that oracle by reading the women's accept lists.
+        let mut out_degree: std::collections::HashMap<NodeId, u16> =
+            std::collections::HashMap::new();
+        for w in inst.ids().women() {
+            for &m in net.node(w).g0_accepts() {
+                let low = m.min(w);
+                *out_degree.entry(low).or_default() += 1;
+            }
+        }
+        let forests = out_degree.values().copied().max().unwrap_or(0);
+        for p in net.nodes_mut() {
+            p.set_pr_forests(forests);
+        }
+    }
+    set_phase(net, Phase::Mm);
+    let mut steps = 0;
+    loop {
+        let outcome = net.step()?; // matcher subrounds
+        steps += 1;
+        if outcome.sent == 0 && !net.nodes().iter().any(Player::mm_active) {
+            break;
+        }
+        if steps > mm_cap {
+            return Err(CongestError::PhaseBudgetExhausted { budget: mm_cap });
+        }
+    }
+    if amm_removal {
+        // Theorem 6's violator detection: unmatched G0 members announce,
+        // and unmatched men hearing an announcement leave the game.
+        set_phase(net, Phase::UnmatchedAnnounce);
+        net.step()?;
+        set_phase(net, Phase::UnmatchedRecv);
+        net.step()?;
+    }
+    for p in net.nodes_mut() {
+        p.begin_reject(); // adopt M0, queue rejects; phase = RejectSend
+    }
+    net.step()?; // women send REJECT
+    set_phase(net, Phase::RejectRecv);
+    net.step()?; // men apply rejections
+    set_phase(net, Phase::Idle);
+    Ok(())
+}
+
+fn set_phase(net: &mut Network<Player>, phase: Phase) {
+    for p in net.nodes_mut() {
+        p.phase = phase;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators;
+    use asm_matching::verify_matching;
+
+    #[test]
+    fn det_greedy_congest_matches_fast_engine() {
+        for seed in 0..4 {
+            let inst = generators::erdos_renyi(10, 10, 0.5, seed);
+            let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+            let congest = asm_congest(&inst, &config).unwrap();
+            let fast = crate::asm(&inst, &config).unwrap();
+            assert_eq!(congest.matching, fast.matching, "seed {seed}");
+            assert_eq!(
+                congest.executed_proposal_rounds,
+                fast.executed_proposal_rounds
+            );
+            assert_eq!(congest.bad_men, fast.bad_men);
+        }
+    }
+
+    #[test]
+    fn bipartite_proposal_congest_matches_fast_engine() {
+        for seed in 0..4 {
+            let inst = generators::zipf(10, 4, 1.0, seed + 30);
+            let config = AsmConfig::new(1.0).with_backend(MatcherBackend::BipartiteProposal);
+            let congest = asm_congest(&inst, &config).unwrap();
+            let fast = crate::asm(&inst, &config).unwrap();
+            assert_eq!(congest.matching, fast.matching, "seed {seed}");
+            assert_eq!(congest.bad_men, fast.bad_men, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn panconesi_rizzi_congest_matches_fast_engine() {
+        for seed in 0..4 {
+            let inst = generators::erdos_renyi(9, 9, 0.5, seed + 90);
+            let config = AsmConfig::new(1.0).with_backend(MatcherBackend::PanconesiRizzi);
+            let congest = asm_congest(&inst, &config).unwrap();
+            let fast = crate::asm(&inst, &config).unwrap();
+            assert_eq!(congest.matching, fast.matching, "seed {seed}");
+            assert_eq!(congest.bad_men, fast.bad_men, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn israeli_itai_congest_matches_fast_engine() {
+        for seed in 0..4 {
+            let inst = generators::erdos_renyi(9, 9, 0.6, seed + 50);
+            let config = AsmConfig::new(1.0)
+                .with_seed(seed)
+                .with_backend(MatcherBackend::IsraeliItai { max_iterations: 40 });
+            let congest = asm_congest(&inst, &config).unwrap();
+            let fast = crate::asm(&inst, &config).unwrap();
+            assert_eq!(congest.matching, fast.matching, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rand_asm_congest_is_stable_enough() {
+        let inst = generators::complete(12, 8);
+        let params = RandAsmParams::new(1.0, 0.1).with_seed(5);
+        let report = rand_asm_congest(&inst, &params).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let fast = crate::rand_asm(&inst, &params).unwrap();
+        assert_eq!(report.matching, fast.matching);
+    }
+
+    #[test]
+    fn almost_regular_congest_matches_fast_engine() {
+        for seed in 0..3 {
+            let inst = generators::regular(12, 4, seed + 70);
+            let params = AlmostRegularParams::new(1.0, 0.1).with_seed(seed);
+            let congest = almost_regular_asm_congest(&inst, &params).unwrap();
+            let fast = crate::almost_regular_asm(&inst, &params).unwrap();
+            assert_eq!(congest.matching, fast.matching, "seed {seed}");
+            assert_eq!(congest.removed_men, fast.removed_men, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn almost_regular_congest_is_stable_enough() {
+        let inst = generators::complete(12, 2);
+        let report =
+            almost_regular_asm_congest(&inst, &AlmostRegularParams::new(1.0, 0.1)).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let st = asm_matching::StabilityReport::analyze(&inst, &report.matching);
+        assert!(st.is_one_minus_eps_stable(1.0));
+    }
+
+    #[test]
+    fn hkp_oracle_backend_is_rejected() {
+        let inst = generators::complete(4, 1);
+        let err = asm_congest(&inst, &AsmConfig::new(1.0)).unwrap_err();
+        assert!(matches!(err, CongestRunError::UnsupportedBackend(_)));
+        assert!(err.to_string().contains("DetGreedy"));
+    }
+
+    #[test]
+    fn stats_measure_real_traffic() {
+        let inst = generators::complete(8, 2);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm_congest(&inst, &config).unwrap();
+        assert!(report.stats.messages > 0);
+        assert!(report.stats.rounds > 0);
+        assert!(report.stats.max_message_bits <= 8);
+        assert!(!report.matching.is_empty());
+    }
+
+    #[test]
+    fn empty_instance() {
+        let inst = asm_instance::InstanceBuilder::new(2, 2).build().unwrap();
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm_congest(&inst, &config).unwrap();
+        assert!(report.matching.is_empty());
+        assert_eq!(report.stats.rounds, 0);
+        assert_eq!(report.good_men, 2, "isolated men are vacuously good");
+    }
+}

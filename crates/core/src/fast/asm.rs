@@ -1,0 +1,145 @@
+//! The deterministic `ASM` algorithm (Algorithm 3, Theorems 3–4).
+
+use super::{run_schedule, SchedulePhase};
+use crate::{AsmConfig, AsmReport, ConfigError};
+use asm_instance::Instance;
+
+/// Runs `ASM(P, ε, n)` — the paper's main deterministic algorithm — and
+/// returns the matching with its execution report.
+///
+/// With the default [`AsmConfig`] this is exactly Algorithm 3: quantile
+/// count `k = ⌈8/ε⌉`, bad-man budget `δ = ε/8`, outer loop
+/// `i = 0 ..= log n` gating men by `|Qᵐ| ≥ 2^i`, inner loop of `2δ⁻¹k`
+/// `QuantileMatch` calls. The output is `(1 − ε)`-stable (Theorem 3): at
+/// most `ε·|E|` blocking pairs.
+///
+/// The maximal-matching subroutine is chosen by [`AsmConfig::backend`];
+/// the default charged-HKP oracle reproduces the `O(ε⁻³ log⁵ n)` nominal
+/// round bound of Theorem 4.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::{asm, AsmConfig};
+/// use asm_instance::generators;
+///
+/// let inst = generators::complete(32, 7);
+/// let report = asm(&inst, &AsmConfig::new(0.5))?;
+/// let stability = report.stability(&inst);
+/// assert!(stability.is_one_minus_eps_stable(0.5));
+/// # Ok::<(), asm_core::ConfigError>(())
+/// ```
+pub fn asm(inst: &Instance, config: &AsmConfig) -> Result<AsmReport, ConfigError> {
+    config.validate()?;
+    let schedule = asm_schedule(config, inst);
+    Ok(run_schedule(inst, config, &schedule, false))
+}
+
+/// The full Algorithm 3 schedule for an instance: one phase per outer
+/// iteration `i` with gate `2^i` and `2δ⁻¹k` inner `QuantileMatch` calls.
+/// Shared between the fast and CONGEST engines so both run the identical
+/// schedule.
+pub(crate) fn asm_schedule(config: &AsmConfig, inst: &Instance) -> Vec<SchedulePhase> {
+    let n = inst.ids().num_women().max(inst.ids().num_men());
+    let inner = config.inner_iterations();
+    (0..config.outer_iterations(n))
+        .map(|i| SchedulePhase {
+            gate: 1usize << i.min(62),
+            iterations: inner,
+            label: i,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::{generators, InstanceMetrics};
+    use asm_matching::verify_matching;
+
+    #[test]
+    fn theorem_3_on_every_family() {
+        let eps = 1.0;
+        let instances = vec![
+            generators::complete(16, 1),
+            generators::erdos_renyi(16, 16, 0.5, 2),
+            generators::regular(16, 4, 3),
+            generators::zipf(16, 4, 1.5, 4),
+            generators::almost_regular(16, 2, 2.0, 5),
+            generators::adversarial_chain(16),
+            generators::master_list(16, 6),
+        ];
+        for inst in instances {
+            let report = asm(&inst, &AsmConfig::new(eps)).unwrap();
+            verify_matching(&inst, &report.matching).unwrap();
+            let st = report.stability(&inst);
+            assert!(
+                st.is_one_minus_eps_stable(eps),
+                "{}: {} blocking of {} edges",
+                InstanceMetrics::measure(&inst),
+                st.blocking_pairs,
+                st.num_edges
+            );
+        }
+    }
+
+    #[test]
+    fn tighter_epsilon_gives_fewer_blocking_pairs() {
+        let inst = generators::complete(24, 11);
+        let loose = asm(&inst, &AsmConfig::new(2.0)).unwrap();
+        let tight = asm(&inst, &AsmConfig::new(0.25)).unwrap();
+        let bl = loose.stability(&inst).blocking_pairs;
+        let bt = tight.stability(&inst).blocking_pairs;
+        assert!(bt <= bl, "eps=0.25 gave {bt} > eps=2.0's {bl}");
+        assert!(tight.stability(&inst).is_one_minus_eps_stable(0.25));
+    }
+
+    #[test]
+    fn deterministic_backend_never_fails_maximality() {
+        let inst = generators::erdos_renyi(20, 20, 0.3, 5);
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        assert_eq!(report.mm_nonmaximal, 0);
+    }
+
+    #[test]
+    fn nominal_rounds_dominate_effective() {
+        let inst = generators::complete(16, 3);
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        assert!(report.nominal_rounds >= report.rounds);
+        assert!(report.executed_proposal_rounds <= report.scheduled_proposal_rounds);
+        assert!(report.rounds > 0);
+    }
+
+    #[test]
+    fn good_men_accounting_is_total() {
+        let inst = generators::erdos_renyi(20, 20, 0.4, 8);
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        assert_eq!(
+            report.good_men + report.bad_men.len(),
+            inst.ids().num_men(),
+            "every man is good or bad (none removed in plain ASM)"
+        );
+        assert!(report.removed_men.is_empty());
+    }
+
+    #[test]
+    fn invalid_config_is_an_error() {
+        let inst = generators::complete(4, 1);
+        let mut config = AsmConfig::new(1.0);
+        config.epsilon = -3.0;
+        assert!(asm(&inst, &config).is_err());
+    }
+
+    #[test]
+    fn snapshots_record_progress() {
+        let inst = generators::complete(16, 9);
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        assert!(!report.snapshots.is_empty());
+        let last = report.snapshots.last().unwrap();
+        assert_eq!(last.matched_men, report.matching.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Woman-proposing variants via gender swap.
+
+use crate::{asm, AsmConfig, AsmReport, ConfigError};
+use asm_instance::Instance;
+use asm_matching::Matching;
+
+/// Runs `ASM` with the **women** proposing, by executing the algorithm on
+/// the gender-swapped instance and translating the result back into the
+/// original instance's node ids.
+///
+/// The paper's roles are symmetric — Theorems 3–6 hold verbatim with
+/// sides exchanged — but the two directions generally produce *different*
+/// matchings (the proposing side drives its own quantile preferences
+/// first, cf. man- vs woman-optimal Gale–Shapley). In the returned report
+/// the fields named for men ([`AsmReport::good_men`],
+/// [`AsmReport::bad_men`], [`AsmReport::removed_men`]) describe the
+/// proposing side, i.e. the *women* of the original instance, translated
+/// to original ids.
+///
+/// # Errors
+///
+/// As for [`asm`].
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::{asm, asm_woman_proposing, AsmConfig};
+/// use asm_instance::generators;
+///
+/// let inst = generators::complete(16, 5);
+/// let config = AsmConfig::new(0.5);
+/// let mp = asm(&inst, &config)?;
+/// let wp = asm_woman_proposing(&inst, &config)?;
+/// // Both directions meet the same stability budget on the same edges.
+/// assert!(mp.stability(&inst).is_one_minus_eps_stable(0.5));
+/// assert!(wp.stability(&inst).is_one_minus_eps_stable(0.5));
+/// # Ok::<(), asm_core::ConfigError>(())
+/// ```
+pub fn asm_woman_proposing(
+    inst: &Instance,
+    config: &AsmConfig,
+) -> Result<AsmReport, ConfigError> {
+    let swapped = inst.swap_genders();
+    let mut report = asm(&swapped, config)?;
+
+    let mut matching = Matching::new(inst.ids().num_players());
+    for (u, v) in report.matching.pairs() {
+        matching
+            .add_pair(swapped.swap_node(u), swapped.swap_node(v))
+            .expect("translated pairs stay disjoint");
+    }
+    report.matching = matching;
+    for list in [&mut report.bad_men, &mut report.removed_men] {
+        for id in list.iter_mut() {
+            *id = swapped.swap_node(*id);
+        }
+        list.sort_unstable();
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators;
+    use asm_matching::verify_matching;
+
+    #[test]
+    fn woman_proposing_meets_budget_on_families() {
+        for (i, inst) in [
+            generators::complete(16, 1),
+            generators::erdos_renyi(16, 16, 0.4, 2),
+            generators::zipf(16, 5, 1.2, 3),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let report = asm_woman_proposing(&inst, &AsmConfig::new(1.0)).unwrap();
+            verify_matching(&inst, &report.matching).unwrap();
+            assert!(
+                report.stability(&inst).is_one_minus_eps_stable(1.0),
+                "family #{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn directions_can_differ() {
+        // On a contested complete instance the two proposing directions
+        // generally favor different sides.
+        let inst = generators::master_list(12, 7);
+        let config = AsmConfig::new(0.5);
+        let mp = asm(&inst, &config).unwrap();
+        let wp = asm_woman_proposing(&inst, &config).unwrap();
+        // Same size on master lists (both perfect), possibly different pairs.
+        assert_eq!(mp.matching.len(), wp.matching.len());
+    }
+
+    #[test]
+    fn bad_players_are_reported_in_original_ids() {
+        let inst = generators::erdos_renyi(10, 10, 0.3, 9);
+        let report = asm_woman_proposing(&inst, &AsmConfig::new(1.0)).unwrap();
+        for w in &report.bad_men {
+            assert!(
+                inst.ids().is_woman(*w),
+                "the proposing side of the swapped run is the women"
+            );
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Quantized preferences (Section 3.1).
+//!
+//! Each player divides their preference list into `k` quantiles:
+//! `Q₁` holds the `⌈deg/k⌉` most favored partners, `Q₂` the next
+//! `⌈deg/k⌉`, and so on. Formally, partner `u` with rank `P(u)` lands in
+//! quantile `q(u) = ⌈P(u)·k / deg⌉`.
+//!
+//! > **Paper note.** The paper prints `q(u) = ⌈P(u)/k⌉`, which would make
+//! > quantiles of size `k`; the accompanying prose ("Q₁ is the set of v's
+//! > deg(v)/k favorite partners") and every use in the analysis imply
+//! > quantiles of size `deg/k`, which is what we implement
+//! > (see DESIGN.md §3).
+//!
+//! During the algorithm, partners are only ever **removed** (rejections);
+//! `Q` never grows — [`QuantizedPrefs`] enforces this shape with `O(log
+//! deg)` removal and `O(1)` membership counting per quantile.
+
+use asm_congest::NodeId;
+
+/// A player's quantized preference state: the surviving portions of
+/// `Q₁, …, Q_k`.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_core::QuantizedPrefs;
+///
+/// let ids: Vec<NodeId> = (0..6).map(NodeId::new).collect();
+/// let mut q = QuantizedPrefs::new(&ids, 3); // quantiles of size 2
+/// assert_eq!(q.quantile_of(ids[0]), Some(1));
+/// assert_eq!(q.quantile_of(ids[5]), Some(3));
+/// assert_eq!(q.min_nonempty_quantile(), Some(1));
+///
+/// q.remove(ids[0]);
+/// q.remove(ids[1]);
+/// assert_eq!(q.min_nonempty_quantile(), Some(2));
+/// assert_eq!(q.remaining(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuantizedPrefs {
+    k: usize,
+    /// Partners in original rank order.
+    entries: Vec<NodeId>,
+    /// Quantile index (1-based) per entry.
+    quantile: Vec<u32>,
+    /// Removal flags per entry.
+    removed: Vec<bool>,
+    /// `(partner, entry index)` sorted by partner for lookup.
+    index: Vec<(NodeId, u32)>,
+    remaining_total: usize,
+    /// Surviving member count per quantile (index `q-1`).
+    remaining_per_quantile: Vec<usize>,
+}
+
+impl QuantizedPrefs {
+    /// Quantizes a ranked preference list (most favored first) into `k`
+    /// quantiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(ranked: &[NodeId], k: usize) -> Self {
+        assert!(k > 0, "quantile count must be positive");
+        let deg = ranked.len();
+        let quantile: Vec<u32> = (1..=deg)
+            .map(|rank| {
+                if deg == 0 {
+                    1
+                } else {
+                    (rank * k).div_ceil(deg) as u32 // ceil(rank*k/deg)
+                }
+            })
+            .collect();
+        let mut index: Vec<(NodeId, u32)> = ranked
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, i as u32))
+            .collect();
+        index.sort_unstable_by_key(|&(u, _)| u);
+        let mut remaining_per_quantile = vec![0usize; k];
+        for &q in &quantile {
+            remaining_per_quantile[q as usize - 1] += 1;
+        }
+        QuantizedPrefs {
+            k,
+            entries: ranked.to_vec(),
+            quantile,
+            removed: vec![false; deg],
+            index,
+            remaining_total: deg,
+            remaining_per_quantile,
+        }
+    }
+
+    /// The quantile count `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The original degree (before any removals).
+    pub fn original_degree(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `|Q|`: partners not yet removed.
+    pub fn remaining(&self) -> usize {
+        self.remaining_total
+    }
+
+    /// Whether every partner has been removed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining_total == 0
+    }
+
+    fn entry_of(&self, u: NodeId) -> Option<usize> {
+        self.index
+            .binary_search_by_key(&u, |&(id, _)| id)
+            .ok()
+            .map(|i| self.index[i].1 as usize)
+    }
+
+    /// The quantile of `u` (1-based), regardless of removal; `None` if `u`
+    /// was never on the list.
+    pub fn quantile_of(&self, u: NodeId) -> Option<u32> {
+        self.entry_of(u).map(|i| self.quantile[i])
+    }
+
+    /// Whether `u` is still present (on the list and not removed).
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.entry_of(u).is_some_and(|i| !self.removed[i])
+    }
+
+    /// Removes `u`; returns `true` if it was present and not yet removed.
+    pub fn remove(&mut self, u: NodeId) -> bool {
+        let Some(i) = self.entry_of(u) else {
+            return false;
+        };
+        if self.removed[i] {
+            return false;
+        }
+        self.removed[i] = true;
+        self.remaining_total -= 1;
+        self.remaining_per_quantile[self.quantile[i] as usize - 1] -= 1;
+        true
+    }
+
+    /// The best (smallest-index) quantile with surviving members.
+    pub fn min_nonempty_quantile(&self) -> Option<u32> {
+        self.remaining_per_quantile
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| i as u32 + 1)
+    }
+
+    /// Surviving members of quantile `q`, in rank order.
+    pub fn members_of(&self, q: u32) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .zip(&self.quantile)
+            .zip(&self.removed)
+            .filter(|((_, &qq), &rem)| qq == q && !rem)
+            .map(|((&u, _), _)| u)
+            .collect()
+    }
+
+    /// Surviving members in quantile `q` or worse (index ≥ `q`), in rank
+    /// order — the reject set of `ProposalRound` step 4 before excluding
+    /// the new partner.
+    pub fn members_at_or_worse(&self, q: u32) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .zip(&self.quantile)
+            .zip(&self.removed)
+            .filter(|((_, &qq), &rem)| qq >= q && !rem)
+            .map(|((&u, _), _)| u)
+            .collect()
+    }
+
+    /// All surviving members, in rank order.
+    pub fn surviving(&self) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .zip(&self.removed)
+            .filter(|(_, &rem)| !rem)
+            .map(|(&u, _)| u)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: std::ops::Range<u32>) -> Vec<NodeId> {
+        v.map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn quantile_sizes_are_balanced() {
+        // deg 10, k 4: ceil(rank*4/10) => ranks 1-2 -> q1? ceil(4/10)=1,
+        // ceil(8/10)=1, ceil(12/10)=2 ... sizes [2,3,2,3].
+        let q = QuantizedPrefs::new(&ids(0..10), 4);
+        let sizes: Vec<usize> = (1..=4).map(|i| q.members_of(i).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+        assert_eq!(q.quantile_of(NodeId::new(0)), Some(1));
+        assert_eq!(q.quantile_of(NodeId::new(9)), Some(4));
+    }
+
+    #[test]
+    fn k_greater_than_degree_gives_singletons() {
+        // Section 3.2: with k = deg, ProposalRound mimics Gale–Shapley —
+        // each quantile is one rank. With k > deg some quantiles are empty.
+        let q = QuantizedPrefs::new(&ids(0..3), 8);
+        assert_eq!(q.quantile_of(NodeId::new(0)), Some(3)); // ceil(1*8/3)
+        assert_eq!(q.quantile_of(NodeId::new(1)), Some(6));
+        assert_eq!(q.quantile_of(NodeId::new(2)), Some(8));
+        for qq in 1..=8u32 {
+            assert!(q.members_of(qq).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn k_equal_degree_is_identity() {
+        let q = QuantizedPrefs::new(&ids(0..5), 5);
+        for (rank, id) in (1..=5u32).zip(0..5u32) {
+            assert_eq!(q.quantile_of(NodeId::new(id)), Some(rank));
+        }
+    }
+
+    #[test]
+    fn removal_updates_counts_idempotently() {
+        let mut q = QuantizedPrefs::new(&ids(0..6), 3);
+        assert!(q.remove(NodeId::new(2)));
+        assert!(!q.remove(NodeId::new(2)), "second removal is a no-op");
+        assert!(!q.remove(NodeId::new(99)), "absent partner");
+        assert_eq!(q.remaining(), 5);
+        assert!(!q.contains(NodeId::new(2)));
+        assert_eq!(q.quantile_of(NodeId::new(2)), Some(2), "quantile survives removal");
+    }
+
+    #[test]
+    fn min_nonempty_tracks_removals() {
+        let mut q = QuantizedPrefs::new(&ids(0..4), 2);
+        assert_eq!(q.min_nonempty_quantile(), Some(1));
+        q.remove(NodeId::new(0));
+        q.remove(NodeId::new(1));
+        assert_eq!(q.min_nonempty_quantile(), Some(2));
+        q.remove(NodeId::new(2));
+        q.remove(NodeId::new(3));
+        assert_eq!(q.min_nonempty_quantile(), None);
+        assert!(q.is_exhausted());
+    }
+
+    #[test]
+    fn members_at_or_worse() {
+        let q = QuantizedPrefs::new(&ids(0..6), 3);
+        let worse = q.members_at_or_worse(2);
+        assert_eq!(worse, ids(2..6));
+        assert_eq!(q.members_at_or_worse(1).len(), 6);
+        assert!(q.members_at_or_worse(4).is_empty());
+    }
+
+    #[test]
+    fn empty_list() {
+        let q = QuantizedPrefs::new(&[], 4);
+        assert!(q.is_exhausted());
+        assert_eq!(q.min_nonempty_quantile(), None);
+        assert_eq!(q.original_degree(), 0);
+        assert!(q.surviving().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile count")]
+    fn zero_k_panics() {
+        QuantizedPrefs::new(&[], 0);
+    }
+
+    #[test]
+    fn surviving_preserves_rank_order() {
+        let mut q = QuantizedPrefs::new(&[NodeId::new(9), NodeId::new(1), NodeId::new(5)], 3);
+        q.remove(NodeId::new(1));
+        assert_eq!(q.surviving(), vec![NodeId::new(9), NodeId::new(5)]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Execution reports.
+
+use asm_congest::NodeId;
+use asm_instance::Instance;
+use asm_matching::{Matching, StabilityReport};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Snapshot taken after each `QuantileMatch` call, for the convergence
+/// experiments (F3).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QmSnapshot {
+    /// Outer-loop iteration `i` of Algorithm 3.
+    pub outer: u64,
+    /// Index of this `QuantileMatch` within the inner loop.
+    pub inner: u64,
+    /// Men currently matched.
+    pub matched_men: usize,
+    /// Men with exhausted preference lists (rejected by everyone).
+    pub exhausted_men: usize,
+    /// Bad men so far: unmatched with a nonempty `Q`.
+    pub bad_men: usize,
+    /// Effective rounds consumed so far.
+    pub rounds_so_far: u64,
+}
+
+/// Full result of running `ASM`, `RandASM`, or `AlmostRegularASM`.
+///
+/// `rounds` counts *effective* communication rounds (rounds in which a
+/// message is in flight); `nominal_rounds` counts the worst-case static
+/// schedule the theorems bound — see DESIGN.md §3 ("Round accounting").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AsmReport {
+    /// The matching produced.
+    pub matching: Matching,
+    /// Effective communication rounds.
+    pub rounds: u64,
+    /// Nominal (worst-case schedule) rounds.
+    pub nominal_rounds: u64,
+    /// Rounds spent inside maximal-matching subroutines (part of `rounds`).
+    pub mm_rounds: u64,
+    /// Maximal-matching subroutine invocations.
+    pub mm_invocations: u64,
+    /// Invocations that returned a non-maximal matching (truncated
+    /// Israeli–Itai only; always 0 for deterministic backends).
+    pub mm_nonmaximal: u64,
+    /// `ProposalRound`s in the nominal schedule.
+    pub scheduled_proposal_rounds: u64,
+    /// `ProposalRound`s actually executed (the rest were provably silent).
+    pub executed_proposal_rounds: u64,
+    /// `QuantileMatch` invocations in the nominal schedule.
+    pub scheduled_quantile_matches: u64,
+    /// PROPOSE messages sent.
+    pub proposals: u64,
+    /// ACCEPT messages sent.
+    pub acceptances: u64,
+    /// REJECT messages sent.
+    pub rejections: u64,
+    /// Men that are *good* at termination (matched or fully rejected).
+    pub good_men: usize,
+    /// Men that are *bad* at termination (unmatched, nonempty `Q`).
+    pub bad_men: Vec<NodeId>,
+    /// Men removed from play by `AlmostRegularASM`'s AMM violation rule
+    /// (empty for `ASM`/`RandASM`).
+    pub removed_men: Vec<NodeId>,
+    /// Per-`QuantileMatch` convergence snapshots.
+    pub snapshots: Vec<QmSnapshot>,
+}
+
+impl AsmReport {
+    /// Audits the produced matching against the instance.
+    pub fn stability(&self, inst: &Instance) -> StabilityReport {
+        StabilityReport::analyze(inst, &self.matching)
+    }
+
+    /// Fraction of men that are bad (0 if there are no men).
+    pub fn bad_fraction(&self, num_men: usize) -> f64 {
+        if num_men == 0 {
+            0.0
+        } else {
+            self.bad_men.len() as f64 / num_men as f64
+        }
+    }
+}
+
+impl fmt::Display for AsmReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|M|={}, rounds {} (nominal {}), {} PRs executed of {}, {} bad men",
+            self.matching.len(),
+            self.rounds,
+            self.nominal_rounds,
+            self.executed_proposal_rounds,
+            self.scheduled_proposal_rounds,
+            self.bad_men.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> AsmReport {
+        AsmReport {
+            matching: Matching::new(4),
+            rounds: 10,
+            nominal_rounds: 100,
+            mm_rounds: 4,
+            mm_invocations: 2,
+            mm_nonmaximal: 0,
+            scheduled_proposal_rounds: 8,
+            executed_proposal_rounds: 2,
+            scheduled_quantile_matches: 4,
+            proposals: 5,
+            acceptances: 3,
+            rejections: 2,
+            good_men: 2,
+            bad_men: vec![NodeId::new(3)],
+            removed_men: vec![],
+            snapshots: vec![],
+        }
+    }
+
+    #[test]
+    fn bad_fraction() {
+        let r = dummy();
+        assert_eq!(r.bad_fraction(2), 0.5);
+        assert_eq!(r.bad_fraction(0), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let s = dummy().to_string();
+        assert!(s.contains("rounds 10"));
+        assert!(s.contains("nominal 100"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = dummy();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: AsmReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the quantized-preference structure against a
+//! brute-force model: counts, quantile boundaries, and removal behavior
+//! must agree for every list length, k, and removal sequence.
+
+use asm_congest::NodeId;
+use asm_core::QuantizedPrefs;
+use proptest::prelude::*;
+
+/// Brute-force model: the definition applied literally.
+struct Model {
+    ranked: Vec<NodeId>,
+    k: usize,
+    removed: Vec<bool>,
+}
+
+impl Model {
+    fn quantile_of_rank(&self, rank_1based: usize) -> u32 {
+        ((rank_1based * self.k).div_ceil(self.ranked.len())) as u32
+    }
+
+    fn surviving_in_quantile(&self, q: u32) -> Vec<NodeId> {
+        self.ranked
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.removed[*i] && self.quantile_of_rank(i + 1) == q)
+            .map(|(_, &u)| u)
+            .collect()
+    }
+
+    fn min_nonempty(&self) -> Option<u32> {
+        (1..=self.k as u32).find(|&q| !self.surviving_in_quantile(q).is_empty())
+    }
+}
+
+fn arb_case() -> impl Strategy<Value = (Vec<u32>, usize, Vec<usize>)> {
+    (1usize..40, 1usize..20).prop_flat_map(|(deg, k)| {
+        let removals = proptest::collection::vec(0..deg, 0..deg * 2);
+        (Just((0..deg as u32).collect::<Vec<u32>>()), Just(k), removals)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn matches_brute_force_model((ids, k, removals) in arb_case()) {
+        let ranked: Vec<NodeId> = ids.iter().map(|&x| NodeId::new(x * 3 + 1)).collect();
+        let mut q = QuantizedPrefs::new(&ranked, k);
+        let mut model = Model {
+            ranked: ranked.clone(),
+            k,
+            removed: vec![false; ranked.len()],
+        };
+        // Interleave removals with checks.
+        for &r in &removals {
+            let victim = ranked[r];
+            let fresh = q.remove(victim);
+            prop_assert_eq!(fresh, !model.removed[r], "removal freshness");
+            model.removed[r] = true;
+
+            prop_assert_eq!(
+                q.remaining(),
+                model.removed.iter().filter(|&&x| !x).count()
+            );
+            prop_assert_eq!(q.min_nonempty_quantile(), model.min_nonempty());
+            for quant in 1..=k as u32 {
+                prop_assert_eq!(q.members_of(quant), model.surviving_in_quantile(quant));
+            }
+        }
+        // Quantile assignment matches the definition for every member.
+        for (i, &u) in ranked.iter().enumerate() {
+            prop_assert_eq!(q.quantile_of(u), Some(model.quantile_of_rank(i + 1)));
+        }
+    }
+
+    #[test]
+    fn members_at_or_worse_is_suffix_union((ids, k, removals) in arb_case()) {
+        let ranked: Vec<NodeId> = ids.iter().map(|&x| NodeId::new(x + 100)).collect();
+        let mut q = QuantizedPrefs::new(&ranked, k);
+        for &r in &removals {
+            q.remove(ranked[r]);
+        }
+        for threshold in 1..=k as u32 {
+            let worse = q.members_at_or_worse(threshold);
+            let expected: Vec<NodeId> = (threshold..=k as u32)
+                .flat_map(|quant| q.members_of(quant))
+                .collect();
+            // Both are in rank order, so direct equality holds.
+            prop_assert_eq!(worse, expected);
+        }
+    }
+
+    #[test]
+    fn quantile_count_and_sizes((ids, k, _) in arb_case()) {
+        let ranked: Vec<NodeId> = ids.iter().map(|&x| NodeId::new(x)).collect();
+        let deg = ranked.len();
+        let q = QuantizedPrefs::new(&ranked, k);
+        // Quantiles partition the list...
+        let total: usize = (1..=k as u32).map(|qq| q.members_of(qq).len()).sum();
+        prop_assert_eq!(total, deg);
+        // ...into blocks of size <= ceil(deg/k)...
+        let cap = deg.div_ceil(k);
+        for qq in 1..=k as u32 {
+            prop_assert!(q.members_of(qq).len() <= cap);
+        }
+        // ...and quantile indices are monotone in rank.
+        let mut last = 0;
+        for &u in &ranked {
+            let now = q.quantile_of(u).unwrap();
+            prop_assert!(now >= last);
+            last = now;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Failure injection and degenerate-parameter robustness: the algorithms
+//! must return *valid* matchings and never panic even when their
+//! randomized subroutines are starved or their parameters are extreme.
+
+use asm_core::{almost_regular_asm, asm, AlmostRegularParams, AsmConfig};
+use asm_instance::{generators, InstanceBuilder};
+use asm_matching::verify_matching;
+use asm_maximal::MatcherBackend;
+
+#[test]
+fn zero_iteration_matcher_yields_valid_empty_matching() {
+    // An Israeli–Itai budget of 0 means step 3 never matches anyone; the
+    // algorithm degenerates gracefully: no partnerships, no rejections,
+    // everyone stays bad, and the output is still a valid (empty) matching.
+    let inst = generators::complete(12, 1);
+    let config = AsmConfig::new(1.0)
+        .with_backend(MatcherBackend::IsraeliItai { max_iterations: 0 });
+    let report = asm(&inst, &config).unwrap();
+    verify_matching(&inst, &report.matching).unwrap();
+    assert!(report.matching.is_empty());
+    assert_eq!(report.mm_nonmaximal, report.mm_invocations);
+    assert_eq!(report.bad_men.len(), 12);
+}
+
+#[test]
+fn one_iteration_matcher_still_produces_valid_output() {
+    let inst = generators::erdos_renyi(16, 16, 0.5, 3);
+    let config = AsmConfig::new(1.0)
+        .with_backend(MatcherBackend::IsraeliItai { max_iterations: 1 });
+    let report = asm(&inst, &config).unwrap();
+    verify_matching(&inst, &report.matching).unwrap();
+    // Starved matching still makes progress (one iteration matches a
+    // constant fraction in expectation).
+    assert!(!report.matching.is_empty());
+}
+
+#[test]
+fn starved_matcher_only_degrades_stability_gracefully() {
+    let inst = generators::complete(24, 5);
+    let starved = asm(
+        &inst,
+        &AsmConfig::new(1.0).with_backend(MatcherBackend::IsraeliItai { max_iterations: 2 }),
+    )
+    .unwrap();
+    let healthy = asm(
+        &inst,
+        &AsmConfig::new(1.0).with_backend(MatcherBackend::IsraeliItai { max_iterations: 64 }),
+    )
+    .unwrap();
+    let sb = starved.stability(&inst).blocking_pairs;
+    let hb = healthy.stability(&inst).blocking_pairs;
+    // Both valid; the healthy run is at least as stable.
+    assert!(hb <= sb.max(1), "healthy {hb} vs starved {sb}");
+}
+
+#[test]
+fn over_and_under_conservative_decay_estimates_stay_valid() {
+    let inst = generators::regular(20, 4, 7);
+    for decay in [0.05, 0.5, 0.97] {
+        let params = AlmostRegularParams {
+            decay,
+            ..AlmostRegularParams::new(1.0, 0.2)
+        };
+        let report = almost_regular_asm(&inst, &params).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+    }
+}
+
+#[test]
+fn asymmetric_side_counts_are_supported() {
+    // 5 women, 20 men: most men must end unmatched but classified.
+    let inst = generators::erdos_renyi(5, 20, 0.5, 11);
+    let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+    verify_matching(&inst, &report.matching).unwrap();
+    assert!(report.matching.len() <= 5);
+    assert_eq!(
+        report.good_men + report.bad_men.len(),
+        20,
+        "all men classified"
+    );
+    assert!(report.stability(&inst).is_one_minus_eps_stable(1.0));
+}
+
+#[test]
+fn single_sided_markets_are_trivially_handled() {
+    let no_men = InstanceBuilder::new(5, 0).build().unwrap();
+    let report = asm(&no_men, &AsmConfig::new(1.0)).unwrap();
+    assert!(report.matching.is_empty());
+    let no_women = InstanceBuilder::new(0, 5).build().unwrap();
+    let report = asm(&no_women, &AsmConfig::new(1.0)).unwrap();
+    assert!(report.matching.is_empty());
+    assert_eq!(report.good_men, 5, "men with empty lists are good");
+}
+
+#[test]
+fn extreme_quantile_counts_behave() {
+    let inst = generators::complete(10, 2);
+    // k = 1: a single quantile — men propose to everyone at once.
+    let coarse = AsmConfig {
+        quantiles: Some(1),
+        ..AsmConfig::new(1.0)
+    };
+    let r1 = asm(&inst, &coarse).unwrap();
+    verify_matching(&inst, &r1.matching).unwrap();
+    // k much larger than any degree: every quantile holds <= 1 woman, so
+    // ASM degenerates to Gale–Shapley-like behavior (Section 3.2).
+    let fine = AsmConfig {
+        quantiles: Some(1000),
+        ..AsmConfig::new(1.0)
+    };
+    let r2 = asm(&inst, &fine).unwrap();
+    verify_matching(&inst, &r2.matching).unwrap();
+    assert_eq!(
+        r2.stability(&inst).blocking_pairs,
+        0,
+        "k >= deg reproduces exact Gale-Shapley stability"
+    );
+}
+
+#[test]
+fn huge_epsilon_is_effectively_free() {
+    let inst = generators::complete(12, 9);
+    let report = asm(&inst, &AsmConfig::new(8.0)).unwrap(); // k = 1
+    verify_matching(&inst, &report.matching).unwrap();
+    assert!(report.stability(&inst).is_one_minus_eps_stable(8.0));
+}
+
+#[test]
+fn seeds_do_not_affect_deterministic_backends() {
+    let inst = generators::zipf(14, 5, 1.0, 3);
+    for backend in [MatcherBackend::HkpOracle, MatcherBackend::DetGreedy, MatcherBackend::BipartiteProposal] {
+        let a = asm(&inst, &AsmConfig::new(1.0).with_seed(1).with_backend(backend)).unwrap();
+        let b = asm(&inst, &AsmConfig::new(1.0).with_seed(999).with_backend(backend)).unwrap();
+        assert_eq!(a.matching, b.matching, "{backend:?}");
+        assert_eq!(a.rounds, b.rounds, "{backend:?}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Instance validation errors.
+
+use asm_congest::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while building or deserializing an [`crate::Instance`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InstanceError {
+    /// A preference list refers to a node id outside the instance.
+    PartnerOutOfRange {
+        /// The player whose list is invalid.
+        player: NodeId,
+        /// The out-of-range entry.
+        partner: NodeId,
+    },
+    /// A preference list ranks a player of the same gender.
+    SameGenderPartner {
+        /// The player whose list is invalid.
+        player: NodeId,
+        /// The same-gender entry.
+        partner: NodeId,
+    },
+    /// A preference list contains the same partner twice.
+    DuplicatePartner {
+        /// The player whose list is invalid.
+        player: NodeId,
+        /// The duplicated entry.
+        partner: NodeId,
+    },
+    /// Preferences are not symmetric: `partner` appears on `player`'s list
+    /// but not vice versa (Section 2.1 assumes symmetry).
+    AsymmetricPreference {
+        /// The player who ranks `partner`.
+        player: NodeId,
+        /// The partner who does not rank `player` back.
+        partner: NodeId,
+    },
+    /// The number of preference lists supplied does not match the number of
+    /// players.
+    WrongListCount {
+        /// Lists supplied.
+        got: usize,
+        /// Players in the instance.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::PartnerOutOfRange { player, partner } => {
+                write!(f, "player {player} ranks out-of-range partner {partner}")
+            }
+            InstanceError::SameGenderPartner { player, partner } => {
+                write!(f, "player {player} ranks same-gender partner {partner}")
+            }
+            InstanceError::DuplicatePartner { player, partner } => {
+                write!(f, "player {player} ranks partner {partner} more than once")
+            }
+            InstanceError::AsymmetricPreference { player, partner } => write!(
+                f,
+                "player {player} ranks {partner} but {partner} does not rank {player} back"
+            ),
+            InstanceError::WrongListCount { got, expected } => {
+                write!(f, "got {got} preference lists for {expected} players")
+            }
+        }
+    }
+}
+
+impl Error for InstanceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = InstanceError::AsymmetricPreference {
+            player: NodeId::new(1),
+            partner: NodeId::new(2),
+        };
+        let s = e.to_string();
+        assert!(s.contains("v1") && s.contains("v2"));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<InstanceError>();
+    }
+}

@@ -1,0 +1,125 @@
+//! Adversarial instances that serialize proposal dynamics.
+
+use crate::{Instance, InstanceBuilder};
+use asm_congest::SplitRng;
+
+/// The *displacement chain* instance: distributed Gale–Shapley resolves it
+/// one rejection at a time, taking `Θ(n)` proposal cycles.
+///
+/// Construction (side indices):
+///
+/// * man 0 ranks only `w_0`;
+/// * man `j ≥ 1` ranks `[w_{j-1}, w_j]`;
+/// * woman `i` ranks her (at most two) suitors as `[m_i, m_{i+1}]` — she
+///   prefers the man who will be displaced *onto* her.
+///
+/// Execution of men-proposing Gale–Shapley: in cycle 1, `m_0` and `m_1`
+/// collide on `w_0`, who keeps `m_0`; displaced `m_1` then collides with
+/// `m_2` on `w_1` in cycle 2, and so on — exactly one rejection per cycle,
+/// for a chain of length `n - 1`. Used by experiment T2 to separate ASM's
+/// polylogarithmic rounds from Gale–Shapley's polynomial worst case.
+///
+/// # Examples
+///
+/// ```
+/// let inst = asm_instance::generators::adversarial_chain(6);
+/// assert_eq!(inst.num_edges(), 2 * 6 - 1);
+/// assert_eq!(inst.degree(inst.ids().man(0)), 1);
+/// assert_eq!(inst.degree(inst.ids().man(3)), 2);
+/// ```
+pub fn adversarial_chain(n: usize) -> Instance {
+    let mut b = InstanceBuilder::new(n, n);
+    for j in 0..n {
+        let list: Vec<usize> = if j == 0 {
+            vec![0]
+        } else {
+            vec![j - 1, j]
+        };
+        b = b.man(j, list);
+    }
+    for i in 0..n {
+        let mut list = vec![i];
+        if i + 1 < n {
+            list.push(i + 1);
+        }
+        b = b.woman(i, list);
+    }
+    b.build().expect("chain construction is symmetric")
+}
+
+/// The *master list* instance: all men share one uniformly random ranking
+/// of the women and all women share one ranking of the men.
+///
+/// This maximizes contention — in the first Gale–Shapley cycle every man
+/// proposes to the same woman — and is the natural stress test for the
+/// quantile-acceptance logic in `ProposalRound` (every woman's best
+/// proposing quantile is crowded). Its unique stable matching pairs the
+/// `i`-th man on the women's list with the `i`-th woman on the men's list.
+///
+/// # Examples
+///
+/// ```
+/// let inst = asm_instance::generators::master_list(5, 2);
+/// let first = inst.prefs(inst.ids().man(0)).ranked().to_vec();
+/// for j in 1..5 {
+///     assert_eq!(inst.prefs(inst.ids().man(j)).ranked(), first.as_slice());
+/// }
+/// ```
+pub fn master_list(n: usize, seed: u64) -> Instance {
+    let mut rng = SplitRng::new(seed).split(0x06, n as u64);
+    let mut woman_order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut woman_order);
+    let mut man_order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut man_order);
+    let mut b = InstanceBuilder::new(n, n);
+    for j in 0..n {
+        b = b.man(j, woman_order.clone());
+    }
+    for i in 0..n {
+        b = b.woman(i, man_order.clone());
+    }
+    b.build().expect("master lists are symmetric and complete")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let inst = adversarial_chain(4);
+        let ids = inst.ids();
+        assert_eq!(
+            inst.prefs(ids.man(2)).ranked(),
+            &[ids.woman(1), ids.woman(2)]
+        );
+        assert_eq!(
+            inst.prefs(ids.woman(1)).ranked(),
+            &[ids.man(1), ids.man(2)]
+        );
+        // Last woman has only her own man.
+        assert_eq!(inst.prefs(ids.woman(3)).ranked(), &[ids.man(3)]);
+    }
+
+    #[test]
+    fn chain_of_one() {
+        let inst = adversarial_chain(1);
+        assert_eq!(inst.num_edges(), 1);
+    }
+
+    #[test]
+    fn master_list_is_complete() {
+        let inst = master_list(6, 1);
+        assert!(inst.is_complete());
+        assert_eq!(inst.alpha(), 1.0);
+    }
+
+    #[test]
+    fn master_list_women_agree() {
+        let inst = master_list(6, 1);
+        let first = inst.prefs(inst.ids().woman(0)).ranked().to_vec();
+        for i in 1..6 {
+            assert_eq!(inst.prefs(inst.ids().woman(i)).ranked(), first.as_slice());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! α-almost-regular preferences (Section 5.2).
+
+use super::from_men_adjacency;
+use crate::Instance;
+use asm_congest::SplitRng;
+
+/// Generates an instance whose **men's** degrees lie in
+/// `[d_min, ⌈α · d_min⌉]`, the α-almost-regular class of Section 5.2
+/// (`max_m deg m ≤ α · min_m deg m`).
+///
+/// Each man draws a degree uniformly from the range (with at least one man
+/// pinned to each endpoint so that the realized α is exactly the requested
+/// one whenever `n ≥ 2`), then samples that many distinct women uniformly.
+/// Women's degrees are whatever falls out; the paper's α only constrains
+/// the men.
+///
+/// # Examples
+///
+/// ```
+/// let inst = asm_instance::generators::almost_regular(50, 4, 3.0, 5);
+/// assert!(inst.alpha() <= 3.0 + 1e-9);
+/// let (lo, hi) = inst.men_degree_bounds().unwrap();
+/// assert_eq!((lo, hi), (4, 12));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `alpha < 1`, `d_min == 0`, or `⌈α·d_min⌉ > n`.
+pub fn almost_regular(n: usize, d_min: usize, alpha: f64, seed: u64) -> Instance {
+    assert!(alpha >= 1.0, "alpha must be at least 1");
+    assert!(d_min > 0, "d_min must be positive");
+    let d_max = (alpha * d_min as f64).ceil() as usize;
+    assert!(
+        d_max <= n,
+        "max degree {d_max} (= ceil(alpha * d_min)) cannot exceed n = {n}"
+    );
+    let mut rng = SplitRng::new(seed).split(0x04, (n as u64) << 32 | d_min as u64);
+    let men_adj: Vec<Vec<usize>> = (0..n)
+        .map(|j| {
+            let deg = match j {
+                0 => d_min,
+                1 if n >= 2 => d_max,
+                _ => d_min + rng.next_range(d_max - d_min + 1),
+            };
+            sample_distinct(n, deg, &mut rng)
+        })
+        .collect();
+    from_men_adjacency(n, n, men_adj, &mut rng)
+}
+
+/// Samples `k` distinct values from `0..n` by a partial Fisher–Yates pass.
+fn sample_distinct(n: usize, k: usize, rng: &mut SplitRng) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.next_range(n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrees_within_band() {
+        let inst = almost_regular(40, 3, 2.0, 1);
+        for m in inst.ids().men() {
+            let d = inst.degree(m);
+            assert!((3..=6).contains(&d), "deg = {d}");
+        }
+    }
+
+    #[test]
+    fn alpha_one_is_regular_on_men() {
+        let inst = almost_regular(20, 5, 1.0, 1);
+        assert_eq!(inst.men_degree_bounds(), Some((5, 5)));
+        assert_eq!(inst.alpha(), 1.0);
+    }
+
+    #[test]
+    fn endpoints_are_realized() {
+        let inst = almost_regular(30, 2, 4.0, 1);
+        assert_eq!(inst.men_degree_bounds(), Some((2, 8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least 1")]
+    fn alpha_below_one_panics() {
+        almost_regular(10, 2, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn oversized_band_panics() {
+        almost_regular(4, 3, 2.0, 0);
+    }
+
+    #[test]
+    fn sample_distinct_has_no_repeats() {
+        let mut rng = SplitRng::new(3);
+        for _ in 0..50 {
+            let mut s = sample_distinct(20, 10, &mut rng);
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 10);
+        }
+    }
+}

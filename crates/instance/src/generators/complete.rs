@@ -1,0 +1,65 @@
+//! Complete uniformly random preferences.
+
+use super::from_men_adjacency;
+use crate::Instance;
+use asm_congest::SplitRng;
+
+/// Generates a complete instance: `n` women and `n` men, every player
+/// ranking all `n` members of the opposite sex in an independent uniformly
+/// random order.
+///
+/// Complete preferences are 1-almost-regular, so this is the headline input
+/// class for `AlmostRegularASM` (Theorem 6).
+///
+/// # Examples
+///
+/// ```
+/// let inst = asm_instance::generators::complete(8, 7);
+/// assert!(inst.is_complete());
+/// assert_eq!(inst.num_edges(), 64);
+/// assert_eq!(inst.alpha(), 1.0);
+/// ```
+pub fn complete(n: usize, seed: u64) -> Instance {
+    let mut rng = SplitRng::new(seed).split(0x01, n as u64);
+    let men_adj = vec![(0..n).collect::<Vec<_>>(); n];
+    from_men_adjacency(n, n, men_adj, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_degrees_equal_n() {
+        let inst = complete(5, 3);
+        for v in inst.ids().players() {
+            assert_eq!(inst.degree(v), 5);
+        }
+    }
+
+    #[test]
+    fn rankings_are_not_all_identical() {
+        // With n = 16 the probability all men share a ranking is ~0.
+        let inst = complete(16, 3);
+        let first = inst.prefs(inst.ids().man(0)).ranked().to_vec();
+        let anyone_differs = (1..16)
+            .any(|j| inst.prefs(inst.ids().man(j)).ranked() != first.as_slice());
+        assert!(anyone_differs);
+    }
+
+    #[test]
+    fn n_zero_is_valid() {
+        let inst = complete(0, 1);
+        assert_eq!(inst.num_edges(), 0);
+    }
+
+    #[test]
+    fn n_one_pairs_the_couple() {
+        let inst = complete(1, 1);
+        assert_eq!(inst.num_edges(), 1);
+        assert_eq!(
+            inst.prefs(inst.ids().man(0)).ranked(),
+            &[inst.ids().woman(0)]
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Player identities: genders and the node-id convention.
+
+use asm_congest::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two sides of the marriage market.
+///
+/// Following the paper, `X` is the set of women and `Y` the set of men; men
+/// propose and women accept/reject. The asymmetry is purely protocol-level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Gender {
+    /// A member of `X` (receives proposals).
+    Woman,
+    /// A member of `Y` (makes proposals).
+    Man,
+}
+
+impl Gender {
+    /// The other gender.
+    ///
+    /// ```
+    /// use asm_instance::Gender;
+    /// assert_eq!(Gender::Woman.opposite(), Gender::Man);
+    /// assert_eq!(Gender::Man.opposite(), Gender::Woman);
+    /// ```
+    pub fn opposite(self) -> Gender {
+        match self {
+            Gender::Woman => Gender::Man,
+            Gender::Man => Gender::Woman,
+        }
+    }
+}
+
+impl fmt::Display for Gender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gender::Woman => write!(f, "woman"),
+            Gender::Man => write!(f, "man"),
+        }
+    }
+}
+
+/// Maps between `(gender, side index)` pairs and dense [`NodeId`]s.
+///
+/// The convention used throughout the workspace: women occupy node ids
+/// `0..num_women`, men occupy `num_women..num_women + num_men`.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::{Gender, IdSpace};
+///
+/// let ids = IdSpace::new(3, 2);
+/// let w1 = ids.woman(1);
+/// let m0 = ids.man(0);
+/// assert_eq!(w1.index(), 1);
+/// assert_eq!(m0.index(), 3);
+/// assert_eq!(ids.gender(m0), Gender::Man);
+/// assert_eq!(ids.side_index(m0), 0);
+/// assert_eq!(ids.num_players(), 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdSpace {
+    num_women: usize,
+    num_men: usize,
+}
+
+impl IdSpace {
+    /// Creates the id space for `num_women` women and `num_men` men.
+    pub fn new(num_women: usize, num_men: usize) -> Self {
+        IdSpace { num_women, num_men }
+    }
+
+    /// Number of women.
+    pub fn num_women(&self) -> usize {
+        self.num_women
+    }
+
+    /// Number of men.
+    pub fn num_men(&self) -> usize {
+        self.num_men
+    }
+
+    /// Total number of players.
+    pub fn num_players(&self) -> usize {
+        self.num_women + self.num_men
+    }
+
+    /// Node id of the `i`-th woman.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_women`.
+    pub fn woman(&self, i: usize) -> NodeId {
+        assert!(i < self.num_women, "woman index {i} out of range");
+        NodeId::new(i as u32)
+    }
+
+    /// Node id of the `j`-th man.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= num_men`.
+    pub fn man(&self, j: usize) -> NodeId {
+        assert!(j < self.num_men, "man index {j} out of range");
+        NodeId::new((self.num_women + j) as u32)
+    }
+
+    /// Gender of a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn gender(&self, v: NodeId) -> Gender {
+        assert!(v.index() < self.num_players(), "node {v} out of range");
+        if v.index() < self.num_women {
+            Gender::Woman
+        } else {
+            Gender::Man
+        }
+    }
+
+    /// Whether `v` denotes a man.
+    pub fn is_man(&self, v: NodeId) -> bool {
+        self.gender(v) == Gender::Man
+    }
+
+    /// Whether `v` denotes a woman.
+    pub fn is_woman(&self, v: NodeId) -> bool {
+        self.gender(v) == Gender::Woman
+    }
+
+    /// Index of `v` within its own side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn side_index(&self, v: NodeId) -> usize {
+        match self.gender(v) {
+            Gender::Woman => v.index(),
+            Gender::Man => v.index() - self.num_women,
+        }
+    }
+
+    /// Iterates over all women's node ids.
+    pub fn women(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_women).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Iterates over all men's node ids.
+    pub fn men(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (self.num_women..self.num_players()).map(|i| NodeId::new(i as u32))
+    }
+
+    /// Iterates over all players' node ids (women first).
+    pub fn players(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_players()).map(|i| NodeId::new(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_layout_women_then_men() {
+        let ids = IdSpace::new(2, 3);
+        assert_eq!(ids.woman(0).index(), 0);
+        assert_eq!(ids.woman(1).index(), 1);
+        assert_eq!(ids.man(0).index(), 2);
+        assert_eq!(ids.man(2).index(), 4);
+    }
+
+    #[test]
+    fn gender_round_trip() {
+        let ids = IdSpace::new(2, 3);
+        for i in 0..2 {
+            let v = ids.woman(i);
+            assert_eq!(ids.gender(v), Gender::Woman);
+            assert_eq!(ids.side_index(v), i);
+            assert!(ids.is_woman(v));
+        }
+        for j in 0..3 {
+            let v = ids.man(j);
+            assert_eq!(ids.gender(v), Gender::Man);
+            assert_eq!(ids.side_index(v), j);
+            assert!(ids.is_man(v));
+        }
+    }
+
+    #[test]
+    fn iterators_cover_everyone() {
+        let ids = IdSpace::new(2, 3);
+        assert_eq!(ids.women().count(), 2);
+        assert_eq!(ids.men().count(), 3);
+        assert_eq!(ids.players().count(), 5);
+        let all: Vec<_> = ids.players().collect();
+        let mut concat: Vec<_> = ids.women().collect();
+        concat.extend(ids.men());
+        assert_eq!(all, concat);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn woman_out_of_range_panics() {
+        IdSpace::new(1, 1).woman(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gender_out_of_range_panics() {
+        IdSpace::new(1, 1).gender(NodeId::new(2));
+    }
+
+    #[test]
+    fn opposite_is_involution() {
+        for g in [Gender::Woman, Gender::Man] {
+            assert_eq!(g.opposite().opposite(), g);
+        }
+    }
+
+    #[test]
+    fn empty_sides() {
+        let ids = IdSpace::new(0, 0);
+        assert_eq!(ids.num_players(), 0);
+        assert_eq!(ids.players().count(), 0);
+    }
+}

@@ -1,0 +1,296 @@
+//! A human-editable text format for instances.
+//!
+//! JSON (via serde) is the machine format; this module adds a line-based
+//! format convenient for writing instances by hand or exchanging them with
+//! the matching literature's tooling:
+//!
+//! ```text
+//! # anything after '#' is a comment
+//! asm-instance v1
+//! women 2
+//! men 2
+//! w 0: 1 0        # woman 0 ranks man 1 over man 0
+//! w 1: 0 1
+//! m 0: 0 1        # man 0 ranks woman 0 over woman 1
+//! m 1: 1 0
+//! ```
+//!
+//! Players with empty preference lists may be omitted entirely. All
+//! instance invariants (symmetry, ranges) are validated on parse.
+
+use crate::{Instance, InstanceBuilder, InstanceError};
+use asm_congest::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from parsing the text format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The `asm-instance v1` header is missing or wrong.
+    BadHeader,
+    /// A malformed line, with its 1-based line number.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A `women`/`men` declaration is missing.
+    MissingSizes,
+    /// The same player's list was given twice.
+    DuplicatePlayer {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+    },
+    /// The parsed lists violate an instance invariant.
+    Invalid(InstanceError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "missing or unsupported 'asm-instance v1' header"),
+            ParseError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::MissingSizes => write!(f, "missing 'women <N>' / 'men <N>' declarations"),
+            ParseError::DuplicatePlayer { line } => {
+                write!(f, "line {line}: player's preference list given twice")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl Error for ParseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<InstanceError> for ParseError {
+    fn from(e: InstanceError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+/// Renders `inst` in the text format.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::{generators, parse_text, to_text};
+///
+/// let inst = generators::regular(6, 2, 1);
+/// let text = to_text(&inst);
+/// assert_eq!(parse_text(&text).unwrap(), inst);
+/// ```
+pub fn to_text(inst: &Instance) -> String {
+    let ids = inst.ids();
+    let mut out = String::from("asm-instance v1\n");
+    out += &format!("women {}\n", ids.num_women());
+    out += &format!("men {}\n", ids.num_men());
+    let fmt_list = |list: &[NodeId]| -> String {
+        list.iter()
+            .map(|&u| ids.side_index(u).to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    for (i, w) in ids.women().enumerate() {
+        if inst.degree(w) > 0 {
+            out += &format!("w {}: {}\n", i, fmt_list(inst.prefs(w).ranked()));
+        }
+    }
+    for (j, m) in ids.men().enumerate() {
+        if inst.degree(m) > 0 {
+            out += &format!("m {}: {}\n", j, fmt_list(inst.prefs(m).ranked()));
+        }
+    }
+    out
+}
+
+/// Parses the text format back into an [`Instance`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] locating the first problem.
+pub fn parse_text(text: &str) -> Result<Instance, ParseError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.split('#').next().unwrap_or("").trim()))
+        .filter(|(_, l)| !l.is_empty());
+
+    match lines.next() {
+        Some((_, "asm-instance v1")) => {}
+        _ => return Err(ParseError::BadHeader),
+    }
+
+    let mut num_women = None;
+    let mut num_men = None;
+    let mut pref_lines: Vec<(usize, char, usize, Vec<usize>)> = Vec::new();
+    for (line_no, line) in lines {
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("nonempty line has a first token");
+        match head {
+            "women" | "men" => {
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "missing count"))?
+                    .parse()
+                    .map_err(|_| bad(line_no, "count is not a number"))?;
+                if parts.next().is_some() {
+                    return Err(bad(line_no, "trailing tokens after count"));
+                }
+                if head == "women" {
+                    num_women = Some(n);
+                } else {
+                    num_men = Some(n);
+                }
+            }
+            "w" | "m" => {
+                let idx_part = parts
+                    .next()
+                    .ok_or_else(|| bad(line_no, "missing player index"))?;
+                let idx_clean = idx_part.trim_end_matches(':');
+                let idx: usize = idx_clean
+                    .parse()
+                    .map_err(|_| bad(line_no, "player index is not a number"))?;
+                // Allow both `w 0:` and `w 0 :` styles.
+                let mut rest: Vec<&str> = parts.collect();
+                if rest.first() == Some(&":") {
+                    rest.remove(0);
+                }
+                let list: Result<Vec<usize>, _> = rest.iter().map(|t| t.parse()).collect();
+                let list =
+                    list.map_err(|_| bad(line_no, "preference entry is not a number"))?;
+                pref_lines.push((line_no, head.chars().next().expect("w or m"), idx, list));
+            }
+            other => return Err(bad(line_no, &format!("unknown directive {other:?}"))),
+        }
+    }
+
+    let (Some(nw), Some(nm)) = (num_women, num_men) else {
+        return Err(ParseError::MissingSizes);
+    };
+    let mut builder = InstanceBuilder::new(nw, nm);
+    let mut seen: Vec<(char, usize)> = Vec::new();
+    for (line_no, side, idx, list) in pref_lines {
+        if seen.contains(&(side, idx)) {
+            return Err(ParseError::DuplicatePlayer { line: line_no });
+        }
+        seen.push((side, idx));
+        let bound = if side == 'w' { nw } else { nm };
+        if idx >= bound {
+            return Err(bad(line_no, "player index out of range"));
+        }
+        let partner_bound = if side == 'w' { nm } else { nw };
+        if let Some(&p) = list.iter().find(|&&p| p >= partner_bound) {
+            return Err(bad(line_no, &format!("partner index {p} out of range")));
+        }
+        builder = if side == 'w' {
+            builder.woman(idx, list)
+        } else {
+            builder.man(idx, list)
+        };
+    }
+    Ok(builder.build()?)
+}
+
+fn bad(line: usize, reason: &str) -> ParseError {
+    ParseError::BadLine {
+        line,
+        reason: reason.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trips_every_family() {
+        let instances = vec![
+            generators::complete(6, 1),
+            generators::erdos_renyi(8, 8, 0.4, 2),
+            generators::regular(6, 3, 3),
+            generators::adversarial_chain(5),
+            crate::InstanceBuilder::new(2, 2).build().unwrap(), // empty lists
+        ];
+        for inst in instances {
+            let text = to_text(&inst);
+            assert_eq!(parse_text(&text).unwrap(), inst);
+        }
+    }
+
+    #[test]
+    fn parses_hand_written_instance_with_comments() {
+        let text = "
+            # a tiny market
+            asm-instance v1
+            women 2
+            men 2
+            w 0: 1 0   # woman 0 prefers man 1
+            w 1: 0 1
+            m 0: 0 1
+            m 1: 1 0   # man 1 prefers woman 1
+        ";
+        let inst = parse_text(text).unwrap();
+        assert_eq!(inst.num_edges(), 4);
+        assert_eq!(
+            inst.rank(inst.ids().woman(0), inst.ids().man(1)),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse_text("women 1\nmen 1\n"), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn missing_sizes_rejected() {
+        assert_eq!(
+            parse_text("asm-instance v1\nw 0: 0\n"),
+            Err(ParseError::MissingSizes)
+        );
+    }
+
+    #[test]
+    fn bad_numbers_located() {
+        let err = parse_text("asm-instance v1\nwomen 1\nmen 1\nw zero: 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 4, .. }), "{err}");
+    }
+
+    #[test]
+    fn duplicate_player_rejected() {
+        let err = parse_text(
+            "asm-instance v1\nwomen 1\nmen 1\nw 0: 0\nw 0: 0\nm 0: 0\n",
+        )
+        .unwrap_err();
+        assert!(matches!(err, ParseError::DuplicatePlayer { line: 5 }));
+    }
+
+    #[test]
+    fn out_of_range_partner_located() {
+        let err =
+            parse_text("asm-instance v1\nwomen 1\nmen 1\nw 0: 7\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { line: 4, .. }));
+    }
+
+    #[test]
+    fn asymmetry_reported_as_invalid() {
+        let err = parse_text("asm-instance v1\nwomen 1\nmen 1\nm 0: 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::Invalid(_)));
+        assert!(err.to_string().contains("invalid instance"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let err = parse_text("asm-instance v1\nwomen 1\nmen 1\nx 0: 0\n").unwrap_err();
+        assert!(matches!(err, ParseError::BadLine { .. }));
+    }
+}

@@ -1,0 +1,125 @@
+//! Structural summaries of instances.
+
+use crate::Instance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Degree and regularity summary of an [`Instance`], for experiment
+/// reporting.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::{generators, InstanceMetrics};
+///
+/// let inst = generators::regular(10, 4, 1);
+/// let m = InstanceMetrics::measure(&inst);
+/// assert_eq!(m.num_edges, 40);
+/// assert_eq!(m.men_min_degree, 4);
+/// assert_eq!(m.men_max_degree, 4);
+/// assert_eq!(m.alpha, 1.0);
+/// assert_eq!(m.mean_degree, 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstanceMetrics {
+    /// Number of women.
+    pub num_women: usize,
+    /// Number of men.
+    pub num_men: usize,
+    /// `|E|`, the number of mutually-acceptable pairs.
+    pub num_edges: usize,
+    /// Smallest degree among men.
+    pub men_min_degree: usize,
+    /// Largest degree among men.
+    pub men_max_degree: usize,
+    /// Largest degree among women.
+    pub women_max_degree: usize,
+    /// Mean degree over all players (0 for an empty instance).
+    pub mean_degree: f64,
+    /// The α-almost-regularity of the men (Section 5.2).
+    pub alpha: f64,
+    /// Number of players with an empty preference list.
+    pub isolated_players: usize,
+}
+
+impl InstanceMetrics {
+    /// Measures `inst`.
+    pub fn measure(inst: &Instance) -> Self {
+        let ids = inst.ids();
+        let (men_min, men_max) = inst.men_degree_bounds().unwrap_or((0, 0));
+        let women_max = ids.women().map(|w| inst.degree(w)).max().unwrap_or(0);
+        let players = ids.num_players();
+        let mean = if players == 0 {
+            0.0
+        } else {
+            2.0 * inst.num_edges() as f64 / players as f64
+        };
+        InstanceMetrics {
+            num_women: ids.num_women(),
+            num_men: ids.num_men(),
+            num_edges: inst.num_edges(),
+            men_min_degree: men_min,
+            men_max_degree: men_max,
+            women_max_degree: women_max,
+            mean_degree: mean,
+            alpha: inst.alpha(),
+            isolated_players: ids.players().filter(|&v| inst.degree(v) == 0).count(),
+        }
+    }
+}
+
+impl fmt::Display for InstanceMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}+{} players, |E|={}, men deg [{}, {}], alpha={:.2}",
+            self.num_women,
+            self.num_men,
+            self.num_edges,
+            self.men_min_degree,
+            self.men_max_degree,
+            self.alpha
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn counts_isolated_players() {
+        let inst = generators::erdos_renyi(30, 30, 0.02, 3);
+        let m = InstanceMetrics::measure(&inst);
+        let direct = inst
+            .ids()
+            .players()
+            .filter(|&v| inst.degree(v) == 0)
+            .count();
+        assert_eq!(m.isolated_players, direct);
+    }
+
+    #[test]
+    fn mean_degree_consistent_with_edges() {
+        let inst = generators::complete(7, 1);
+        let m = InstanceMetrics::measure(&inst);
+        assert_eq!(m.mean_degree, 7.0);
+    }
+
+    #[test]
+    fn empty_instance_metrics() {
+        let inst = crate::InstanceBuilder::new(0, 0).build().unwrap();
+        let m = InstanceMetrics::measure(&inst);
+        assert_eq!(m.num_edges, 0);
+        assert_eq!(m.mean_degree, 0.0);
+        assert_eq!(m.alpha, 1.0);
+    }
+
+    #[test]
+    fn display_mentions_edge_count() {
+        let inst = generators::complete(3, 1);
+        let s = InstanceMetrics::measure(&inst).to_string();
+        assert!(s.contains("|E|=9"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Preference lists and rank lookup.
+
+use asm_congest::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A player's rank of an acceptable partner.
+///
+/// Ranks are 1-based as in the paper: `rank == 1` is the most favored
+/// partner. Smaller is better.
+pub type Rank = u32;
+
+/// One player's preference list: a strict ranking of a subset of the
+/// opposite sex.
+///
+/// Stores both the ranked order (for iteration, best first) and a sorted
+/// index (for `O(log deg)` rank lookup).
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_instance::PreferenceList;
+///
+/// let prefs = PreferenceList::new(vec![NodeId::new(5), NodeId::new(3), NodeId::new(9)]);
+/// assert_eq!(prefs.degree(), 3);
+/// assert_eq!(prefs.rank_of(NodeId::new(3)), Some(2));
+/// assert_eq!(prefs.rank_of(NodeId::new(4)), None);
+/// assert_eq!(prefs.at_rank(1), Some(NodeId::new(5)));
+/// assert!(prefs.prefers(NodeId::new(5), NodeId::new(9)));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PreferenceList {
+    /// Partners in preference order, most favored first.
+    ranked: Vec<NodeId>,
+    /// `(partner, rank)` pairs sorted by partner id, for rank lookup.
+    #[serde(skip)]
+    index: Vec<(NodeId, Rank)>,
+}
+
+impl PreferenceList {
+    /// Creates a preference list from partners in order, most favored first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranked` contains a duplicate (preferences are strict
+    /// orders). Use [`crate::InstanceBuilder`] for error-returning
+    /// validation of whole instances.
+    pub fn new(ranked: Vec<NodeId>) -> Self {
+        let mut list = PreferenceList {
+            ranked,
+            index: Vec::new(),
+        };
+        list.rebuild_index();
+        list
+    }
+
+    /// Creates an empty preference list (an isolated player).
+    pub fn empty() -> Self {
+        PreferenceList::new(Vec::new())
+    }
+
+    pub(crate) fn rebuild_index(&mut self) {
+        self.index = self
+            .ranked
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| (u, (i + 1) as Rank))
+            .collect();
+        self.index.sort_unstable_by_key(|&(u, _)| u);
+        assert!(
+            self.index.windows(2).all(|w| w[0].0 != w[1].0),
+            "preference list contains a duplicate entry"
+        );
+    }
+
+    /// The number of acceptable partners (`deg v` in the paper).
+    pub fn degree(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether the player finds no one acceptable.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// Partners in preference order, most favored first.
+    pub fn ranked(&self) -> &[NodeId] {
+        &self.ranked
+    }
+
+    /// The rank of `u` (`P_v(u)` in the paper), or `None` if unacceptable.
+    pub fn rank_of(&self, u: NodeId) -> Option<Rank> {
+        self.index
+            .binary_search_by_key(&u, |&(id, _)| id)
+            .ok()
+            .map(|i| self.index[i].1)
+    }
+
+    /// Whether `u` appears on this list.
+    pub fn contains(&self, u: NodeId) -> bool {
+        self.rank_of(u).is_some()
+    }
+
+    /// The partner at 1-based `rank`, or `None` if out of range.
+    pub fn at_rank(&self, rank: Rank) -> Option<NodeId> {
+        if rank == 0 {
+            return None;
+        }
+        self.ranked.get(rank as usize - 1).copied()
+    }
+
+    /// Whether this player strictly prefers `a` to `b` (`a ≻ b`).
+    ///
+    /// Partners absent from the list are treated as rank `∞`; two absent
+    /// partners compare as not-preferred.
+    pub fn prefers(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.rank_of(a), self.rank_of(b)) {
+            (Some(ra), Some(rb)) => ra < rb,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+}
+
+impl FromIterator<NodeId> for PreferenceList {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        PreferenceList::new(iter.into_iter().collect())
+    }
+}
+
+// The sorted index is skipped by serde; rebuild it after deserialization.
+// (Done centrally by `Instance`'s deserialization validation.)
+impl PreferenceList {
+    pub(crate) fn restore_after_deserialize(&mut self) {
+        self.rebuild_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId::new(x)).collect()
+    }
+
+    #[test]
+    fn ranks_are_one_based_in_order() {
+        let p = PreferenceList::new(ids(&[10, 20, 30]));
+        assert_eq!(p.rank_of(NodeId::new(10)), Some(1));
+        assert_eq!(p.rank_of(NodeId::new(20)), Some(2));
+        assert_eq!(p.rank_of(NodeId::new(30)), Some(3));
+        assert_eq!(p.at_rank(0), None);
+        assert_eq!(p.at_rank(2), Some(NodeId::new(20)));
+        assert_eq!(p.at_rank(4), None);
+    }
+
+    #[test]
+    fn prefers_handles_missing_partners() {
+        let p = PreferenceList::new(ids(&[1, 2]));
+        assert!(p.prefers(NodeId::new(1), NodeId::new(2)));
+        assert!(!p.prefers(NodeId::new(2), NodeId::new(1)));
+        assert!(p.prefers(NodeId::new(2), NodeId::new(99)));
+        assert!(!p.prefers(NodeId::new(99), NodeId::new(1)));
+        assert!(!p.prefers(NodeId::new(98), NodeId::new(99)));
+    }
+
+    #[test]
+    fn empty_list() {
+        let p = PreferenceList::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.rank_of(NodeId::new(0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_entry_panics() {
+        PreferenceList::new(ids(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn from_iterator() {
+        let p: PreferenceList = ids(&[4, 2]).into_iter().collect();
+        assert_eq!(p.ranked(), ids(&[4, 2]).as_slice());
+    }
+
+    #[test]
+    fn contains_matches_rank_of() {
+        let p = PreferenceList::new(ids(&[7]));
+        assert!(p.contains(NodeId::new(7)));
+        assert!(!p.contains(NodeId::new(8)));
+    }
+}

@@ -1,0 +1,219 @@
+//! Many-to-one (hospitals/residents) reduction to one-to-one.
+//!
+//! The stable marriage machinery extends to capacitated markets by the
+//! classical *cloning* reduction (Gusfield & Irving): a hospital with
+//! capacity `c` becomes `c` identical slots; every resident's ranking
+//! expands each hospital into its consecutive slots. Stable matchings of
+//! the cloned one-to-one instance correspond exactly to stable
+//! assignments of the original hospitals/residents instance — so `ASM`
+//! produces *almost stable* capacitated assignments too.
+
+use crate::{Instance, InstanceBuilder, InstanceError};
+use serde::{Deserialize, Serialize};
+
+/// A hospitals/residents problem: residents rank hospitals, hospitals rank
+/// residents and have capacities.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HospitalResidents {
+    /// `resident_prefs[r]` ranks hospital indices, most preferred first.
+    pub resident_prefs: Vec<Vec<usize>>,
+    /// `hospital_prefs[h]` ranks resident indices, most preferred first.
+    pub hospital_prefs: Vec<Vec<usize>>,
+    /// `capacities[h]` is the number of residents hospital `h` can take.
+    pub capacities: Vec<usize>,
+}
+
+/// Mapping between the cloned instance's women (slots) and the original
+/// hospitals.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotMap {
+    slot_to_hospital: Vec<usize>,
+    hospital_first_slot: Vec<usize>,
+}
+
+impl SlotMap {
+    /// The hospital owning slot (woman side-index) `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn hospital_of(&self, slot: usize) -> usize {
+        self.slot_to_hospital[slot]
+    }
+
+    /// The woman side-indices of `hospital`'s slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hospital` is out of range.
+    pub fn slots_of(&self, hospital: usize) -> std::ops::Range<usize> {
+        let start = self.hospital_first_slot[hospital];
+        let end = self
+            .hospital_first_slot
+            .get(hospital + 1)
+            .copied()
+            .unwrap_or(self.slot_to_hospital.len());
+        start..end
+    }
+
+    /// Total number of slots.
+    pub fn num_slots(&self) -> usize {
+        self.slot_to_hospital.len()
+    }
+}
+
+impl HospitalResidents {
+    /// Produces the cloned one-to-one [`Instance`] (women = slots, men =
+    /// residents) plus the slot↔hospital mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InstanceError`] if preferences are asymmetric, contain
+    /// duplicates, or reference out-of-range indices.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use asm_instance::HospitalResidents;
+    ///
+    /// // Two residents, one hospital with two beds.
+    /// let hr = HospitalResidents {
+    ///     resident_prefs: vec![vec![0], vec![0]],
+    ///     hospital_prefs: vec![vec![1, 0]],
+    ///     capacities: vec![2],
+    /// };
+    /// let (inst, slots) = hr.to_instance()?;
+    /// assert_eq!(inst.ids().num_women(), 2); // two slots
+    /// assert_eq!(inst.ids().num_men(), 2);
+    /// assert_eq!(slots.hospital_of(1), 0);
+    /// # Ok::<(), asm_instance::InstanceError>(())
+    /// ```
+    pub fn to_instance(&self) -> Result<(Instance, SlotMap), InstanceError> {
+        let num_residents = self.resident_prefs.len();
+        let num_hospitals = self.hospital_prefs.len();
+        assert_eq!(
+            self.capacities.len(),
+            num_hospitals,
+            "one capacity per hospital"
+        );
+
+        let mut slot_to_hospital = Vec::new();
+        let mut hospital_first_slot = Vec::with_capacity(num_hospitals);
+        for (h, &c) in self.capacities.iter().enumerate() {
+            hospital_first_slot.push(slot_to_hospital.len());
+            slot_to_hospital.extend(std::iter::repeat_n(h, c));
+        }
+        let map = SlotMap {
+            slot_to_hospital,
+            hospital_first_slot,
+        };
+
+        let mut b = InstanceBuilder::new(map.num_slots(), num_residents);
+        // Each slot inherits its hospital's resident ranking.
+        for slot in 0..map.num_slots() {
+            let h = map.hospital_of(slot);
+            b = b.woman(slot, self.hospital_prefs[h].iter().copied());
+        }
+        // Each resident expands hospitals into their slots, best slot
+        // first (slot order within a hospital is arbitrary but fixed).
+        for (r, prefs) in self.resident_prefs.iter().enumerate() {
+            let expanded: Vec<usize> = prefs
+                .iter()
+                .flat_map(|&h| {
+                    assert!(h < num_hospitals, "hospital index {h} out of range");
+                    map.slots_of(h)
+                })
+                .collect();
+            b = b.man(r, expanded);
+        }
+        let inst = b.build()?;
+        Ok((inst, map))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HospitalResidents {
+        // 4 residents, 2 hospitals (capacities 2 and 1).
+        HospitalResidents {
+            resident_prefs: vec![vec![0, 1], vec![0], vec![1, 0], vec![0, 1]],
+            hospital_prefs: vec![vec![0, 1, 2, 3], vec![2, 0, 3]],
+            capacities: vec![2, 1],
+        }
+    }
+
+    #[test]
+    fn clone_counts() {
+        let (inst, map) = sample().to_instance().unwrap();
+        assert_eq!(map.num_slots(), 3);
+        assert_eq!(inst.ids().num_women(), 3);
+        assert_eq!(inst.ids().num_men(), 4);
+        assert_eq!(map.slots_of(0), 0..2);
+        assert_eq!(map.slots_of(1), 2..3);
+        assert_eq!(map.hospital_of(2), 1);
+    }
+
+    #[test]
+    fn slots_share_hospital_rankings() {
+        let (inst, map) = sample().to_instance().unwrap();
+        let s0 = inst.prefs(inst.ids().woman(0)).ranked().to_vec();
+        let s1 = inst.prefs(inst.ids().woman(1)).ranked().to_vec();
+        assert_eq!(s0, s1, "both slots of hospital 0 rank identically");
+        assert_eq!(map.hospital_of(0), map.hospital_of(1));
+    }
+
+    #[test]
+    fn residents_expand_in_slot_order() {
+        let (inst, _) = sample().to_instance().unwrap();
+        let r0 = inst.prefs(inst.ids().man(0)).ranked();
+        let ids = inst.ids();
+        assert_eq!(r0, &[ids.woman(0), ids.woman(1), ids.woman(2)]);
+    }
+
+    #[test]
+    fn every_slot_is_rankable() {
+        // Gale–Shapley on the cloned instance lives in asm-matching (see
+        // the residency_match example); structurally, every slot of a
+        // ranked hospital must carry that hospital's nonempty list.
+        let (inst, map) = sample().to_instance().unwrap();
+        for s in 0..map.num_slots() {
+            assert!(inst.degree(inst.ids().woman(s)) > 0);
+        }
+    }
+
+    #[test]
+    fn asymmetric_hr_rejected() {
+        let hr = HospitalResidents {
+            resident_prefs: vec![vec![0]],
+            hospital_prefs: vec![vec![]], // hospital doesn't rank resident 0
+            capacities: vec![1],
+        };
+        assert!(hr.to_instance().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "one capacity per hospital")]
+    fn capacity_count_mismatch_panics() {
+        let hr = HospitalResidents {
+            resident_prefs: vec![],
+            hospital_prefs: vec![vec![]],
+            capacities: vec![],
+        };
+        let _ = hr.to_instance();
+    }
+
+    #[test]
+    fn zero_capacity_hospital_has_no_slots() {
+        let hr = HospitalResidents {
+            resident_prefs: vec![vec![1]],
+            hospital_prefs: vec![vec![], vec![0]],
+            capacities: vec![0, 1],
+        };
+        let (inst, map) = hr.to_instance().unwrap();
+        assert_eq!(map.num_slots(), 1);
+        assert_eq!(map.slots_of(0), 0..0);
+        assert_eq!(inst.ids().num_women(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of instance structure: generator invariants, the
+//! text format, gender swapping, and the hospitals/residents reduction.
+
+use asm_instance::{generators, parse_text, to_text, HospitalResidents, Instance};
+use asm_congest::SplitRng;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (0u8..9, 2usize..20, any::<u64>()).prop_map(|(family, n, seed)| match family {
+        0 => generators::complete(n, seed),
+        1 => generators::erdos_renyi(n, n + 3, 0.35, seed),
+        2 => generators::regular(n, (n / 2).max(1), seed),
+        3 => generators::zipf(n, (n / 3).max(1), 1.4, seed),
+        4 => generators::almost_regular(n.max(4), 2, 2.0, seed),
+        5 => generators::adversarial_chain(n),
+        6 => generators::master_list(n, seed),
+        7 => generators::geometric(n, (n / 2).max(1), seed),
+        _ => generators::noisy_master(n, 1.5, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn symmetry_and_edge_count_hold(inst in arb_instance()) {
+        let men_sum: usize = inst.ids().men().map(|m| inst.degree(m)).sum();
+        let women_sum: usize = inst.ids().women().map(|w| inst.degree(w)).sum();
+        prop_assert_eq!(men_sum, inst.num_edges());
+        prop_assert_eq!(women_sum, inst.num_edges());
+        for (m, w) in inst.edges() {
+            prop_assert!(inst.prefs(w).contains(m));
+        }
+    }
+
+    #[test]
+    fn text_format_round_trips(inst in arb_instance()) {
+        let text = to_text(&inst);
+        prop_assert_eq!(parse_text(&text).unwrap(), inst);
+    }
+
+    #[test]
+    fn json_round_trips(inst in arb_instance()) {
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn swap_is_an_involution_preserving_ranks(inst in arb_instance()) {
+        let swapped = inst.swap_genders();
+        prop_assert_eq!(swapped.num_edges(), inst.num_edges());
+        prop_assert_eq!(swapped.swap_genders(), inst.clone());
+        for (m, w) in inst.edges() {
+            prop_assert_eq!(
+                inst.rank(m, w),
+                swapped.rank(inst.swap_node(m), inst.swap_node(w))
+            );
+        }
+    }
+
+    #[test]
+    fn topology_agrees_with_instance(inst in arb_instance()) {
+        let topo = inst.topology();
+        prop_assert_eq!(topo.num_edges(), inst.num_edges());
+        for (m, w) in inst.edges() {
+            prop_assert!(topo.has_edge(m, w));
+        }
+    }
+
+    #[test]
+    fn hr_reduction_is_valid(
+        residents in 1usize..10,
+        hospitals in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SplitRng::new(seed);
+        let capacities: Vec<usize> = (0..hospitals).map(|_| rng.next_range(4)).collect();
+        // Each resident applies to a random nonempty hospital subset.
+        let mut resident_prefs: Vec<Vec<usize>> = Vec::new();
+        let mut hospital_prefs: Vec<Vec<usize>> = vec![Vec::new(); hospitals];
+        for r in 0..residents {
+            let mut prefs: Vec<usize> =
+                (0..hospitals).filter(|_| rng.next_bool(0.6)).collect();
+            rng.shuffle(&mut prefs);
+            for &h in &prefs {
+                hospital_prefs[h].push(r);
+            }
+            resident_prefs.push(prefs);
+        }
+        for list in &mut hospital_prefs {
+            rng.shuffle(list);
+        }
+        let hr = HospitalResidents { resident_prefs: resident_prefs.clone(), hospital_prefs, capacities: capacities.clone() };
+        let (inst, map) = hr.to_instance().unwrap();
+        prop_assert_eq!(map.num_slots(), capacities.iter().sum::<usize>());
+        prop_assert_eq!(inst.ids().num_men(), residents);
+        // Every resident's expanded list length = sum of applied capacities.
+        for (r, prefs) in resident_prefs.iter().enumerate() {
+            let expect: usize = prefs.iter().map(|&h| capacities[h]).sum();
+            prop_assert_eq!(inst.degree(inst.ids().man(r)), expect);
+        }
+    }
+}

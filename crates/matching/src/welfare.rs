@@ -1,0 +1,191 @@
+//! Welfare measures of matchings.
+//!
+//! Stability is the paper's objective, but downstream users of matching
+//! systems also care *how good* the assigned partners are. These measures
+//! quantify that: rank-based costs in the tradition of Gusfield & Irving
+//! (egalitarian cost, regret) plus per-side means, letting experiments
+//! report what the ε-relaxation costs in welfare.
+
+use crate::Matching;
+use asm_instance::Instance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Rank-based welfare summary of a matching.
+///
+/// Ranks are 1-based (1 = most favored). Unmatched players with a nonempty
+/// list are charged rank `deg + 1` — the same convention the blocking-pair
+/// analysis uses; players with empty lists are skipped entirely.
+///
+/// # Examples
+///
+/// ```
+/// use asm_instance::generators;
+/// use asm_matching::{man_optimal_stable, WelfareReport};
+///
+/// let inst = generators::complete(16, 3);
+/// let gs = man_optimal_stable(&inst);
+/// let w = WelfareReport::measure(&inst, &gs.matching);
+/// // Man-optimal: men do at least as well as women on average.
+/// assert!(w.men_mean_rank <= w.women_mean_rank);
+/// assert!(w.egalitarian_cost > 0);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WelfareReport {
+    /// Sum of all matched players' partner ranks plus the `deg + 1`
+    /// charges of unmatched players (the *egalitarian cost*).
+    pub egalitarian_cost: u64,
+    /// Mean partner rank over men with nonempty lists.
+    pub men_mean_rank: f64,
+    /// Mean partner rank over women with nonempty lists.
+    pub women_mean_rank: f64,
+    /// The worst partner rank any matched player received (*regret*).
+    pub regret: u32,
+    /// Absolute difference of the two side sums (*sex-equality cost*).
+    pub sex_equality_cost: u64,
+    /// Players counted (nonempty preference lists).
+    pub players_counted: usize,
+}
+
+impl WelfareReport {
+    /// Measures `matching` against `inst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matched pair is not mutually acceptable — run
+    /// [`crate::verify_matching`] first for untrusted matchings.
+    pub fn measure(inst: &Instance, matching: &Matching) -> Self {
+        let ids = inst.ids();
+        let mut regret: u32 = 0;
+        let mut sums = [0u64; 2]; // [women, men]
+        let mut counts = [0usize; 2];
+        for v in ids.players() {
+            let deg = inst.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let side = usize::from(ids.is_man(v));
+            counts[side] += 1;
+            let rank = match matching.partner(v) {
+                Some(p) => {
+                    let r = inst.rank(v, p).expect("matched partner must be acceptable");
+                    regret = regret.max(r);
+                    r
+                }
+                None => deg as u32 + 1,
+            };
+            sums[side] += u64::from(rank);
+        }
+        let mean = |side: usize| {
+            if counts[side] == 0 {
+                0.0
+            } else {
+                sums[side] as f64 / counts[side] as f64
+            }
+        };
+        WelfareReport {
+            egalitarian_cost: sums[0] + sums[1],
+            men_mean_rank: mean(1),
+            women_mean_rank: mean(0),
+            regret,
+            sex_equality_cost: sums[0].abs_diff(sums[1]),
+            players_counted: counts[0] + counts[1],
+        }
+    }
+}
+
+impl fmt::Display for WelfareReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "egalitarian {}, men mean {:.2}, women mean {:.2}, regret {}",
+            self.egalitarian_cost, self.men_mean_rank, self.women_mean_rank, self.regret
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::man_optimal_stable;
+    use asm_congest::NodeId;
+    use asm_instance::{generators, InstanceBuilder};
+
+    #[test]
+    fn perfect_first_choice_matching() {
+        // Everyone gets their top pick.
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [0, 1])
+            .woman(1, [1, 0])
+            .man(0, [0, 1])
+            .man(1, [1, 0])
+            .build()
+            .unwrap();
+        let gs = man_optimal_stable(&inst);
+        let w = WelfareReport::measure(&inst, &gs.matching);
+        assert_eq!(w.egalitarian_cost, 4);
+        assert_eq!(w.men_mean_rank, 1.0);
+        assert_eq!(w.women_mean_rank, 1.0);
+        assert_eq!(w.regret, 1);
+        assert_eq!(w.sex_equality_cost, 0);
+    }
+
+    #[test]
+    fn unmatched_players_are_charged() {
+        let inst = InstanceBuilder::new(1, 1)
+            .woman(0, [0])
+            .man(0, [0])
+            .build()
+            .unwrap();
+        let empty = Matching::new(2);
+        let w = WelfareReport::measure(&inst, &empty);
+        assert_eq!(w.egalitarian_cost, 4); // (1+1) + (1+1)
+        assert_eq!(w.regret, 0, "nobody matched, no realized rank");
+    }
+
+    #[test]
+    fn isolated_players_skipped() {
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [0])
+            .man(0, [0])
+            .build()
+            .unwrap();
+        let mut m = Matching::new(4);
+        m.add_pair(inst.ids().man(0), inst.ids().woman(0)).unwrap();
+        let w = WelfareReport::measure(&inst, &m);
+        assert_eq!(w.players_counted, 2);
+        assert_eq!(w.egalitarian_cost, 2);
+    }
+
+    #[test]
+    fn man_optimality_reflected_in_means() {
+        let inst = generators::complete(32, 11);
+        let gs = man_optimal_stable(&inst);
+        let w = WelfareReport::measure(&inst, &gs.matching);
+        assert!(
+            w.men_mean_rank <= w.women_mean_rank,
+            "man-optimal must favor men: {w}"
+        );
+    }
+
+    #[test]
+    fn regret_bounded_by_degree() {
+        let inst = generators::regular(20, 5, 7);
+        let gs = man_optimal_stable(&inst);
+        let w = WelfareReport::measure(&inst, &gs.matching);
+        assert!(w.regret <= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptable")]
+    fn unacceptable_pair_panics() {
+        let inst = InstanceBuilder::new(2, 2)
+            .woman(0, [0])
+            .man(0, [0])
+            .build()
+            .unwrap();
+        let mut m = Matching::new(4);
+        m.add_pair(NodeId::new(1), NodeId::new(2)).unwrap(); // w1-m0 not an edge
+        let _ = WelfareReport::measure(&inst, &m);
+    }
+}

@@ -1,0 +1,140 @@
+//! Almost-maximal matchings: `AMM(η, δ)` (Definition 4, Corollary 2).
+//!
+//! `AlmostRegularASM` (Theorem 6) does not need true maximality — it
+//! tolerates an η-fraction of vertices violating maximality, provided the
+//! violators *remove themselves from play*. Corollary 2 obtains this by
+//! truncating Israeli–Itai after `O(log(η⁻¹δ⁻¹))` rounds: by Lemma 8 and
+//! Markov's inequality, `Pr(|V_s| ≥ η·n) ≤ cˢ/η`.
+
+use crate::israeli_itai::{israeli_itai, IiRun};
+use asm_congest::{NodeId, SplitRng};
+
+/// Number of `MatchingRound` iterations for `AMM(η, δ)` (Corollary 2):
+/// smallest `s` with `cˢ/η ≤ δ`, i.e. `s = ⌈log(η⁻¹δ⁻¹)/log(c⁻¹)⌉`.
+///
+/// `c` is the Lemma 8 decay constant (see
+/// [`crate::iterations_for_maximal`] for discussion).
+///
+/// # Panics
+///
+/// Panics unless `0 < c < 1` and `η, δ ∈ (0, 1]`.
+pub fn iterations_for_amm(eta: f64, delta: f64, c: f64) -> u64 {
+    assert!(0.0 < c && c < 1.0, "decay constant must be in (0, 1)");
+    assert!(0.0 < eta && eta <= 1.0, "eta must be in (0, 1]");
+    assert!(0.0 < delta && delta <= 1.0, "delta must be in (0, 1]");
+    let needed = (1.0 / (eta * delta)).ln() / (1.0 / c).ln();
+    needed.ceil().max(1.0) as u64
+}
+
+/// Runs `AMM(η, δ)`: a truncated Israeli–Itai that finds a
+/// `(1 − η)`-maximal matching with probability at least `1 − δ`
+/// (Corollary 2), in `O(log(η⁻¹δ⁻¹))` rounds **independent of the graph
+/// size**.
+///
+/// The returned [`IiRun::survivors`] series ends with the number of
+/// vertices still violating maximality; experiment F2 checks it against
+/// `η·|V₀|`.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::{NodeId, SplitRng};
+/// use asm_maximal::amm;
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let edges: Vec<_> = (0u32..50).map(|i| e(i, 50 + i % 25)).collect();
+/// let run = amm(&edges, 0.05, 0.05, 0.6, &SplitRng::new(3), 0);
+/// // Round cost depends only on eta, delta, c — not on |V|.
+/// assert!(run.outcome.rounds <= 4 * 12);
+/// ```
+pub fn amm(
+    edges: &[(NodeId, NodeId)],
+    eta: f64,
+    delta: f64,
+    c: f64,
+    rng: &SplitRng,
+    tag_base: u64,
+) -> IiRun {
+    let s = iterations_for_amm(eta, delta, c);
+    israeli_itai(edges, s, rng, tag_base)
+}
+
+/// Convenience: the vertices of `edges` left violating maximality by
+/// `pairs` (unmatched with an unmatched neighbor), as a fraction of the
+/// vertex count of the subgraph.
+pub fn violator_fraction(edges: &[(NodeId, NodeId)], pairs: &[(NodeId, NodeId)]) -> f64 {
+    use std::collections::HashSet;
+    let vertices: HashSet<NodeId> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+    if vertices.is_empty() {
+        return 0.0;
+    }
+    crate::maximality_violators(edges, pairs).len() as f64 / vertices.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn random_bipartite(n: u32, d: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitRng::new(seed);
+        (0..n)
+            .flat_map(|u| {
+                let mut out = Vec::new();
+                for _ in 0..d {
+                    out.push((u, n + rng.next_range(n as usize) as u32));
+                }
+                out
+            })
+            .map(|(u, v)| e(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn iteration_count_independent_of_n() {
+        let s = iterations_for_amm(0.01, 0.01, 0.5);
+        assert_eq!(s, 14); // ceil(ln(10^4)/ln 2)
+        // Same budget regardless of how large the graph is.
+        let small = amm(&random_bipartite(20, 3, 1), 0.01, 0.01, 0.5, &SplitRng::new(1), 0);
+        let large = amm(&random_bipartite(500, 3, 1), 0.01, 0.01, 0.5, &SplitRng::new(1), 0);
+        assert!(small.outcome.iterations <= s);
+        assert!(large.outcome.iterations <= s);
+    }
+
+    #[test]
+    fn violators_shrink_below_eta_usually() {
+        // With eta = 0.1, delta = 0.2 and a measured-realistic c = 0.6, the
+        // violator fraction should be below eta for most seeds.
+        let mut successes = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let edges = random_bipartite(100, 4, seed);
+            let run = amm(&edges, 0.1, 0.2, 0.6, &SplitRng::new(seed + 100), 0);
+            if violator_fraction(&edges, &run.outcome.pairs) <= 0.1 {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= trials * 4 / 5,
+            "only {successes}/{trials} runs met the eta budget"
+        );
+    }
+
+    #[test]
+    fn violator_fraction_bounds() {
+        let edges = vec![e(0, 1), e(2, 3)];
+        assert_eq!(violator_fraction(&edges, &[]), 1.0);
+        assert_eq!(violator_fraction(&edges, &[e(0, 1), e(2, 3)]), 0.0);
+        assert_eq!(violator_fraction(&edges, &[e(0, 1)]), 0.5);
+        assert_eq!(violator_fraction(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eta must be in")]
+    fn zero_eta_panics() {
+        iterations_for_amm(0.0, 0.1, 0.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! The Hańćkowiak–Karoński–Panconesi oracle.
+//!
+//! The paper's deterministic `ASM` uses the HKP distributed maximal
+//! matching algorithm [6] as a black box with round complexity
+//! `O(log⁴ n)`. HKP's construction (degree splitting over Euler tours,
+//! recursive two-coloring) is far outside the scope of its role here —
+//! ASM's analysis uses only the *maximality* of the result — so this
+//! module substitutes an oracle: it computes a deterministic maximal
+//! matching sequentially and **charges** the HKP round bound
+//! `⌈log₂ n⌉⁴`. See DESIGN.md §4 for the substitution argument; the
+//! [`crate::det_greedy`] matcher provides a real message-passing
+//! deterministic alternative with *measured* rounds.
+
+use crate::{greedy_maximal, MatchingOutcome};
+use asm_congest::NodeId;
+
+/// The charged round cost of one HKP invocation on an `n`-node network:
+/// `max(1, ⌈log₂ n⌉)⁴`.
+///
+/// ```
+/// assert_eq!(asm_maximal::hkp_charged_rounds(2), 1);
+/// assert_eq!(asm_maximal::hkp_charged_rounds(1024), 10_000);
+/// ```
+pub fn hkp_charged_rounds(n: usize) -> u64 {
+    let log = (usize::BITS - n.max(1).next_power_of_two().leading_zeros())
+        .saturating_sub(1)
+        .max(1) as u64;
+    log.pow(4)
+}
+
+/// Computes a maximal matching and charges the HKP `O(log⁴ n)` bound,
+/// where `n` is the size of the *global* network (the oracle models an
+/// algorithm whose round count depends on `n`, not on the subgraph).
+///
+/// The matching itself is [`greedy_maximal`], which is deterministic — the
+/// property ASM's Lemmas 1–7 require.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_maximal::{hkp_oracle, is_maximal_in};
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let edges = vec![e(0, 1), e(1, 2)];
+/// let out = hkp_oracle(16, &edges);
+/// assert!(out.maximal);
+/// assert!(is_maximal_in(&edges, &out.pairs));
+/// assert_eq!(out.rounds, 4u64.pow(4));
+/// ```
+pub fn hkp_oracle(n_global: usize, edges: &[(NodeId, NodeId)]) -> MatchingOutcome {
+    MatchingOutcome {
+        pairs: greedy_maximal(edges),
+        rounds: hkp_charged_rounds(n_global),
+        iterations: 1,
+        maximal: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charged_rounds_grow_polylog() {
+        assert_eq!(hkp_charged_rounds(1), 1);
+        assert_eq!(hkp_charged_rounds(16), 256);
+        assert_eq!(hkp_charged_rounds(17), 625);
+        assert!(hkp_charged_rounds(1 << 20) == 160_000);
+    }
+
+    #[test]
+    fn oracle_result_is_maximal() {
+        let e = |a, b| (NodeId::new(a), NodeId::new(b));
+        let edges = vec![e(0, 1), e(0, 2), e(3, 1)];
+        let out = hkp_oracle(8, &edges);
+        assert!(crate::is_maximal_in(&edges, &out.pairs));
+        assert_eq!(out.iterations, 1);
+    }
+
+    #[test]
+    fn empty_graph_still_charged() {
+        // The schedule must be agreed upon in advance; silence is billed.
+        let out = hkp_oracle(64, &[]);
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.rounds, 1296);
+    }
+}

@@ -1,0 +1,281 @@
+//! Israeli & Itai's randomized distributed matching (Appendix A,
+//! Algorithm 4), graph-level simulation.
+//!
+//! One `MatchingRound` costs [`ROUNDS_PER_MATCHING_ROUND`] CONGEST rounds:
+//! PICK (step 1), CHOSEN (step 2), SELECT (step 3) and MATCHED/removal
+//! (step 4). Iterating until the graph is empty yields a maximal matching;
+//! Lemma 8 shows the expected number of surviving vertices decays
+//! geometrically, so `O(log(n/η))` iterations suffice with probability
+//! `1 − η` (Corollary 1).
+//!
+//! All random choices are drawn from per-node [`SplitRng`] streams keyed by
+//! `(node id, iteration tag)` in a fixed order (pick → choose → select), so
+//! this simulation is *replayable*: the message-passing implementation in
+//! [`crate::protocols`] makes identical choices and produces an identical
+//! matching — a property the test suite checks.
+
+use crate::{MatchingOutcome, SubGraph};
+use asm_congest::{NodeId, SplitRng};
+use std::collections::HashMap;
+
+/// CONGEST rounds per `MatchingRound` (PICK, CHOSEN, SELECT, MATCHED).
+pub const ROUNDS_PER_MATCHING_ROUND: u64 = 4;
+
+/// Result of an Israeli–Itai run, including the per-iteration survivor
+/// series used by experiment F1 to estimate the decay constant of Lemma 8.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IiRun {
+    /// Matching found, rounds consumed, maximality flag.
+    pub outcome: MatchingOutcome,
+    /// `survivors[i]` = number of vertices remaining *before* iteration
+    /// `i`; `survivors[0] = |V₀|`, and a final entry records the count
+    /// after the last executed iteration.
+    pub survivors: Vec<usize>,
+}
+
+/// Executes one `MatchingRound` on `g` (mutating it per step 4) and returns
+/// the pairs matched this round.
+///
+/// `tag` must be globally unique per invocation (e.g. a running iteration
+/// counter); node `v`'s randomness for this round is
+/// `rng.split(v.raw(), tag)`.
+pub fn matching_round(
+    g: &mut SubGraph,
+    rng: &SplitRng,
+    tag: u64,
+) -> Vec<(NodeId, NodeId)> {
+    let vertices = g.vertices_sorted();
+    let mut node_rng: HashMap<NodeId, SplitRng> = vertices
+        .iter()
+        .map(|&v| (v, rng.split(v.raw() as u64, tag)))
+        .collect();
+
+    // Step 1: every vertex picks a uniformly random neighbor.
+    let mut picks: HashMap<NodeId, NodeId> = HashMap::new();
+    for &v in &vertices {
+        let nbrs = g.neighbors(v);
+        debug_assert!(!nbrs.is_empty(), "SubGraph drops isolated vertices");
+        let r = node_rng.get_mut(&v).expect("rng created above");
+        picks.insert(v, nbrs[r.next_range(nbrs.len())]);
+    }
+
+    // Step 2: every vertex with incoming picks keeps one uniformly at
+    // random. Incoming pickers are enumerated in ascending id order — the
+    // order a CONGEST inbox presents them.
+    let mut incoming: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &v in &vertices {
+        incoming.entry(picks[&v]).or_default().push(v);
+    }
+    let mut gprime: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &v in &vertices {
+        if let Some(pickers) = incoming.get(&v) {
+            let r = node_rng.get_mut(&v).expect("rng created above");
+            let chosen = pickers[r.next_range(pickers.len())];
+            gprime.entry(v).or_default().push(chosen);
+            gprime.entry(chosen).or_default().push(v);
+        }
+    }
+    for nbrs in gprime.values_mut() {
+        nbrs.sort_unstable();
+        nbrs.dedup();
+    }
+
+    // Step 3: every vertex incident to G' selects one incident edge.
+    let mut selects: HashMap<NodeId, NodeId> = HashMap::new();
+    for &v in &vertices {
+        if let Some(nbrs) = gprime.get(&v) {
+            let r = node_rng.get_mut(&v).expect("rng created above");
+            selects.insert(v, nbrs[r.next_range(nbrs.len())]);
+        }
+    }
+
+    // Step 4: mutually selected edges are matched; matched and newly
+    // isolated vertices leave the graph.
+    let mut matched: Vec<(NodeId, NodeId)> = Vec::new();
+    for (&v, &u) in &selects {
+        if v < u && selects.get(&u) == Some(&v) {
+            matched.push((v, u));
+        }
+    }
+    matched.sort_unstable();
+    let removed: Vec<NodeId> = matched.iter().flat_map(|&(a, b)| [a, b]).collect();
+    g.remove_vertices(&removed);
+    matched
+}
+
+/// Runs Israeli–Itai for at most `max_iterations` `MatchingRound`s,
+/// starting the per-iteration tags at `tag_base`.
+///
+/// Stops early once the graph is empty (the matching is then maximal);
+/// [`MatchingOutcome::rounds`] reports 4 rounds per *executed* iteration —
+/// in a deployment, nodes detect local isolation and go silent, so the
+/// remaining schedule carries no traffic.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::{NodeId, SplitRng};
+/// use asm_maximal::{israeli_itai, is_maximal_in};
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let edges: Vec<_> = (0..20).map(|i| e(i, (i + 1) % 21)).collect();
+/// let run = israeli_itai(&edges, 100, &SplitRng::new(5), 0);
+/// assert!(run.outcome.maximal);
+/// assert!(is_maximal_in(&edges, &run.outcome.pairs));
+/// ```
+pub fn israeli_itai(
+    edges: &[(NodeId, NodeId)],
+    max_iterations: u64,
+    rng: &SplitRng,
+    tag_base: u64,
+) -> IiRun {
+    let mut g = SubGraph::from_edges(edges);
+    let mut pairs = Vec::new();
+    let mut survivors = vec![g.num_vertices()];
+    let mut iterations = 0;
+    while !g.is_empty() && iterations < max_iterations {
+        let matched = matching_round(&mut g, rng, tag_base + iterations);
+        pairs.extend(matched);
+        iterations += 1;
+        survivors.push(g.num_vertices());
+    }
+    pairs.sort_unstable();
+    IiRun {
+        outcome: MatchingOutcome {
+            pairs,
+            rounds: iterations * ROUNDS_PER_MATCHING_ROUND,
+            iterations,
+            maximal: g.is_empty(),
+        },
+        survivors,
+    }
+}
+
+/// Number of `MatchingRound` iterations sufficient for maximality with
+/// probability `1 − η` (Corollary 1): `log(n/η) / log(1/c)`, where `c` is
+/// the per-iteration survivor decay constant of Lemma 8.
+///
+/// The paper leaves `c` abstract; experiment F1 measures `c ≈ 0.45–0.6` on
+/// our workloads. Callers pass their own (conservative) estimate.
+///
+/// # Panics
+///
+/// Panics unless `0 < c < 1`, `eta > 0` and `n > 0`.
+pub fn iterations_for_maximal(n: usize, eta: f64, c: f64) -> u64 {
+    assert!(n > 0, "n must be positive");
+    assert!(eta > 0.0, "eta must be positive");
+    assert!(0.0 < c && c < 1.0, "decay constant must be in (0, 1)");
+    let needed = (n as f64 / eta).ln() / (1.0 / c).ln();
+    needed.ceil().max(1.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_maximal_in;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn random_graph(n: u32, p: f64, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitRng::new(seed);
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| (e(u, v).0, e(u, v).1))
+            .collect()
+    }
+
+    #[test]
+    fn produces_maximal_matching_on_random_graphs() {
+        for seed in 0..10 {
+            let edges = random_graph(40, 0.1, seed);
+            let run = israeli_itai(&edges, 1000, &SplitRng::new(seed), 0);
+            assert!(run.outcome.maximal);
+            assert!(is_maximal_in(&edges, &run.outcome.pairs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_edge_matches_in_one_iteration() {
+        let edges = vec![e(0, 1)];
+        let run = israeli_itai(&edges, 10, &SplitRng::new(1), 0);
+        // Both endpoints must pick, choose, and select each other.
+        assert_eq!(run.outcome.pairs, vec![e(0, 1)]);
+        assert_eq!(run.outcome.iterations, 1);
+        assert_eq!(run.outcome.rounds, ROUNDS_PER_MATCHING_ROUND);
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_maximal() {
+        let run = israeli_itai(&[], 10, &SplitRng::new(1), 0);
+        assert!(run.outcome.maximal);
+        assert!(run.outcome.is_empty());
+        assert_eq!(run.outcome.iterations, 0);
+    }
+
+    #[test]
+    fn truncation_reports_non_maximal() {
+        // A big dense graph cannot be finished in 1 iteration.
+        let edges = random_graph(60, 0.5, 3);
+        let run = israeli_itai(&edges, 1, &SplitRng::new(3), 0);
+        assert_eq!(run.outcome.iterations, 1);
+        assert!(!run.outcome.maximal);
+        assert!(!is_maximal_in(&edges, &run.outcome.pairs));
+    }
+
+    #[test]
+    fn survivors_strictly_decrease_until_empty() {
+        let edges = random_graph(50, 0.2, 9);
+        let run = israeli_itai(&edges, 1000, &SplitRng::new(9), 0);
+        let s = &run.survivors;
+        assert_eq!(*s.last().unwrap(), 0);
+        for w in s.windows(2) {
+            assert!(w[1] <= w[0], "survivor counts must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_tag() {
+        let edges = random_graph(30, 0.3, 4);
+        let a = israeli_itai(&edges, 100, &SplitRng::new(11), 7);
+        let b = israeli_itai(&edges, 100, &SplitRng::new(11), 7);
+        assert_eq!(a, b);
+        let c = israeli_itai(&edges, 100, &SplitRng::new(11), 8);
+        // Different tag gives (almost surely) a different trajectory.
+        assert!(a.outcome.pairs != c.outcome.pairs || a.survivors != c.survivors);
+    }
+
+    #[test]
+    fn decay_is_geometric_on_average() {
+        // Lemma 8: E|V_{i+1}| <= c |V_i| for an absolute c < 1. Measure the
+        // mean per-iteration ratio over a few dense graphs.
+        let mut ratios = Vec::new();
+        for seed in 0..5 {
+            let edges = random_graph(100, 0.2, seed);
+            let run = israeli_itai(&edges, 1000, &SplitRng::new(seed), 0);
+            for w in run.survivors.windows(2) {
+                if w[0] >= 20 {
+                    ratios.push(w[1] as f64 / w[0] as f64);
+                }
+            }
+        }
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(mean < 0.9, "mean decay ratio {mean} should be well below 1");
+    }
+
+    #[test]
+    fn iterations_for_maximal_formula() {
+        assert_eq!(iterations_for_maximal(1, 1.0, 0.5), 1);
+        // log2(1024/0.5) = 11 with c = 0.5.
+        assert_eq!(iterations_for_maximal(1024, 0.5, 0.5), 11);
+        assert!(iterations_for_maximal(1024, 0.5, 0.9) > 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay constant")]
+    fn bad_decay_constant_panics() {
+        iterations_for_maximal(10, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Results of maximal-matching subroutines.
+
+use asm_congest::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a (possibly truncated) distributed matching subroutine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchingOutcome {
+    /// Matched pairs, each once.
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// CONGEST communication rounds consumed — measured for the real
+    /// distributed algorithms, *charged* for the HKP oracle.
+    pub rounds: u64,
+    /// Top-level iterations executed (`MatchingRound`s for Israeli–Itai,
+    /// propose/match cycles for the deterministic greedy).
+    pub iterations: u64,
+    /// Whether the result is guaranteed maximal (truncated randomized runs
+    /// may leave residual edges).
+    pub maximal: bool,
+}
+
+impl MatchingOutcome {
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether no pair was matched.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Checks maximality of `pairs` within the graph given by `edges`: a
+/// matching is maximal iff every edge has a matched endpoint
+/// (Definition 3).
+///
+/// Also verifies that `pairs` is a matching over `edges` in the first
+/// place; returns `false` if a pair is not an edge or endpoints repeat.
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_maximal::is_maximal_in;
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let path = vec![e(0, 1), e(1, 2), e(2, 3)];
+/// assert!(is_maximal_in(&path, &[e(1, 2)]));        // middle edge covers all
+/// assert!(!is_maximal_in(&path, &[e(0, 1)]));       // (2,3) uncovered
+/// assert!(is_maximal_in(&path, &[e(0, 1), e(2, 3)]));
+/// ```
+pub fn is_maximal_in(edges: &[(NodeId, NodeId)], pairs: &[(NodeId, NodeId)]) -> bool {
+    use std::collections::HashSet;
+    let edge_set: HashSet<(NodeId, NodeId)> = edges
+        .iter()
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    let mut covered: HashSet<NodeId> = HashSet::new();
+    for &(u, v) in pairs {
+        if u == v || !edge_set.contains(&(u.min(v), u.max(v))) {
+            return false;
+        }
+        if !covered.insert(u) || !covered.insert(v) {
+            return false; // endpoint reused: not a matching
+        }
+    }
+    edges
+        .iter()
+        .all(|&(u, v)| covered.contains(&u) || covered.contains(&v))
+}
+
+/// Counts the vertices *violating* maximality: unmatched vertices with at
+/// least one unmatched neighbor. This is the `|V'|` of Definition 4, used
+/// to certify `(1−η)`-maximality of [`crate::amm`] outputs.
+pub fn maximality_violators(
+    edges: &[(NodeId, NodeId)],
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<NodeId> {
+    use std::collections::HashSet;
+    let matched: HashSet<NodeId> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
+    let mut violators: HashSet<NodeId> = HashSet::new();
+    for &(u, v) in edges {
+        if !matched.contains(&u) && !matched.contains(&v) {
+            violators.insert(u);
+            violators.insert(v);
+        }
+    }
+    let mut out: Vec<NodeId> = violators.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn empty_graph_everything_maximal() {
+        assert!(is_maximal_in(&[], &[]));
+        assert!(maximality_violators(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn non_edge_pair_rejected() {
+        assert!(!is_maximal_in(&[e(0, 1)], &[e(0, 2)]));
+    }
+
+    #[test]
+    fn reused_endpoint_rejected() {
+        assert!(!is_maximal_in(
+            &[e(0, 1), e(1, 2)],
+            &[e(0, 1), e(1, 2)]
+        ));
+    }
+
+    #[test]
+    fn self_pair_rejected() {
+        assert!(!is_maximal_in(&[e(0, 1)], &[e(1, 1)]));
+    }
+
+    #[test]
+    fn violators_on_uncovered_triangle() {
+        let edges = vec![e(0, 1), e(1, 2), e(2, 0), e(3, 4)];
+        let v = maximality_violators(&edges, &[e(0, 1)]);
+        assert_eq!(v, vec![NodeId::new(3), NodeId::new(4)]);
+    }
+
+    #[test]
+    fn reversed_edge_orientation_accepted() {
+        assert!(is_maximal_in(&[e(1, 0)], &[e(0, 1)]));
+    }
+
+    #[test]
+    fn outcome_len_helpers() {
+        let o = MatchingOutcome {
+            pairs: vec![e(0, 1)],
+            rounds: 2,
+            iterations: 1,
+            maximal: true,
+        };
+        assert_eq!(o.len(), 1);
+        assert!(!o.is_empty());
+    }
+}

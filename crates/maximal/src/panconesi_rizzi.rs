@@ -1,0 +1,335 @@
+//! Panconesi–Rizzi deterministic maximal matching:
+//! `O(Δ + log* n)` rounds via forest decomposition and Cole–Vishkin
+//! 3-coloring.
+//!
+//! This is the strongest *implementable* deterministic stand-in for the
+//! Hańćkowiak–Karoński–Panconesi black box (DESIGN.md §4): unlike the
+//! simple greedy matcher (`O(n)` worst case) its round bound depends on
+//! the maximum degree and the iterated logarithm only.
+//!
+//! Structure:
+//!
+//! 1. **Forest decomposition.** Orient every edge toward its higher-id
+//!    endpoint; each vertex indexes its out-edges `1..≤Δ`. The edges with
+//!    index `f` form a forest `F_f` (orientations strictly increase ids,
+//!    so no cycles), with `parent(v)` = the out-neighbor. All forests are
+//!    processed **in parallel** during coloring (disjoint edges).
+//! 2. **Cole–Vishkin coloring.** Within each forest, colors start as
+//!    node ids and shrink by the classic bit-trick — `new = 2·i + bit_i`
+//!    where `i` is the lowest bit position where the vertex's and its
+//!    parent's colors differ — reaching 6 colors in `O(log* n)` single
+//!    round iterations, then 3 colors by three shift-down/recolor passes.
+//! 3. **Matching.** For each forest `f` and color `c`, unmatched vertices
+//!    of color `c` propose to their (unmatched) parent in `F_f`; parents
+//!    accept one proposal. Same-colored vertices are never parent/child,
+//!    so proposals never collide head-on; after all `3Δ` steps the
+//!    matching is maximal: any surviving edge lies in some forest, and
+//!    its child endpoint would have proposed to its then-unmatched parent
+//!    when its `(f, c)` step ran.
+
+use crate::{MatchingOutcome, SubGraph};
+use asm_congest::NodeId;
+use std::collections::HashMap;
+
+/// Fixed Cole–Vishkin schedule length: from 64-bit initial colors the bit
+/// width shrinks 64 → 7 → 4 → 3 bits, landing in {0..5} after 4
+/// iterations; 6 gives margin and — crucially — a *globally known*
+/// schedule, so distributed nodes need no convergence detection. Colors in
+/// {0..5} are a fixed point of the iteration's range, so extra iterations
+/// are harmless (they still permute colors, which is why the simulation
+/// and the protocol must run the same count).
+const CV_ITERATIONS: u64 = 6;
+
+/// The fixed Cole–Vishkin schedule length shared by the simulation and
+/// the message-passing protocol.
+pub(crate) fn cv_schedule_len() -> u64 {
+    CV_ITERATIONS
+}
+/// Rounds charged per Cole–Vishkin iteration (one color exchange).
+const ROUNDS_PER_CV_ITER: u64 = 1;
+/// Rounds per shift-down/recolor pass (shift, learn children, recolor).
+const ROUNDS_PER_REDUCTION_PASS: u64 = 3;
+/// Rounds per (forest, color) matching step (propose, accept, announce).
+const ROUNDS_PER_MATCH_STEP: u64 = 3;
+
+/// One rooted forest of the decomposition.
+#[derive(Debug, Default)]
+struct Forest {
+    /// `parent[v]` — the unique out-edge of `v` assigned to this forest.
+    parent: HashMap<NodeId, NodeId>,
+    /// Current vertex colors (only vertices incident to the forest).
+    color: HashMap<NodeId, u64>,
+}
+
+impl Forest {
+    fn vertices_sorted(&self) -> Vec<NodeId> {
+        let mut vs: Vec<NodeId> = self.color.keys().copied().collect();
+        vs.sort_unstable();
+        vs
+    }
+
+    /// The color a vertex compares against: its parent's, or a pseudo
+    /// parent differing in bit 0 for roots.
+    fn parent_color(&self, v: NodeId) -> u64 {
+        match self.parent.get(&v) {
+            Some(p) => self.color[p],
+            None => self.color[&v] ^ 1,
+        }
+    }
+
+    /// One Cole–Vishkin iteration; returns the largest color afterwards.
+    fn cv_iteration(&mut self) -> u64 {
+        let vs = self.vertices_sorted();
+        let mut next: HashMap<NodeId, u64> = HashMap::with_capacity(vs.len());
+        for &v in &vs {
+            let c = self.color[&v];
+            let pc = self.parent_color(v);
+            let diff = c ^ pc;
+            debug_assert_ne!(diff, 0, "proper coloring violated before CV step");
+            let i = diff.trailing_zeros() as u64;
+            next.insert(v, 2 * i + ((c >> i) & 1));
+        }
+        self.color = next;
+        self.color.values().copied().max().unwrap_or(0)
+    }
+
+    /// Children lists under the current parent pointers.
+    fn children(&self) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut ch: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for (&v, &p) in &self.parent {
+            ch.entry(p).or_default().push(v);
+        }
+        ch
+    }
+
+    /// One shift-down + recolor pass eliminating color `target`.
+    fn reduction_pass(&mut self, target: u64) {
+        // Shift down: everyone takes their parent's color; roots rotate
+        // within {0,1,2} so they differ from their children (= old self).
+        let old = self.color.clone();
+        for v in self.vertices_sorted() {
+            let new = match self.parent.get(&v) {
+                Some(p) => old[p],
+                None => (old[&v] + 1) % 3,
+            };
+            self.color.insert(v, new);
+        }
+        // Recolor the target class: forbidden colors are the parent's and
+        // the (uniform, post-shift) children's.
+        let children = self.children();
+        let snapshot = self.color.clone();
+        for v in self.vertices_sorted() {
+            if snapshot[&v] != target {
+                continue;
+            }
+            let mut forbidden = vec![];
+            if let Some(p) = self.parent.get(&v) {
+                forbidden.push(snapshot[p]);
+            }
+            if let Some(ch) = children.get(&v) {
+                for &c in ch {
+                    forbidden.push(snapshot[&c]);
+                }
+            }
+            let free = (0..3)
+                .find(|c| !forbidden.contains(c))
+                .expect("children share one color after shift-down, so <= 2 forbidden");
+            self.color.insert(v, free);
+        }
+    }
+
+    /// Debug check: parent/child colors differ.
+    fn is_properly_colored(&self) -> bool {
+        self.parent
+            .iter()
+            .all(|(v, p)| self.color[v] != self.color[p])
+    }
+}
+
+/// Computes a maximal matching deterministically in `O(Δ + log* n)`
+/// simulated rounds (Panconesi & Rizzi).
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_maximal::{is_maximal_in, panconesi_rizzi};
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let edges = vec![e(0, 1), e(1, 2), e(2, 3), e(3, 4), e(0, 4)];
+/// let out = panconesi_rizzi(&edges);
+/// assert!(out.maximal);
+/// assert!(is_maximal_in(&edges, &out.pairs));
+/// ```
+pub fn panconesi_rizzi(edges: &[(NodeId, NodeId)]) -> MatchingOutcome {
+    let g = SubGraph::from_edges(edges);
+    if g.is_empty() {
+        return MatchingOutcome {
+            pairs: Vec::new(),
+            rounds: 0,
+            iterations: 0,
+            maximal: true,
+        };
+    }
+
+    // 1. Forest decomposition: out-edges point to higher ids; the j-th
+    // out-edge of each vertex joins forest j.
+    let mut forests: Vec<Forest> = Vec::new();
+    for v in g.vertices_sorted() {
+        let outs: Vec<NodeId> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        for (j, &u) in outs.iter().enumerate() {
+            if forests.len() <= j {
+                forests.push(Forest::default());
+            }
+            forests[j].parent.insert(v, u);
+            forests[j].color.entry(v).or_insert(v.raw() as u64);
+            forests[j].color.entry(u).or_insert(u.raw() as u64);
+        }
+    }
+    let num_forests = forests.len();
+
+    // 2. Cole–Vishkin to 6 colors (all forests in parallel, fixed
+    // schedule of CV_ITERATIONS rounds), then 6 -> 3.
+    for forest in &mut forests {
+        for _ in 0..CV_ITERATIONS {
+            let max_color = forest.cv_iteration();
+            debug_assert!(forest.is_properly_colored());
+            let _ = max_color;
+        }
+        debug_assert!(
+            forest.color.values().all(|&c| c < 6),
+            "CV_ITERATIONS must reach 6 colors from u64 ids"
+        );
+        for target in [5, 4, 3] {
+            forest.reduction_pass(target);
+            debug_assert!(forest.is_properly_colored());
+        }
+        debug_assert!(forest.color.values().all(|&c| c < 3));
+    }
+
+    // 3. Matching: one (forest, color) step at a time.
+    let mut matched: HashMap<NodeId, NodeId> = HashMap::new();
+    for forest in &forests {
+        for c in 0..3u64 {
+            let mut proposals: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+            for v in forest.vertices_sorted() {
+                if matched.contains_key(&v) || forest.color[&v] != c {
+                    continue;
+                }
+                if let Some(&p) = forest.parent.get(&v) {
+                    if !matched.contains_key(&p) {
+                        proposals.entry(p).or_default().push(v);
+                    }
+                }
+            }
+            let mut targets: Vec<NodeId> = proposals.keys().copied().collect();
+            targets.sort_unstable();
+            for p in targets {
+                let winner = proposals[&p][0]; // ascending already
+                matched.insert(p, winner);
+                matched.insert(winner, p);
+            }
+        }
+    }
+
+    let mut pairs: Vec<(NodeId, NodeId)> = matched
+        .iter()
+        .filter(|&(a, b)| a < b)
+        .map(|(&a, &b)| (a, b))
+        .collect();
+    pairs.sort_unstable();
+    let rounds = CV_ITERATIONS * ROUNDS_PER_CV_ITER
+        + 3 * ROUNDS_PER_REDUCTION_PASS
+        + 3 * num_forests as u64 * ROUNDS_PER_MATCH_STEP;
+    MatchingOutcome {
+        pairs,
+        rounds,
+        iterations: num_forests as u64,
+        maximal: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_maximal_in;
+    use asm_congest::SplitRng;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn random_graph(n: u32, p: f64, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitRng::new(seed);
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| e(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        assert!(panconesi_rizzi(&[]).maximal);
+        let out = panconesi_rizzi(&[e(3, 7)]);
+        assert_eq!(out.pairs, vec![e(3, 7)]);
+    }
+
+    #[test]
+    fn maximal_on_random_graphs() {
+        for seed in 0..20 {
+            let edges = random_graph(40, 0.12, seed);
+            let out = panconesi_rizzi(&edges);
+            assert!(out.maximal);
+            assert!(is_maximal_in(&edges, &out.pairs), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn maximal_on_paths_cycles_stars() {
+        let path: Vec<_> = (0..20).map(|i| e(i, i + 1)).collect();
+        let cycle: Vec<_> = (0..21).map(|i| e(i, (i + 1) % 21)).collect();
+        let star: Vec<_> = (1..15).map(|i| e(0, i)).collect();
+        for (name, edges) in [("path", path), ("cycle", cycle), ("star", star)] {
+            let out = panconesi_rizzi(&edges);
+            assert!(is_maximal_in(&edges, &out.pairs), "{name}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_with_degree_not_size() {
+        // Fixed max degree: rounds stay nearly flat as n grows 8x.
+        let rounds = |n: u32| {
+            // Union of 3 shifted "perfect matchings": max degree ~6.
+            let edges: Vec<_> = (0..3u32)
+                .flat_map(|k| (0..n).map(move |i| (i, n + (i + k * 7) % n)))
+                .map(|(u, v)| e(u, v))
+                .collect();
+            panconesi_rizzi(&edges).rounds
+        };
+        let (small, large) = (rounds(64), rounds(512));
+        assert!(
+            large <= small + 6,
+            "rounds grew from {small} to {large} with constant degree"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let edges = random_graph(30, 0.2, 5);
+        assert_eq!(panconesi_rizzi(&edges), panconesi_rizzi(&edges));
+    }
+
+    #[test]
+    fn high_degree_pays_linearly_in_delta() {
+        // A clique: Delta = n-1 forests; rounds dominated by 9 * forests.
+        let n = 16u32;
+        let clique: Vec<_> = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .map(|(u, v)| e(u, v))
+            .collect();
+        let out = panconesi_rizzi(&clique);
+        assert!(is_maximal_in(&clique, &out.pairs));
+        assert_eq!(out.iterations, (n - 1) as u64, "one forest per out-degree");
+    }
+}

@@ -1,0 +1,185 @@
+//! Per-node state machine for the deterministic greedy matcher.
+
+use super::MmMsg;
+use asm_congest::{Envelope, NodeId, Outbox, Process};
+
+/// One node's state in the deterministic greedy matching protocol
+/// ([`crate::det_greedy`] is the equivalent graph-level simulation).
+///
+/// The protocol runs in 2-round cycles:
+///
+/// * **even subround (CAND):** prune neighbors whose `Matched`
+///   announcements arrived, then — if unmatched with a nonempty available
+///   set — send [`MmMsg::Cand`] to the minimum-id available neighbor;
+/// * **odd subround (MATCH):** if the node's candidate also sent `Cand` to
+///   it, the edge is mutually minimal — match it and announce
+///   [`MmMsg::Matched`] to all available neighbors.
+///
+/// Drive it by calling [`GreedyNode::on_round`] once per synchronous round
+/// with the `MmMsg` portion of the node's inbox.
+#[derive(Clone, Debug)]
+pub struct GreedyNode {
+    id: NodeId,
+    /// Sorted available (unmatched, adjacent) neighbors.
+    avail: Vec<NodeId>,
+    matched: Option<NodeId>,
+    subround: u64,
+    last_cand: Option<NodeId>,
+}
+
+impl GreedyNode {
+    /// Creates the node's state from its (arbitrary-order) neighbor list in
+    /// the subgraph to be matched.
+    pub fn new(id: NodeId, mut neighbors: Vec<NodeId>) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        GreedyNode {
+            id,
+            avail: neighbors,
+            matched: None,
+            subround: 0,
+            last_cand: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The matched partner, if any.
+    pub fn matched(&self) -> Option<NodeId> {
+        self.matched
+    }
+
+    /// Whether this node may still send messages (unmatched with available
+    /// neighbors, or freshly matched and about to announce).
+    pub fn is_active(&self) -> bool {
+        self.matched.is_none() && !self.avail.is_empty()
+    }
+
+    /// Executes one synchronous round. `inbox` carries `(sender, message)`
+    /// pairs in ascending sender order; `send` queues outgoing messages.
+    pub fn on_round(
+        &mut self,
+        inbox: &[(NodeId, MmMsg)],
+        mut send: impl FnMut(NodeId, MmMsg),
+    ) {
+        let cand_phase = self.subround.is_multiple_of(2);
+        self.subround += 1;
+        if cand_phase {
+            // Prune neighbors that announced a match last round.
+            for &(src, msg) in inbox {
+                if msg == MmMsg::Matched {
+                    if let Ok(i) = self.avail.binary_search(&src) {
+                        self.avail.remove(i);
+                    }
+                }
+            }
+            self.last_cand = None;
+            if self.matched.is_none() {
+                if let Some(&cand) = self.avail.first() {
+                    self.last_cand = Some(cand);
+                    send(cand, MmMsg::Cand);
+                }
+            }
+        } else {
+            // Match phase: mutual candidates pair up.
+            if let Some(cand) = self.last_cand {
+                let reciprocated = inbox
+                    .iter()
+                    .any(|&(src, msg)| src == cand && msg == MmMsg::Cand);
+                if reciprocated {
+                    self.matched = Some(cand);
+                    for &nb in &self.avail {
+                        send(nb, MmMsg::Matched);
+                    }
+                    self.avail.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Adapter running a bare [`GreedyNode`] as an [`asm_congest::Process`].
+#[derive(Clone, Debug)]
+pub struct GreedyProcess(pub GreedyNode);
+
+impl Process for GreedyProcess {
+    type Msg = MmMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<MmMsg>], outbox: &mut Outbox<MmMsg>) {
+        let msgs: Vec<(NodeId, MmMsg)> = inbox.iter().map(|e| (e.src, e.payload)).collect();
+        self.0.on_round(&msgs, |dst, msg| outbox.send(dst, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{det_greedy, is_maximal_in};
+    use asm_congest::{Network, SplitRng, Topology};
+
+    fn run_protocol(edges: &[(NodeId, NodeId)], n: usize) -> Vec<(NodeId, NodeId)> {
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
+            .unwrap();
+        let procs: Vec<GreedyProcess> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                GreedyProcess(GreedyNode::new(id, topo.neighbors(id).to_vec()))
+            })
+            .collect();
+        let mut net = Network::new(topo, procs).unwrap();
+        net.set_bit_budget(16);
+        net.run_until_quiescent(10 * n as u64 + 20).unwrap();
+        let mut pairs: Vec<(NodeId, NodeId)> = net
+            .nodes()
+            .iter()
+            .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn protocol_matches_fast_simulation_exactly() {
+        let mut rng = SplitRng::new(21);
+        for trial in 0..10 {
+            let n = 30;
+            let edges: Vec<(NodeId, NodeId)> = (0u32..n)
+                .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+                .filter(|_| rng.next_bool(0.12))
+                .map(|(u, v)| e(u, v))
+                .collect();
+            let fast = det_greedy(&edges);
+            let proto = run_protocol(&edges, n as usize);
+            assert_eq!(proto, fast.pairs, "trial {trial}");
+            assert!(is_maximal_in(&edges, &proto), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn single_edge_protocol() {
+        let pairs = run_protocol(&[e(0, 1)], 2);
+        assert_eq!(pairs, vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn isolated_node_goes_silent() {
+        let node = GreedyNode::new(NodeId::new(0), vec![]);
+        assert!(!node.is_active());
+    }
+
+    #[test]
+    fn path_graph_terminates_quietly() {
+        let edges: Vec<_> = (0..9).map(|i| e(i, i + 1)).collect();
+        let pairs = run_protocol(&edges, 10);
+        assert!(is_maximal_in(&edges, &pairs));
+        assert_eq!(pairs, det_greedy(&edges).pairs);
+    }
+}

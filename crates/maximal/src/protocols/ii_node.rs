@@ -1,0 +1,280 @@
+//! Per-node state machine for Israeli–Itai's randomized matcher.
+
+use super::MmMsg;
+use asm_congest::{Envelope, NodeId, Outbox, Process, SplitRng};
+
+/// One node's state in the Israeli–Itai matching protocol (Algorithm 4 of
+/// the paper's Appendix A; [`crate::israeli_itai`] is the equivalent
+/// graph-level simulation).
+///
+/// Each `MatchingRound` spans 4 synchronous subrounds:
+///
+/// 1. **PICK** — prune announced matches, then pick a uniformly random
+///    available neighbor;
+/// 2. **CHOSEN** — keep one incoming pick uniformly at random (the kept
+///    edges form the sparse graph G′, in which every node has degree ≤ 2);
+/// 3. **SELECT** — select one incident G′ edge uniformly at random;
+/// 4. **MATCHED** — mutually selected edges match; matched nodes announce.
+///
+/// Randomness: the node draws from `base.split(id, tag_base + iteration)`
+/// in the fixed order pick → choose → select, exactly mirroring the
+/// graph-level simulation so both produce identical matchings from the
+/// same seed.
+#[derive(Clone, Debug)]
+pub struct IiNode {
+    id: NodeId,
+    avail: Vec<NodeId>,
+    matched: Option<NodeId>,
+    base: SplitRng,
+    tag_base: u64,
+    iter: u64,
+    max_iterations: u64,
+    subround: u64,
+    cur_rng: Option<SplitRng>,
+    my_pick: Option<NodeId>,
+    gprime: Vec<NodeId>,
+    my_select: Option<NodeId>,
+}
+
+impl IiNode {
+    /// Creates the node's state.
+    ///
+    /// * `neighbors` — the node's adjacency in the subgraph to match;
+    /// * `base`, `tag_base` — shared randomness root and invocation tag
+    ///   (all nodes of one invocation must agree on both);
+    /// * `max_iterations` — the truncation budget (Corollaries 1–2).
+    pub fn new(
+        id: NodeId,
+        mut neighbors: Vec<NodeId>,
+        base: SplitRng,
+        tag_base: u64,
+        max_iterations: u64,
+    ) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        IiNode {
+            id,
+            avail: neighbors,
+            matched: None,
+            base,
+            tag_base,
+            iter: 0,
+            max_iterations,
+            subround: 0,
+            cur_rng: None,
+            my_pick: None,
+            gprime: Vec::new(),
+            my_select: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The matched partner, if any.
+    pub fn matched(&self) -> Option<NodeId> {
+        self.matched
+    }
+
+    /// Whether the node may still initiate communication.
+    pub fn is_active(&self) -> bool {
+        self.matched.is_none() && !self.avail.is_empty() && self.iter < self.max_iterations
+    }
+
+    /// Executes one synchronous round. `inbox` carries `(sender, message)`
+    /// pairs in ascending sender order.
+    pub fn on_round(
+        &mut self,
+        inbox: &[(NodeId, MmMsg)],
+        mut send: impl FnMut(NodeId, MmMsg),
+    ) {
+        let phase = self.subround % 4;
+        self.subround += 1;
+        match phase {
+            0 => {
+                // Prune matches announced at the end of the previous
+                // iteration, then pick.
+                for &(src, msg) in inbox {
+                    if msg == MmMsg::Matched {
+                        if let Ok(i) = self.avail.binary_search(&src) {
+                            self.avail.remove(i);
+                        }
+                    }
+                }
+                self.cur_rng = None;
+                self.my_pick = None;
+                self.gprime.clear();
+                self.my_select = None;
+                if self.is_active() {
+                    let mut rng = self.base.split(self.id.raw() as u64, self.tag_base + self.iter);
+                    let pick = self.avail[rng.next_range(self.avail.len())];
+                    self.cur_rng = Some(rng);
+                    self.my_pick = Some(pick);
+                    send(pick, MmMsg::Pick);
+                }
+            }
+            1 => {
+                let pickers: Vec<NodeId> = inbox
+                    .iter()
+                    .filter(|&&(_, m)| m == MmMsg::Pick)
+                    .map(|&(src, _)| src)
+                    .collect();
+                if !pickers.is_empty() {
+                    let rng = self
+                        .cur_rng
+                        .as_mut()
+                        .expect("a picked node is active and has drawn its own pick");
+                    let chosen = pickers[rng.next_range(pickers.len())];
+                    self.gprime.push(chosen);
+                    send(chosen, MmMsg::Chosen);
+                }
+            }
+            2 => {
+                for &(src, msg) in inbox {
+                    if msg == MmMsg::Chosen {
+                        debug_assert_eq!(Some(src), self.my_pick);
+                        self.gprime.push(src);
+                    }
+                }
+                self.gprime.sort_unstable();
+                self.gprime.dedup();
+                if !self.gprime.is_empty() {
+                    let rng = self
+                        .cur_rng
+                        .as_mut()
+                        .expect("a G'-incident node is active");
+                    let select = self.gprime[rng.next_range(self.gprime.len())];
+                    self.my_select = Some(select);
+                    send(select, MmMsg::Select);
+                }
+            }
+            _ => {
+                if let Some(sel) = self.my_select {
+                    let mutual = inbox
+                        .iter()
+                        .any(|&(src, m)| m == MmMsg::Select && src == sel);
+                    if mutual {
+                        self.matched = Some(sel);
+                        for &nb in &self.avail {
+                            send(nb, MmMsg::Matched);
+                        }
+                        self.avail.clear();
+                    }
+                }
+                self.iter += 1;
+            }
+        }
+    }
+}
+
+/// Adapter running a bare [`IiNode`] as an [`asm_congest::Process`].
+#[derive(Clone, Debug)]
+pub struct IiProcess(pub IiNode);
+
+impl Process for IiProcess {
+    type Msg = MmMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<MmMsg>], outbox: &mut Outbox<MmMsg>) {
+        let msgs: Vec<(NodeId, MmMsg)> = inbox.iter().map(|e| (e.src, e.payload)).collect();
+        self.0.on_round(&msgs, |dst, msg| outbox.send(dst, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_maximal_in, israeli_itai};
+    use asm_congest::{Network, Topology};
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn run_protocol(
+        edges: &[(NodeId, NodeId)],
+        n: usize,
+        seed: u64,
+        tag_base: u64,
+        max_iterations: u64,
+    ) -> Vec<(NodeId, NodeId)> {
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
+            .unwrap();
+        let base = SplitRng::new(seed);
+        let procs: Vec<IiProcess> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                IiProcess(IiNode::new(
+                    id,
+                    topo.neighbors(id).to_vec(),
+                    base.clone(),
+                    tag_base,
+                    max_iterations,
+                ))
+            })
+            .collect();
+        let mut net = Network::new(topo, procs).unwrap();
+        net.set_bit_budget(16);
+        // Step the full fixed schedule: iterations with zero matches are
+        // transiently silent (nothing sent in the MATCHED subround), so
+        // quiescence detection would stop early; nodes self-terminate
+        // after max_iterations anyway.
+        for _ in 0..4 * max_iterations + 8 {
+            net.step().unwrap();
+        }
+        let mut pairs: Vec<(NodeId, NodeId)> = net
+            .nodes()
+            .iter()
+            .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn random_edges(n: u32, p: f64, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitRng::new(seed ^ 0xABCD);
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| e(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn protocol_replays_fast_simulation_exactly() {
+        for seed in 0..8 {
+            let edges = random_edges(24, 0.15, seed);
+            let fast = israeli_itai(&edges, 50, &SplitRng::new(seed), 3);
+            let proto = run_protocol(&edges, 24, seed, 3, 50);
+            assert_eq!(proto, fast.outcome.pairs, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn protocol_reaches_maximality() {
+        let edges = random_edges(30, 0.2, 5);
+        let pairs = run_protocol(&edges, 30, 5, 0, 200);
+        assert!(is_maximal_in(&edges, &pairs));
+    }
+
+    #[test]
+    fn zero_budget_matches_nothing() {
+        let edges = vec![e(0, 1)];
+        let pairs = run_protocol(&edges, 2, 1, 0, 0);
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn single_edge_matches_first_iteration() {
+        let pairs = run_protocol(&[e(0, 1)], 2, 9, 0, 5);
+        assert_eq!(pairs, vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn node_with_no_neighbors_is_inactive() {
+        let node = IiNode::new(NodeId::new(0), vec![], SplitRng::new(1), 0, 5);
+        assert!(!node.is_active());
+    }
+}

@@ -1,0 +1,73 @@
+//! Message-passing implementations of the matching subroutines.
+//!
+//! These are per-node state machines designed to be *embedded* inside a
+//! larger protocol's processes (the `asm-core` CONGEST engine runs them
+//! inside `ProposalRound` step 3) or wrapped in the standalone
+//! [`GreedyProcess`]/[`IiProcess`] adapters for direct execution on an
+//! [`asm_congest::Network`].
+//!
+//! Both state machines make the **same random/greedy choices** as their
+//! graph-level simulations ([`crate::det_greedy`], [`crate::israeli_itai`])
+//! given the same seed and tag — the test suites in this module check
+//! pair-for-pair equality.
+
+mod greedy_node;
+mod ii_node;
+mod pr_node;
+mod proposal_node;
+
+pub use greedy_node::{GreedyNode, GreedyProcess};
+pub use ii_node::{IiNode, IiProcess};
+pub use pr_node::{run_pr_protocol, PrMsg, PrNode, PrProcess};
+pub use proposal_node::{ProposalNode, ProposalProcess};
+
+use asm_congest::Payload;
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by the matching subroutines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmMsg {
+    /// Greedy: "you are my minimum-id available neighbor".
+    Cand,
+    /// "I matched this round; remove me from your available set."
+    Matched,
+    /// Israeli–Itai step 1: random neighbor pick.
+    Pick,
+    /// Israeli–Itai step 2: the incoming pick I kept.
+    Chosen,
+    /// Israeli–Itai step 3: the incident G′ edge I selected.
+    Select,
+    /// Bipartite proposal: a left node proposes to its pointer target.
+    Prop,
+    /// Bipartite proposal: the right node accepts.
+    Yes,
+    /// Bipartite proposal: the right node rejects; advance your pointer.
+    No,
+}
+
+impl Payload for MmMsg {
+    fn bits(&self) -> usize {
+        3 // message tag only; addressing is accounted by the network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_fits_congest_budget() {
+        for m in [
+            MmMsg::Cand,
+            MmMsg::Matched,
+            MmMsg::Pick,
+            MmMsg::Chosen,
+            MmMsg::Select,
+            MmMsg::Prop,
+            MmMsg::Yes,
+            MmMsg::No,
+        ] {
+            assert!(m.bits() <= 8);
+        }
+    }
+}

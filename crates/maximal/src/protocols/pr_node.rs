@@ -1,0 +1,433 @@
+//! Per-node state machine for the Panconesi–Rizzi matcher.
+//!
+//! Unlike the event-driven greedy/proposal protocols, Panconesi–Rizzi runs
+//! on a **fixed, globally known schedule** (that is its point: the length
+//! depends only on `Δ` and `log* n`, both assumed known):
+//!
+//! ```text
+//! round 0                  : children announce themselves to parents
+//! rounds 1 ..= 6           : Cole–Vishkin iterations (fixed count; see
+//!                            CV_ITERATIONS) — parents' colors flow down
+//! rounds 7 ..= 15          : three shift-down/recolor passes (3 rounds
+//!                            each) eliminating colors 5, 4, 3
+//! rounds 16 .. 16 + 9·F    : matching steps — 3 rounds per
+//!                            (forest, color) pair
+//! ```
+//!
+//! Given the same node ids, the protocol computes the *identical* matching
+//! to [`crate::panconesi_rizzi`] — checked by this module's tests.
+
+use asm_congest::{Envelope, NodeId, Outbox, Payload, Process};
+use std::collections::HashMap;
+
+/// Messages of the Panconesi–Rizzi protocol. (Kept separate from
+/// [`super::MmMsg`]: colors carry a payload.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrMsg {
+    /// Setup: "you are my parent in forest `forest`".
+    Child {
+        /// Forest index.
+        forest: u16,
+    },
+    /// A color update in forest `forest`.
+    Color {
+        /// Forest index.
+        forest: u16,
+        /// The sender's new color.
+        color: u64,
+    },
+    /// Matching: a proposal along the sender's parent edge in `forest`.
+    Propose {
+        /// Forest index.
+        forest: u16,
+    },
+    /// Matching: the parent accepts the proposal.
+    Accept {
+        /// Forest index.
+        forest: u16,
+    },
+    /// Matching: the sender is matched; exclude it from further steps.
+    Matched,
+}
+
+impl Payload for PrMsg {
+    fn bits(&self) -> usize {
+        match self {
+            PrMsg::Child { .. } | PrMsg::Propose { .. } | PrMsg::Accept { .. } => 3 + 16,
+            PrMsg::Color { color, .. } => 3 + 16 + (64 - color.leading_zeros() as usize).max(1),
+            PrMsg::Matched => 3,
+        }
+    }
+}
+
+/// Per-forest state of one node.
+#[derive(Clone, Debug, Default)]
+struct ForestState {
+    parent: Option<NodeId>,
+    parent_color: Option<u64>,
+    children: Vec<NodeId>,
+    child_colors: HashMap<NodeId, u64>,
+    color: u64,
+}
+
+/// One node of the Panconesi–Rizzi protocol.
+#[derive(Clone, Debug)]
+pub struct PrNode {
+    id: NodeId,
+    /// All graph neighbors (for MATCHED announcements).
+    neighbors: Vec<NodeId>,
+    /// Per-forest state, indexed by forest id. A node appears in forest
+    /// `f` if it has an out-edge with index `f` (as child) and/or was
+    /// announced to (as parent).
+    forests: HashMap<u16, ForestState>,
+    /// Total forest count `F` of the whole graph (globally known Δ bound).
+    num_forests: u16,
+    round: u64,
+    matched: Option<NodeId>,
+    /// Neighbors known to be matched.
+    dead: Vec<NodeId>,
+    /// Whether this node proposed in the current matching step.
+    proposed_to: Option<NodeId>,
+}
+
+impl PrNode {
+    /// Creates the node. `num_forests` must be the graph's maximum
+    /// out-degree under the higher-id orientation (all nodes must agree).
+    pub fn new(id: NodeId, mut neighbors: Vec<NodeId>, num_forests: u16) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        let mut forests: HashMap<u16, ForestState> = HashMap::new();
+        // Out-edges (to higher ids), ascending: the j-th joins forest j.
+        for (j, &p) in neighbors.iter().filter(|&&u| u > id).enumerate() {
+            let st = forests.entry(j as u16).or_default();
+            st.parent = Some(p);
+            st.parent_color = Some(p.raw() as u64);
+            st.color = id.raw() as u64;
+        }
+        PrNode {
+            id,
+            neighbors,
+            forests,
+            num_forests,
+            round: 0,
+            matched: None,
+            dead: Vec::new(),
+            proposed_to: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The matched partner, if any.
+    pub fn matched(&self) -> Option<NodeId> {
+        self.matched
+    }
+
+    /// Whether the fixed schedule is still running (the node must keep
+    /// being stepped; Panconesi–Rizzi has no event-driven quiescence).
+    pub fn is_active(&self) -> bool {
+        self.round < Self::schedule_rounds(self.num_forests)
+    }
+
+    /// Total rounds of the fixed schedule for `num_forests` forests.
+    pub fn schedule_rounds(num_forests: u16) -> u64 {
+        1 + crate::cv_schedule_len() + 9 + 9 * num_forests as u64 + 1
+    }
+
+    fn send_color_to_children(
+        &self,
+        f: u16,
+        st: &ForestState,
+        send: &mut impl FnMut(NodeId, PrMsg),
+    ) {
+        for &ch in &st.children {
+            send(ch, PrMsg::Color { forest: f, color: st.color });
+        }
+    }
+
+    fn absorb(&mut self, inbox: &[(NodeId, PrMsg)]) {
+        for &(src, msg) in inbox {
+            match msg {
+                PrMsg::Child { forest } => {
+                    let st = self.forests.entry(forest).or_default();
+                    if st.parent.is_none() && st.children.is_empty() {
+                        st.color = self.id.raw() as u64; // first contact as pure parent
+                    }
+                    st.children.push(src);
+                    st.child_colors.insert(src, src.raw() as u64);
+                }
+                PrMsg::Color { forest, color } => {
+                    let st = self
+                        .forests
+                        .get_mut(&forest)
+                        .expect("color update for a known forest");
+                    if st.parent == Some(src) {
+                        st.parent_color = Some(color);
+                    }
+                    if st.child_colors.contains_key(&src) {
+                        st.child_colors.insert(src, color);
+                    }
+                }
+                PrMsg::Matched => {
+                    if !self.dead.contains(&src) {
+                        self.dead.push(src);
+                    }
+                }
+                PrMsg::Propose { .. } | PrMsg::Accept { .. } => {
+                    // Handled by the per-round logic below (they are only
+                    // meaningful in the round they arrive).
+                }
+            }
+        }
+    }
+
+    /// Executes one synchronous round of the fixed schedule.
+    pub fn on_round(&mut self, inbox: &[(NodeId, PrMsg)], mut send: impl FnMut(NodeId, PrMsg)) {
+        self.absorb(inbox);
+        let rho = self.round;
+        self.round += 1;
+        let cv = crate::cv_schedule_len();
+
+        if rho == 0 {
+            // Announce child relations.
+            let pairs: Vec<(u16, NodeId)> = self
+                .forests
+                .iter()
+                .filter_map(|(&f, st)| st.parent.map(|p| (f, p)))
+                .collect();
+            for (f, p) in pairs {
+                send(p, PrMsg::Child { forest: f });
+            }
+        } else if rho <= cv {
+            // One Cole–Vishkin iteration per forest.
+            let fs: Vec<u16> = self.forests.keys().copied().collect();
+            for f in fs {
+                let st = self.forests.get_mut(&f).expect("listed");
+                let c = st.color;
+                let pc = st.parent_color.unwrap_or(c ^ 1);
+                let diff = c ^ pc;
+                debug_assert_ne!(diff, 0, "proper coloring violated");
+                let i = diff.trailing_zeros() as u64;
+                st.color = 2 * i + ((c >> i) & 1);
+                let st = self.forests[&f].clone();
+                self.send_color_to_children(f, &st, &mut send);
+            }
+        } else if rho < cv + 10 {
+            // Reduction passes: rounds cv+1 .. cv+9, 3 per target.
+            let pass_round = (rho - cv - 1) % 3;
+            let target = 5 - (rho - cv - 1) / 3; // 5, 4, 3
+            let fs: Vec<u16> = self.forests.keys().copied().collect();
+            match pass_round {
+                0 => {
+                    // Shift down; broadcast new color to children & parent.
+                    for f in fs {
+                        let st = self.forests.get_mut(&f).expect("listed");
+                        st.color = match st.parent_color {
+                            Some(pc) if st.parent.is_some() => pc,
+                            _ => (st.color + 1) % 3,
+                        };
+                        let snapshot = self.forests[&f].clone();
+                        self.send_color_to_children(f, &snapshot, &mut send);
+                        if let Some(p) = snapshot.parent {
+                            send(p, PrMsg::Color { forest: f, color: snapshot.color });
+                        }
+                    }
+                }
+                1 => {
+                    // Recolor the target class.
+                    for f in fs {
+                        let st = self.forests.get_mut(&f).expect("listed");
+                        if st.color != target {
+                            continue;
+                        }
+                        let mut forbidden: Vec<u64> = st.child_colors.values().copied().collect();
+                        if st.parent.is_some() {
+                            forbidden.push(st.parent_color.expect("parent color known"));
+                        }
+                        let free = (0..3)
+                            .find(|c| !forbidden.contains(c))
+                            .expect("at most 2 distinct forbidden colors");
+                        st.color = free;
+                        let snapshot = self.forests[&f].clone();
+                        self.send_color_to_children(f, &snapshot, &mut send);
+                        if let Some(p) = snapshot.parent {
+                            send(p, PrMsg::Color { forest: f, color: snapshot.color });
+                        }
+                    }
+                }
+                _ => {} // absorb-only round
+            }
+        } else {
+            // Matching steps.
+            let s = rho - (cv + 10);
+            if s >= 9 * self.num_forests as u64 {
+                return; // schedule over
+            }
+            let step = s / 3;
+            let f = (step / 3) as u16;
+            let c = step % 3;
+            match s % 3 {
+                0 => {
+                    self.proposed_to = None;
+                    if self.matched.is_none() {
+                        if let Some(st) = self.forests.get(&f) {
+                            if st.color == c {
+                                if let Some(p) = st.parent {
+                                    if !self.dead.contains(&p) {
+                                        self.proposed_to = Some(p);
+                                        send(p, PrMsg::Propose { forest: f });
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                1 => {
+                    if self.matched.is_none() {
+                        // Inbox arrives in ascending sender order.
+                        if let Some(winner) = inbox
+                            .iter()
+                            .find(|&&(_, m)| matches!(m, PrMsg::Propose { forest } if forest == f))
+                            .map(|&(src, _)| src)
+                        {
+                            self.matched = Some(winner);
+                            send(winner, PrMsg::Accept { forest: f });
+                            for &nb in &self.neighbors {
+                                send(nb, PrMsg::Matched);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    if self.matched.is_none() && self.proposed_to.is_some() {
+                        let accepted = inbox.iter().any(|&(src, m)| {
+                            matches!(m, PrMsg::Accept { forest } if forest == f)
+                                && Some(src) == self.proposed_to
+                        });
+                        if accepted {
+                            self.matched = self.proposed_to;
+                            for &nb in &self.neighbors {
+                                send(nb, PrMsg::Matched);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Adapter running a bare [`PrNode`] as an [`asm_congest::Process`].
+#[derive(Clone, Debug)]
+pub struct PrProcess(pub PrNode);
+
+impl Process for PrProcess {
+    type Msg = PrMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<PrMsg>], outbox: &mut Outbox<PrMsg>) {
+        let msgs: Vec<(NodeId, PrMsg)> = inbox.iter().map(|e| (e.src, e.payload)).collect();
+        self.0.on_round(&msgs, |dst, msg| outbox.send(dst, msg));
+    }
+}
+
+/// Runs the Panconesi–Rizzi protocol on `edges` over a real network and
+/// returns the matched pairs.
+///
+/// # Panics
+///
+/// Panics if the edge list references ids `>= n`.
+pub fn run_pr_protocol(edges: &[(NodeId, NodeId)], n: usize) -> Vec<(NodeId, NodeId)> {
+    use asm_congest::{Network, Topology};
+    let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
+        .expect("valid edges");
+    let num_forests = (0..n)
+        .map(|i| {
+            let v = NodeId::new(i as u32);
+            topo.neighbors(v).iter().filter(|&&u| u > v).count()
+        })
+        .max()
+        .unwrap_or(0) as u16;
+    let procs: Vec<PrProcess> = (0..n)
+        .map(|i| {
+            let id = NodeId::new(i as u32);
+            PrProcess(PrNode::new(id, topo.neighbors(id).to_vec(), num_forests))
+        })
+        .collect();
+    let mut net = Network::new(topo, procs).expect("procs match topology");
+    let total = PrNode::schedule_rounds(num_forests);
+    for _ in 0..total + 2 {
+        net.step().expect("protocol stays within CONGEST limits");
+    }
+    let mut pairs: Vec<(NodeId, NodeId)> = net
+        .nodes()
+        .iter()
+        .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+        .filter(|&(a, b)| a < b)
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{is_maximal_in, panconesi_rizzi};
+    use asm_congest::SplitRng;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn random_graph(n: u32, p: f64, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitRng::new(seed ^ 0x5150);
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| e(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn protocol_replays_simulation_exactly() {
+        for seed in 0..10 {
+            let edges = random_graph(26, 0.15, seed);
+            let fast = panconesi_rizzi(&edges);
+            let proto = run_pr_protocol(&edges, 26);
+            assert_eq!(proto, fast.pairs, "seed {seed}");
+            assert!(is_maximal_in(&edges, &proto), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_edge() {
+        assert_eq!(run_pr_protocol(&[e(0, 1)], 2), vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn path_and_star() {
+        let path: Vec<_> = (0..11).map(|i| e(i, i + 1)).collect();
+        let proto = run_pr_protocol(&path, 12);
+        assert_eq!(proto, panconesi_rizzi(&path).pairs);
+        let star: Vec<_> = (1..9).map(|i| e(0, i)).collect();
+        let proto = run_pr_protocol(&star, 9);
+        assert_eq!(proto, panconesi_rizzi(&star).pairs);
+        assert!(is_maximal_in(&star, &proto));
+    }
+
+    #[test]
+    fn empty_graph_schedule_is_short() {
+        assert!(run_pr_protocol(&[], 3).is_empty());
+        assert_eq!(PrNode::schedule_rounds(0), (1 + 6 + 9) + 1);
+    }
+
+    #[test]
+    fn message_sizes_are_congest_legal() {
+        assert!(PrMsg::Matched.bits() <= 8);
+        assert!(PrMsg::Child { forest: 7 }.bits() <= 32);
+        // A color message carries the color value: O(log n) bits.
+        assert!(PrMsg::Color { forest: 1, color: 1023 }.bits() <= 16 + 3 + 10);
+    }
+}

@@ -1,0 +1,204 @@
+//! Per-node state machine for the bipartite proposal matcher.
+
+use super::MmMsg;
+use asm_congest::{Envelope, NodeId, Outbox, Process};
+
+/// One node's state in the bipartite proposal protocol
+/// ([`crate::bipartite_proposal`] is the equivalent graph-level
+/// simulation).
+///
+/// 2-round cycles: **even subround** — unmatched left nodes send
+/// [`MmMsg::Prop`] to the neighbor at their rejection pointer; **odd
+/// subround** — right nodes reply [`MmMsg::Yes`] to the minimum-id
+/// proposer (if still unmatched) and [`MmMsg::No`] to the rest; left
+/// nodes then advance on `No` and match on `Yes` at the next even
+/// subround.
+#[derive(Clone, Debug)]
+pub struct ProposalNode {
+    id: NodeId,
+    left: bool,
+    /// Sorted neighbors (the pointer walks this list on the left side).
+    neighbors: Vec<NodeId>,
+    pointer: usize,
+    matched: Option<NodeId>,
+    subround: u64,
+}
+
+impl ProposalNode {
+    /// Creates the node's state. `left` selects the proposing side.
+    pub fn new(id: NodeId, mut neighbors: Vec<NodeId>, left: bool) -> Self {
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        ProposalNode {
+            id,
+            left,
+            neighbors,
+            pointer: 0,
+            matched: None,
+            subround: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The matched partner, if any.
+    pub fn matched(&self) -> Option<NodeId> {
+        self.matched
+    }
+
+    /// Whether this node may still initiate communication.
+    pub fn is_active(&self) -> bool {
+        self.left && self.matched.is_none() && self.pointer < self.neighbors.len()
+    }
+
+    /// Executes one synchronous round.
+    pub fn on_round(
+        &mut self,
+        inbox: &[(NodeId, MmMsg)],
+        mut send: impl FnMut(NodeId, MmMsg),
+    ) {
+        let propose_phase = self.subround.is_multiple_of(2);
+        self.subround += 1;
+        if propose_phase {
+            if self.left {
+                // Process last cycle's replies first.
+                for &(src, msg) in inbox {
+                    match msg {
+                        MmMsg::Yes => self.matched = Some(src),
+                        MmMsg::No => self.pointer += 1,
+                        _ => {}
+                    }
+                }
+                if self.is_active() {
+                    send(self.neighbors[self.pointer], MmMsg::Prop);
+                }
+            }
+        } else if !self.left {
+            let proposers: Vec<NodeId> = inbox
+                .iter()
+                .filter(|&&(_, m)| m == MmMsg::Prop)
+                .map(|&(src, _)| src)
+                .collect();
+            if proposers.is_empty() {
+                return;
+            }
+            let winner = if self.matched.is_none() {
+                // Inboxes arrive in ascending sender order; keep the min.
+                let w = proposers[0];
+                self.matched = Some(w);
+                Some(w)
+            } else {
+                None
+            };
+            for v in proposers {
+                send(
+                    v,
+                    if Some(v) == winner { MmMsg::Yes } else { MmMsg::No },
+                );
+            }
+        }
+    }
+}
+
+/// Adapter running a bare [`ProposalNode`] as an [`asm_congest::Process`].
+#[derive(Clone, Debug)]
+pub struct ProposalProcess(pub ProposalNode);
+
+impl Process for ProposalProcess {
+    type Msg = MmMsg;
+
+    fn on_round(&mut self, inbox: &[Envelope<MmMsg>], outbox: &mut Outbox<MmMsg>) {
+        let msgs: Vec<(NodeId, MmMsg)> = inbox.iter().map(|e| (e.src, e.payload)).collect();
+        self.0.on_round(&msgs, |dst, msg| outbox.send(dst, msg));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bipartite_proposal, is_maximal_in};
+    use asm_congest::{Network, SplitRng, Topology};
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    fn is_left(v: NodeId) -> bool {
+        v.raw().is_multiple_of(2) // even ids on the left in these tests
+    }
+
+    fn run_protocol(edges: &[(NodeId, NodeId)], n: usize) -> Vec<(NodeId, NodeId)> {
+        let topo =
+            Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw()))).unwrap();
+        let procs: Vec<ProposalProcess> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                ProposalProcess(ProposalNode::new(
+                    id,
+                    topo.neighbors(id).to_vec(),
+                    is_left(id),
+                ))
+            })
+            .collect();
+        let mut net = Network::new(topo, procs).unwrap();
+        net.set_bit_budget(16);
+        net.run_until_quiescent(4 * n as u64 + 16).unwrap();
+        let mut pairs: Vec<(NodeId, NodeId)> = net
+            .nodes()
+            .iter()
+            .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    fn random_bipartite(n: u32, p: f64, seed: u64) -> Vec<(NodeId, NodeId)> {
+        // Even ids left, odd ids right.
+        let mut rng = SplitRng::new(seed ^ 0x9999);
+        (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, v)))
+            .filter(|&(u, v)| u % 2 == 0 && v % 2 == 1)
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| e(u, v))
+            .collect()
+    }
+
+    #[test]
+    fn protocol_matches_fast_simulation_exactly() {
+        for seed in 0..10 {
+            let edges = random_bipartite(24, 0.2, seed);
+            let fast = bipartite_proposal(&edges, is_left);
+            let proto = run_protocol(&edges, 24);
+            assert_eq!(proto, fast.pairs, "seed {seed}");
+            assert!(is_maximal_in(&edges, &proto), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_edge_protocol() {
+        assert_eq!(run_protocol(&[e(0, 1)], 2), vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn right_nodes_never_initiate() {
+        let node = ProposalNode::new(NodeId::new(1), vec![NodeId::new(0)], false);
+        assert!(!node.is_active());
+    }
+
+    #[test]
+    fn exhausted_left_node_goes_silent() {
+        let mut node = ProposalNode::new(NodeId::new(0), vec![NodeId::new(1)], true);
+        assert!(node.is_active());
+        // One rejection exhausts the single-neighbor list.
+        node.on_round(&[(NodeId::new(1), MmMsg::No)], |_, _| {});
+        // Pointer advanced past end; next propose phase sends nothing.
+        let mut sent = 0;
+        node.on_round(&[], |_, _| sent += 1);
+        assert!(!node.is_active());
+        assert_eq!(sent, 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Sequential reference matcher.
+
+use asm_congest::NodeId;
+use std::collections::HashSet;
+
+/// Computes a maximal matching sequentially by greedily scanning edges in
+/// ascending `(min id, max id)` key order.
+///
+/// Deterministic; used as the ground-truth reference in tests and as the
+/// matching computation behind [`crate::hkp_oracle`].
+///
+/// # Examples
+///
+/// ```
+/// use asm_congest::NodeId;
+/// use asm_maximal::{greedy_maximal, is_maximal_in};
+///
+/// let e = |a, b| (NodeId::new(a), NodeId::new(b));
+/// let edges = vec![e(0, 1), e(1, 2), e(2, 3)];
+/// let pairs = greedy_maximal(&edges);
+/// assert!(is_maximal_in(&edges, &pairs));
+/// assert_eq!(pairs, vec![e(0, 1), e(2, 3)]); // lowest keys first
+/// ```
+pub fn greedy_maximal(edges: &[(NodeId, NodeId)]) -> Vec<(NodeId, NodeId)> {
+    let mut keys: Vec<(NodeId, NodeId)> = edges
+        .iter()
+        .filter(|&&(u, v)| u != v)
+        .map(|&(u, v)| (u.min(v), u.max(v)))
+        .collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let mut matched: HashSet<NodeId> = HashSet::new();
+    let mut pairs = Vec::new();
+    for (u, v) in keys {
+        if !matched.contains(&u) && !matched.contains(&v) {
+            matched.insert(u);
+            matched.insert(v);
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::is_maximal_in;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn empty_edges() {
+        assert!(greedy_maximal(&[]).is_empty());
+    }
+
+    #[test]
+    fn star_matches_one_edge() {
+        let edges = vec![e(0, 1), e(0, 2), e(0, 3)];
+        let pairs = greedy_maximal(&edges);
+        assert_eq!(pairs, vec![e(0, 1)]);
+        assert!(is_maximal_in(&edges, &pairs));
+    }
+
+    #[test]
+    fn duplicate_and_reversed_edges_tolerated() {
+        let edges = vec![e(1, 0), e(0, 1), e(2, 2)];
+        assert_eq!(greedy_maximal(&edges), vec![e(0, 1)]);
+    }
+
+    #[test]
+    fn maximal_on_random_graphs() {
+        use asm_congest::SplitRng;
+        let mut rng = SplitRng::new(77);
+        for trial in 0..20 {
+            let n = 30;
+            let edges: Vec<(NodeId, NodeId)> = (0..n)
+                .flat_map(|u: u32| (u + 1..n).map(move |v| (u, v)))
+                .filter(|_| rng.next_bool(0.15))
+                .map(|(u, v)| (NodeId::new(u), NodeId::new(v)))
+                .collect();
+            let pairs = greedy_maximal(&edges);
+            assert!(is_maximal_in(&edges, &pairs), "trial {trial}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Sparse adjacency over an arbitrary set of node ids.
+//!
+//! The matching subroutines run on *subgraphs* of the communication graph
+//! (the accepted-proposal graph `G₀` of `ProposalRound`), whose vertex sets
+//! are sparse subsets of the global id space — so adjacency is keyed by
+//! [`NodeId`] rather than stored densely.
+
+use asm_congest::NodeId;
+use std::collections::HashMap;
+
+/// Mutable sparse adjacency used by the graph-level matcher simulations.
+///
+/// Node iteration order is always ascending id, and neighbor lists are kept
+/// sorted — this determinism is what lets the fast simulations replay the
+/// exact random choices of the message-passing implementations.
+#[derive(Clone, Debug, Default)]
+pub struct SubGraph {
+    adj: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl SubGraph {
+    /// Builds the subgraph from an edge list (duplicates ignored).
+    pub fn from_edges(edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            adj.entry(u).or_default().push(v);
+            adj.entry(v).or_default().push(u);
+        }
+        for list in adj.values_mut() {
+            list.sort_unstable();
+            list.dedup();
+        }
+        SubGraph { adj }
+    }
+
+    /// Number of vertices currently present (with at least one neighbor or
+    /// explicitly retained).
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether no vertices remain.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Vertices in ascending id order.
+    pub fn vertices_sorted(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.adj.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted neighbors of `v` (empty if absent).
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.adj.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Degree of `v` (0 if absent).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Removes a set of vertices and all incident edges, then drops any
+    /// vertices left isolated (the removal step of Israeli–Itai's
+    /// `MatchingRound`).
+    pub fn remove_vertices(&mut self, removed: &[NodeId]) {
+        for v in removed {
+            self.adj.remove(v);
+        }
+        let removed_set: std::collections::HashSet<NodeId> = removed.iter().copied().collect();
+        for list in self.adj.values_mut() {
+            list.retain(|u| !removed_set.contains(u));
+        }
+        self.adj.retain(|_, list| !list.is_empty());
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.adj.values().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: u32, b: u32) -> (NodeId, NodeId) {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn builds_sorted_adjacency() {
+        let g = SubGraph::from_edges(&[e(5, 1), e(1, 9), e(9, 5)]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(g.vertices_sorted(), vec![NodeId::new(1), NodeId::new(5), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let g = SubGraph::from_edges(&[e(0, 1), e(1, 0), e(2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId::new(2)), 0);
+    }
+
+    #[test]
+    fn remove_vertices_drops_isolated() {
+        let mut g = SubGraph::from_edges(&[e(0, 1), e(1, 2), e(2, 3)]);
+        g.remove_vertices(&[NodeId::new(1), NodeId::new(2)]);
+        assert!(g.is_empty(), "0 and 3 became isolated and must be dropped");
+    }
+
+    #[test]
+    fn remove_keeps_connected_rest() {
+        let mut g = SubGraph::from_edges(&[e(0, 1), e(2, 3)]);
+        g.remove_vertices(&[NodeId::new(0)]);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn absent_vertex_queries() {
+        let g = SubGraph::from_edges(&[e(0, 1)]);
+        assert_eq!(g.neighbors(NodeId::new(7)), &[] as &[NodeId]);
+        assert_eq!(g.degree(NodeId::new(7)), 0);
+    }
+}

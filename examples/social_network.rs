@@ -1,0 +1,58 @@
+//! Social-network matching: the paper's motivating scenario.
+//!
+//! Players may only be matched with acquaintances (Section 1.1: "social
+//! networks where players may be constrained to be matched with
+//! acquaintances and do not communicate with strangers"). We model an
+//! acquaintance graph with popularity skew (a few universally known
+//! players, many niche ones) and compare ASM against full Gale–Shapley on
+//! rounds and stability.
+//!
+//! Run with: `cargo run --release --example social_network`
+
+use almost_stable::{
+    asm, distributed_gs, generators, AsmConfig, InstanceMetrics, MatcherBackend, StabilityReport,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 500;
+    let degree = 12;
+    let skew = 1.2;
+    let inst = generators::zipf(n, degree, skew, 7);
+    println!("acquaintance market: {}", InstanceMetrics::measure(&inst));
+    println!();
+
+    // Full distributed Gale-Shapley: exactly stable, but serial cascades.
+    let gs = distributed_gs(&inst);
+    let gs_stability = StabilityReport::analyze(&inst, &gs.matching);
+    println!("distributed Gale-Shapley (exact baseline):");
+    println!("  rounds          : {}", gs.rounds);
+    println!("  matching size   : {}", gs.matching.len());
+    println!("  blocking pairs  : {}", gs_stability.blocking_pairs);
+    println!();
+
+    // ASM with a real message-passing deterministic matcher.
+    for eps in [1.0, 0.5, 0.25] {
+        let config = AsmConfig::new(eps).with_backend(MatcherBackend::DetGreedy);
+        let report = asm(&inst, &config)?;
+        let stability = report.stability(&inst);
+        println!("ASM eps = {eps}:");
+        println!("  effective rounds: {}", report.rounds);
+        println!("  matching size   : {}", report.matching.len());
+        println!(
+            "  blocking pairs  : {} / {} ({:.4}, budget {:.2})",
+            stability.blocking_pairs,
+            stability.num_edges,
+            stability.blocking_fraction(),
+            eps
+        );
+        assert!(stability.is_one_minus_eps_stable(eps));
+        println!();
+    }
+
+    println!(
+        "note: ASM trades a bounded fraction of blocking pairs for round\n\
+         counts that scale polylogarithmically instead of with the longest\n\
+         rejection cascade."
+    );
+    Ok(())
+}

@@ -1,0 +1,250 @@
+//! `asm` — command-line interface to the almost-stable matching library.
+//!
+//! ```text
+//! asm generate --family <name> --n <N> [options] --out inst.json
+//! asm solve    --input inst.json [--algorithm asm|rand-asm|almost-regular|gs]
+//!              [--eps E] [--delta D] [--seed S] [--backend hkp|greedy|ii]
+//!              [--out matching.json]
+//! asm analyze  --input inst.json --matching matching.json [--eps E]
+//! asm info     --input inst.json
+//! ```
+//!
+//! Instances and matchings are JSON (serde representations of
+//! [`almost_stable::Instance`] and [`almost_stable::Matching`]).
+
+use almost_stable::core::baselines::distributed_gs;
+use almost_stable::{
+    almost_regular_asm, asm, generators, rand_asm, AlmostRegularParams, AsmConfig, Instance,
+    InstanceMetrics, MatcherBackend, Matching, RandAsmParams, StabilityReport,
+};
+use asm_matching::{verify_matching, InstabilityMeasures, WelfareReport};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fs;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  asm generate --family <complete|erdos-renyi|regular|almost-regular|zipf|
+                         geometric|chain|master-list|noisy-master>
+               --n <N> [--d <D>] [--p <P>] [--alpha <A>] [--s <S>]
+               [--noise <X>] [--seed <SEED>] [--out FILE]
+  asm solve    --input FILE [--algorithm asm|rand-asm|almost-regular|gs]
+               [--eps E] [--delta D] [--seed SEED]
+               [--backend hkp|greedy|proposal|pr|ii] [--out FILE]
+  asm analyze  --input FILE --matching FILE [--eps E]
+  asm info     --input FILE";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Splits `--key value` argument pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn get_parsed<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, Box<dyn Error>>
+where
+    T::Err: Error + 'static,
+{
+    match flags.get(key) {
+        Some(v) => Ok(v.parse::<T>().map_err(|e| format!("--{key}: {e}"))?),
+        None => Ok(default),
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return Err("missing subcommand".into());
+    };
+    if matches!(command.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let flags = parse_flags(&args[1..])?;
+    match command.as_str() {
+        "generate" => generate(&flags),
+        "solve" => solve(&flags),
+        "analyze" => analyze(&flags),
+        "info" => info(&flags),
+        other => Err(format!("unknown subcommand {other:?}").into()),
+    }
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, Box<dyn Error>> {
+    let path = flags.get("input").ok_or("--input is required")?;
+    let text = fs::read_to_string(path)?;
+    if path.ends_with(".txt") {
+        Ok(asm_instance::parse_text(&text)?)
+    } else {
+        Ok(serde_json::from_str(&text)?)
+    }
+}
+
+fn write_or_print<T: serde::Serialize>(
+    flags: &HashMap<String, String>,
+    value: &T,
+) -> Result<(), Box<dyn Error>> {
+    let json = serde_json::to_string(value)?;
+    match flags.get("out") {
+        Some(path) => {
+            fs::write(path, json)?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn write_instance(
+    flags: &HashMap<String, String>,
+    inst: &Instance,
+) -> Result<(), Box<dyn Error>> {
+    match flags.get("out") {
+        Some(path) if path.ends_with(".txt") => {
+            fs::write(path, asm_instance::to_text(inst))?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        _ => write_or_print(flags, inst),
+    }
+}
+
+fn generate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let family = flags.get("family").ok_or("--family is required")?.as_str();
+    let n: usize = get_parsed(flags, "n", 0)?;
+    if n == 0 {
+        return Err("--n must be a positive integer".into());
+    }
+    let d: usize = get_parsed(flags, "d", (n / 8).max(2).min(n))?;
+    let seed: u64 = get_parsed(flags, "seed", 0)?;
+    let inst = match family {
+        "complete" => generators::complete(n, seed),
+        "erdos-renyi" => generators::erdos_renyi(n, n, get_parsed(flags, "p", 0.25)?, seed),
+        "regular" => generators::regular(n, d, seed),
+        "almost-regular" => {
+            generators::almost_regular(n, d, get_parsed(flags, "alpha", 2.0)?, seed)
+        }
+        "zipf" => generators::zipf(n, d, get_parsed(flags, "s", 1.2)?, seed),
+        "geometric" => generators::geometric(n, d, seed),
+        "chain" => generators::adversarial_chain(n),
+        "master-list" => generators::master_list(n, seed),
+        "noisy-master" => generators::noisy_master(n, get_parsed(flags, "noise", 1.0)?, seed),
+        other => return Err(format!("unknown family {other:?}").into()),
+    };
+    eprintln!("generated: {}", InstanceMetrics::measure(&inst));
+    write_instance(flags, &inst)
+}
+
+fn backend_from(flags: &HashMap<String, String>) -> Result<MatcherBackend, Box<dyn Error>> {
+    match flags.get("backend").map(String::as_str) {
+        None | Some("hkp") => Ok(MatcherBackend::HkpOracle),
+        Some("greedy") => Ok(MatcherBackend::DetGreedy),
+        Some("proposal") => Ok(MatcherBackend::BipartiteProposal),
+        Some("pr") => Ok(MatcherBackend::PanconesiRizzi),
+        Some("ii") => Ok(MatcherBackend::IsraeliItai { max_iterations: 64 }),
+        Some(other) => Err(format!("unknown backend {other:?}").into()),
+    }
+}
+
+fn solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let inst = load_instance(flags)?;
+    let eps: f64 = get_parsed(flags, "eps", 0.5)?;
+    let delta: f64 = get_parsed(flags, "delta", 0.1)?;
+    let seed: u64 = get_parsed(flags, "seed", 0)?;
+    let algorithm = flags
+        .get("algorithm")
+        .map(String::as_str)
+        .unwrap_or("asm");
+    let matching: Matching = match algorithm {
+        "asm" => {
+            let config = AsmConfig::new(eps)
+                .with_seed(seed)
+                .with_backend(backend_from(flags)?);
+            let report = asm(&inst, &config)?;
+            eprintln!("asm: {report}");
+            report.matching
+        }
+        "rand-asm" => {
+            let report = rand_asm(&inst, &RandAsmParams::new(eps, delta).with_seed(seed))?;
+            eprintln!("rand-asm: {report}");
+            report.matching
+        }
+        "almost-regular" => {
+            let report =
+                almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(seed))?;
+            eprintln!("almost-regular-asm: {report}");
+            report.matching
+        }
+        "gs" => {
+            let report = distributed_gs(&inst);
+            eprintln!(
+                "distributed-gs: |M|={}, rounds {}, proposals {}",
+                report.matching.len(),
+                report.rounds,
+                report.proposals
+            );
+            report.matching
+        }
+        other => return Err(format!("unknown algorithm {other:?}").into()),
+    };
+    let stability = StabilityReport::analyze(&inst, &matching);
+    eprintln!("stability: {stability}");
+    write_or_print(flags, &matching)
+}
+
+fn analyze(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let inst = load_instance(flags)?;
+    let mpath = flags.get("matching").ok_or("--matching is required")?;
+    let matching: Matching = serde_json::from_str(&fs::read_to_string(mpath)?)?;
+    verify_matching(&inst, &matching)?;
+    let stability = StabilityReport::analyze(&inst, &matching);
+    println!("stability   : {stability}");
+    println!(
+        "instability : {}",
+        InstabilityMeasures::measure(&inst, &matching)
+    );
+    println!("welfare     : {}", WelfareReport::measure(&inst, &matching));
+    if let Some(eps) = flags.get("eps") {
+        let eps: f64 = eps.parse()?;
+        println!(
+            "(1-{eps})-stable : {}",
+            stability.is_one_minus_eps_stable(eps)
+        );
+    }
+    Ok(())
+}
+
+fn info(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+    let inst = load_instance(flags)?;
+    let m = InstanceMetrics::measure(&inst);
+    println!("{m}");
+    println!("complete    : {}", inst.is_complete());
+    println!("alpha (men) : {:.3}", inst.alpha());
+    println!("isolated    : {}", m.isolated_players);
+    Ok(())
+}

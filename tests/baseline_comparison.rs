@@ -1,0 +1,119 @@
+//! Baselines behave as the literature says: distributed Gale–Shapley is
+//! exact but can serialize; truncation (Floréen et al. [3]) trades rounds
+//! for blocking pairs; ASM beats both on round scaling at bounded loss.
+
+use almost_stable::{
+    asm, count_blocking_pairs, distributed_gs, generators, man_optimal_stable, truncated_gs,
+    AsmConfig, MatcherBackend, StabilityReport,
+};
+
+#[test]
+fn distributed_gs_equals_centralized_gs() {
+    for seed in 0..8 {
+        let inst = generators::erdos_renyi(20, 20, 0.4, seed);
+        assert_eq!(
+            distributed_gs(&inst).matching,
+            man_optimal_stable(&inst).matching,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn gs_cycles_grow_linearly_on_the_chain() {
+    let c64 = distributed_gs(&generators::adversarial_chain(64)).cycles;
+    let c256 = distributed_gs(&generators::adversarial_chain(256)).cycles;
+    assert!(c64 >= 63);
+    assert!(c256 >= 255);
+    let ratio = c256 as f64 / c64 as f64;
+    assert!(
+        (3.0..6.0).contains(&ratio),
+        "expected ~4x cycle growth for 4x n, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn asm_rounds_saturate_on_the_chain_while_gs_grows_linearly() {
+    // On the displacement chain GS serializes: Θ(n) rounds. ASM's outer
+    // gate (|Q| >= 2^i) cuts the cascade off after the scheduled number
+    // of QuantileMatch calls, leaving at most one bad man — so with the
+    // real DetGreedy matcher its measured rounds SATURATE in n, at the
+    // cost of ≤ 1 blocking pair (well within the ε|E| budget).
+    let run = |n: usize| {
+        let inst = generators::adversarial_chain(n);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let r = asm(&inst, &config).unwrap();
+        let st = r.stability(&inst);
+        assert!(st.is_one_minus_eps_stable(1.0), "n={n}");
+        (r.rounds, distributed_gs(&inst).rounds)
+    };
+    let (a256, g256) = run(256);
+    let (a1024, g1024) = run(1024);
+    assert_eq!(a256, a1024, "ASM rounds saturate once the gate kicks in");
+    assert!(g1024 >= 4 * g256 - 8, "GS stays linear: {g256} -> {g1024}");
+    assert!(a1024 < g1024, "crossover: ASM beats GS at n = 1024");
+}
+
+#[test]
+fn truncated_gs_blocking_decreases_with_budget() {
+    let inst = generators::regular(64, 8, 5);
+    let budgets = [1u64, 2, 4, 8, 16, 1024];
+    let fractions: Vec<f64> = budgets
+        .iter()
+        .map(|&b| {
+            let t = truncated_gs(&inst, b);
+            StabilityReport::analyze(&inst, &t.matching).blocking_fraction()
+        })
+        .collect();
+    assert!(
+        fractions.last().unwrap() <= &1e-12,
+        "full run must be stable"
+    );
+    // The trend is monotone-ish: the last is minimal, the first maximal.
+    let first = fractions[0];
+    for f in &fractions {
+        assert!(*f <= first + 1e-12);
+    }
+}
+
+#[test]
+fn truncated_gs_on_bounded_lists_floreen_regime() {
+    // Floréen et al.: on bounded lists, O(1) cycles already give an
+    // almost stable matching. With d = 4 and 8 cycles the blocking
+    // fraction should be tiny.
+    let inst = generators::regular(128, 4, 8);
+    let t = truncated_gs(&inst, 8);
+    let st = StabilityReport::analyze(&inst, &t.matching);
+    assert!(
+        st.blocking_fraction() < 0.1,
+        "blocking fraction {:.3} too high for bounded lists",
+        st.blocking_fraction()
+    );
+}
+
+#[test]
+fn gs_is_stable_on_every_family() {
+    let instances = vec![
+        generators::complete(24, 2),
+        generators::zipf(24, 6, 1.5, 2),
+        generators::almost_regular(24, 3, 2.0, 2),
+        generators::master_list(24, 2),
+    ];
+    for inst in instances {
+        let gs = distributed_gs(&inst);
+        assert!(gs.converged);
+        assert_eq!(count_blocking_pairs(&inst, &gs.matching), 0);
+    }
+}
+
+#[test]
+fn asm_matching_size_is_comparable_to_gs() {
+    // ASM may leave a few bad men unmatched, but not wholesale.
+    let inst = generators::complete(64, 15);
+    let gs = distributed_gs(&inst).matching.len();
+    let ours = asm(&inst, &AsmConfig::new(0.5)).unwrap().matching.len();
+    assert!(
+        ours * 10 >= gs * 9,
+        "ASM matched {ours} vs GS {gs} — more than 10% short"
+    );
+}

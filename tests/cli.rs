@@ -1,0 +1,124 @@
+//! End-to-end tests of the `asm` CLI binary: generate → info → solve →
+//! analyze pipelines over both the JSON and text formats.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn asm_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_asm"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("asm-cli-test-{}-{name}", std::process::id()));
+    dir
+}
+
+#[test]
+fn generate_solve_analyze_json_pipeline() {
+    let inst = tmp("market.json");
+    let matching = tmp("matching.json");
+
+    let out = asm_bin()
+        .args(["generate", "--family", "regular", "--n", "24", "--d", "4"])
+        .args(["--seed", "7", "--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = asm_bin()
+        .args(["solve", "--input", inst.to_str().unwrap()])
+        .args(["--eps", "0.5", "--backend", "greedy"])
+        .args(["--out", matching.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("stability:"), "solve must print a report: {log}");
+
+    let out = asm_bin()
+        .args(["analyze", "--input", inst.to_str().unwrap()])
+        .args(["--matching", matching.to_str().unwrap(), "--eps", "0.5"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stability"), "{text}");
+    assert!(text.contains("welfare"), "{text}");
+    assert!(text.contains("(1-0.5)-stable : true"), "{text}");
+
+    std::fs::remove_file(&inst).ok();
+    std::fs::remove_file(&matching).ok();
+}
+
+#[test]
+fn text_format_round_trip_through_cli() {
+    let inst = tmp("chain.txt");
+    let out = asm_bin()
+        .args(["generate", "--family", "chain", "--n", "8"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let contents = std::fs::read_to_string(&inst).unwrap();
+    assert!(contents.starts_with("asm-instance v1"));
+
+    let out = asm_bin()
+        .args(["info", "--input", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("complete    : false"));
+    std::fs::remove_file(&inst).ok();
+}
+
+#[test]
+fn solve_supports_every_algorithm() {
+    let inst = tmp("algos.json");
+    asm_bin()
+        .args(["generate", "--family", "complete", "--n", "12"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    for algo in ["asm", "rand-asm", "almost-regular", "gs"] {
+        let out = asm_bin()
+            .args(["solve", "--input", inst.to_str().unwrap()])
+            .args(["--algorithm", algo, "--eps", "1.0"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{algo}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_file(&inst).ok();
+}
+
+#[test]
+fn help_prints_usage_successfully() {
+    for flag in ["help", "--help", "-h"] {
+        let out = asm_bin().arg(flag).output().expect("binary runs");
+        assert!(out.status.success(), "{flag}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+    }
+}
+
+#[test]
+fn bad_invocations_fail_with_usage() {
+    let out = asm_bin().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+
+    let out = asm_bin()
+        .args(["generate", "--family", "nonsense", "--n", "4"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+
+    let out = asm_bin()
+        .args(["solve", "--input", "/nonexistent/file.json"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}

@@ -1,0 +1,114 @@
+//! Cross-validation of the two execution engines: the fast vector engine
+//! and the message-passing CONGEST engine must produce identical
+//! matchings from identical seeds, and their round counts must agree up
+//! to the CONGEST engine's per-phase pipeline overhead.
+
+use almost_stable::core::congest::{asm_congest, rand_asm_congest};
+use almost_stable::{asm, generators, rand_asm, AsmConfig, MatcherBackend, RandAsmParams};
+
+#[test]
+fn det_greedy_identical_matchings_across_families() {
+    let instances = vec![
+        generators::complete(12, 1),
+        generators::erdos_renyi(14, 14, 0.4, 2),
+        generators::regular(12, 4, 3),
+        generators::zipf(12, 4, 1.2, 4),
+        generators::adversarial_chain(12),
+        generators::master_list(10, 5),
+    ];
+    for (i, inst) in instances.into_iter().enumerate() {
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let fast = asm(&inst, &config).unwrap();
+        let slow = asm_congest(&inst, &config).unwrap();
+        assert_eq!(fast.matching, slow.matching, "family #{i}");
+        assert_eq!(
+            fast.executed_proposal_rounds, slow.executed_proposal_rounds,
+            "family #{i}"
+        );
+        assert_eq!(fast.good_men, slow.good_men, "family #{i}");
+        assert_eq!(fast.bad_men, slow.bad_men, "family #{i}");
+    }
+}
+
+#[test]
+fn all_protocol_backends_agree_with_fast_engine() {
+    let inst = generators::zipf(14, 5, 1.1, 21);
+    for backend in [
+        MatcherBackend::DetGreedy,
+        MatcherBackend::BipartiteProposal,
+        MatcherBackend::PanconesiRizzi,
+        MatcherBackend::IsraeliItai { max_iterations: 48 },
+    ] {
+        let config = AsmConfig::new(0.5).with_seed(3).with_backend(backend);
+        let fast = asm(&inst, &config).unwrap();
+        let slow = asm_congest(&inst, &config).unwrap();
+        assert_eq!(fast.matching, slow.matching, "{backend:?}");
+    }
+}
+
+#[test]
+fn israeli_itai_identical_matchings_across_seeds() {
+    let inst = generators::erdos_renyi(12, 12, 0.5, 9);
+    for seed in 0..6 {
+        let config = AsmConfig::new(1.0)
+            .with_seed(seed)
+            .with_backend(MatcherBackend::IsraeliItai { max_iterations: 48 });
+        let fast = asm(&inst, &config).unwrap();
+        let slow = asm_congest(&inst, &config).unwrap();
+        assert_eq!(fast.matching, slow.matching, "seed {seed}");
+    }
+}
+
+#[test]
+fn rand_asm_engines_agree() {
+    let inst = generators::complete(10, 4);
+    for seed in [0, 7, 19] {
+        let params = RandAsmParams::new(1.0, 0.1).with_seed(seed);
+        let fast = rand_asm(&inst, &params).unwrap();
+        let slow = rand_asm_congest(&inst, &params).unwrap();
+        assert_eq!(fast.matching, slow.matching, "seed {seed}");
+    }
+}
+
+#[test]
+fn congest_rounds_close_to_fast_accounting() {
+    // The CONGEST engine pays 2 extra pipeline rounds per ProposalRound
+    // (message delivery latency) plus the matcher's trailing delivery
+    // round. Its measured rounds must bracket the fast engine's.
+    let inst = generators::erdos_renyi(16, 16, 0.4, 11);
+    let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+    let fast = asm(&inst, &config).unwrap();
+    let slow = asm_congest(&inst, &config).unwrap();
+    let per_pr_overhead = 4;
+    assert!(slow.stats.rounds >= fast.rounds);
+    assert!(
+        slow.stats.rounds <= fast.rounds + per_pr_overhead * fast.executed_proposal_rounds,
+        "congest rounds {} vs fast {} over {} PRs",
+        slow.stats.rounds,
+        fast.rounds,
+        fast.executed_proposal_rounds
+    );
+}
+
+#[test]
+fn congest_engine_respects_message_budget() {
+    // 5-bit payloads regardless of n: well under O(log n).
+    for n in [8usize, 32] {
+        let inst = generators::complete(n, 2);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm_congest(&inst, &config).unwrap();
+        assert!(report.stats.max_message_bits <= 8, "n={n}");
+        assert!(report.stats.messages > 0);
+    }
+}
+
+#[test]
+fn seeded_runs_are_reproducible_end_to_end() {
+    let inst = generators::zipf(14, 5, 1.0, 6);
+    let config = AsmConfig::new(0.5)
+        .with_seed(33)
+        .with_backend(MatcherBackend::IsraeliItai { max_iterations: 32 });
+    let a = asm_congest(&inst, &config).unwrap();
+    let b = asm_congest(&inst, &config).unwrap();
+    assert_eq!(a, b);
+}

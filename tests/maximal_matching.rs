@@ -1,0 +1,111 @@
+//! Cross-crate checks of the maximal-matching subroutines on the graphs
+//! ASM actually feeds them: accepted-proposal subgraphs of real
+//! instances, plus the Corollary 1/2 probability guarantees at scale.
+
+use almost_stable::{generators, Matching, NodeId, SplitRng};
+use asm_maximal::{
+    amm, det_greedy, greedy_maximal, hkp_oracle, is_maximal_in, israeli_itai,
+    iterations_for_maximal, maximality_violators, violator_fraction, MatcherBackend,
+};
+
+/// A plausible accepted-proposal graph: every man's first-quantile edges.
+fn g0_of(inst: &almost_stable::Instance, quantile_frac: f64) -> Vec<(NodeId, NodeId)> {
+    inst.ids()
+        .men()
+        .flat_map(|m| {
+            let prefs = inst.prefs(m).ranked();
+            let take = ((prefs.len() as f64 * quantile_frac).ceil() as usize).max(1);
+            prefs
+                .iter()
+                .take(take.min(prefs.len()))
+                .map(move |&w| (m, w))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn all_matchers_agree_on_maximality_over_g0_graphs() {
+    for seed in 0..5 {
+        let inst = generators::erdos_renyi(30, 30, 0.3, seed);
+        let edges = g0_of(&inst, 0.25);
+        if edges.is_empty() {
+            continue;
+        }
+        let seq = greedy_maximal(&edges);
+        let dist = det_greedy(&edges);
+        let oracle = hkp_oracle(60, &edges);
+        let ii = israeli_itai(&edges, 500, &SplitRng::new(seed), 0);
+        for (name, pairs) in [
+            ("sequential", &seq),
+            ("det_greedy", &dist.pairs),
+            ("hkp_oracle", &oracle.pairs),
+            ("israeli_itai", &ii.outcome.pairs),
+        ] {
+            assert!(is_maximal_in(&edges, pairs), "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn corollary_1_iteration_budget_suffices_with_high_probability() {
+    // With eta = 0.05 and the measured decay constant, at most ~2 of 40
+    // runs should fail to be maximal.
+    let mut failures = 0;
+    let trials = 40;
+    for seed in 0..trials {
+        let inst = generators::zipf(40, 6, 1.0, seed);
+        let edges = g0_of(&inst, 0.3);
+        let budget = iterations_for_maximal(80, 0.05, 0.6);
+        let run = israeli_itai(&edges, budget, &SplitRng::new(seed + 1000), 0);
+        if !run.outcome.maximal {
+            failures += 1;
+        }
+    }
+    assert!(failures <= 6, "{failures}/{trials} truncated runs not maximal");
+}
+
+#[test]
+fn corollary_2_amm_violators_stay_below_eta() {
+    let mut ok = 0;
+    let trials = 25;
+    let eta = 0.1;
+    for seed in 0..trials {
+        let inst = generators::regular(60, 5, seed);
+        let edges = g0_of(&inst, 0.4);
+        let run = amm(&edges, eta, 0.1, 0.6, &SplitRng::new(seed + 7), 0);
+        if violator_fraction(&edges, &run.outcome.pairs) <= eta {
+            ok += 1;
+        }
+    }
+    assert!(ok >= trials * 4 / 5, "only {ok}/{trials} met the eta budget");
+}
+
+#[test]
+fn backend_outcomes_convert_to_matchings() {
+    let inst = generators::complete(12, 3);
+    let edges = g0_of(&inst, 0.2);
+    for backend in [
+        MatcherBackend::HkpOracle,
+        MatcherBackend::DetGreedy,
+        MatcherBackend::IsraeliItai { max_iterations: 60 },
+    ] {
+        let out = backend.run(24, &edges, &SplitRng::new(5), 0);
+        let matching: Matching = out.pairs.iter().copied().collect();
+        assert_eq!(matching.len(), out.pairs.len(), "{backend:?}");
+    }
+}
+
+#[test]
+fn violators_and_maximality_are_consistent() {
+    let inst = generators::erdos_renyi(20, 20, 0.5, 4);
+    let edges = g0_of(&inst, 0.5);
+    let full = det_greedy(&edges);
+    assert!(maximality_violators(&edges, &full.pairs).is_empty());
+    let truncated = israeli_itai(&edges, 1, &SplitRng::new(2), 0);
+    let violators = maximality_violators(&edges, &truncated.outcome.pairs);
+    assert_eq!(
+        violators.is_empty(),
+        is_maximal_in(&edges, &truncated.outcome.pairs)
+    );
+}

@@ -1,0 +1,149 @@
+//! Property-based tests over randomly generated instances: core
+//! invariants of the data structures and algorithms hold for *every*
+//! input, not just the pinned seeds of the unit tests.
+
+use almost_stable::core::congest::asm_congest;
+use almost_stable::{
+    asm, count_blocking_pairs, generators, man_optimal_stable, rand_asm, AsmConfig, Instance,
+    MatcherBackend, RandAsmParams,
+};
+use asm_matching::{enumerate_stable_matchings, verify_matching};
+use proptest::prelude::*;
+
+/// Strategy: a random instance drawn from a random family.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (0u8..6, 2usize..24, any::<u64>()).prop_map(|(family, n, seed)| match family {
+        0 => generators::complete(n, seed),
+        1 => generators::erdos_renyi(n, n, 0.4, seed),
+        2 => generators::regular(n, (n / 2).max(1), seed),
+        3 => generators::zipf(n, (n / 3).max(1), 1.1, seed),
+        4 => generators::adversarial_chain(n),
+        _ => generators::master_list(n, seed),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_instances_are_symmetric(inst in arb_instance()) {
+        for (m, w) in inst.edges() {
+            prop_assert!(inst.rank(m, w).is_some());
+            prop_assert!(inst.rank(w, m).is_some());
+        }
+        // |E| is consistent from both sides.
+        let from_women: usize = inst.ids().women().map(|w| inst.degree(w)).sum();
+        prop_assert_eq!(from_women, inst.num_edges());
+    }
+
+    #[test]
+    fn instance_serde_round_trips(inst in arb_instance()) {
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, inst);
+    }
+
+    #[test]
+    fn gale_shapley_is_always_stable(inst in arb_instance()) {
+        let gs = man_optimal_stable(&inst);
+        verify_matching(&inst, &gs.matching).unwrap();
+        prop_assert_eq!(count_blocking_pairs(&inst, &gs.matching), 0);
+    }
+
+    #[test]
+    fn asm_always_meets_its_epsilon_budget(
+        inst in arb_instance(),
+        eps_ix in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let eps = [2.0, 1.0, 0.5][eps_ix];
+        let config = AsmConfig::new(eps).with_seed(seed);
+        let report = asm(&inst, &config).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let st = report.stability(&inst);
+        prop_assert!(
+            st.is_one_minus_eps_stable(eps),
+            "{} blocking of {} with eps {}", st.blocking_pairs, st.num_edges, eps
+        );
+    }
+
+    #[test]
+    fn asm_det_greedy_backend_always_meets_budget(inst in arb_instance()) {
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm(&inst, &config).unwrap();
+        let st = report.stability(&inst);
+        prop_assert!(st.is_one_minus_eps_stable(1.0));
+    }
+
+    #[test]
+    fn good_bad_partition_is_total(inst in arb_instance()) {
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        prop_assert_eq!(
+            report.good_men + report.bad_men.len(),
+            inst.ids().num_men()
+        );
+        // Bad men are genuinely bad: unmatched with surviving options.
+        for m in &report.bad_men {
+            prop_assert!(report.matching.partner(*m).is_none());
+        }
+    }
+
+    #[test]
+    fn rand_asm_output_is_always_a_valid_matching(
+        inst in arb_instance(),
+        seed in any::<u64>(),
+    ) {
+        // Stability is probabilistic, but validity must be unconditional.
+        let report = rand_asm(&inst, &RandAsmParams::new(1.0, 0.2).with_seed(seed)).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+    }
+
+    #[test]
+    fn fine_quantiles_land_in_the_stable_lattice(n in 2usize..6, seed in any::<u64>()) {
+        // With k >= deg, ProposalRound mimics Gale-Shapley (Section 3.2):
+        // the output must be one of the instance's stable matchings.
+        let inst = generators::complete(n, seed);
+        let config = AsmConfig {
+            quantiles: Some(64),
+            ..AsmConfig::new(1.0)
+        };
+        let report = asm(&inst, &config).unwrap();
+        let lattice = enumerate_stable_matchings(&inst, 50_000)
+            .expect("small instance enumerates");
+        prop_assert!(
+            lattice.contains(&report.matching),
+            "output is not a stable matching of the instance"
+        );
+    }
+
+    #[test]
+    fn engines_agree_for_every_instance_backend_and_seed(
+        inst in arb_instance(),
+        backend_ix in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Keep the CONGEST runs affordable: cap the instance size.
+        prop_assume!(inst.ids().num_players() <= 24);
+        let backend = [
+            MatcherBackend::DetGreedy,
+            MatcherBackend::BipartiteProposal,
+            MatcherBackend::IsraeliItai { max_iterations: 32 },
+        ][backend_ix];
+        let config = AsmConfig::new(1.0).with_seed(seed).with_backend(backend);
+        let fast = asm(&inst, &config).unwrap();
+        let slow = asm_congest(&inst, &config).unwrap();
+        prop_assert_eq!(fast.matching, slow.matching);
+        prop_assert_eq!(fast.bad_men, slow.bad_men);
+    }
+
+    #[test]
+    fn effective_rounds_never_exceed_nominal(
+        inst in arb_instance(),
+        seed in any::<u64>(),
+    ) {
+        let config = AsmConfig::new(1.0).with_seed(seed);
+        let report = asm(&inst, &config).unwrap();
+        prop_assert!(report.rounds <= report.nominal_rounds);
+        prop_assert!(report.executed_proposal_rounds <= report.scheduled_proposal_rounds);
+    }
+}

@@ -1,0 +1,169 @@
+//! End-to-end checks of the paper's approximation guarantees (Theorems 3,
+//! 5, 6) across instance families, epsilons, and algorithm variants.
+
+use almost_stable::{
+    almost_regular_asm, asm, generators, rand_asm, AlmostRegularParams, AsmConfig, Instance,
+    MatcherBackend, RandAsmParams, StabilityReport,
+};
+use asm_matching::verify_matching;
+
+fn families(n: usize, seed: u64) -> Vec<(&'static str, Instance)> {
+    vec![
+        ("complete", generators::complete(n, seed)),
+        ("erdos_renyi", generators::erdos_renyi(n, n, 0.3, seed)),
+        ("regular", generators::regular(n, 6.min(n), seed)),
+        ("zipf", generators::zipf(n, 6.min(n), 1.3, seed)),
+        ("almost_regular", generators::almost_regular(n, 3, 2.5, seed)),
+        ("chain", generators::adversarial_chain(n)),
+        ("master_list", generators::master_list(n, seed)),
+    ]
+}
+
+#[test]
+fn theorem_3_asm_meets_epsilon_budget_everywhere() {
+    for (name, inst) in families(32, 1) {
+        for eps in [2.0, 1.0, 0.5] {
+            let report = asm(&inst, &AsmConfig::new(eps)).unwrap();
+            verify_matching(&inst, &report.matching).unwrap();
+            let st = report.stability(&inst);
+            assert!(
+                st.is_one_minus_eps_stable(eps),
+                "{name} eps={eps}: {} blocking of {}",
+                st.blocking_pairs,
+                st.num_edges
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_3_with_real_distributed_matcher() {
+    for (name, inst) in families(24, 3) {
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm(&inst, &config).unwrap();
+        let st = report.stability(&inst);
+        assert!(st.is_one_minus_eps_stable(1.0), "{name}");
+    }
+}
+
+#[test]
+fn theorem_5_rand_asm_meets_budget_across_seeds() {
+    let mut failures = 0;
+    let trials = 30;
+    for seed in 0..trials {
+        let inst = generators::erdos_renyi(24, 24, 0.4, 77);
+        let report = rand_asm(&inst, &RandAsmParams::new(1.0, 0.1).with_seed(seed)).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        if !report.stability(&inst).is_one_minus_eps_stable(1.0) {
+            failures += 1;
+        }
+    }
+    // delta = 0.1: expect ~3 failures in 30; even 9 would be a 3x excess.
+    assert!(failures <= trials / 3, "{failures}/{trials} seeds failed");
+}
+
+#[test]
+fn theorem_6_almost_regular_families() {
+    for (name, inst) in [
+        ("complete", generators::complete(32, 5)),
+        ("regular", generators::regular(32, 5, 5)),
+        ("almost_regular", generators::almost_regular(32, 4, 2.0, 5)),
+    ] {
+        let report =
+            almost_regular_asm(&inst, &AlmostRegularParams::new(1.0, 0.1).with_seed(9)).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let st = report.stability(&inst);
+        assert!(st.is_one_minus_eps_stable(1.0), "{name}");
+    }
+}
+
+#[test]
+fn larger_instance_tight_epsilon() {
+    let inst = generators::complete(128, 13);
+    let eps = 0.25;
+    let report = asm(&inst, &AsmConfig::new(eps)).unwrap();
+    let st = report.stability(&inst);
+    assert!(st.is_one_minus_eps_stable(eps));
+    // Complete instances always admit a perfect matching, and ASM should
+    // find a near-perfect one (unmatched players cause blocking pairs).
+    assert!(
+        report.matching.len() >= 120,
+        "only matched {}",
+        report.matching.len()
+    );
+}
+
+#[test]
+fn empty_and_tiny_instances_are_handled() {
+    for inst in [
+        generators::complete(0, 1),
+        generators::complete(1, 1),
+        generators::erdos_renyi(3, 3, 0.0, 1),
+    ] {
+        let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+        let st = report.stability(&inst);
+        assert!(st.is_one_minus_eps_stable(1.0));
+    }
+}
+
+#[test]
+fn lemma_3_good_men_have_no_2_over_k_blocking_pairs() {
+    // Lemma 3: no good man is incident with any (2/k)-blocking pair.
+    let inst = generators::complete(48, 21);
+    let config = AsmConfig::new(1.0); // k = 8
+    let k = config.quantile_count() as f64;
+    let report = asm(&inst, &config).unwrap();
+    let eps_bp = almost_stable::eps_blocking_pairs(&inst, &report.matching, 2.0 / k);
+    for (m, w) in &eps_bp {
+        assert!(
+            report.bad_men.contains(m),
+            "(2/k)-blocking pair ({m}, {w}) touches a good man"
+        );
+    }
+}
+
+#[test]
+fn lemma_4_few_non_2k_blocking_pairs() {
+    // Lemma 4: at most 4|E|/k blocking pairs are not (2/k)-blocking.
+    let inst = generators::erdos_renyi(40, 40, 0.5, 31);
+    let config = AsmConfig::new(1.0);
+    let k = config.quantile_count() as f64;
+    let report = asm(&inst, &config).unwrap();
+    let blocking = almost_stable::blocking_pairs(&inst, &report.matching);
+    let eps_blocking = almost_stable::eps_blocking_pairs(&inst, &report.matching, 2.0 / k);
+    let not_2k = blocking.iter().filter(|p| !eps_blocking.contains(p)).count();
+    assert!(
+        (not_2k as f64) <= 4.0 * inst.num_edges() as f64 / k,
+        "{not_2k} non-(2/k)-blocking pairs exceeds 4|E|/k"
+    );
+}
+
+#[test]
+fn remark_2_removing_bad_men_gives_eps_blocking_stability() {
+    // After removing the bad men, the matching is (2/k)-blocking-stable
+    // with respect to the remaining players.
+    let inst = generators::zipf(40, 8, 1.0, 3);
+    let config = AsmConfig::new(1.0);
+    let k = config.quantile_count() as f64;
+    let report = asm(&inst, &config).unwrap();
+    let residual = asm_matching::eps_blocking_pairs_excluding(
+        &inst,
+        &report.matching,
+        2.0 / k,
+        &report.bad_men,
+    );
+    assert!(
+        residual.is_empty(),
+        "{} eps-blocking pairs survive bad-man removal",
+        residual.len()
+    );
+}
+
+#[test]
+fn stability_report_consistency() {
+    let inst = generators::regular(20, 4, 9);
+    let report = asm(&inst, &AsmConfig::new(1.0)).unwrap();
+    let st = report.stability(&inst);
+    let direct = StabilityReport::analyze(&inst, &report.matching);
+    assert_eq!(st, direct);
+}

@@ -1,0 +1,42 @@
+//! Large-scale stress tests — `#[ignore]`d by default; run with
+//! `cargo test --release --test stress -- --ignored`.
+
+use almost_stable::{asm, distributed_gs, generators, AsmConfig, MatcherBackend};
+
+#[test]
+#[ignore = "large: ~seconds in release, minutes in debug"]
+fn complete_two_thousand_players_meets_budget() {
+    let inst = generators::complete(1000, 99);
+    let eps = 0.5;
+    let config = AsmConfig::new(eps).with_backend(MatcherBackend::DetGreedy);
+    let report = asm(&inst, &config).unwrap();
+    let st = report.stability(&inst);
+    assert!(st.is_one_minus_eps_stable(eps));
+    assert!(report.matching.len() >= 990);
+}
+
+#[test]
+#[ignore = "large: chain at n = 8192"]
+fn chain_saturation_extends_to_8k() {
+    let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+    let r2048 = asm(&generators::adversarial_chain(2048), &config).unwrap();
+    let r8192 = asm(&generators::adversarial_chain(8192), &config).unwrap();
+    assert_eq!(
+        r2048.rounds, r8192.rounds,
+        "gate-induced saturation must persist at scale"
+    );
+    let gs = distributed_gs(&generators::adversarial_chain(8192));
+    assert!(gs.rounds > 10 * r8192.rounds);
+}
+
+#[test]
+#[ignore = "large: sparse 50k-player market"]
+fn sparse_fifty_thousand_players() {
+    let n = 25_000;
+    let inst = generators::regular(n, 6, 7);
+    let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+    let report = asm(&inst, &config).unwrap();
+    let st = report.stability(&inst);
+    assert!(st.is_one_minus_eps_stable(1.0));
+    assert!(report.matching.len() * 10 >= n * 9);
+}

@@ -66,18 +66,28 @@ fn t4_almost_regular(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for n in [64usize, 256, 1024] {
         let inst = generators::regular(n, 8, 4);
-        g.bench_with_input(BenchmarkId::new("almost_regular_asm", n), &inst, |b, inst| {
-            b.iter(|| {
-                almost_regular_asm(
-                    black_box(inst),
-                    &AlmostRegularParams::new(1.0, 0.1).with_seed(9),
-                )
-                .unwrap()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("almost_regular_asm", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    almost_regular_asm(
+                        black_box(inst),
+                        &AlmostRegularParams::new(1.0, 0.1).with_seed(9),
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, t1_stability, t2_rounds, t3_randasm, t4_almost_regular);
+criterion_group!(
+    benches,
+    t1_stability,
+    t2_rounds,
+    t3_randasm,
+    t4_almost_regular
+);
 criterion_main!(benches);

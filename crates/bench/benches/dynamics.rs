@@ -57,12 +57,20 @@ fn f6_truncated_gs(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     for d in [4usize, 16] {
         let inst = generators::regular(256, d, 9);
-        g.bench_with_input(BenchmarkId::new("truncated_gs_8cycles", d), &inst, |b, inst| {
-            b.iter(|| truncated_gs(black_box(inst), 8))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("truncated_gs_8cycles", d),
+            &inst,
+            |b, inst| b.iter(|| truncated_gs(black_box(inst), 8)),
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, f3_inner_loop, f4_good_men, f5_eps_blocking, f6_truncated_gs);
+criterion_group!(
+    benches,
+    f3_inner_loop,
+    f4_good_men,
+    f5_eps_blocking,
+    f6_truncated_gs
+);
 criterion_main!(benches);

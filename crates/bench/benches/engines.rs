@@ -38,7 +38,10 @@ fn t6_ablations(c: &mut Criterion) {
         ("det_greedy", MatcherBackend::DetGreedy),
         ("bipartite_proposal", MatcherBackend::BipartiteProposal),
         ("panconesi_rizzi", MatcherBackend::PanconesiRizzi),
-        ("israeli_itai_32", MatcherBackend::IsraeliItai { max_iterations: 32 }),
+        (
+            "israeli_itai_32",
+            MatcherBackend::IsraeliItai { max_iterations: 32 },
+        ),
     ] {
         let config = AsmConfig::new(0.5).with_backend(backend);
         g.bench_function(BenchmarkId::new("backend", name), |b| {

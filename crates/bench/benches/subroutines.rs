@@ -2,7 +2,9 @@
 //! F1–F2) across backend and graph size.
 
 use asm_congest::{NodeId, SplitRng};
-use asm_maximal::{amm, bipartite_proposal, det_greedy, greedy_maximal, hkp_oracle, israeli_itai, panconesi_rizzi};
+use asm_maximal::{
+    amm, bipartite_proposal, det_greedy, greedy_maximal, hkp_oracle, israeli_itai, panconesi_rizzi,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -1,4 +1,6 @@
 //! Prints the f5_eps_blocking experiment tables (see DESIGN.md §5).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f5_eps_blocking::run(asm_bench::quick_flag()));
+    asm_bench::print_tables(&asm_bench::exp::f5_eps_blocking::run(
+        asm_bench::quick_flag(),
+    ));
 }

@@ -1,4 +1,6 @@
 //! Prints the f6_truncated_gs experiment tables (see DESIGN.md §5).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f6_truncated_gs::run(asm_bench::quick_flag()));
+    asm_bench::print_tables(&asm_bench::exp::f6_truncated_gs::run(
+        asm_bench::quick_flag(),
+    ));
 }

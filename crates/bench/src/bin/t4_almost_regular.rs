@@ -1,4 +1,6 @@
 //! Prints the t4_almost_regular experiment tables (see DESIGN.md §5).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::t4_almost_regular::run(asm_bench::quick_flag()));
+    asm_bench::print_tables(&asm_bench::exp::t4_almost_regular::run(
+        asm_bench::quick_flag(),
+    ));
 }

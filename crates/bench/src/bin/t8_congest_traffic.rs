@@ -1,4 +1,6 @@
 //! Prints the t8_congest_traffic experiment tables (see DESIGN.md §5).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::t8_congest_traffic::run(asm_bench::quick_flag()));
+    asm_bench::print_tables(&asm_bench::exp::t8_congest_traffic::run(
+        asm_bench::quick_flag(),
+    ));
 }

@@ -44,7 +44,15 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut decay = Table::new(
         "F1b: measured decay constant c and iterations to maximality (Lemma 8 / Corollary 1)",
-        &["d", "trials", "mean c", "max c", "mean iters", "max iters", "log2(n)"],
+        &[
+            "d",
+            "trials",
+            "mean c",
+            "max c",
+            "mean iters",
+            "max iters",
+            "log2(n)",
+        ],
     );
     for d in [2usize, 4, 8] {
         let mut ratios = Vec::new();

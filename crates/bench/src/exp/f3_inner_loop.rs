@@ -19,7 +19,15 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut t = Table::new(
         "F3a: per-QuantileMatch convergence on a complete instance",
-        &["outer i", "inner j", "matched men", "exhausted", "bad men", "bad frac", "rounds so far"],
+        &[
+            "outer i",
+            "inner j",
+            "matched men",
+            "exhausted",
+            "bad men",
+            "bad frac",
+            "rounds so far",
+        ],
     );
     for s in &report.snapshots {
         t.row(vec![

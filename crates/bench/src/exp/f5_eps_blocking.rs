@@ -26,13 +26,8 @@ pub fn run(quick: bool) -> Vec<Table> {
     for (name, inst) in families(n, 0x55) {
         let report = asm(&inst, &config).expect("valid config");
         let before = count_eps_blocking_pairs(&inst, &report.matching, 2.0 / k);
-        let after = eps_blocking_pairs_excluding(
-            &inst,
-            &report.matching,
-            2.0 / k,
-            &report.bad_men,
-        )
-        .len();
+        let after =
+            eps_blocking_pairs_excluding(&inst, &report.matching, 2.0 / k, &report.bad_men).len();
         t.row(vec![
             name.to_string(),
             report.bad_men.len().to_string(),

@@ -8,8 +8,8 @@ use crate::{f4, Table};
 use asm_core::baselines::{distributed_gs, truncated_gs};
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
-use asm_maximal::MatcherBackend;
 use asm_matching::StabilityReport;
+use asm_maximal::MatcherBackend;
 
 /// Runs the sweep and returns the result tables.
 pub fn run(quick: bool) -> Vec<Table> {
@@ -19,7 +19,13 @@ pub fn run(quick: bool) -> Vec<Table> {
         let inst = generators::regular(n, d, 0x66);
         let mut t = Table::new(
             &format!("F6: truncated GS vs ASM on {d}-regular lists (n = {n})"),
-            &["algorithm", "rounds", "blocking", "fraction", "matching size"],
+            &[
+                "algorithm",
+                "rounds",
+                "blocking",
+                "fraction",
+                "matching size",
+            ],
         );
         for cycles in [1u64, 2, 4, 8, 16, 32] {
             let tr = truncated_gs(&inst, cycles);

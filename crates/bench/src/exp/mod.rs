@@ -30,7 +30,10 @@ pub fn families(n: usize, seed: u64) -> Vec<(&'static str, Instance)> {
         ("erdos-renyi", generators::erdos_renyi(n, n, 0.25, seed)),
         ("regular", generators::regular(n, d, seed)),
         ("zipf", generators::zipf(n, d, 1.2, seed)),
-        ("almost-reg", generators::almost_regular(n, d.max(2), 2.0, seed)),
+        (
+            "almost-reg",
+            generators::almost_regular(n, d.max(2), 2.0, seed),
+        ),
         ("chain", generators::adversarial_chain(n)),
         ("master-list", generators::master_list(n, seed)),
     ]

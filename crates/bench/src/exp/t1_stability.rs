@@ -10,8 +10,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "T1: ASM blocking pairs vs budget eps*|E| (Theorem 3)",
         &[
-            "family", "n", "eps", "|E|", "|M|", "blocking", "fraction", "budget",
-            "ok",
+            "family", "n", "eps", "|E|", "|M|", "blocking", "fraction", "budget", "ok",
         ],
     );
     let sizes: &[usize] = if quick { &[32] } else { &[64, 256] };

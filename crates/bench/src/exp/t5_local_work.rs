@@ -13,9 +13,20 @@ use std::time::Instant;
 pub fn run(quick: bool) -> Vec<Table> {
     let mut t = Table::new(
         "T5: simulation wall-clock per effective round (Remark 4)",
-        &["n", "|E|", "rounds", "total ms", "us/round", "us/round/edge x1e3"],
+        &[
+            "n",
+            "|E|",
+            "rounds",
+            "total ms",
+            "us/round",
+            "us/round/edge x1e3",
+        ],
     );
-    let sizes: &[usize] = if quick { &[32, 64] } else { &[64, 128, 256, 512] };
+    let sizes: &[usize] = if quick {
+        &[32, 64]
+    } else {
+        &[64, 128, 256, 512]
+    };
     for &n in sizes {
         let inst = generators::complete(n, 0xD3);
         let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);

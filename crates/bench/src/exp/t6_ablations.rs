@@ -17,7 +17,14 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut by_k = Table::new(
         "T6a: quantile count k (paper default k = ceil(8/eps))",
-        &["k", "nominal rounds", "effective", "blocking frac", "bad men", "meets eps"],
+        &[
+            "k",
+            "nominal rounds",
+            "effective",
+            "blocking frac",
+            "bad men",
+            "meets eps",
+        ],
     );
     let default_k = AsmConfig::new(eps).quantile_count();
     for k in [2, 4, 8, default_k, 2 * default_k] {
@@ -39,7 +46,13 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut by_inner = Table::new(
         "T6b: inner-loop multiplier (paper default 1.0 => 2k/delta iterations)",
-        &["multiplier", "inner iters", "effective rounds", "blocking frac", "bad men"],
+        &[
+            "multiplier",
+            "inner iters",
+            "effective rounds",
+            "blocking frac",
+            "bad men",
+        ],
     );
     for mult in [0.05, 0.25, 1.0] {
         let config = AsmConfig {
@@ -59,14 +72,23 @@ pub fn run(quick: bool) -> Vec<Table> {
 
     let mut by_backend = Table::new(
         "T6c: maximal-matching backend",
-        &["backend", "nominal rounds", "effective rounds", "mm rounds", "blocking frac"],
+        &[
+            "backend",
+            "nominal rounds",
+            "effective rounds",
+            "mm rounds",
+            "blocking frac",
+        ],
     );
     for (name, backend) in [
         ("hkp-oracle", MatcherBackend::HkpOracle),
         ("det-greedy", MatcherBackend::DetGreedy),
         ("bipartite-proposal", MatcherBackend::BipartiteProposal),
         ("panconesi-rizzi", MatcherBackend::PanconesiRizzi),
-        ("israeli-itai(32)", MatcherBackend::IsraeliItai { max_iterations: 32 }),
+        (
+            "israeli-itai(32)",
+            MatcherBackend::IsraeliItai { max_iterations: 32 },
+        ),
     ] {
         let config = AsmConfig::new(eps).with_backend(backend);
         let report = asm(&inst, &config).expect("valid config");

@@ -32,7 +32,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             ("asm/greedy", MatcherBackend::DetGreedy),
             ("asm/proposal", MatcherBackend::BipartiteProposal),
             ("asm/pan-rizzi", MatcherBackend::PanconesiRizzi),
-            ("asm/ii-32", MatcherBackend::IsraeliItai { max_iterations: 32 }),
+            (
+                "asm/ii-32",
+                MatcherBackend::IsraeliItai { max_iterations: 32 },
+            ),
         ] {
             let config = AsmConfig::new(1.0).with_backend(backend);
             let wire = asm_congest(&inst, &config).expect("supported backend");

@@ -1,0 +1,129 @@
+//! A deliberately broken engine, for proving the oracles have teeth.
+//!
+//! Each [`Mutation`] simulates a distinct *class* of engine bug by
+//! corrupting a correct [`RunSummary`] the way that bug would: dropping a
+//! pair an engine forgot to commit, crossing two women's partners,
+//! miscounting the good men, and so on. The mutation smoke test asserts
+//! that for every mutation, at least one oracle fires — if a checker ever
+//! regresses into vacuity, the corruption it was responsible for slips
+//! through and the smoke test fails.
+
+use asm_core::RunSummary;
+use asm_instance::Instance;
+use std::fmt;
+
+/// One class of simulated engine bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mutation {
+    /// Silently drop a matched pair (engine lost an ACCEPT): creates
+    /// blocking pairs and a good-man accounting hole.
+    DropPair,
+    /// Swap the partners of two matched men (engine crossed its wires):
+    /// on incomplete instances the crossed pairs are usually non-edges.
+    SwapPartners,
+    /// Report one more good man than exist (off-by-one in termination
+    /// accounting).
+    InflateGoodMen,
+    /// Report a matched man as bad (good/bad classification bug).
+    MarkMatchedManBad,
+    /// Drop the bad-men list without reclassifying them (engine "forgot"
+    /// its failures).
+    ClearBadMen,
+}
+
+impl Mutation {
+    /// Every mutation, for exhaustive smoke testing.
+    pub fn all() -> [Mutation; 5] {
+        [
+            Mutation::DropPair,
+            Mutation::SwapPartners,
+            Mutation::InflateGoodMen,
+            Mutation::MarkMatchedManBad,
+            Mutation::ClearBadMen,
+        ]
+    }
+
+    /// Applies the corruption to a copy of `summary`.
+    ///
+    /// Returns `None` when the summary has no material to corrupt (e.g.
+    /// `DropPair` on an empty matching, `ClearBadMen` with no bad men) —
+    /// the smoke test picks instances where every mutation applies.
+    pub fn apply(&self, inst: &Instance, summary: &RunSummary) -> Option<RunSummary> {
+        let ids = inst.ids();
+        let mut out = summary.clone();
+        match self {
+            Mutation::DropPair => {
+                let (u, _) = out.matching.pairs().next()?;
+                out.matching.remove(u);
+            }
+            Mutation::SwapPartners => {
+                let men: Vec<_> = out
+                    .matching
+                    .pairs()
+                    .map(|(u, v)| if ids.is_man(u) { u } else { v })
+                    .take(2)
+                    .collect();
+                let [a, b] = men[..] else { return None };
+                let wa = out.matching.remove(a)?;
+                let wb = out.matching.remove(b)?;
+                out.matching.add_pair(a, wb).ok()?;
+                out.matching.add_pair(b, wa).ok()?;
+            }
+            Mutation::InflateGoodMen => out.good_men += 1,
+            Mutation::MarkMatchedManBad => {
+                let m = out
+                    .matching
+                    .pairs()
+                    .map(|(u, v)| if ids.is_man(u) { u } else { v })
+                    .next()?;
+                out.bad_men.push(m);
+            }
+            Mutation::ClearBadMen => {
+                if out.bad_men.is_empty() {
+                    return None;
+                }
+                out.bad_men.clear();
+            }
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for Mutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_core::{asm, AsmConfig};
+    use asm_instance::generators;
+    use asm_maximal::MatcherBackend;
+
+    #[test]
+    fn mutations_change_the_summary() {
+        let inst = generators::complete(10, 3);
+        let config = AsmConfig::new(0.5).with_backend(MatcherBackend::DetGreedy);
+        let summary = RunSummary::from(&asm(&inst, &config).unwrap());
+        for mutation in [
+            Mutation::DropPair,
+            Mutation::SwapPartners,
+            Mutation::InflateGoodMen,
+            Mutation::MarkMatchedManBad,
+        ] {
+            let corrupted = mutation.apply(&inst, &summary).expect("applies here");
+            assert_ne!(corrupted, summary, "{mutation} must corrupt something");
+        }
+    }
+
+    #[test]
+    fn inapplicable_mutations_return_none() {
+        let inst = generators::erdos_renyi(3, 3, 0.0, 1); // no edges
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let summary = RunSummary::from(&asm(&inst, &config).unwrap());
+        assert_eq!(Mutation::DropPair.apply(&inst, &summary), None);
+        assert_eq!(Mutation::ClearBadMen.apply(&inst, &summary), None);
+    }
+}

@@ -1,0 +1,289 @@
+//! Domain-aware shrinking of failing differential cases.
+//!
+//! The vendored proptest stand-in does not shrink (see `vendor/README.md`),
+//! so minimization lives here, where it can exploit what it knows about
+//! the instance-generator parameter space: a divergence on
+//! `erdos_renyi(40×40, p=0.5)` usually survives halving `n` — and a
+//! 6-player reproduction is worth far more than a 40-player one.
+//!
+//! [`shrink_case`] is greedy: it repeatedly proposes simpler variants of
+//! the case (smaller `n`, smaller degree, zero seed, …), keeps the first
+//! variant that still fails, and stops at a fixpoint. Every accepted step
+//! strictly reduces a size measure, so termination is guaranteed.
+
+use crate::differential::DiffCase;
+use asm_instance::generators::GeneratorConfig;
+
+/// Strictly simpler variants of `g`, most aggressive first.
+fn generator_candidates(g: &GeneratorConfig) -> Vec<GeneratorConfig> {
+    use GeneratorConfig as G;
+    let mut out = Vec::new();
+    let mut shrink_n = |rebuild: &dyn Fn(usize) -> G, n: usize| {
+        for smaller in [n / 2, n.saturating_sub(1)] {
+            if smaller >= 1 && smaller < n {
+                out.push(rebuild(smaller));
+            }
+        }
+    };
+    match *g {
+        G::Complete { n, seed } => shrink_n(&|n| G::Complete { n, seed }, n),
+        G::ErdosRenyi {
+            num_women,
+            num_men,
+            p,
+            seed,
+        } => {
+            // Shrink each side independently so asymmetric instances
+            // stay asymmetric (and the total strictly decreases).
+            for w in [num_women / 2, num_women.saturating_sub(1)] {
+                if w >= 1 && w < num_women {
+                    out.push(G::ErdosRenyi {
+                        num_women: w,
+                        num_men,
+                        p,
+                        seed,
+                    });
+                }
+            }
+            for m in [num_men / 2, num_men.saturating_sub(1)] {
+                if m >= 1 && m < num_men {
+                    out.push(G::ErdosRenyi {
+                        num_women,
+                        num_men: m,
+                        p,
+                        seed,
+                    });
+                }
+            }
+            if p > 0.1 {
+                out.push(G::ErdosRenyi {
+                    num_women,
+                    num_men,
+                    p: p / 2.0,
+                    seed,
+                });
+            }
+        }
+        G::Regular { n, d, seed } => {
+            shrink_n(
+                &|n| G::Regular {
+                    n,
+                    d: d.min(n),
+                    seed,
+                },
+                n,
+            );
+            if d > 1 {
+                out.push(G::Regular { n, d: d - 1, seed });
+            }
+        }
+        G::AlmostRegular {
+            n,
+            d_min,
+            alpha,
+            seed,
+        } => {
+            shrink_n(
+                &|n| G::AlmostRegular {
+                    n,
+                    d_min: d_min.min(n.max(1)),
+                    alpha,
+                    seed,
+                },
+                n,
+            );
+            if d_min > 1 {
+                out.push(G::AlmostRegular {
+                    n,
+                    d_min: d_min - 1,
+                    alpha,
+                    seed,
+                });
+            }
+        }
+        G::Zipf { n, d, s, seed } => {
+            shrink_n(
+                &|n| G::Zipf {
+                    n,
+                    d: d.min(n),
+                    s,
+                    seed,
+                },
+                n,
+            );
+            if d > 1 {
+                out.push(G::Zipf {
+                    n,
+                    d: d - 1,
+                    s,
+                    seed,
+                });
+            }
+        }
+        G::Chain { n } => shrink_n(&|n| G::Chain { n }, n),
+        G::MasterList { n, seed } => shrink_n(&|n| G::MasterList { n, seed }, n),
+        G::NoisyMaster { n, noise, seed } => {
+            shrink_n(&|n| G::NoisyMaster { n, noise, seed }, n);
+            if noise > 0.0 {
+                out.push(G::NoisyMaster {
+                    n,
+                    noise: 0.0,
+                    seed,
+                });
+            }
+        }
+        G::Geometric { n, d, seed } => {
+            shrink_n(
+                &|n| G::Geometric {
+                    n,
+                    d: d.min(n),
+                    seed,
+                },
+                n,
+            );
+            if d > 1 {
+                out.push(G::Geometric { n, d: d - 1, seed });
+            }
+        }
+    }
+    out
+}
+
+/// A size measure that every accepted shrink strictly decreases.
+fn size(case: &DiffCase) -> u64 {
+    use GeneratorConfig as G;
+    let (n, aux) = match case.generator {
+        G::Complete { n, .. } | G::Chain { n } | G::MasterList { n, .. } => (n, 0),
+        G::ErdosRenyi {
+            num_women,
+            num_men,
+            p,
+            ..
+        } => (num_women + num_men, (p * 1000.0) as usize),
+        G::Regular { n, d, .. } | G::Zipf { n, d, .. } | G::Geometric { n, d, .. } => (n, d),
+        G::AlmostRegular { n, d_min, .. } => (n, d_min),
+        G::NoisyMaster { n, noise, .. } => (n, (noise * 1000.0) as usize),
+    };
+    (n as u64) * 1_000_000 + aux as u64 + if case.seed == 0 { 0 } else { 1 }
+}
+
+/// Candidate simplifications of a whole case: simpler generator, or the
+/// canonical seed.
+fn candidates(case: &DiffCase) -> Vec<DiffCase> {
+    let mut out: Vec<DiffCase> = generator_candidates(&case.generator)
+        .into_iter()
+        .map(|generator| DiffCase {
+            generator,
+            ..case.clone()
+        })
+        .collect();
+    if case.seed != 0 {
+        out.push(DiffCase {
+            seed: 0,
+            ..case.clone()
+        });
+    }
+    out
+}
+
+/// Greedily shrinks `case` to a minimal variant for which `fails` still
+/// returns `true`. `fails(&case)` must hold on entry (otherwise `case`
+/// is returned unchanged). At most `max_steps` failing re-executions are
+/// spent; pass `usize::MAX` for unbounded.
+pub fn shrink_case<F>(case: &DiffCase, fails: F, max_steps: usize) -> DiffCase
+where
+    F: Fn(&DiffCase) -> bool,
+{
+    let mut current = case.clone();
+    let mut budget = max_steps;
+    'outer: loop {
+        for candidate in candidates(&current) {
+            debug_assert!(size(&candidate) < size(&current), "shrinks must shrink");
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if fails(&candidate) {
+                current = candidate;
+                continue 'outer;
+            }
+        }
+        break; // fixpoint: no simpler variant still fails
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::differential::Algorithm;
+    use asm_maximal::MatcherBackend;
+
+    fn case_with(generator: GeneratorConfig, seed: u64) -> DiffCase {
+        DiffCase {
+            generator,
+            algorithm: Algorithm::Asm,
+            backend: MatcherBackend::DetGreedy,
+            epsilon: 1.0,
+            delta: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn shrinks_n_to_the_failure_threshold() {
+        // Synthetic predicate: "fails" whenever the instance has >= 6
+        // players per side. The shrinker should land exactly on 6.
+        let start = case_with(GeneratorConfig::Complete { n: 48, seed: 9 }, 3);
+        let min = shrink_case(
+            &start,
+            |c| matches!(c.generator, GeneratorConfig::Complete { n, .. } if n >= 6),
+            10_000,
+        );
+        assert_eq!(
+            min.generator,
+            GeneratorConfig::Complete { n: 6, seed: 9 },
+            "greedy shrink finds the boundary"
+        );
+        assert_eq!(min.seed, 0, "seed canonicalizes when irrelevant");
+    }
+
+    #[test]
+    fn returns_input_when_nothing_simpler_fails() {
+        let start = case_with(GeneratorConfig::Chain { n: 2 }, 0);
+        let min = shrink_case(&start, |c| c == &start, 100);
+        assert_eq!(min, start);
+    }
+
+    #[test]
+    fn respects_the_step_budget() {
+        let start = case_with(GeneratorConfig::Complete { n: 1024, seed: 0 }, 0);
+        let min = shrink_case(&start, |_| true, 1);
+        // One accepted step: n halves once and the loop stops.
+        assert_eq!(min.generator, GeneratorConfig::Complete { n: 512, seed: 0 });
+    }
+
+    #[test]
+    fn every_candidate_strictly_shrinks() {
+        for config in GeneratorConfig::all_families(16, 5) {
+            let case = case_with(config, 5);
+            for cand in candidates(&case) {
+                assert!(
+                    size(&cand) < size(&case),
+                    "{} -> {} does not shrink",
+                    case.generator,
+                    cand.generator
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn real_divergence_predicate_composes() {
+        // Shrinking with the real runner as the predicate: a case that
+        // *passes* shrinks to itself (the predicate never fires).
+        let start = case_with(GeneratorConfig::Complete { n: 8, seed: 2 }, 1);
+        let min = shrink_case(&start, |c| crate::run_case(c).is_err(), 50);
+        assert_eq!(min, start);
+    }
+}

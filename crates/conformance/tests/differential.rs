@@ -1,0 +1,156 @@
+//! The standing differential sweep: every generator family, both
+//! engines, every protocol backend — run through [`assert_conforms`],
+//! which applies the full oracle stack and writes a replay file on any
+//! divergence.
+
+use asm_conformance::differential::Algorithm;
+use asm_conformance::{assert_conforms, run_case, DiffCase};
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+
+/// Backends with a message-passing form, i.e. runnable on both engines.
+fn protocol_backends() -> [MatcherBackend; 4] {
+    [
+        MatcherBackend::DetGreedy,
+        MatcherBackend::BipartiteProposal,
+        MatcherBackend::PanconesiRizzi,
+        MatcherBackend::IsraeliItai { max_iterations: 48 },
+    ]
+}
+
+#[test]
+fn every_family_conforms_under_every_protocol_backend() {
+    let families = GeneratorConfig::all_families(14, 11);
+    assert!(families.len() >= 5, "sweep must span >= 5 families");
+    for generator in families {
+        for backend in protocol_backends() {
+            let case = DiffCase::asm(generator.clone(), backend, 1.0).with_seed(3);
+            let report = assert_conforms(case);
+            assert!(
+                report.congest_stats.is_some(),
+                "{generator} via {backend:?} must run on the CONGEST engine"
+            );
+        }
+    }
+}
+
+#[test]
+fn hkp_oracle_runs_fast_engine_only_across_families() {
+    for generator in GeneratorConfig::all_families(12, 7) {
+        let case = DiffCase::asm(generator.clone(), MatcherBackend::HkpOracle, 1.0);
+        let report = assert_conforms(case);
+        assert!(
+            report.congest_stats.is_none(),
+            "{generator}: the sequential HKP oracle must be rejected by CONGEST"
+        );
+    }
+}
+
+#[test]
+fn rand_asm_is_seed_deterministic_across_engines() {
+    let generators = [
+        GeneratorConfig::Complete { n: 10, seed: 4 },
+        GeneratorConfig::ErdosRenyi {
+            num_women: 12,
+            num_men: 12,
+            p: 0.5,
+            seed: 9,
+        },
+        GeneratorConfig::Regular {
+            n: 12,
+            d: 4,
+            seed: 2,
+        },
+    ];
+    for generator in generators {
+        for seed in [0, 1, 7, 19, 101] {
+            let case = DiffCase {
+                generator: generator.clone(),
+                algorithm: Algorithm::RandAsm,
+                backend: MatcherBackend::DetGreedy, // ignored by RandASM
+                epsilon: 1.0,
+                delta: 0.1,
+                seed,
+            };
+            assert_conforms(case);
+        }
+    }
+}
+
+#[test]
+fn almost_regular_asm_engines_agree() {
+    let generators = [
+        GeneratorConfig::AlmostRegular {
+            n: 14,
+            d_min: 3,
+            alpha: 2.0,
+            seed: 6,
+        },
+        GeneratorConfig::Regular {
+            n: 12,
+            d: 4,
+            seed: 8,
+        },
+        GeneratorConfig::Complete { n: 10, seed: 1 },
+    ];
+    for generator in generators {
+        for seed in 0..3 {
+            let case = DiffCase {
+                generator: generator.clone(),
+                algorithm: Algorithm::AlmostRegular,
+                backend: MatcherBackend::DetGreedy, // ignored
+                epsilon: 1.0,
+                delta: 0.1,
+                seed,
+            };
+            assert_conforms(case);
+        }
+    }
+}
+
+#[test]
+fn deterministic_budgets_hold_across_epsilon() {
+    // Theorem 3's eps*|E| budget and the derived delta bad-men budget are
+    // hard guarantees for deterministic ASM; assert them at several
+    // approximation levels over the whole family sweep.
+    for epsilon in [2.0, 1.0, 0.5] {
+        for generator in GeneratorConfig::all_families(12, 5) {
+            let case = DiffCase::asm(generator.clone(), MatcherBackend::DetGreedy, epsilon);
+            let report = assert_conforms(case);
+            assert!(
+                report.budgets_met,
+                "{generator} at eps={epsilon} missed a deterministic budget"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_runs_report_budget_status_without_asserting_it() {
+    // Randomized variants promise the budgets only with probability
+    // 1 - delta, so run_case records the status instead of failing; over
+    // a handful of seeds at generous eps, most runs should meet them.
+    let mut met = 0;
+    let mut total = 0;
+    for seed in 0..8 {
+        let case = DiffCase {
+            generator: GeneratorConfig::Complete { n: 12, seed: 3 },
+            algorithm: Algorithm::RandAsm,
+            backend: MatcherBackend::DetGreedy,
+            epsilon: 2.0,
+            delta: 0.2,
+            seed,
+        };
+        total += 1;
+        if run_case(&case)
+            .expect("engines must still agree")
+            .budgets_met
+        {
+            met += 1;
+        }
+    }
+    assert!(
+        met * 2 > total,
+        "only {met}/{total} randomized runs met the budgets at eps=2.0"
+    );
+}

@@ -1,0 +1,104 @@
+//! Differential fuzzing: random `DiffCase`s drawn by proptest, shrunk by
+//! the domain-aware [`shrink_case`] when one fails (the vendored proptest
+//! stand-in does not shrink), and serialized to a replay file so the
+//! failure reproduces offline.
+//!
+//! The bounded `random_cases_conform` property runs in the regular suite;
+//! `nightly_differential_fuzz` is `#[ignore]`d and meant for the
+//! scheduled CI job:
+//!
+//! ```text
+//! cargo test -p asm-conformance --test fuzz -- --ignored nightly_differential_fuzz
+//! ```
+
+use asm_conformance::differential::Algorithm;
+use asm_conformance::{emit_failure, run_case, shrink_case, DiffCase};
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+use proptest::prelude::*;
+
+/// Decodes raw fuzz integers into a fully pinned case.
+fn build_case(
+    family: usize,
+    n: usize,
+    gseed: u64,
+    algorithm: usize,
+    backend: usize,
+    eps_idx: usize,
+    seed: u64,
+) -> DiffCase {
+    let families = GeneratorConfig::all_families(n, gseed);
+    let generator = families[family % families.len()].clone();
+    let algorithm = match algorithm % 3 {
+        0 => Algorithm::Asm,
+        1 => Algorithm::RandAsm,
+        _ => Algorithm::AlmostRegular,
+    };
+    let backend = match backend % 4 {
+        0 => MatcherBackend::DetGreedy,
+        1 => MatcherBackend::BipartiteProposal,
+        2 => MatcherBackend::PanconesiRizzi,
+        _ => MatcherBackend::IsraeliItai { max_iterations: 48 },
+    };
+    DiffCase {
+        generator,
+        algorithm,
+        backend,
+        epsilon: [2.0, 1.0, 0.5][eps_idx % 3],
+        delta: 0.2,
+        seed,
+    }
+}
+
+/// Runs one fuzz case; on divergence, shrinks it, writes a replay file,
+/// and panics with the minimized failure.
+fn check(case: DiffCase) {
+    if run_case(&case).is_ok() {
+        return;
+    }
+    let minimal = shrink_case(&case, |c| run_case(c).is_err(), 200);
+    let failure = run_case(&minimal).expect_err("shrinking preserves failure");
+    let written = match emit_failure(&failure) {
+        Ok(path) => format!("replay case written to {}", path.display()),
+        Err(e) => format!("(could not write replay case: {e})"),
+    };
+    panic!(
+        "fuzz case diverged; minimized from [{case}] to:\n{failure}{written}\n\
+         reproduce with: ASM_REPLAY=<path> cargo test -p asm-conformance -- --ignored replay"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_cases_conform(
+        family in 0usize..16,
+        n in 4usize..16,
+        gseed in 0u64..1_000,
+        algorithm in 0usize..3,
+        backend in 0usize..4,
+        eps_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        check(build_case(family, n, gseed, algorithm, backend, eps_idx, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    #[ignore = "nightly-scale fuzzing; run via --ignored nightly_differential_fuzz"]
+    fn nightly_differential_fuzz(
+        family in 0usize..16,
+        n in 4usize..40,
+        gseed in 0u64..100_000,
+        algorithm in 0usize..3,
+        backend in 0usize..4,
+        eps_idx in 0usize..3,
+        seed in 0u64..100_000,
+    ) {
+        check(build_case(family, n, gseed, algorithm, backend, eps_idx, seed));
+    }
+}

@@ -1,0 +1,110 @@
+//! Mutation smoke tests: prove the oracles have teeth.
+//!
+//! Each [`Mutation`] corrupts a correct run the way a distinct class of
+//! engine bug would. For every mutation there is a pinned scenario
+//! (instance family + eps chosen so the corruption is observable) on
+//! which at least one oracle must fire — if a checker regresses into
+//! vacuity, its mutation slips through and this suite fails.
+
+use asm_conformance::{check_summary, Mutation};
+use asm_core::{asm, AsmConfig, RunSummary};
+use asm_instance::generators::GeneratorConfig;
+use asm_instance::Instance;
+use asm_maximal::MatcherBackend;
+
+fn clean_run(generator: &GeneratorConfig, epsilon: f64) -> (Instance, RunSummary) {
+    let inst = generator.build();
+    let config = AsmConfig::new(epsilon).with_backend(MatcherBackend::DetGreedy);
+    let summary = RunSummary::from(&asm(&inst, &config).unwrap());
+    (inst, summary)
+}
+
+/// Asserts the mutation applies on the scenario, the clean run passes,
+/// and the corrupted run is caught.
+fn assert_caught(mutation: Mutation, generator: GeneratorConfig, epsilon: f64) {
+    let (inst, summary) = clean_run(&generator, epsilon);
+    let delta = AsmConfig::new(epsilon).delta();
+    assert_eq!(
+        check_summary(&inst, &summary, Some(epsilon), Some(delta)),
+        [],
+        "{mutation}: the uncorrupted run must be clean on {generator}"
+    );
+    let corrupted = mutation
+        .apply(&inst, &summary)
+        .unwrap_or_else(|| panic!("{mutation} must apply on {generator}"));
+    let violations = check_summary(&inst, &corrupted, Some(epsilon), Some(delta));
+    assert!(
+        !violations.is_empty(),
+        "{mutation} on {generator} escaped every oracle"
+    );
+}
+
+#[test]
+fn dropped_pair_is_caught() {
+    // eps*|E| < 1 on a complete instance: with k = ceil(8/eps) far above
+    // every degree, ASM degenerates to exact Gale-Shapley, so the clean
+    // run has zero blocking pairs — and the dropped pair itself blocks.
+    assert_caught(
+        Mutation::DropPair,
+        GeneratorConfig::Complete { n: 12, seed: 3 },
+        0.005,
+    );
+}
+
+#[test]
+fn swapped_partners_are_caught() {
+    // On the chain instance most cross-pairings are non-edges, so the
+    // crossed matching fails validity outright.
+    assert_caught(
+        Mutation::SwapPartners,
+        GeneratorConfig::Chain { n: 12 },
+        1.0,
+    );
+}
+
+#[test]
+fn inflated_good_men_are_caught() {
+    assert_caught(
+        Mutation::InflateGoodMen,
+        GeneratorConfig::Regular {
+            n: 12,
+            d: 4,
+            seed: 1,
+        },
+        1.0,
+    );
+}
+
+#[test]
+fn matched_man_reported_bad_is_caught() {
+    assert_caught(
+        Mutation::MarkMatchedManBad,
+        GeneratorConfig::Complete { n: 10, seed: 5 },
+        1.0,
+    );
+}
+
+#[test]
+fn cleared_bad_men_are_caught() {
+    // Needs a run that actually produces bad men: the adversarial chain
+    // at coarse quantiles (k = 4) strands one man below the final gate.
+    let generator = GeneratorConfig::Chain { n: 64 };
+    let (inst, summary) = clean_run(&generator, 2.0);
+    assert!(
+        !summary.bad_men.is_empty(),
+        "{generator} at eps=2.0 must produce a bad man for this smoke test"
+    );
+    let corrupted = Mutation::ClearBadMen.apply(&inst, &summary).unwrap();
+    let violations = check_summary(&inst, &corrupted, None, None);
+    assert!(
+        !violations.is_empty(),
+        "ClearBadMen on {generator} escaped every oracle"
+    );
+}
+
+#[test]
+fn every_mutation_has_a_scenario_above() {
+    // Completeness guard: if a new Mutation variant is added, this count
+    // forces a matching smoke test.
+    assert_eq!(Mutation::all().len(), 5);
+}

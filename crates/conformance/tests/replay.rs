@@ -1,0 +1,232 @@
+//! The golden corpus and the replay entry point.
+//!
+//! * `golden_corpus_loads_and_conforms` replays every committed case in
+//!   `crates/conformance/cases/` on every regular test run.
+//! * `replay` (`#[ignore]`d) re-runs one emitted failure file:
+//!   `ASM_REPLAY=<path> cargo test -p asm-conformance -- --ignored replay`
+//!   (without `ASM_REPLAY` it replays the whole corpus).
+//! * `regen_golden_corpus` (`#[ignore]`d, gated on
+//!   `ASM_CONFORMANCE_REGEN=1`) rewrites the corpus from the pinned list
+//!   below, keeping the on-disk JSON in sync with the serde format.
+
+use asm_conformance::differential::Algorithm;
+use asm_conformance::{golden_corpus_dir, load_cases, DiffCase, ReplayCase};
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+use std::path::Path;
+
+/// The pinned corpus: one case per generator family plus the randomized
+/// algorithms and a tight-epsilon run. Descriptions say what each pins.
+fn corpus() -> Vec<ReplayCase> {
+    let asm = |desc: &str, generator, backend, epsilon: f64, seed: u64| {
+        ReplayCase::new(
+            desc,
+            DiffCase::asm(generator, backend, epsilon).with_seed(seed),
+        )
+    };
+    vec![
+        asm(
+            "complete instance, deterministic greedy MM: the baseline cross-engine case",
+            GeneratorConfig::Complete { n: 12, seed: 1 },
+            MatcherBackend::DetGreedy,
+            1.0,
+            0,
+        ),
+        asm(
+            "sparse Erdos-Renyi, proposal-based MM: exercises partial lists",
+            GeneratorConfig::ErdosRenyi {
+                num_women: 14,
+                num_men: 14,
+                p: 0.4,
+                seed: 2,
+            },
+            MatcherBackend::BipartiteProposal,
+            0.5,
+            3,
+        ),
+        asm(
+            "regular instance, Panconesi-Rizzi MM: randomized backend seed lockstep",
+            GeneratorConfig::Regular {
+                n: 12,
+                d: 4,
+                seed: 3,
+            },
+            MatcherBackend::PanconesiRizzi,
+            1.0,
+            7,
+        ),
+        asm(
+            "almost-regular instance, truncated Israeli-Itai MM",
+            GeneratorConfig::AlmostRegular {
+                n: 14,
+                d_min: 3,
+                alpha: 2.0,
+                seed: 4,
+            },
+            MatcherBackend::IsraeliItai { max_iterations: 48 },
+            1.0,
+            5,
+        ),
+        asm(
+            "zipf-skewed degrees: hub women stress quantile gating",
+            GeneratorConfig::Zipf {
+                n: 14,
+                d: 4,
+                s: 1.2,
+                seed: 5,
+            },
+            MatcherBackend::DetGreedy,
+            0.5,
+            1,
+        ),
+        asm(
+            "adversarial chain: worst-case preference structure",
+            GeneratorConfig::Chain { n: 12 },
+            MatcherBackend::BipartiteProposal,
+            2.0,
+            0,
+        ),
+        asm(
+            "master-list preferences with a tight epsilon (large k, near-exact GS)",
+            GeneratorConfig::MasterList { n: 10, seed: 6 },
+            MatcherBackend::DetGreedy,
+            0.25,
+            0,
+        ),
+        ReplayCase::new(
+            "RandASM on noisy master-list prefs: randomized algorithm seed lockstep",
+            DiffCase {
+                generator: GeneratorConfig::NoisyMaster {
+                    n: 12,
+                    noise: 2.0,
+                    seed: 7,
+                },
+                algorithm: Algorithm::RandAsm,
+                backend: MatcherBackend::DetGreedy, // ignored by RandASM
+                epsilon: 1.0,
+                delta: 0.1,
+                seed: 5,
+            },
+        ),
+        ReplayCase::new(
+            "AlmostRegularASM on geometric instance: Theorem 6 path across engines",
+            DiffCase {
+                generator: GeneratorConfig::Geometric {
+                    n: 14,
+                    d: 4,
+                    seed: 8,
+                },
+                algorithm: Algorithm::AlmostRegular,
+                backend: MatcherBackend::DetGreedy, // ignored
+                epsilon: 1.0,
+                delta: 0.1,
+                seed: 2,
+            },
+        ),
+        ReplayCase::new(
+            "RandASM on a complete instance at generous epsilon",
+            DiffCase {
+                generator: GeneratorConfig::Complete { n: 10, seed: 9 },
+                algorithm: Algorithm::RandAsm,
+                backend: MatcherBackend::DetGreedy, // ignored
+                epsilon: 2.0,
+                delta: 0.2,
+                seed: 9,
+            },
+        ),
+    ]
+}
+
+fn replay_file(path: &Path) {
+    // Test binaries run with cwd = crates/conformance; accept paths
+    // relative to the workspace root too, since that is where users
+    // invoke cargo from.
+    let workspace_relative = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(path);
+    let path: &Path = if path.exists() || path.is_absolute() {
+        path
+    } else {
+        &workspace_relative
+    };
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read replay file {}: {e}", path.display()));
+    let case = ReplayCase::from_json(&text)
+        .unwrap_or_else(|e| panic!("cannot parse replay file {}: {e}", path.display()));
+    println!("replaying {}: {}", path.display(), case.description);
+    case.run()
+        .unwrap_or_else(|failure| panic!("{}: still fails\n{failure}", path.display()));
+    println!("  ok - case now conforms");
+}
+
+#[test]
+fn golden_corpus_loads_and_conforms() {
+    let dir = golden_corpus_dir();
+    let cases = load_cases(&dir)
+        .unwrap_or_else(|e| panic!("golden corpus unreadable at {}: {e}", dir.display()));
+    assert!(
+        cases.len() >= 10,
+        "golden corpus has {} cases, expected >= 10 (regenerate with \
+         ASM_CONFORMANCE_REGEN=1 cargo test -p asm-conformance -- --ignored regen)",
+        cases.len()
+    );
+    for (path, case) in cases {
+        case.run()
+            .unwrap_or_else(|failure| panic!("{}: {failure}", path.display()));
+    }
+}
+
+#[test]
+fn golden_corpus_matches_the_pinned_list() {
+    // The committed JSON must stay in sync with `corpus()` — a serde
+    // format change or an edited pinned case shows up here.
+    let on_disk = load_cases(&golden_corpus_dir()).unwrap();
+    let pinned = corpus();
+    assert_eq!(on_disk.len(), pinned.len(), "corpus size drifted");
+    for ((path, loaded), expected) in on_disk.iter().zip(&pinned) {
+        assert_eq!(
+            &loaded.case,
+            &expected.case,
+            "{} drifted from the pinned list",
+            path.display()
+        );
+    }
+}
+
+#[test]
+#[ignore = "replay one failure: ASM_REPLAY=<path> cargo test -p asm-conformance -- --ignored replay"]
+fn replay() {
+    match std::env::var_os("ASM_REPLAY") {
+        Some(path) => replay_file(Path::new(&path)),
+        None => {
+            // No file given: replay the whole golden corpus verbosely.
+            for (path, _) in load_cases(&golden_corpus_dir()).unwrap() {
+                replay_file(&path);
+            }
+        }
+    }
+}
+
+#[test]
+#[ignore = "rewrites crates/conformance/cases/; run with ASM_CONFORMANCE_REGEN=1"]
+fn regen_golden_corpus() {
+    if std::env::var_os("ASM_CONFORMANCE_REGEN").is_none() {
+        eprintln!("ASM_CONFORMANCE_REGEN not set; refusing to rewrite the corpus");
+        return;
+    }
+    let dir = golden_corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, case) in corpus().into_iter().enumerate() {
+        case.run()
+            .unwrap_or_else(|failure| panic!("pinned case {i} does not conform: {failure}"));
+        let name = format!(
+            "{:02}-{}-{}.json",
+            i,
+            case.case.generator.family(),
+            format!("{:?}", case.case.algorithm).to_lowercase()
+        );
+        let path = dir.join(name);
+        std::fs::write(&path, case.to_json()).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

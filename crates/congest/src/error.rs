@@ -69,7 +69,10 @@ impl fmt::Display for CongestError {
                 write!(f, "invalid edge ({u}, {v}): self-loop or duplicate")
             }
             CongestError::PhaseBudgetExhausted { budget } => {
-                write!(f, "phase round budget of {budget} exhausted with messages in flight")
+                write!(
+                    f,
+                    "phase round budget of {budget} exhausted with messages in flight"
+                )
             }
         }
     }

@@ -117,7 +117,10 @@ impl Topology {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, list)| {
             let u = NodeId::new(u as u32);
-            list.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 }

@@ -1,6 +1,8 @@
 //! The synchronous round engine.
 
-use crate::{CongestError, Envelope, NetStats, NodeId, Outbox, Payload, Topology, Trace, TraceEvent};
+use crate::{
+    CongestError, Envelope, NetStats, NodeId, Outbox, Payload, Topology, Trace, TraceEvent,
+};
 
 /// A processor participating in a synchronous CONGEST execution.
 ///
@@ -406,7 +408,10 @@ mod tests {
     fn phase_budget_exhaustion_is_detected() {
         let mut net = echo_net(2, vec![(0, 1)], &[(0, 1_000_000)]);
         let err = net.run_phase(3).unwrap_err();
-        assert!(matches!(err, CongestError::PhaseBudgetExhausted { budget: 3 }));
+        assert!(matches!(
+            err,
+            CongestError::PhaseBudgetExhausted { budget: 3 }
+        ));
     }
 
     #[test]

@@ -49,7 +49,9 @@ impl NodeId {
     /// assert_eq!(asm_congest::NodeId::bits_for(1), 1);
     /// ```
     pub fn bits_for(n: usize) -> usize {
-        (usize::BITS as usize - n.next_power_of_two().leading_zeros() as usize).saturating_sub(1).max(1)
+        (usize::BITS as usize - n.next_power_of_two().leading_zeros() as usize)
+            .saturating_sub(1)
+            .max(1)
     }
 }
 

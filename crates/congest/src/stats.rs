@@ -41,7 +41,9 @@ impl NetStats {
         self.messages += other.messages;
         self.bits += other.bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
-        self.max_messages_per_round = self.max_messages_per_round.max(other.max_messages_per_round);
+        self.max_messages_per_round = self
+            .max_messages_per_round
+            .max(other.max_messages_per_round);
     }
 }
 

@@ -15,9 +15,7 @@
 //! the matching is the man-optimal stable one, byte-identical to the
 //! centralized computation.
 
-use asm_congest::{
-    CongestError, Envelope, NetStats, Network, NodeId, Outbox, Payload, Process,
-};
+use asm_congest::{CongestError, Envelope, NetStats, Network, NodeId, Outbox, Payload, Process};
 use asm_instance::{Gender, Instance};
 use asm_matching::Matching;
 
@@ -163,7 +161,9 @@ pub fn congest_gs(inst: &Instance) -> Result<CongestGsReport, CongestError> {
     for w in ids.women() {
         if let Some(m) = net.node(w).engaged_to() {
             debug_assert_eq!(net.node(m).engaged_to(), Some(w));
-            matching.add_pair(m, w).expect("tentative partners are disjoint");
+            matching
+                .add_pair(m, w)
+                .expect("tentative partners are disjoint");
         }
     }
     Ok(CongestGsReport {

@@ -117,8 +117,7 @@ impl AsmConfig {
     /// Iterations of the inner loop of Algorithm 3:
     /// `⌈inner_multiplier · 2δ⁻¹k⌉`.
     pub fn inner_iterations(&self) -> u64 {
-        (self.inner_multiplier * 2.0 * self.quantile_count() as f64 / self.delta()).ceil()
-            as u64
+        (self.inner_multiplier * 2.0 * self.quantile_count() as f64 / self.delta()).ceil() as u64
     }
 
     /// Iterations of the outer loop: `i = 0 ..= ⌊log₂ n⌋` (the paper's

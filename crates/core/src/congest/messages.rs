@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn pr_messages_carry_log_n_payloads() {
         // Colors are O(log n) bits; still comfortably CONGEST-legal.
-        let m = AsmMsg::Pr(PrMsg::Color { forest: 3, color: 100 });
+        let m = AsmMsg::Pr(PrMsg::Color {
+            forest: 3,
+            color: 100,
+        });
         assert!(m.bits() <= 3 + 3 + 16 + 7);
     }
 }

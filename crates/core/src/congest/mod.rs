@@ -115,6 +115,25 @@ impl From<CongestError> for CongestRunError {
     }
 }
 
+/// The per-message payload allowance (in bits) the CONGEST engine
+/// enforces for a network of `num_players` nodes: a constant tag budget
+/// plus one node-id width — `O(log n)`, as the model requires.
+///
+/// Exposed so external checkers (the conformance oracle layer) can assert
+/// that a run's measured `max_message_bits` stayed within the same budget
+/// the engine enforced.
+///
+/// # Examples
+///
+/// ```
+/// use asm_core::congest::payload_bit_budget;
+/// assert_eq!(payload_bit_budget(1024), 24 + 10);
+/// assert!(payload_bit_budget(0) >= 25); // tiny networks get the floor
+/// ```
+pub fn payload_bit_budget(num_players: usize) -> usize {
+    24 + asm_congest::NodeId::bits_for(num_players.max(2))
+}
+
 /// Runs the deterministic `ASM` (or, with an Israeli–Itai backend, a
 /// `RandASM`-shaped run) on the message-passing engine.
 ///
@@ -213,14 +232,14 @@ fn run(
     let mut net = Network::new(inst.topology(), players)?;
     // The CONGEST allowance: most payloads are constant-size tags, but the
     // Panconesi–Rizzi colors legitimately carry O(log n) bits.
-    net.set_bit_budget(24 + asm_congest::NodeId::bits_for(ids.num_players().max(2)));
+    net.set_bit_budget(payload_bit_budget(ids.num_players()));
 
     let mut pr_counter: u64 = 0;
     let mut executed: u64 = 0;
     let mut scheduled: u64 = 0;
 
     'outer: for phase in schedule {
-        for _ in 0..phase.iterations {
+        for it in 0..phase.iterations {
             scheduled += k as u64;
             // Global termination detection: if no man passes this gate,
             // none will pass any later (larger) gate.
@@ -233,8 +252,12 @@ fn run(
                     .iter()
                     .all(|p| p.is_good() || p.remaining() < phase.gate);
                 if blocked && config.early_exit {
-                    // Account the rest of the schedule as scheduled-only.
-                    let mut rest: u64 = 0;
+                    // Account the rest of the schedule as scheduled-only:
+                    // the remaining iterations of this phase, then every
+                    // later phase — matching the fast engine's nominal
+                    // bookkeeping exactly (the conformance harness diffs
+                    // the two).
+                    let mut rest: u64 = (phase.iterations - 1 - it) * k as u64;
                     let mut seen_current = false;
                     for ph in schedule {
                         if std::ptr::eq(ph, phase) {
@@ -256,7 +279,14 @@ fn run(
                 }
                 pr_counter += 1;
                 executed += 1;
-                run_proposal_round(&mut net, inst, backend, pr_counter << 32, mm_cap, amm_removal)?;
+                run_proposal_round(
+                    &mut net,
+                    inst,
+                    backend,
+                    pr_counter << 32,
+                    mm_cap,
+                    amm_removal,
+                )?;
             }
         }
     }
@@ -267,7 +297,9 @@ fn run(
     for w in ids.women() {
         if let Some(m) = net.node(w).partner() {
             debug_assert_eq!(net.node(m).partner(), Some(w), "partner tables agree");
-            matching.add_pair(m, w).expect("players hold disjoint pairs");
+            matching
+                .add_pair(m, w)
+                .expect("players hold disjoint pairs");
         }
     }
     let mut bad = Vec::new();

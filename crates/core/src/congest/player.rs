@@ -439,7 +439,11 @@ mod tests {
         );
         m.partner = Some(NodeId::new(0));
         m.phase = Phase::RejectRecv;
-        let inbox = vec![Envelope::new(NodeId::new(0), NodeId::new(5), AsmMsg::Reject)];
+        let inbox = vec![Envelope::new(
+            NodeId::new(0),
+            NodeId::new(5),
+            AsmMsg::Reject,
+        )];
         let mut ob = Outbox::new(NodeId::new(5));
         m.on_round(&inbox, &mut ob);
         assert!(ob.is_empty());

@@ -111,7 +111,9 @@ pub(crate) fn almost_regular_plan(
     if !(params.failure_delta > 0.0 && params.failure_delta < 1.0) {
         return Err(ConfigError::Delta(params.failure_delta));
     }
-    let alpha = params.alpha_override.unwrap_or_else(|| effective_alpha(inst));
+    let alpha = params
+        .alpha_override
+        .unwrap_or_else(|| effective_alpha(inst));
     if !(alpha >= 1.0 && alpha.is_finite()) {
         return Err(ConfigError::InnerMultiplier(alpha));
     }
@@ -139,8 +141,7 @@ mod tests {
     fn stability_on_complete_preferences() {
         let inst = generators::complete(24, 1);
         let report =
-            almost_regular_asm(&inst, &AlmostRegularParams::new(1.0, 0.1).with_seed(4))
-                .unwrap();
+            almost_regular_asm(&inst, &AlmostRegularParams::new(1.0, 0.1).with_seed(4)).unwrap();
         verify_matching(&inst, &report.matching).unwrap();
         assert!(report.stability(&inst).is_one_minus_eps_stable(1.0));
     }
@@ -149,8 +150,7 @@ mod tests {
     fn stability_on_regular_bounded_preferences() {
         let inst = generators::regular(24, 5, 2);
         let report =
-            almost_regular_asm(&inst, &AlmostRegularParams::new(1.0, 0.1).with_seed(1))
-                .unwrap();
+            almost_regular_asm(&inst, &AlmostRegularParams::new(1.0, 0.1).with_seed(1)).unwrap();
         assert!(report.stability(&inst).is_one_minus_eps_stable(1.0));
     }
 

@@ -42,10 +42,7 @@ pub(crate) fn run_schedule(
     let mut fully_silent = false;
     for phase in schedule {
         for j in 0..phase.iterations {
-            if !fully_silent
-                && can_fast_forward
-                && !any_participant(inst, &st, phase.gate)
-            {
+            if !fully_silent && can_fast_forward && !any_participant(inst, &st, phase.gate) {
                 fully_silent = true;
             }
             if fully_silent {
@@ -56,7 +53,10 @@ pub(crate) fn run_schedule(
             let executed = quantile_match(inst, &mut st, &mut ctx, phase.gate);
             if executed > 0 {
                 let ids = inst.ids();
-                let matched = ids.men().filter(|&m| st.partner[m.index()].is_some()).count();
+                let matched = ids
+                    .men()
+                    .filter(|&m| st.partner[m.index()].is_some())
+                    .count();
                 let exhausted = ids
                     .men()
                     .filter(|&m| {
@@ -129,7 +129,11 @@ mod tests {
         let report = run_schedule(
             &inst,
             &config,
-            &[SchedulePhase { gate: 1, iterations: 4, label: 0 }],
+            &[SchedulePhase {
+                gate: 1,
+                iterations: 4,
+                label: 0,
+            }],
             false,
         );
         assert!(!report.matching.is_empty());
@@ -148,7 +152,11 @@ mod tests {
         eager.early_exit = true;
         let mut lazy = eager.clone();
         lazy.early_exit = false;
-        let schedule = [SchedulePhase { gate: 1, iterations: 20, label: 0 }];
+        let schedule = [SchedulePhase {
+            gate: 1,
+            iterations: 20,
+            label: 0,
+        }];
         let a = run_schedule(&inst, &eager, &schedule, false);
         let b = run_schedule(&inst, &lazy, &schedule, false);
         assert_eq!(a.matching, b.matching);
@@ -162,7 +170,11 @@ mod tests {
         let report = run_schedule(
             &inst,
             &AsmConfig::new(1.0),
-            &[SchedulePhase { gate: 1, iterations: 2, label: 0 }],
+            &[SchedulePhase {
+                gate: 1,
+                iterations: 2,
+                label: 0,
+            }],
             false,
         );
         assert!(report.matching.is_empty());

@@ -29,11 +29,7 @@ pub(crate) enum PrOutcome {
 ///    their active sets;
 /// 5. rejections are applied symmetrically, unmatching any man whose
 ///    partner upgraded away from him.
-pub(crate) fn proposal_round(
-    inst: &Instance,
-    st: &mut AsmState,
-    ctx: &mut RunCtx,
-) -> PrOutcome {
+pub(crate) fn proposal_round(inst: &Instance, st: &mut AsmState, ctx: &mut RunCtx) -> PrOutcome {
     let ids = inst.ids();
 
     // Step 1: proposals, grouped by woman (in man-id order, matching the
@@ -71,7 +67,8 @@ pub(crate) fn proposal_round(
                     wq.contains(m),
                     "a proposer must still be on the woman's list"
                 );
-                wq.quantile_of(m).expect("proposer is an acceptable partner")
+                wq.quantile_of(m)
+                    .expect("proposer is an acceptable partner")
             })
             .min()
             .expect("nonempty proposer list");
@@ -246,8 +243,8 @@ mod tests {
                 proposal_round(&inst, &mut st, &mut ctx);
                 for i in 0..ids.num_women() {
                     let w = ids.woman(i);
-                    let now = st.partner[w.index()]
-                        .map(|m| st.quant[w.index()].quantile_of(m).unwrap());
+                    let now =
+                        st.partner[w.index()].map(|m| st.quant[w.index()].quantile_of(m).unwrap());
                     match (last[i], now) {
                         (Some(_), None) => panic!("woman {w} lost her partner"),
                         (Some(old), Some(new)) => {

@@ -156,7 +156,10 @@ mod tests {
         let inst = generators::master_list(8, 1);
         let (st, _, executed) = run_qm(&inst, 4, 1);
         assert!(executed <= 4);
-        assert!(st.matching().len() >= 2, "contended rounds still match many");
+        assert!(
+            st.matching().len() >= 2,
+            "contended rounds still match many"
+        );
     }
 
     #[test]

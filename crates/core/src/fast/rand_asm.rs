@@ -77,10 +77,7 @@ pub fn rand_asm(inst: &Instance, params: &RandAsmParams) -> Result<AsmReport, Co
 /// ε, plus an Israeli–Itai backend truncated so that by the union bound
 /// every maximal-matching invocation succeeds with probability ≥ `1 − δ`.
 /// Shared between the fast and CONGEST engines.
-pub fn rand_asm_config(
-    inst: &Instance,
-    params: &RandAsmParams,
-) -> Result<AsmConfig, ConfigError> {
+pub fn rand_asm_config(inst: &Instance, params: &RandAsmParams) -> Result<AsmConfig, ConfigError> {
     if !(params.failure_delta > 0.0 && params.failure_delta < 1.0) {
         return Err(ConfigError::Delta(params.failure_delta));
     }
@@ -108,8 +105,7 @@ mod tests {
     fn stability_holds_across_seeds() {
         let inst = generators::erdos_renyi(16, 16, 0.5, 1);
         for seed in 0..5 {
-            let report =
-                rand_asm(&inst, &RandAsmParams::new(1.0, 0.1).with_seed(seed)).unwrap();
+            let report = rand_asm(&inst, &RandAsmParams::new(1.0, 0.1).with_seed(seed)).unwrap();
             verify_matching(&inst, &report.matching).unwrap();
             assert!(
                 report.stability(&inst).is_one_minus_eps_stable(1.0),

@@ -36,10 +36,7 @@ use asm_matching::Matching;
 /// assert!(wp.stability(&inst).is_one_minus_eps_stable(0.5));
 /// # Ok::<(), asm_core::ConfigError>(())
 /// ```
-pub fn asm_woman_proposing(
-    inst: &Instance,
-    config: &AsmConfig,
-) -> Result<AsmReport, ConfigError> {
+pub fn asm_woman_proposing(inst: &Instance, config: &AsmConfig) -> Result<AsmReport, ConfigError> {
     let swapped = inst.swap_genders();
     let mut report = asm(&swapped, config)?;
 

@@ -237,7 +237,11 @@ mod tests {
         assert!(!q.remove(NodeId::new(99)), "absent partner");
         assert_eq!(q.remaining(), 5);
         assert!(!q.contains(NodeId::new(2)));
-        assert_eq!(q.quantile_of(NodeId::new(2)), Some(2), "quantile survives removal");
+        assert_eq!(
+            q.quantile_of(NodeId::new(2)),
+            Some(2),
+            "quantile survives removal"
+        );
     }
 
     #[test]

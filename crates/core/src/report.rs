@@ -83,6 +83,57 @@ impl AsmReport {
     }
 }
 
+/// The engine-independent view of one algorithm run: the fields both the
+/// fast engine ([`crate::asm`] and friends) and the CONGEST engine
+/// ([`crate::congest`]) report, in one shape.
+///
+/// The two engines promise to agree on *all* of these fields given the
+/// same instance, configuration, and seed (DESIGN.md §3, "Determinism");
+/// the conformance harness (`asm-conformance`) diffs `RunSummary`s to
+/// enforce that promise. Engine-specific extras (message statistics,
+/// snapshots) stay on the originating report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The matching produced.
+    pub matching: Matching,
+    /// `ProposalRound`s in the nominal schedule.
+    pub scheduled_proposal_rounds: u64,
+    /// `ProposalRound`s that actually communicated.
+    pub executed_proposal_rounds: u64,
+    /// Men that are good (matched or fully rejected) at termination.
+    pub good_men: usize,
+    /// Men that are bad (unmatched with surviving preferences).
+    pub bad_men: Vec<NodeId>,
+    /// Men removed by `AlmostRegularASM`'s violator rule.
+    pub removed_men: Vec<NodeId>,
+}
+
+impl From<&AsmReport> for RunSummary {
+    fn from(r: &AsmReport) -> Self {
+        RunSummary {
+            matching: r.matching.clone(),
+            scheduled_proposal_rounds: r.scheduled_proposal_rounds,
+            executed_proposal_rounds: r.executed_proposal_rounds,
+            good_men: r.good_men,
+            bad_men: r.bad_men.clone(),
+            removed_men: r.removed_men.clone(),
+        }
+    }
+}
+
+impl From<&crate::congest::CongestReport> for RunSummary {
+    fn from(r: &crate::congest::CongestReport) -> Self {
+        RunSummary {
+            matching: r.matching.clone(),
+            scheduled_proposal_rounds: r.scheduled_proposal_rounds,
+            executed_proposal_rounds: r.executed_proposal_rounds,
+            good_men: r.good_men,
+            bad_men: r.bad_men.clone(),
+            removed_men: r.removed_men.clone(),
+        }
+    }
+}
+
 impl fmt::Display for AsmReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -35,7 +35,11 @@ impl Model {
 fn arb_case() -> impl Strategy<Value = (Vec<u32>, usize, Vec<usize>)> {
     (1usize..40, 1usize..20).prop_flat_map(|(deg, k)| {
         let removals = proptest::collection::vec(0..deg, 0..deg * 2);
-        (Just((0..deg as u32).collect::<Vec<u32>>()), Just(k), removals)
+        (
+            Just((0..deg as u32).collect::<Vec<u32>>()),
+            Just(k),
+            removals,
+        )
     })
 }
 

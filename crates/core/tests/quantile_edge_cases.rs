@@ -1,0 +1,175 @@
+//! Quantile edge cases from DESIGN.md §3: when `deg(v) ≤ k` every
+//! quantile is a single rank and `ProposalRound` degenerates to classical
+//! Gale–Shapley; at the other extreme `k = 1` collapses every list to one
+//! quantile; and empty preference lists must flow through untouched.
+
+use asm_core::baselines::distributed_gs;
+use asm_core::{almost_regular_asm, asm, rand_asm, AlmostRegularParams, AsmConfig, RandAsmParams};
+use asm_instance::{generators, Instance};
+use asm_matching::{count_blocking_pairs, man_optimal_stable, verify_matching};
+use asm_maximal::MatcherBackend;
+
+fn families(n: usize, seed: u64) -> Vec<(&'static str, Instance)> {
+    vec![
+        ("complete", generators::complete(n, seed)),
+        ("erdos_renyi", generators::erdos_renyi(n, n, 0.4, seed)),
+        ("regular", generators::regular(n, 4.min(n), seed)),
+        ("chain", generators::adversarial_chain(n)),
+        ("master_list", generators::master_list(n, seed)),
+    ]
+}
+
+fn max_degree(inst: &Instance) -> usize {
+    let ids = inst.ids();
+    (0..ids.num_players())
+        .map(|i| inst.prefs(asm_congest::NodeId::new(i as u32)).degree())
+        .max()
+        .unwrap_or(0)
+}
+
+#[test]
+fn deg_at_most_k_degenerates_to_exact_gale_shapley() {
+    // DESIGN.md §3: with deg(v) ≤ k each quantile is a single rank, so
+    // the quantile-truncated proposals are exactly classical proposals
+    // and ASM computes the man-optimal stable matching — zero blocking
+    // pairs and no bad men, not just the ε·|E| budget.
+    for (name, inst) in families(16, 7) {
+        let config = AsmConfig::new(0.1); // k = 80 > every degree here
+        assert!(max_degree(&inst) <= config.quantile_count(), "{name}");
+        let report = asm(&inst, &config).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let gs = man_optimal_stable(&inst);
+        assert_eq!(
+            report.matching, gs.matching,
+            "{name}: deg ≤ k must reproduce the man-optimal stable matching"
+        );
+        assert_eq!(count_blocking_pairs(&inst, &report.matching), 0, "{name}");
+        assert!(report.bad_men.is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn degeneration_agrees_with_distributed_gs_baseline() {
+    // Both the centralized and the distributed GS baselines compute the
+    // man-optimal stable matching, so the degenerate ASM must agree with
+    // either; checking the distributed one exercises a different code path.
+    let inst = generators::zipf(20, 5, 1.2, 13);
+    let config = AsmConfig::new(0.1);
+    assert!(max_degree(&inst) <= config.quantile_count());
+    let report = asm(&inst, &config).unwrap();
+    let gs = distributed_gs(&inst);
+    assert!(gs.converged);
+    assert_eq!(report.matching, gs.matching);
+}
+
+#[test]
+fn degeneration_holds_for_every_backend() {
+    // The GS-degeneration argument is about quantile truncation, not the
+    // maximal-matching subroutine, so it must hold under every backend.
+    let inst = generators::erdos_renyi(14, 14, 0.5, 3);
+    let gs = man_optimal_stable(&inst);
+    for backend in [
+        MatcherBackend::HkpOracle,
+        MatcherBackend::DetGreedy,
+        MatcherBackend::BipartiteProposal,
+        MatcherBackend::PanconesiRizzi,
+        MatcherBackend::IsraeliItai { max_iterations: 64 },
+    ] {
+        let config = AsmConfig::new(0.1).with_backend(backend);
+        let report = asm(&inst, &config).unwrap();
+        assert_eq!(
+            report.matching, gs.matching,
+            "{backend:?} broke the GS degeneration"
+        );
+    }
+}
+
+#[test]
+fn boundary_k_exactly_max_degree_still_degenerates() {
+    // deg(v) ≤ k with equality: complete(n) has degree n, and eps = 8/n
+    // gives k = n exactly — still one rank per quantile.
+    let n = 10;
+    let inst = generators::complete(n, 5);
+    let config = AsmConfig::new(8.0 / n as f64);
+    assert_eq!(config.quantile_count(), n);
+    assert_eq!(max_degree(&inst), n);
+    let report = asm(&inst, &config).unwrap();
+    assert_eq!(report.matching, man_optimal_stable(&inst).matching);
+}
+
+#[test]
+fn single_quantile_k_equals_one() {
+    // eps = 8 is the loosest valid target: k = ⌈8/8⌉ = 1, every list is
+    // one quantile, and δ clamps to 1/2. The run must still produce a
+    // valid matching within the (trivially loose) 8·|E| budget.
+    let config = AsmConfig::new(8.0);
+    assert_eq!(config.quantile_count(), 1);
+    assert_eq!(config.delta(), 0.5);
+    for (name, inst) in families(16, 11) {
+        let report = asm(&inst, &config).unwrap();
+        verify_matching(&inst, &report.matching).unwrap();
+        let num_men = inst.ids().num_men();
+        // Partition accounting survives the degenerate quantile count.
+        let matched_men = report.matching.len();
+        assert!(report.bad_men.len() <= num_men, "{name}");
+        assert!(matched_men <= num_men, "{name}");
+        // k = 1 means a single proposal quantile: men propose to their
+        // whole list at once, so the blocking-pair budget ε·|E| = 8·|E|
+        // is non-binding but the matching must still be over real edges.
+        assert!(
+            count_blocking_pairs(&inst, &report.matching) as f64 <= 8.0 * inst.num_edges() as f64,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn empty_preference_lists_flow_through_all_algorithms() {
+    // p = 0 Erdős–Rényi gives every player an empty list; complete(0)
+    // and complete(1) are the smallest well-formed instances. All three
+    // algorithm variants must return an empty (hence valid) matching
+    // without panicking.
+    let instances = [
+        ("er_p0", generators::erdos_renyi(3, 3, 0.0, 1)),
+        ("complete_0", generators::complete(0, 1)),
+        ("complete_1", generators::complete(1, 1)),
+    ];
+    for (name, inst) in &instances {
+        let asm_report = asm(inst, &AsmConfig::new(1.0)).unwrap();
+        verify_matching(inst, &asm_report.matching).unwrap();
+
+        let rand_report = rand_asm(inst, &RandAsmParams::new(1.0, 0.1)).unwrap();
+        verify_matching(inst, &rand_report.matching).unwrap();
+
+        let ar_report = almost_regular_asm(inst, &AlmostRegularParams::new(1.0, 0.1)).unwrap();
+        verify_matching(inst, &ar_report.matching).unwrap();
+
+        if inst.num_edges() == 0 {
+            assert!(asm_report.matching.is_empty(), "{name}");
+            assert!(rand_report.matching.is_empty(), "{name}");
+            assert!(ar_report.matching.is_empty(), "{name}");
+            // Empty lists are exhausted lists: every man is good.
+            assert!(asm_report.bad_men.is_empty(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn some_empty_lists_mixed_with_real_lists() {
+    // A sparse market where some — but not all — players have empty
+    // lists: isolated players must stay unmatched and good while the
+    // rest still degenerate to exact GS under a large k.
+    let inst = generators::erdos_renyi(12, 12, 0.15, 19);
+    let config = AsmConfig::new(0.1);
+    let report = asm(&inst, &config).unwrap();
+    verify_matching(&inst, &report.matching).unwrap();
+    assert_eq!(report.matching, man_optimal_stable(&inst).matching);
+    let ids = inst.ids();
+    for j in 0..ids.num_men() {
+        let m = ids.man(j);
+        if inst.prefs(m).is_empty() {
+            assert!(!report.matching.is_matched(m));
+            assert!(!report.bad_men.contains(&m));
+        }
+    }
+}

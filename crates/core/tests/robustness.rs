@@ -13,8 +13,8 @@ fn zero_iteration_matcher_yields_valid_empty_matching() {
     // algorithm degenerates gracefully: no partnerships, no rejections,
     // everyone stays bad, and the output is still a valid (empty) matching.
     let inst = generators::complete(12, 1);
-    let config = AsmConfig::new(1.0)
-        .with_backend(MatcherBackend::IsraeliItai { max_iterations: 0 });
+    let config =
+        AsmConfig::new(1.0).with_backend(MatcherBackend::IsraeliItai { max_iterations: 0 });
     let report = asm(&inst, &config).unwrap();
     verify_matching(&inst, &report.matching).unwrap();
     assert!(report.matching.is_empty());
@@ -25,8 +25,8 @@ fn zero_iteration_matcher_yields_valid_empty_matching() {
 #[test]
 fn one_iteration_matcher_still_produces_valid_output() {
     let inst = generators::erdos_renyi(16, 16, 0.5, 3);
-    let config = AsmConfig::new(1.0)
-        .with_backend(MatcherBackend::IsraeliItai { max_iterations: 1 });
+    let config =
+        AsmConfig::new(1.0).with_backend(MatcherBackend::IsraeliItai { max_iterations: 1 });
     let report = asm(&inst, &config).unwrap();
     verify_matching(&inst, &report.matching).unwrap();
     // Starved matching still makes progress (one iteration matches a
@@ -128,9 +128,21 @@ fn huge_epsilon_is_effectively_free() {
 #[test]
 fn seeds_do_not_affect_deterministic_backends() {
     let inst = generators::zipf(14, 5, 1.0, 3);
-    for backend in [MatcherBackend::HkpOracle, MatcherBackend::DetGreedy, MatcherBackend::BipartiteProposal] {
-        let a = asm(&inst, &AsmConfig::new(1.0).with_seed(1).with_backend(backend)).unwrap();
-        let b = asm(&inst, &AsmConfig::new(1.0).with_seed(999).with_backend(backend)).unwrap();
+    for backend in [
+        MatcherBackend::HkpOracle,
+        MatcherBackend::DetGreedy,
+        MatcherBackend::BipartiteProposal,
+    ] {
+        let a = asm(
+            &inst,
+            &AsmConfig::new(1.0).with_seed(1).with_backend(backend),
+        )
+        .unwrap();
+        let b = asm(
+            &inst,
+            &AsmConfig::new(1.0).with_seed(999).with_backend(backend),
+        )
+        .unwrap();
         assert_eq!(a.matching, b.matching, "{backend:?}");
         assert_eq!(a.rounds, b.rounds, "{backend:?}");
     }

@@ -82,7 +82,10 @@ impl InstanceBuilder {
     where
         I: IntoIterator<Item = NodeId>,
     {
-        assert!(v.index() < self.ids.num_players(), "player {v} out of range");
+        assert!(
+            v.index() < self.ids.num_players(),
+            "player {v} out of range"
+        );
         self.prefs[v.index()] = partners.into_iter().collect();
         self
     }

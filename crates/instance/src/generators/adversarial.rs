@@ -30,11 +30,7 @@ use asm_congest::SplitRng;
 pub fn adversarial_chain(n: usize) -> Instance {
     let mut b = InstanceBuilder::new(n, n);
     for j in 0..n {
-        let list: Vec<usize> = if j == 0 {
-            vec![0]
-        } else {
-            vec![j - 1, j]
-        };
+        let list: Vec<usize> = if j == 0 { vec![0] } else { vec![j - 1, j] };
         b = b.man(j, list);
     }
     for i in 0..n {
@@ -93,10 +89,7 @@ mod tests {
             inst.prefs(ids.man(2)).ranked(),
             &[ids.woman(1), ids.woman(2)]
         );
-        assert_eq!(
-            inst.prefs(ids.woman(1)).ranked(),
-            &[ids.man(1), ids.man(2)]
-        );
+        assert_eq!(inst.prefs(ids.woman(1)).ranked(), &[ids.man(1), ids.man(2)]);
         // Last woman has only her own man.
         assert_eq!(inst.prefs(ids.woman(3)).ranked(), &[ids.man(3)]);
     }

@@ -42,8 +42,8 @@ mod tests {
         // With n = 16 the probability all men share a ranking is ~0.
         let inst = complete(16, 3);
         let first = inst.prefs(inst.ids().man(0)).ranked().to_vec();
-        let anyone_differs = (1..16)
-            .any(|j| inst.prefs(inst.ids().man(j)).ranked() != first.as_slice());
+        let anyone_differs =
+            (1..16).any(|j| inst.prefs(inst.ids().man(j)).ranked() != first.as_slice());
         assert!(anyone_differs);
     }
 

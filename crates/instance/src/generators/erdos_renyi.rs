@@ -24,7 +24,10 @@ use asm_congest::SplitRng;
 ///
 /// Panics if `p` is not within `[0, 1]`.
 pub fn erdos_renyi(num_women: usize, num_men: usize, p: f64, seed: u64) -> Instance {
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1]"
+    );
     let mut rng = SplitRng::new(seed).split(0x02, (num_women as u64) << 32 | num_men as u64);
     let men_adj: Vec<Vec<usize>> = (0..num_men)
         .map(|_| (0..num_women).filter(|_| rng.next_bool(p)).collect())

@@ -18,6 +18,7 @@
 mod adversarial;
 mod almost_regular;
 mod complete;
+mod config;
 mod erdos_renyi;
 mod geometric;
 mod noisy_master;
@@ -27,6 +28,7 @@ mod zipf;
 pub use adversarial::{adversarial_chain, master_list};
 pub use almost_regular::almost_regular;
 pub use complete::complete;
+pub use config::GeneratorConfig;
 pub use erdos_renyi::erdos_renyi;
 pub use geometric::geometric;
 pub use noisy_master::noisy_master;

@@ -44,10 +44,7 @@ impl Instance {
     /// # Errors
     ///
     /// Returns an [`InstanceError`] describing the first violated invariant.
-    pub fn from_prefs(
-        ids: IdSpace,
-        prefs: Vec<PreferenceList>,
-    ) -> Result<Self, InstanceError> {
+    pub fn from_prefs(ids: IdSpace, prefs: Vec<PreferenceList>) -> Result<Self, InstanceError> {
         if prefs.len() != ids.num_players() {
             return Err(InstanceError::WrongListCount {
                 got: prefs.len(),
@@ -59,10 +56,16 @@ impl Instance {
         for v in ids.players() {
             for &u in prefs[v.index()].ranked() {
                 if u.index() >= ids.num_players() {
-                    return Err(InstanceError::PartnerOutOfRange { player: v, partner: u });
+                    return Err(InstanceError::PartnerOutOfRange {
+                        player: v,
+                        partner: u,
+                    });
                 }
                 if ids.gender(u) == ids.gender(v) {
-                    return Err(InstanceError::SameGenderPartner { player: v, partner: u });
+                    return Err(InstanceError::SameGenderPartner {
+                        player: v,
+                        partner: u,
+                    });
                 }
             }
         }
@@ -70,14 +73,14 @@ impl Instance {
         for v in ids.players() {
             for &u in prefs[v.index()].ranked() {
                 if !prefs[u.index()].contains(v) {
-                    return Err(InstanceError::AsymmetricPreference { player: v, partner: u });
+                    return Err(InstanceError::AsymmetricPreference {
+                        player: v,
+                        partner: u,
+                    });
                 }
             }
         }
-        let num_edges = ids
-            .men()
-            .map(|m| prefs[m.index()].degree())
-            .sum::<usize>();
+        let num_edges = ids.men().map(|m| prefs[m.index()].degree()).sum::<usize>();
         Ok(Instance {
             ids,
             prefs,
@@ -124,7 +127,10 @@ impl Instance {
         self.ids
             .women()
             .all(|w| self.degree(w) == self.ids.num_men())
-            && self.ids.men().all(|m| self.degree(m) == self.ids.num_women())
+            && self
+                .ids
+                .men()
+                .all(|m| self.degree(m) == self.ids.num_women())
     }
 
     /// Builds the CONGEST communication graph `G = (V, E)` of Section 2.1.
@@ -166,9 +172,9 @@ impl Instance {
 
     /// Iterates over all edges as `(man, woman)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.ids.men().flat_map(move |m| {
-            self.prefs[m.index()].ranked().iter().map(move |&w| (m, w))
-        })
+        self.ids
+            .men()
+            .flat_map(move |m| self.prefs[m.index()].ranked().iter().map(move |&w| (m, w)))
     }
 
     /// Produces the gender-swapped instance: every man becomes a woman and

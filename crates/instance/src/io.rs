@@ -164,8 +164,7 @@ pub fn parse_text(text: &str) -> Result<Instance, ParseError> {
                     rest.remove(0);
                 }
                 let list: Result<Vec<usize>, _> = rest.iter().map(|t| t.parse()).collect();
-                let list =
-                    list.map_err(|_| bad(line_no, "preference entry is not a number"))?;
+                let list = list.map_err(|_| bad(line_no, "preference entry is not a number"))?;
                 pref_lines.push((line_no, head.chars().next().expect("w or m"), idx, list));
             }
             other => return Err(bad(line_no, &format!("unknown directive {other:?}"))),
@@ -240,10 +239,7 @@ mod tests {
         ";
         let inst = parse_text(text).unwrap();
         assert_eq!(inst.num_edges(), 4);
-        assert_eq!(
-            inst.rank(inst.ids().woman(0), inst.ids().man(1)),
-            Some(1)
-        );
+        assert_eq!(inst.rank(inst.ids().woman(0), inst.ids().man(1)), Some(1));
     }
 
     #[test]
@@ -267,17 +263,14 @@ mod tests {
 
     #[test]
     fn duplicate_player_rejected() {
-        let err = parse_text(
-            "asm-instance v1\nwomen 1\nmen 1\nw 0: 0\nw 0: 0\nm 0: 0\n",
-        )
-        .unwrap_err();
+        let err =
+            parse_text("asm-instance v1\nwomen 1\nmen 1\nw 0: 0\nw 0: 0\nm 0: 0\n").unwrap_err();
         assert!(matches!(err, ParseError::DuplicatePlayer { line: 5 }));
     }
 
     #[test]
     fn out_of_range_partner_located() {
-        let err =
-            parse_text("asm-instance v1\nwomen 1\nmen 1\nw 0: 7\n").unwrap_err();
+        let err = parse_text("asm-instance v1\nwomen 1\nmen 1\nw 0: 7\n").unwrap_err();
         assert!(matches!(err, ParseError::BadLine { line: 4, .. }));
     }
 

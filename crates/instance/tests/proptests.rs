@@ -1,8 +1,8 @@
 //! Property-based tests of instance structure: generator invariants, the
 //! text format, gender swapping, and the hospitals/residents reduction.
 
-use asm_instance::{generators, parse_text, to_text, HospitalResidents, Instance};
 use asm_congest::SplitRng;
+use asm_instance::{generators, parse_text, to_text, HospitalResidents, Instance};
 use proptest::prelude::*;
 
 fn arb_instance() -> impl Strategy<Value = Instance> {

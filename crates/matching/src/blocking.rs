@@ -96,11 +96,7 @@ pub fn count_blocking_pairs(inst: &Instance, matching: &Matching) -> usize {
 }
 
 /// All ε-blocking pairs (Definition 2) of `matching`, as `(man, woman)`.
-pub fn eps_blocking_pairs(
-    inst: &Instance,
-    matching: &Matching,
-    eps: f64,
-) -> Vec<(NodeId, NodeId)> {
+pub fn eps_blocking_pairs(inst: &Instance, matching: &Matching, eps: f64) -> Vec<(NodeId, NodeId)> {
     inst.edges()
         .filter(|&(m, w)| is_eps_blocking(inst, matching, m, w, eps))
         .collect()
@@ -180,8 +176,19 @@ mod tests {
             .build()
             .unwrap();
         let m = Matching::new(4);
-        assert!(!is_blocking(&inst, &m, inst.ids().man(1), inst.ids().woman(1)));
-        assert!(!is_eps_blocking(&inst, &m, inst.ids().man(1), inst.ids().woman(1), 0.1));
+        assert!(!is_blocking(
+            &inst,
+            &m,
+            inst.ids().man(1),
+            inst.ids().woman(1)
+        ));
+        assert!(!is_eps_blocking(
+            &inst,
+            &m,
+            inst.ids().man(1),
+            inst.ids().woman(1),
+            0.1
+        ));
     }
 
     #[test]
@@ -205,7 +212,8 @@ mod tests {
         let mut m = Matching::new(inst.ids().num_players());
         // Arbitrary half-matching.
         for j in 0..4 {
-            m.add_pair(inst.ids().man(j), inst.ids().woman(7 - j)).unwrap();
+            m.add_pair(inst.ids().man(j), inst.ids().woman(7 - j))
+                .unwrap();
         }
         let blocking = blocking_pairs(&inst, &m);
         for eps in [0.25, 0.5, 1.0] {
@@ -213,7 +221,9 @@ mod tests {
                 assert!(blocking.contains(&pair));
             }
         }
-        assert!(count_eps_blocking_pairs(&inst, &m, 0.25) >= count_eps_blocking_pairs(&inst, &m, 0.5));
+        assert!(
+            count_eps_blocking_pairs(&inst, &m, 0.25) >= count_eps_blocking_pairs(&inst, &m, 0.5)
+        );
     }
 
     #[test]

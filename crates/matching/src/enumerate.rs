@@ -138,9 +138,7 @@ mod tests {
             assert!(all.contains(&wo), "seed {seed}");
             for m in &all {
                 for man in inst.ids().men() {
-                    let r = |mm: &Matching| {
-                        mm.partner(man).map(|w| inst.rank(man, w).unwrap())
-                    };
+                    let r = |mm: &Matching| mm.partner(man).map(|w| inst.rank(man, w).unwrap());
                     // Man-optimal is every man's best stable outcome,
                     // woman-optimal his worst.
                     assert!(r(&mo) <= r(m), "seed {seed}");

@@ -39,6 +39,24 @@ pub enum MatchingError {
         /// Second endpoint.
         v: NodeId,
     },
+    /// Verification: the matching's node range does not cover the
+    /// instance's players.
+    SizeMismatch {
+        /// Nodes the matching ranges over.
+        nodes: usize,
+        /// Players in the instance.
+        players: usize,
+    },
+    /// Verification: the partner table is inconsistent — `node` points at
+    /// `partner`, but `partner` does not point back (possible only in a
+    /// hand-built or deserialized matching; `add_pair` maintains
+    /// symmetry).
+    Asymmetric {
+        /// The node whose entry is one-sided.
+        node: NodeId,
+        /// The partner it claims.
+        partner: NodeId,
+    },
 }
 
 impl fmt::Display for MatchingError {
@@ -57,6 +75,19 @@ impl fmt::Display for MatchingError {
             MatchingError::SameGenderPair { u, v } => {
                 write!(f, "matched pair ({u}, {v}) has the same gender")
             }
+            MatchingError::SizeMismatch { nodes, players } => {
+                write!(
+                    f,
+                    "matching over {nodes} nodes cannot cover {players} players"
+                )
+            }
+            MatchingError::Asymmetric { node, partner } => {
+                write!(
+                    f,
+                    "partner table asymmetric: {node} points at {partner}, \
+                     which does not point back"
+                )
+            }
         }
     }
 }
@@ -70,11 +101,24 @@ mod tests {
     #[test]
     fn displays_are_nonempty() {
         let variants = [
-            MatchingError::SelfPair { node: NodeId::new(0) },
-            MatchingError::OutOfRange { node: NodeId::new(9), nodes: 3 },
-            MatchingError::AlreadyMatched { node: NodeId::new(1) },
-            MatchingError::NotAnEdge { u: NodeId::new(0), v: NodeId::new(1) },
-            MatchingError::SameGenderPair { u: NodeId::new(0), v: NodeId::new(1) },
+            MatchingError::SelfPair {
+                node: NodeId::new(0),
+            },
+            MatchingError::OutOfRange {
+                node: NodeId::new(9),
+                nodes: 3,
+            },
+            MatchingError::AlreadyMatched {
+                node: NodeId::new(1),
+            },
+            MatchingError::NotAnEdge {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+            },
+            MatchingError::SameGenderPair {
+                u: NodeId::new(0),
+                v: NodeId::new(1),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

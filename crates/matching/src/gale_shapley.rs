@@ -64,8 +64,7 @@ pub fn man_optimal_stable(inst: &Instance) -> GsOutcome {
                 matching.add_pair(m, w).expect("both free");
             }
             Some(current) => {
-                let w_rank_of_current =
-                    inst.rank(w, current).expect("partner must be ranked");
+                let w_rank_of_current = inst.rank(w, current).expect("partner must be ranked");
                 if w_rank_of_m < w_rank_of_current {
                     matching.remove(w);
                     matching.add_pair(m, w).expect("both free");

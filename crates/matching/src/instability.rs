@@ -58,7 +58,11 @@ impl InstabilityMeasures {
         let matched = matching.len();
         InstabilityMeasures {
             blocking_pairs: bp,
-            per_edge: if edges == 0 { 0.0 } else { bp as f64 / edges as f64 },
+            per_edge: if edges == 0 {
+                0.0
+            } else {
+                bp as f64 / edges as f64
+            },
             per_possible_pair: if possible == 0 {
                 0.0
             } else {

@@ -54,9 +54,7 @@ fn successor(inst: &Instance, matching: &Matching, m: NodeId) -> Option<NodeId> 
         .copied()
         .filter(|&w| inst.rank(m, w).expect("listed") > rank_p)
         .find(|&w| match matching.partner(w) {
-            Some(current) => inst
-                .prefs(w)
-                .prefers(m, current),
+            Some(current) => inst.prefs(w).prefers(m, current),
             None => false, // stable matchings all match the same women
         })
 }
@@ -78,12 +76,8 @@ pub fn exposed_rotation(inst: &Instance, matching: &Matching) -> Option<Rotation
     let next: HashMap<NodeId, NodeId> = men
         .iter()
         .filter_map(|&m| {
-            successor(inst, matching, m).map(|w| {
-                (
-                    m,
-                    matching.partner(w).expect("successor is matched"),
-                )
-            })
+            successor(inst, matching, m)
+                .map(|w| (m, matching.partner(w).expect("successor is matched")))
         })
         .collect();
 

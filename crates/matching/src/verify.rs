@@ -1,13 +1,17 @@
 //! Matching validity checks against an instance.
 
 use crate::{Matching, MatchingError};
+use asm_congest::NodeId;
 use asm_instance::Instance;
 
-/// Verifies that `matching` is a valid matching *for `inst`*: every matched
-/// pair is a mutually acceptable man–woman edge.
+/// Verifies that `matching` is a valid matching *for `inst`*: the partner
+/// table covers exactly the instance's players and is structurally sound
+/// (symmetric, no self-pairs), and every matched pair is a mutually
+/// acceptable man–woman edge.
 ///
-/// Disjointness is structural in [`Matching`]; this checks the
-/// instance-level conditions.
+/// [`Matching::add_pair`] maintains the structural conditions, but a
+/// deserialized matching (e.g. from the CLI's `--matching` file) bypasses
+/// it, so they are re-checked here rather than assumed.
 ///
 /// # Errors
 ///
@@ -26,13 +30,33 @@ use asm_instance::Instance;
 /// ```
 pub fn verify_matching(inst: &Instance, matching: &Matching) -> Result<(), MatchingError> {
     let ids = inst.ids();
-    for (u, v) in matching.pairs() {
-        if u.index() >= ids.num_players() || v.index() >= ids.num_players() {
+    if matching.num_nodes() != ids.num_players() {
+        return Err(MatchingError::SizeMismatch {
+            nodes: matching.num_nodes(),
+            players: ids.num_players(),
+        });
+    }
+    for v in (0..matching.num_nodes()).map(|i| NodeId::new(i as u32)) {
+        let Some(p) = matching.partner(v) else {
+            continue;
+        };
+        if p.index() >= matching.num_nodes() {
             return Err(MatchingError::OutOfRange {
-                node: if u.index() >= ids.num_players() { u } else { v },
-                nodes: ids.num_players(),
+                node: p,
+                nodes: matching.num_nodes(),
             });
         }
+        if p == v {
+            return Err(MatchingError::SelfPair { node: v });
+        }
+        if matching.partner(p) != Some(v) {
+            return Err(MatchingError::Asymmetric {
+                node: v,
+                partner: p,
+            });
+        }
+    }
+    for (u, v) in matching.pairs() {
         if ids.gender(u) == ids.gender(v) {
             return Err(MatchingError::SameGenderPair { u, v });
         }
@@ -110,7 +134,29 @@ mod tests {
         m.add_pair(NodeId::new(0), NodeId::new(9)).unwrap();
         assert!(matches!(
             verify_matching(&i, &m),
-            Err(MatchingError::OutOfRange { .. })
+            Err(MatchingError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn deserialized_self_pair_rejected() {
+        // A self-pair cannot be built through add_pair, but a
+        // deserialized partner table can carry one.
+        let i = inst();
+        let m: Matching = serde_json::from_str("{\"partner\":[0,null,null,null]}").unwrap();
+        assert!(matches!(
+            verify_matching(&i, &m),
+            Err(MatchingError::SelfPair { .. })
+        ));
+    }
+
+    #[test]
+    fn deserialized_asymmetric_table_rejected() {
+        let i = inst();
+        let m: Matching = serde_json::from_str("{\"partner\":[2,null,null,null]}").unwrap();
+        assert!(matches!(
+            verify_matching(&i, &m),
+            Err(MatchingError::Asymmetric { .. })
         ));
     }
 
@@ -125,7 +171,11 @@ mod tests {
     #[test]
     fn partial_but_maximal() {
         // Single edge instance: matching it is maximal.
-        let i = InstanceBuilder::new(1, 1).woman(0, [0]).man(0, [0]).build().unwrap();
+        let i = InstanceBuilder::new(1, 1)
+            .woman(0, [0])
+            .man(0, [0])
+            .build()
+            .unwrap();
         let mut m = Matching::new(2);
         m.add_pair(i.ids().man(0), i.ids().woman(0)).unwrap();
         assert!(is_maximal(&i, &m));

@@ -97,9 +97,23 @@ mod tests {
     fn iteration_count_independent_of_n() {
         let s = iterations_for_amm(0.01, 0.01, 0.5);
         assert_eq!(s, 14); // ceil(ln(10^4)/ln 2)
-        // Same budget regardless of how large the graph is.
-        let small = amm(&random_bipartite(20, 3, 1), 0.01, 0.01, 0.5, &SplitRng::new(1), 0);
-        let large = amm(&random_bipartite(500, 3, 1), 0.01, 0.01, 0.5, &SplitRng::new(1), 0);
+                           // Same budget regardless of how large the graph is.
+        let small = amm(
+            &random_bipartite(20, 3, 1),
+            0.01,
+            0.01,
+            0.5,
+            &SplitRng::new(1),
+            0,
+        );
+        let large = amm(
+            &random_bipartite(500, 3, 1),
+            0.01,
+            0.01,
+            0.5,
+            &SplitRng::new(1),
+            0,
+        );
         assert!(small.outcome.iterations <= s);
         assert!(large.outcome.iterations <= s);
     }

@@ -60,9 +60,7 @@ pub fn bipartite_proposal(
         .collect();
     lefts.sort_unstable();
     debug_assert!(
-        edges
-            .iter()
-            .all(|&(u, v)| is_left(u) != is_left(v)),
+        edges.iter().all(|&(u, v)| is_left(u) != is_left(v)),
         "is_left must 2-color the graph"
     );
 

@@ -39,11 +39,7 @@ pub struct IiRun {
 /// `tag` must be globally unique per invocation (e.g. a running iteration
 /// counter); node `v`'s randomness for this round is
 /// `rng.split(v.raw(), tag)`.
-pub fn matching_round(
-    g: &mut SubGraph,
-    rng: &SplitRng,
-    tag: u64,
-) -> Vec<(NodeId, NodeId)> {
+pub fn matching_round(g: &mut SubGraph, rng: &SplitRng, tag: u64) -> Vec<(NodeId, NodeId)> {
     let vertices = g.vertices_sorted();
     let mut node_rng: HashMap<NodeId, SplitRng> = vertices
         .iter()

@@ -48,15 +48,15 @@ mod sequential;
 mod subgraph;
 
 pub use amm::{amm, iterations_for_amm, violator_fraction};
-pub use backend::MatcherBackend;
+pub use backend::{BackendRun, MatcherBackend};
 pub use bipartite::{bipartite_proposal, ROUNDS_PER_PROPOSAL_CYCLE};
-pub use det_greedy::{det_greedy, ROUNDS_PER_CYCLE};
+pub use det_greedy::{det_greedy, det_greedy_run, GreedyRun, ROUNDS_PER_CYCLE};
 pub use hkp_oracle::{hkp_charged_rounds, hkp_oracle};
 pub use israeli_itai::{
     israeli_itai, iterations_for_maximal, matching_round, IiRun, ROUNDS_PER_MATCHING_ROUND,
 };
 pub use outcome::{is_maximal_in, maximality_violators, MatchingOutcome};
-pub use panconesi_rizzi::panconesi_rizzi;
 pub(crate) use panconesi_rizzi::cv_schedule_len;
+pub use panconesi_rizzi::panconesi_rizzi;
 pub use sequential::greedy_maximal;
 pub use subgraph::SubGraph;

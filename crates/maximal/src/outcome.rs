@@ -52,10 +52,8 @@ impl MatchingOutcome {
 /// ```
 pub fn is_maximal_in(edges: &[(NodeId, NodeId)], pairs: &[(NodeId, NodeId)]) -> bool {
     use std::collections::HashSet;
-    let edge_set: HashSet<(NodeId, NodeId)> = edges
-        .iter()
-        .map(|&(u, v)| (u.min(v), u.max(v)))
-        .collect();
+    let edge_set: HashSet<(NodeId, NodeId)> =
+        edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
     let mut covered: HashSet<NodeId> = HashSet::new();
     for &(u, v) in pairs {
         if u == v || !edge_set.contains(&(u.min(v), u.max(v))) {
@@ -73,10 +71,7 @@ pub fn is_maximal_in(edges: &[(NodeId, NodeId)], pairs: &[(NodeId, NodeId)]) -> 
 /// Counts the vertices *violating* maximality: unmatched vertices with at
 /// least one unmatched neighbor. This is the `|V'|` of Definition 4, used
 /// to certify `(1−η)`-maximality of [`crate::amm`] outputs.
-pub fn maximality_violators(
-    edges: &[(NodeId, NodeId)],
-    pairs: &[(NodeId, NodeId)],
-) -> Vec<NodeId> {
+pub fn maximality_violators(edges: &[(NodeId, NodeId)], pairs: &[(NodeId, NodeId)]) -> Vec<NodeId> {
     use std::collections::HashSet;
     let matched: HashSet<NodeId> = pairs.iter().flat_map(|&(u, v)| [u, v]).collect();
     let mut violators: HashSet<NodeId> = HashSet::new();
@@ -112,10 +107,7 @@ mod tests {
 
     #[test]
     fn reused_endpoint_rejected() {
-        assert!(!is_maximal_in(
-            &[e(0, 1), e(1, 2)],
-            &[e(0, 1), e(1, 2)]
-        ));
+        assert!(!is_maximal_in(&[e(0, 1), e(1, 2)], &[e(0, 1), e(1, 2)]));
     }
 
     #[test]

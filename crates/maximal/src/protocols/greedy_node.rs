@@ -60,11 +60,7 @@ impl GreedyNode {
 
     /// Executes one synchronous round. `inbox` carries `(sender, message)`
     /// pairs in ascending sender order; `send` queues outgoing messages.
-    pub fn on_round(
-        &mut self,
-        inbox: &[(NodeId, MmMsg)],
-        mut send: impl FnMut(NodeId, MmMsg),
-    ) {
+    pub fn on_round(&mut self, inbox: &[(NodeId, MmMsg)], mut send: impl FnMut(NodeId, MmMsg)) {
         let cand_phase = self.subround.is_multiple_of(2);
         self.subround += 1;
         if cand_phase {
@@ -121,8 +117,7 @@ mod tests {
     use asm_congest::{Network, SplitRng, Topology};
 
     fn run_protocol(edges: &[(NodeId, NodeId)], n: usize) -> Vec<(NodeId, NodeId)> {
-        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
-            .unwrap();
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw()))).unwrap();
         let procs: Vec<GreedyProcess> = (0..n)
             .map(|i| {
                 let id = NodeId::new(i as u32);

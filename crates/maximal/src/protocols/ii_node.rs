@@ -85,11 +85,7 @@ impl IiNode {
 
     /// Executes one synchronous round. `inbox` carries `(sender, message)`
     /// pairs in ascending sender order.
-    pub fn on_round(
-        &mut self,
-        inbox: &[(NodeId, MmMsg)],
-        mut send: impl FnMut(NodeId, MmMsg),
-    ) {
+    pub fn on_round(&mut self, inbox: &[(NodeId, MmMsg)], mut send: impl FnMut(NodeId, MmMsg)) {
         let phase = self.subround % 4;
         self.subround += 1;
         match phase {
@@ -108,7 +104,9 @@ impl IiNode {
                 self.gprime.clear();
                 self.my_select = None;
                 if self.is_active() {
-                    let mut rng = self.base.split(self.id.raw() as u64, self.tag_base + self.iter);
+                    let mut rng = self
+                        .base
+                        .split(self.id.raw() as u64, self.tag_base + self.iter);
                     let pick = self.avail[rng.next_range(self.avail.len())];
                     self.cur_rng = Some(rng);
                     self.my_pick = Some(pick);
@@ -141,10 +139,7 @@ impl IiNode {
                 self.gprime.sort_unstable();
                 self.gprime.dedup();
                 if !self.gprime.is_empty() {
-                    let rng = self
-                        .cur_rng
-                        .as_mut()
-                        .expect("a G'-incident node is active");
+                    let rng = self.cur_rng.as_mut().expect("a G'-incident node is active");
                     let select = self.gprime[rng.next_range(self.gprime.len())];
                     self.my_select = Some(select);
                     send(select, MmMsg::Select);
@@ -199,8 +194,7 @@ mod tests {
         tag_base: u64,
         max_iterations: u64,
     ) -> Vec<(NodeId, NodeId)> {
-        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw())))
-            .unwrap();
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw()))).unwrap();
         let base = SplitRng::new(seed);
         let procs: Vec<IiProcess> = (0..n)
             .map(|i| {

@@ -144,7 +144,13 @@ impl PrNode {
         send: &mut impl FnMut(NodeId, PrMsg),
     ) {
         for &ch in &st.children {
-            send(ch, PrMsg::Color { forest: f, color: st.color });
+            send(
+                ch,
+                PrMsg::Color {
+                    forest: f,
+                    color: st.color,
+                },
+            );
         }
     }
 
@@ -232,7 +238,13 @@ impl PrNode {
                         let snapshot = self.forests[&f].clone();
                         self.send_color_to_children(f, &snapshot, &mut send);
                         if let Some(p) = snapshot.parent {
-                            send(p, PrMsg::Color { forest: f, color: snapshot.color });
+                            send(
+                                p,
+                                PrMsg::Color {
+                                    forest: f,
+                                    color: snapshot.color,
+                                },
+                            );
                         }
                     }
                 }
@@ -254,7 +266,13 @@ impl PrNode {
                         let snapshot = self.forests[&f].clone();
                         self.send_color_to_children(f, &snapshot, &mut send);
                         if let Some(p) = snapshot.parent {
-                            send(p, PrMsg::Color { forest: f, color: snapshot.color });
+                            send(
+                                p,
+                                PrMsg::Color {
+                                    forest: f,
+                                    color: snapshot.color,
+                                },
+                            );
                         }
                     }
                 }
@@ -428,6 +446,13 @@ mod tests {
         assert!(PrMsg::Matched.bits() <= 8);
         assert!(PrMsg::Child { forest: 7 }.bits() <= 32);
         // A color message carries the color value: O(log n) bits.
-        assert!(PrMsg::Color { forest: 1, color: 1023 }.bits() <= 16 + 3 + 10);
+        assert!(
+            PrMsg::Color {
+                forest: 1,
+                color: 1023
+            }
+            .bits()
+                <= 16 + 3 + 10
+        );
     }
 }

@@ -55,11 +55,7 @@ impl ProposalNode {
     }
 
     /// Executes one synchronous round.
-    pub fn on_round(
-        &mut self,
-        inbox: &[(NodeId, MmMsg)],
-        mut send: impl FnMut(NodeId, MmMsg),
-    ) {
+    pub fn on_round(&mut self, inbox: &[(NodeId, MmMsg)], mut send: impl FnMut(NodeId, MmMsg)) {
         let propose_phase = self.subround.is_multiple_of(2);
         self.subround += 1;
         if propose_phase {
@@ -96,7 +92,11 @@ impl ProposalNode {
             for v in proposers {
                 send(
                     v,
-                    if Some(v) == winner { MmMsg::Yes } else { MmMsg::No },
+                    if Some(v) == winner {
+                        MmMsg::Yes
+                    } else {
+                        MmMsg::No
+                    },
                 );
             }
         }
@@ -131,8 +131,7 @@ mod tests {
     }
 
     fn run_protocol(edges: &[(NodeId, NodeId)], n: usize) -> Vec<(NodeId, NodeId)> {
-        let topo =
-            Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw()))).unwrap();
+        let topo = Topology::from_edges(n, edges.iter().map(|&(u, v)| (u.raw(), v.raw()))).unwrap();
         let procs: Vec<ProposalProcess> = (0..n)
             .map(|i| {
                 let id = NodeId::new(i as u32);

@@ -97,8 +97,14 @@ mod tests {
         let g = SubGraph::from_edges(&[e(5, 1), e(1, 9), e(9, 5)]);
         assert_eq!(g.num_vertices(), 3);
         assert_eq!(g.num_edges(), 3);
-        assert_eq!(g.neighbors(NodeId::new(1)), &[NodeId::new(5), NodeId::new(9)]);
-        assert_eq!(g.vertices_sorted(), vec![NodeId::new(1), NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(
+            g.neighbors(NodeId::new(1)),
+            &[NodeId::new(5), NodeId::new(9)]
+        );
+        assert_eq!(
+            g.vertices_sorted(),
+            vec![NodeId::new(1), NodeId::new(5), NodeId::new(9)]
+        );
     }
 
     #[test]

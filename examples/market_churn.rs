@@ -10,8 +10,8 @@
 //! Run with: `cargo run --release --example market_churn`
 
 use almost_stable::{
-    asm, generators, AsmConfig, Instance, InstanceBuilder, MatcherBackend, Matching,
-    SplitRng, StabilityReport,
+    asm, generators, AsmConfig, Instance, InstanceBuilder, MatcherBackend, Matching, SplitRng,
+    StabilityReport,
 };
 
 /// Rewires `fraction` of the men to fresh uniformly random lists of the

@@ -21,9 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let num_hospitals = 12;
     let mut rng = SplitRng::new(2026);
 
-    let capacities: Vec<usize> = (0..num_hospitals)
-        .map(|_| 4 + rng.next_range(13))
-        .collect();
+    let capacities: Vec<usize> = (0..num_hospitals).map(|_| 4 + rng.next_range(13)).collect();
     // Resident r applies to 6 hospitals, weighted toward low indices.
     let mut resident_prefs: Vec<Vec<usize>> = Vec::new();
     for _ in 0..num_residents {

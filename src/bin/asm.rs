@@ -120,10 +120,7 @@ fn write_or_print<T: serde::Serialize>(
     Ok(())
 }
 
-fn write_instance(
-    flags: &HashMap<String, String>,
-    inst: &Instance,
-) -> Result<(), Box<dyn Error>> {
+fn write_instance(flags: &HashMap<String, String>, inst: &Instance) -> Result<(), Box<dyn Error>> {
     match flags.get("out") {
         Some(path) if path.ends_with(".txt") => {
             fs::write(path, asm_instance::to_text(inst))?;
@@ -174,12 +171,13 @@ fn backend_from(flags: &HashMap<String, String>) -> Result<MatcherBackend, Box<d
 fn solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     let inst = load_instance(flags)?;
     let eps: f64 = get_parsed(flags, "eps", 0.5)?;
+    // AsmConfig::new panics on a bad ε; surface it as a CLI error instead.
+    if !(eps > 0.0 && eps.is_finite()) {
+        return Err(format!("--eps must be positive and finite, got {eps}").into());
+    }
     let delta: f64 = get_parsed(flags, "delta", 0.1)?;
     let seed: u64 = get_parsed(flags, "seed", 0)?;
-    let algorithm = flags
-        .get("algorithm")
-        .map(String::as_str)
-        .unwrap_or("asm");
+    let algorithm = flags.get("algorithm").map(String::as_str).unwrap_or("asm");
     let matching: Matching = match algorithm {
         "asm" => {
             let config = AsmConfig::new(eps)

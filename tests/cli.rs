@@ -24,7 +24,11 @@ fn generate_solve_analyze_json_pipeline() {
         .args(["--seed", "7", "--out", inst.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = asm_bin()
         .args(["solve", "--input", inst.to_str().unwrap()])
@@ -32,9 +36,16 @@ fn generate_solve_analyze_json_pipeline() {
         .args(["--out", matching.to_str().unwrap()])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let log = String::from_utf8_lossy(&out.stderr);
-    assert!(log.contains("stability:"), "solve must print a report: {log}");
+    assert!(
+        log.contains("stability:"),
+        "solve must print a report: {log}"
+    );
 
     let out = asm_bin()
         .args(["analyze", "--input", inst.to_str().unwrap()])
@@ -105,6 +116,134 @@ fn help_prints_usage_successfully() {
 }
 
 #[test]
+fn text_format_full_pipeline_matches_json_pipeline() {
+    // The same instance generated in both formats must drive solve +
+    // analyze to identical results: the matchings (deterministic seed,
+    // deterministic backend) must be byte-identical JSON.
+    let inst_json = tmp("roundtrip.json");
+    let inst_txt = tmp("roundtrip.txt");
+    for path in [&inst_json, &inst_txt] {
+        let out = asm_bin()
+            .args(["generate", "--family", "regular", "--n", "16", "--d", "4"])
+            .args(["--seed", "11", "--out", path.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    let mut matchings = Vec::new();
+    for (inst, name) in [(&inst_json, "m-json.json"), (&inst_txt, "m-txt.json")] {
+        let matching = tmp(name);
+        let out = asm_bin()
+            .args(["solve", "--input", inst.to_str().unwrap()])
+            .args(["--eps", "1.0", "--backend", "greedy", "--seed", "5"])
+            .args(["--out", matching.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+
+        let out = asm_bin()
+            .args(["analyze", "--input", inst.to_str().unwrap()])
+            .args(["--matching", matching.to_str().unwrap(), "--eps", "1.0"])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // f64 Display renders eps 1.0 as "1".
+        assert!(String::from_utf8_lossy(&out.stdout).contains("(1-1)-stable : true"));
+
+        matchings.push(std::fs::read_to_string(&matching).unwrap());
+        std::fs::remove_file(&matching).ok();
+    }
+    assert_eq!(
+        matchings[0], matchings[1],
+        "text and JSON instance formats must solve identically"
+    );
+    std::fs::remove_file(&inst_json).ok();
+    std::fs::remove_file(&inst_txt).ok();
+}
+
+#[test]
+fn malformed_inputs_fail_cleanly() {
+    // Every malformed input must produce a nonzero exit and an "error:"
+    // diagnostic — never a panic (which would print "panicked at").
+    let cases: [(&str, &str); 3] = [
+        ("bad.json", "{ this is not json"),
+        ("bad.txt", "not an asm-instance header\n1 2 3"),
+        ("trunc.json", "{\"num_women\": 4"),
+    ];
+    for (name, contents) in cases {
+        let path = tmp(name);
+        std::fs::write(&path, contents).unwrap();
+        for cmd in ["solve", "info"] {
+            let out = asm_bin()
+                .args([cmd, "--input", path.to_str().unwrap()])
+                .output()
+                .expect("binary runs");
+            assert!(!out.status.success(), "{cmd} accepted {name}");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(err.contains("error:"), "{cmd} on {name}: {err}");
+            assert!(!err.contains("panicked"), "{cmd} on {name}: {err}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn analyze_rejects_malformed_and_invalid_matchings() {
+    let inst = tmp("analyze-inst.json");
+    let out = asm_bin()
+        .args(["generate", "--family", "complete", "--n", "6"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+
+    // Malformed matching JSON.
+    let garbled = tmp("garbled-matching.json");
+    std::fs::write(&garbled, "[[0, 1], [").unwrap();
+    let out = asm_bin()
+        .args(["analyze", "--input", inst.to_str().unwrap()])
+        .args(["--matching", garbled.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    // Well-formed JSON that is not a valid matching for the instance:
+    // player 0 partnered with itself (verify_matching must reject it,
+    // not the parser).
+    let wrong = tmp("wrong-matching.json");
+    std::fs::write(
+        &wrong,
+        "{\"partner\":[0,null,null,null,null,null,null,null,null,null,null,null]}",
+    )
+    .unwrap();
+    let out = asm_bin()
+        .args(["analyze", "--input", inst.to_str().unwrap()])
+        .args(["--matching", wrong.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "self-pairing must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+
+    for p in [&inst, &garbled, &wrong] {
+        std::fs::remove_file(p).ok();
+    }
+}
+
+#[test]
 fn bad_invocations_fail_with_usage() {
     let out = asm_bin().output().expect("binary runs");
     assert!(!out.status.success());
@@ -121,4 +260,26 @@ fn bad_invocations_fail_with_usage() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn out_of_range_eps_fails_cleanly() {
+    let inst = tmp("eps-range.json");
+    let out = asm_bin()
+        .args(["generate", "--family", "complete", "--n", "6"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    for eps in ["0", "-1", "nan", "inf"] {
+        let out = asm_bin()
+            .args(["solve", "--input", inst.to_str().unwrap(), "--eps", eps])
+            .output()
+            .expect("binary runs");
+        assert!(!out.status.success(), "--eps {eps} accepted");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("error:"), "--eps {eps}: {err}");
+        assert!(!err.contains("panicked"), "--eps {eps}: {err}");
+    }
+    std::fs::remove_file(&inst).ok();
 }

@@ -62,7 +62,10 @@ fn corollary_1_iteration_budget_suffices_with_high_probability() {
             failures += 1;
         }
     }
-    assert!(failures <= 6, "{failures}/{trials} truncated runs not maximal");
+    assert!(
+        failures <= 6,
+        "{failures}/{trials} truncated runs not maximal"
+    );
 }
 
 #[test]
@@ -78,7 +81,10 @@ fn corollary_2_amm_violators_stay_below_eta() {
             ok += 1;
         }
     }
-    assert!(ok >= trials * 4 / 5, "only {ok}/{trials} met the eta budget");
+    assert!(
+        ok >= trials * 4 / 5,
+        "only {ok}/{trials} met the eta budget"
+    );
 }
 
 #[test]

@@ -1,0 +1,205 @@
+//! Offline vendored stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, sample-size and
+//! timing knobs — backed by a simple median-of-samples wall-clock runner
+//! rather than criterion's full statistical pipeline. Good enough to
+//! compare orders of magnitude and keep `cargo bench` runnable offline.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (same implementation).
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id labelled only by the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Runs one benchmark's timing loop.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the median of the sampled runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut durations = Vec::with_capacity(self.samples);
+        let deadline = Instant::now() + self.measurement;
+        for i in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            durations.push(start.elapsed());
+            if i >= 1 && Instant::now() > deadline {
+                break; // keep offline bench runs bounded
+            }
+        }
+        durations.sort_unstable();
+        self.last_median = durations[durations.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single untimed run.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            measurement: self.measurement,
+            last_median: Duration::ZERO,
+        };
+        routine(&mut b); // warm-up + measurement in one pass
+        println!("bench {}/{}: median {:?}", self.name, id, b.last_median);
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            measurement: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", routine);
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.measurement_time(Duration::from_millis(50));
+        g.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &x| {
+            b.iter(|| x * x)
+        });
+        g.bench_function("noop", |b| b.iter(|| ()));
+        g.finish();
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        demo_group();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

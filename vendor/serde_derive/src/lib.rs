@@ -1,0 +1,488 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Hand-rolled token parsing (the container has no syn/quote). Supports
+//! exactly the shapes this workspace uses:
+//!
+//! * structs with named fields, newtype structs, tuple structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally
+//!   tagged, matching real serde's default representation);
+//! * container attributes `#[serde(try_from = "T")]` / `#[serde(into = "T")]`;
+//! * the field attribute `#[serde(skip)]`.
+//!
+//! Generic type parameters are intentionally unsupported — the derive
+//! panics with a clear message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    try_from: Option<String>,
+    into: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    NamedStruct(Vec<Field>),
+    /// `struct S(T, U);` — `len == 1` is serialized transparently.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Parsed {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let attrs = parse_attrs(&tokens, &mut pos).container;
+    skip_visibility(&tokens, &mut pos);
+
+    let kw = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive serde impls for item kind `{other}`"),
+    };
+
+    Parsed { name, attrs, shape }
+}
+
+struct AttrScan {
+    container: ContainerAttrs,
+    field_skip: bool,
+}
+
+/// Consumes leading `#[...]` attributes; extracts `#[serde(...)]` keys.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> AttrScan {
+    let mut out = AttrScan {
+        container: ContainerAttrs::default(),
+        field_skip: false,
+    };
+    while let Some(TokenTree::Punct(p)) = tokens.get(*pos) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *pos += 1;
+        let Some(TokenTree::Group(g)) = tokens.get(*pos) else {
+            panic!("malformed attribute");
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        // Only `serde(...)` attributes matter; doc comments etc. are skipped.
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut i = 0;
+        while i < args.len() {
+            match &args[i] {
+                TokenTree::Ident(key) => {
+                    let key = key.to_string();
+                    let has_eq =
+                        matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                    if has_eq {
+                        let Some(TokenTree::Literal(lit)) = args.get(i + 2) else {
+                            panic!("expected string literal after `{key} =`");
+                        };
+                        let value = strip_quotes(&lit.to_string());
+                        match key.as_str() {
+                            "try_from" => out.container.try_from = Some(value),
+                            "into" => out.container.into = Some(value),
+                            other => panic!("unsupported serde attribute `{other} = ...`"),
+                        }
+                        i += 3;
+                    } else {
+                        match key.as_str() {
+                            "skip" => out.field_skip = true,
+                            other => panic!("unsupported serde attribute `{other}`"),
+                        }
+                        i += 1;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+                other => panic!("unexpected token in serde attribute: {other:?}"),
+            }
+        }
+    }
+    out
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *pos += 1;
+        // `pub(crate)` / `pub(super)` carry a parenthesized group.
+        if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(i)) => {
+            *pos += 1;
+            i.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let scan = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        // Skip `:` then the type, up to a top-level comma. Angle brackets
+        // never contain top-level commas at depth 0 here because generic
+        // arguments live inside `<...>` which we track.
+        assert!(
+            matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "expected `:` after field `{name}`"
+        );
+        pos += 1;
+        let mut angle_depth = 0i32;
+        while let Some(t) = tokens.get(pos) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: scan.field_skip,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // Tolerate a trailing comma.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        let _ = parse_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos);
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            panic!("explicit enum discriminants are unsupported (variant `{name}`)");
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(p: &Parsed) -> String {
+    let name = &p.name;
+    if let Some(into) = &p.attrs.into {
+        return format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             \tfn to_content(&self) -> ::serde::Content {{\n\
+             \t\tlet raw: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             \t\t::serde::Serialize::to_content(&raw)\n\
+             \t}}\n}}\n"
+        );
+    }
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "m.push((\"{0}\".to_string(), ::serde::Serialize::to_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n{pushes}::serde::Content::Map(m)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\tfn to_content(&self) -> ::serde::Content {{\n{body}\n\t}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(p: &Parsed) -> String {
+    let name = &p.name;
+    if let Some(try_from) = &p.attrs.try_from {
+        return format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             \tfn from_content(content: &::serde::Content) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+             \t\tlet raw: {try_from} = ::serde::Deserialize::from_content(content)?;\n\
+             \t\t::core::convert::TryFrom::try_from(raw).map_err(|e| ::serde::Error::custom(&e))\n\
+             \t}}\n}}\n"
+        );
+    }
+    let body = match &p.shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_content(::serde::content_get(map, \"{0}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{0}` in {name}\"))?)?,\n",
+                        f.name
+                    ));
+                }
+            }
+            format!(
+                "let map = content.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = content.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for struct {name}\"))?;\n\
+                 if items.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::core::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for variant {vn}\"))?;\n\
+                             if items.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::custom(\"wrong arity for variant {vn}\")); }}\n\
+                             ::core::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::core::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::Deserialize::from_content(::serde::content_get(vmap, \"{0}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{0}` in variant {vn}\"))?)?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let vmap = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for variant {vn}\"))?;\n\
+                             ::core::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match content {{\n\
+                 ::serde::Content::Str(tag) => match tag.as_str() {{\n{unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}},\n\
+                 other => ::core::result::Result::Err(::serde::Error::custom(&format!(\"expected enum tag for {name}, found {{}}\", other.kind()))),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\tfn from_content(content: &::serde::Content) -> ::core::result::Result<Self, ::serde::Error> {{\n{body}\n\t}}\n}}\n"
+    )
+}

@@ -1,19 +1,14 @@
 //! Runs the full experiment suite and prints every table; `--markdown`
 //! emits GitHub-flavored Markdown (used to build EXPERIMENTS.md), `--csv`
 //! emits comma-separated values for plotting.
+//!
+//! The sweep grids run on the deterministic executor: `--par N` fans
+//! cells across `N` threads with per-cell derived seeds, so the tables
+//! are byte-identical for every `N` (`--stable-output` additionally
+//! masks wall-clock cells, making whole runs diffable). A machine-
+//! readable `BENCH_sweep.json` is written for the CI perf gate; see
+//! `--sweep-out` / `--no-sweep`.
 fn main() {
-    let quick = asm_bench::quick_flag();
-    let args: Vec<String> = std::env::args().collect();
-    let markdown = args.iter().any(|a| a == "--markdown");
-    let csv = args.iter().any(|a| a == "--csv");
-    for t in asm_bench::exp::run_all(quick) {
-        if markdown {
-            println!("{}", t.to_markdown());
-        } else if csv {
-            println!("# {}", t.title());
-            println!("{}", t.to_csv());
-        } else {
-            println!("{t}");
-        }
-    }
+    let ids: Vec<&str> = asm_bench::exp::EXPERIMENTS.iter().map(|e| e.id).collect();
+    asm_bench::run_binary(&ids);
 }

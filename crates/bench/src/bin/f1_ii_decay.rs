@@ -1,4 +1,6 @@
-//! Prints the f1_ii_decay experiment tables (see DESIGN.md §5).
+//! Prints the f1_ii_decay experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f1_ii_decay::run(asm_bench::quick_flag()));
+    asm_bench::run_binary(&["f1_ii_decay"]);
 }

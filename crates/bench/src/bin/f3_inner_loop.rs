@@ -1,4 +1,6 @@
-//! Prints the f3_inner_loop experiment tables (see DESIGN.md §5).
+//! Prints the f3_inner_loop experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f3_inner_loop::run(asm_bench::quick_flag()));
+    asm_bench::run_binary(&["f3_inner_loop"]);
 }

@@ -1,6 +1,6 @@
-//! Prints the f5_eps_blocking experiment tables (see DESIGN.md §5).
+//! Prints the f5_eps_blocking experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f5_eps_blocking::run(
-        asm_bench::quick_flag(),
-    ));
+    asm_bench::run_binary(&["f5_eps_blocking"]);
 }

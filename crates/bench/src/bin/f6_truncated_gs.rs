@@ -1,6 +1,6 @@
-//! Prints the f6_truncated_gs experiment tables (see DESIGN.md §5).
+//! Prints the f6_truncated_gs experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::f6_truncated_gs::run(
-        asm_bench::quick_flag(),
-    ));
+    asm_bench::run_binary(&["f6_truncated_gs"]);
 }

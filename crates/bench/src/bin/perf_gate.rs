@@ -1,0 +1,118 @@
+//! CI perf-regression gate: compares a fresh `BENCH_sweep.json` against
+//! the committed baseline and fails (exit 1) when any experiment's
+//! wall-clock regressed beyond the tolerance.
+//!
+//! ```text
+//! perf_gate --baseline results/bench_baseline.json \
+//!           --current BENCH_sweep.json [--tolerance 0.25]
+//! ```
+//!
+//! The tolerance is a fractional slowdown (0.25 = +25%); the
+//! `BENCH_GATE_TOLERANCE` environment variable overrides the default
+//! when no `--tolerance` flag is given. Experiments faster than the
+//! noise floor (`GATE_FLOOR_MS`) are never flagged, and experiments new
+//! in the current run are allowed; experiments *missing* from the
+//! current run fail the gate.
+
+use asm_runtime::{sweep, SweepReport};
+use std::process::ExitCode;
+
+struct GateArgs {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<GateArgs, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = args.next(),
+            "--current" => current = args.next(),
+            "--tolerance" => {
+                let raw = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = Some(
+                    raw.parse::<f64>()
+                        .map_err(|e| format!("--tolerance: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    let tolerance = match tolerance {
+        Some(t) => t,
+        None => match std::env::var("BENCH_GATE_TOLERANCE") {
+            Ok(raw) => raw
+                .parse::<f64>()
+                .map_err(|e| format!("BENCH_GATE_TOLERANCE: {e}"))?,
+            Err(_) => 0.25,
+        },
+    };
+    if !(tolerance.is_finite() && tolerance >= 0.0) {
+        return Err(format!(
+            "tolerance must be a finite fraction >= 0, got {tolerance}"
+        ));
+    }
+    Ok(GateArgs {
+        baseline: baseline.ok_or("--baseline <path> is required")?,
+        current: current.ok_or("--current <path> is required")?,
+        tolerance,
+    })
+}
+
+fn load(path: &str) -> Result<SweepReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    SweepReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for err in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("perf_gate: {err}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "perf gate: {} baseline experiments vs {} current, tolerance +{:.0}% (floor {} ms)",
+        baseline.per_experiment_ms().len(),
+        current.per_experiment_ms().len(),
+        args.tolerance * 100.0,
+        sweep::GATE_FLOOR_MS,
+    );
+    let mut current_by_exp = current.per_experiment_ms();
+    for (experiment, base_ms) in baseline.per_experiment_ms() {
+        match current_by_exp.remove(&experiment) {
+            Some(cur_ms) => println!(
+                "  {experiment}: {base_ms:.1} ms -> {cur_ms:.1} ms ({:+.1}%)",
+                (cur_ms / base_ms.max(f64::MIN_POSITIVE) - 1.0) * 100.0
+            ),
+            None => println!("  {experiment}: missing from current run"),
+        }
+    }
+    for (experiment, cur_ms) in current_by_exp {
+        println!("  {experiment}: new ({cur_ms:.1} ms, not gated)");
+    }
+    let regressions = sweep::compare(&baseline, &current, args.tolerance);
+    if regressions.is_empty() {
+        println!("perf gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        for r in &regressions {
+            eprintln!("perf gate FAIL: {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,4 +1,6 @@
-//! Prints the t3_randasm experiment tables (see DESIGN.md §5).
+//! Prints the t3_randasm experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::t3_randasm::run(asm_bench::quick_flag()));
+    asm_bench::run_binary(&["t3_randasm"]);
 }

@@ -1,4 +1,6 @@
-//! Prints the t5_local_work experiment tables (see DESIGN.md §5).
+//! Prints the t5_local_work experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::t5_local_work::run(asm_bench::quick_flag()));
+    asm_bench::run_binary(&["t5_local_work"]);
 }

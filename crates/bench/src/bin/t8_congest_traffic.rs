@@ -1,6 +1,6 @@
-//! Prints the t8_congest_traffic experiment tables (see DESIGN.md §5).
+//! Prints the t8_congest_traffic experiment tables (see DESIGN.md §5) and writes
+//! its `BENCH_sweep.json`; accepts the shared sweep flags (`--quick`,
+//! `--par N`, `--csv`, `--markdown`, `--stable-output`, `--no-sweep`).
 fn main() {
-    asm_bench::print_tables(&asm_bench::exp::t8_congest_traffic::run(
-        asm_bench::quick_flag(),
-    ));
+    asm_bench::run_binary(&["t8_congest_traffic"]);
 }

@@ -3,9 +3,13 @@
 //! Measures the per-iteration decay ratio and the iterations needed for
 //! maximality.
 
+use super::ExpCtx;
 use crate::{f4, Table};
 use asm_congest::{NodeId, SplitRng};
 use asm_maximal::israeli_itai;
+use asm_runtime::SweepCell;
+
+const ID: &str = "f1_ii_decay";
 
 fn random_bipartite(n: u32, d: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
     let mut rng = SplitRng::new(seed);
@@ -20,16 +24,19 @@ fn random_bipartite(n: u32, d: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
 }
 
 /// Runs the measurement and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n: u32 = if quick { 200 } else { 2000 };
-    let trials: u64 = if quick { 5 } else { 20 };
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let n: u32 = if ctx.quick { 200 } else { 2000 };
+    let trials: u64 = if ctx.quick { 5 } else { 20 };
+    let mut cells = Vec::new();
 
     let mut series = Table::new(
         "F1a: Israeli-Itai survivor series |V_i| (one seed, d = 4)",
         &["iteration", "survivors", "ratio |V_i|/|V_i-1|"],
     );
-    let edges = random_bipartite(n, 4, 0xF1);
-    let run = israeli_itai(&edges, 10_000, &SplitRng::new(0xF1), 0);
+    let series_seed = ctx.seed(ID, "series", &[n as u64]);
+    let edges = random_bipartite(n, 4, series_seed);
+    let (run, wall_ms) =
+        ExpCtx::time(|| israeli_itai(&edges, 10_000, &SplitRng::new(series_seed), 0));
     for (i, w) in run.survivors.windows(2).enumerate() {
         series.row(vec![
             (i + 1).to_string(),
@@ -41,6 +48,10 @@ pub fn run(quick: bool) -> Vec<Table> {
             },
         ]);
     }
+    let mut series_cell = SweepCell::new(ID, "series", n as usize, 1.0, series_seed);
+    series_cell.wall_ms = wall_ms;
+    series_cell.rounds = run.outcome.iterations;
+    cells.push(series_cell);
 
     let mut decay = Table::new(
         "F1b: measured decay constant c and iterations to maximality (Lemma 8 / Corollary 1)",
@@ -54,24 +65,32 @@ pub fn run(quick: bool) -> Vec<Table> {
             "log2(n)",
         ],
     );
-    for d in [2usize, 4, 8] {
+    let ds = [2usize, 4, 8];
+    let decay_results = ctx.exec.map(&ds, |_, &d| {
         let mut ratios = Vec::new();
         let mut iters = Vec::new();
-        for seed in 0..trials {
-            let edges = random_bipartite(n, d, seed);
-            let run = israeli_itai(&edges, 10_000, &SplitRng::new(seed + 31), 0);
-            iters.push(run.outcome.iterations as f64);
-            for w in run.survivors.windows(2) {
-                if w[0] >= 20 {
-                    ratios.push(w[1] as f64 / w[0] as f64);
+        let cell_seed = ctx.seed(ID, "decay", &[d as u64]);
+        let ((), wall_ms) = ExpCtx::time(|| {
+            for trial in 0..trials {
+                let seed = ctx.seed(ID, "decay", &[d as u64, trial]);
+                let edges = random_bipartite(n, d, seed);
+                let run = israeli_itai(&edges, 10_000, &SplitRng::new(seed ^ 31), 0);
+                iters.push(run.outcome.iterations as f64);
+                for w in run.survivors.windows(2) {
+                    if w[0] >= 20 {
+                        ratios.push(w[1] as f64 / w[0] as f64);
+                    }
                 }
             }
-        }
+        });
         let mean_c = ratios.iter().sum::<f64>() / ratios.len().max(1) as f64;
         let max_c = ratios.iter().cloned().fold(0.0, f64::max);
         let mean_it = iters.iter().sum::<f64>() / iters.len() as f64;
         let max_it = iters.iter().cloned().fold(0.0, f64::max);
-        decay.row(vec![
+        let mut cell = SweepCell::new(ID, "decay", d, 1.0, cell_seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = mean_it as u64;
+        let row = vec![
             d.to_string(),
             trials.to_string(),
             f4(mean_c),
@@ -79,16 +98,24 @@ pub fn run(quick: bool) -> Vec<Table> {
             f4(mean_it),
             f4(max_it),
             f4((2.0 * n as f64).log2()),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in decay_results {
+        decay.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![series, decay]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn decay_constant_below_one() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         for line in tables[1].to_markdown().lines().skip(4) {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             if cells.len() > 3 {

@@ -4,18 +4,23 @@
 //! within `k` `ProposalRound`s (Lemma 2 — enforced by a debug assertion
 //! in the engine, surfaced here as the executed-PRs-per-QM column).
 
+use super::ExpCtx;
 use crate::{f4, Table};
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
+use asm_runtime::SweepCell;
+
+const ID: &str = "f3_inner_loop";
 
 /// Runs the instrumented execution and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 48 } else { 256 };
-    let inst = generators::complete(n, 0x33);
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let n = if ctx.quick { 48 } else { 256 };
+    let seed = ctx.seed(ID, "complete", &[n as u64]);
+    let inst = generators::complete(n, seed);
     let config = AsmConfig::new(1.0);
     let delta = config.delta();
     let k = config.quantile_count() as u64;
-    let report = asm(&inst, &config).expect("valid config");
+    let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
 
     let mut t = Table::new(
         "F3a: per-QuantileMatch convergence on a complete instance",
@@ -60,14 +65,22 @@ pub fn run(quick: bool) -> Vec<Table> {
         report.snapshots.len().to_string(),
         format!("of {} scheduled", report.scheduled_quantile_matches),
     ]);
+
+    let mut cell = SweepCell::new(ID, "complete", n, 1.0, seed);
+    cell.wall_ms = wall_ms;
+    cell.rounds = report.rounds;
+    cell.blocking_fraction = report.stability(&inst).blocking_fraction();
+    ctx.record(vec![cell]);
     vec![t, summary]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn bad_men_eventually_zero_on_complete() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         // On a complete instance the last snapshot should show 0 bad men
         // (everyone matched; complete markets admit perfect matchings).
         let md = tables[0].to_markdown();

@@ -2,13 +2,16 @@
 //! (Lemma 3), and at most `4|E|/k` blocking pairs are not
 //! `(2/k)`-blocking (Lemma 4).
 
-use super::families;
+use super::{family, ExpCtx, FAMILY_NAMES};
 use crate::Table;
 use asm_core::{asm, AsmConfig};
 use asm_matching::{blocking_pairs, eps_blocking_pairs};
+use asm_runtime::SweepCell;
+
+const ID: &str = "f4_good_men";
 
 /// Runs the audit and returns the result table.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let mut t = Table::new(
         "F4: Lemma 3 / Lemma 4 audit per family",
         &[
@@ -22,11 +25,14 @@ pub fn run(quick: bool) -> Vec<Table> {
             "lemma4 ok",
         ],
     );
-    let n = if quick { 32 } else { 96 };
+    let n = if ctx.quick { 32 } else { 96 };
     let config = AsmConfig::new(1.0);
     let k = config.quantile_count() as f64;
-    for (name, inst) in families(n, 0x44) {
-        let report = asm(&inst, &config).expect("valid config");
+    let fams: Vec<usize> = (0..FAMILY_NAMES.len()).collect();
+    let results = ctx.exec.map(&fams, |_, &fam| {
+        let seed = ctx.seed(ID, FAMILY_NAMES[fam], &[n as u64]);
+        let (name, inst) = family(fam, n, seed);
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
         let blocking = blocking_pairs(&inst, &report.matching);
         let eps_bp = eps_blocking_pairs(&inst, &report.matching, 2.0 / k);
         let on_good = eps_bp
@@ -35,7 +41,11 @@ pub fn run(quick: bool) -> Vec<Table> {
             .count();
         let non_2k = blocking.iter().filter(|p| !eps_bp.contains(p)).count();
         let bound = 4.0 * inst.num_edges() as f64 / k;
-        t.row(vec![
+        let mut cell = SweepCell::new(ID, name, n, 1.0, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = report.stability(&inst).blocking_fraction();
+        let row = vec![
             name.to_string(),
             blocking.len().to_string(),
             eps_bp.len().to_string(),
@@ -44,16 +54,25 @@ pub fn run(quick: bool) -> Vec<Table> {
             format!("{bound:.1}"),
             (on_good == 0).to_string(),
             ((non_2k as f64) <= bound).to_string(),
-        ]);
+        ];
+        (row, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (row, cell) in results {
+        t.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![t]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn lemmas_hold_on_all_families() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert!(
             !tables[0].to_markdown().contains("false"),
             "a lemma audit failed:\n{}",

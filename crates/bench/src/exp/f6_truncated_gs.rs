@@ -4,19 +4,24 @@
 //! shape: truncated GS is excellent for small d (the regime of \[3\]),
 //! while ASM's guarantee is degree-independent.
 
+use super::ExpCtx;
 use crate::{f4, Table};
 use asm_core::baselines::{distributed_gs, truncated_gs};
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_matching::StabilityReport;
 use asm_maximal::MatcherBackend;
+use asm_runtime::SweepCell;
+
+const ID: &str = "f6_truncated_gs";
 
 /// Runs the sweep and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 64 } else { 256 };
-    let mut tables = Vec::new();
-    for d in [4usize, 16] {
-        let inst = generators::regular(n, d, 0x66);
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let n = if ctx.quick { 64 } else { 256 };
+    let ds = [4usize, 16];
+    let results = ctx.exec.map(&ds, |_, &d| {
+        let seed = ctx.seed(ID, "regular", &[n as u64, d as u64]);
+        let inst = generators::regular(n, d, seed);
         let mut t = Table::new(
             &format!("F6: truncated GS vs ASM on {d}-regular lists (n = {n})"),
             &[
@@ -27,48 +32,63 @@ pub fn run(quick: bool) -> Vec<Table> {
                 "matching size",
             ],
         );
-        for cycles in [1u64, 2, 4, 8, 16, 32] {
-            let tr = truncated_gs(&inst, cycles);
-            let st = StabilityReport::analyze(&inst, &tr.matching);
+        let mut cell = SweepCell::new(ID, "regular", d, 1.0, seed);
+        let ((), wall_ms) = ExpCtx::time(|| {
+            for cycles in [1u64, 2, 4, 8, 16, 32] {
+                let tr = truncated_gs(&inst, cycles);
+                let st = StabilityReport::analyze(&inst, &tr.matching);
+                t.row(vec![
+                    format!("GS@{cycles} cycles"),
+                    tr.rounds.to_string(),
+                    st.blocking_pairs.to_string(),
+                    f4(st.blocking_fraction()),
+                    st.matching_size.to_string(),
+                ]);
+            }
+            let full = distributed_gs(&inst);
+            let st = StabilityReport::analyze(&inst, &full.matching);
             t.row(vec![
-                format!("GS@{cycles} cycles"),
-                tr.rounds.to_string(),
+                "GS full".to_string(),
+                full.rounds.to_string(),
                 st.blocking_pairs.to_string(),
                 f4(st.blocking_fraction()),
                 st.matching_size.to_string(),
             ]);
-        }
-        let full = distributed_gs(&inst);
-        let st = StabilityReport::analyze(&inst, &full.matching);
-        t.row(vec![
-            "GS full".to_string(),
-            full.rounds.to_string(),
-            st.blocking_pairs.to_string(),
-            f4(st.blocking_fraction()),
-            st.matching_size.to_string(),
-        ]);
-        for eps in [1.0, 0.25] {
-            let config = AsmConfig::new(eps).with_backend(MatcherBackend::DetGreedy);
-            let report = asm(&inst, &config).expect("valid config");
-            let st = report.stability(&inst);
-            t.row(vec![
-                format!("ASM eps={eps}"),
-                report.rounds.to_string(),
-                st.blocking_pairs.to_string(),
-                f4(st.blocking_fraction()),
-                st.matching_size.to_string(),
-            ]);
-        }
+            for eps in [1.0, 0.25] {
+                let config = AsmConfig::new(eps).with_backend(MatcherBackend::DetGreedy);
+                let report = asm(&inst, &config).expect("valid config");
+                let st = report.stability(&inst);
+                cell.rounds = report.rounds;
+                cell.blocking_fraction = st.blocking_fraction();
+                t.row(vec![
+                    format!("ASM eps={eps}"),
+                    report.rounds.to_string(),
+                    st.blocking_pairs.to_string(),
+                    f4(st.blocking_fraction()),
+                    st.matching_size.to_string(),
+                ]);
+            }
+        });
+        cell.wall_ms = wall_ms;
+        (t, cell)
+    });
+    let mut tables = Vec::with_capacity(results.len());
+    let mut cells = Vec::with_capacity(results.len());
+    for (t, cell) in results {
         tables.push(t);
+        cells.push(cell);
     }
+    ctx.record(cells);
     tables
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn full_gs_row_is_stable() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         for t in &tables {
             let md = t.to_markdown();
             let gs_full = md

@@ -6,15 +6,21 @@
 //! [`asm_instance::generators::geometric`] family, and watches blocking
 //! fraction, rounds, and Gale–Shapley proposal counts.
 
+use super::ExpCtx;
 use crate::{f2, f4, Table};
 use asm_core::baselines::distributed_gs;
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_maximal::MatcherBackend;
+use asm_runtime::SweepCell;
+
+const ID: &str = "f7_correlation";
+
+const NOISES: [f64; 5] = [0.0, 0.25, 1.0, 4.0, 16.0];
 
 /// Runs the sweep and returns the result table.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 32 } else { 128 };
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let n = if ctx.quick { 32 } else { 128 };
     let mut t = Table::new(
         "F7: ASM under correlated preferences (noise 0 = master list)",
         &[
@@ -27,37 +33,72 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
     let eps = 0.5;
-    let mut push = |label: String, inst: &asm_instance::Instance| {
+    // Grid indices: 0..NOISES.len() are noisy-master points, then the
+    // geometric and independent (complete) instances.
+    let grid: Vec<usize> = (0..NOISES.len() + 2).collect();
+    let results = ctx.exec.map(&grid, |_, &gi| {
+        let (label, fam, inst) = if gi < NOISES.len() {
+            let noise = NOISES[gi];
+            let seed = ctx.seed(ID, "noisy-master", &[n as u64, gi as u64]);
+            (
+                format!("noisy-master {noise}"),
+                "noisy-master",
+                generators::noisy_master(n, noise, seed),
+            )
+        } else if gi == NOISES.len() {
+            let seed = ctx.seed(ID, "geometric", &[n as u64]);
+            (
+                "geometric".to_string(),
+                "geometric",
+                generators::geometric(n, (n / 8).max(2), seed),
+            )
+        } else {
+            let seed = ctx.seed(ID, "independent", &[n as u64]);
+            (
+                "independent".to_string(),
+                "independent",
+                generators::complete(n, seed),
+            )
+        };
+        let seed = ctx.seed(ID, fam, &[n as u64, gi as u64]);
         let config = AsmConfig::new(eps).with_backend(MatcherBackend::DetGreedy);
-        let report = asm(inst, &config).expect("valid config");
-        let st = report.stability(inst);
+        let ((report, gs), wall_ms) = ExpCtx::time(|| {
+            let report = asm(&inst, &config).expect("valid config");
+            let gs = distributed_gs(&inst);
+            (report, gs)
+        });
+        let st = report.stability(&inst);
         assert!(st.is_one_minus_eps_stable(eps), "{label}");
-        let gs = distributed_gs(inst);
-        t.row(vec![
+        let mut cell = SweepCell::new(ID, fam, n, gi as f64, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             label,
             f4(st.blocking_fraction()),
             report.rounds.to_string(),
             report.executed_proposal_rounds.to_string(),
             gs.rounds.to_string(),
             f2(gs.proposals as f64 / n as f64),
-        ]);
-    };
-    for noise in [0.0, 0.25, 1.0, 4.0, 16.0] {
-        let inst = generators::noisy_master(n, noise, 0xF7);
-        push(format!("noisy-master {noise}"), &inst);
+        ];
+        (row, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (row, cell) in results {
+        t.row(row);
+        cells.push(cell);
     }
-    let inst = generators::geometric(n, (n / 8).max(2), 0xF7);
-    push("geometric".to_string(), &inst);
-    let inst = generators::complete(n, 0xF7);
-    push("independent".to_string(), &inst);
+    ctx.record(cells);
     vec![t]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn all_rows_meet_budget_and_cover_spectrum() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert_eq!(tables[0].len(), 7);
     }
 }

@@ -4,15 +4,18 @@
 //! adversarial inputs. A second table sweeps ε to exhibit the `ε⁻³`
 //! factor.
 
-use super::n_sweep;
+use super::{n_sweep, ExpCtx};
 use crate::{f2, Table};
 use asm_core::baselines::distributed_gs;
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_maximal::MatcherBackend;
+use asm_runtime::SweepCell;
+
+const ID: &str = "t2_rounds";
 
 /// Runs the sweep and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let mut by_n = Table::new(
         "T2a: rounds vs n (Theorem 4) - complete and chain instances",
         &[
@@ -25,11 +28,19 @@ pub fn run(quick: bool) -> Vec<Table> {
             "log^5(n)*e^-3",
         ],
     );
-    for n in n_sweep(quick) {
-        for (family, inst) in [
-            ("complete", generators::complete(n, 7)),
-            ("chain", generators::adversarial_chain(n)),
-        ] {
+    let mut grid = Vec::new();
+    for n in n_sweep(ctx.quick) {
+        for family in ["complete", "chain"] {
+            grid.push((n, family));
+        }
+    }
+    let results = ctx.exec.map(&grid, |_, &(n, family)| {
+        let seed = ctx.seed(ID, family, &[n as u64]);
+        let inst = match family {
+            "complete" => generators::complete(n, seed),
+            _ => generators::adversarial_chain(n),
+        };
+        let (row_data, wall_ms) = ExpCtx::time(|| {
             let hkp = asm(&inst, &AsmConfig::new(1.0)).expect("valid config");
             let greedy = asm(
                 &inst,
@@ -37,44 +48,68 @@ pub fn run(quick: bool) -> Vec<Table> {
             )
             .expect("valid config");
             let gs = distributed_gs(&inst);
-            let log = (n as f64).log2();
-            by_n.row(vec![
-                family.to_string(),
-                n.to_string(),
-                hkp.nominal_rounds.to_string(),
-                hkp.rounds.to_string(),
-                greedy.rounds.to_string(),
-                gs.rounds.to_string(),
-                f2(log.powi(5)),
-            ]);
-        }
+            (hkp, greedy, gs)
+        });
+        let (hkp, greedy, gs) = row_data;
+        let log = (n as f64).log2();
+        let mut cell = SweepCell::new(ID, family, n, 1.0, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = hkp.rounds;
+        let row = vec![
+            family.to_string(),
+            n.to_string(),
+            hkp.nominal_rounds.to_string(),
+            hkp.rounds.to_string(),
+            greedy.rounds.to_string(),
+            gs.rounds.to_string(),
+            f2(log.powi(5)),
+        ];
+        (row, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (row, cell) in results {
+        by_n.row(row);
+        cells.push(cell);
     }
 
     let mut by_eps = Table::new(
         "T2b: nominal rounds vs eps at fixed n (the eps^-3 factor)",
         &["eps", "k", "inner iters", "nominal rounds", "effective"],
     );
-    let n = if quick { 32 } else { 128 };
-    let inst = generators::complete(n, 7);
-    for eps in [2.0, 1.0, 0.5, 0.25] {
+    let n = if ctx.quick { 32 } else { 128 };
+    let seed = ctx.seed(ID, "complete-eps", &[n as u64]);
+    let inst = generators::complete(n, seed);
+    let eps_grid = [2.0, 1.0, 0.5, 0.25];
+    let eps_results = ctx.exec.map(&eps_grid, |_, &eps| {
         let config = AsmConfig::new(eps);
-        let report = asm(&inst, &config).expect("valid config");
-        by_eps.row(vec![
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
+        let mut cell = SweepCell::new(ID, "complete-eps", n, eps, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        let row = vec![
             format!("{eps}"),
             config.quantile_count().to_string(),
             config.inner_iterations().to_string(),
             report.nominal_rounds.to_string(),
             report.rounds.to_string(),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in eps_results {
+        by_eps.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![by_n, by_eps]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn produces_both_tables() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert_eq!(tables.len(), 2);
         assert!(!tables[0].is_empty());
         assert!(!tables[1].is_empty());

@@ -2,13 +2,16 @@
 //! `n` for fixed α, ε, δ (complete preferences are 1-almost-regular),
 //! and its schedule grows with α.
 
-use super::n_sweep;
+use super::{n_sweep, ExpCtx};
 use crate::{f4, Table};
 use asm_core::{almost_regular_asm, AlmostRegularParams};
 use asm_instance::generators;
+use asm_runtime::SweepCell;
+
+const ID: &str = "t4_almost_regular";
 
 /// Runs the sweep and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let eps = 1.0;
     let delta = 0.1;
 
@@ -23,19 +26,37 @@ pub fn run(quick: bool) -> Vec<Table> {
             "ok",
         ],
     );
-    for n in n_sweep(quick) {
-        let inst = generators::complete(n, 0xC1);
-        let report = almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(3))
-            .expect("valid params");
+    let sizes = n_sweep(ctx.quick);
+    let results = ctx.exec.map(&sizes, |_, &n| {
+        let seed = ctx.seed(ID, "complete", &[n as u64]);
+        let inst = generators::complete(n, seed);
+        let algo_seed = ctx.seed(ID, "complete-run", &[n as u64]);
+        let (report, wall_ms) = ExpCtx::time(|| {
+            almost_regular_asm(
+                &inst,
+                &AlmostRegularParams::new(eps, delta).with_seed(algo_seed),
+            )
+            .expect("valid params")
+        });
         let st = report.stability(&inst);
-        by_n.row(vec![
+        let mut cell = SweepCell::new(ID, "complete", n, eps, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             n.to_string(),
             report.nominal_rounds.to_string(),
             report.rounds.to_string(),
             f4(st.blocking_fraction()),
             report.removed_men.len().to_string(),
             st.is_one_minus_eps_stable(eps).to_string(),
-        ]);
+        ];
+        (row, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (row, cell) in results {
+        by_n.row(row);
+        cells.push(cell);
     }
 
     let mut by_alpha = Table::new(
@@ -48,29 +69,49 @@ pub fn run(quick: bool) -> Vec<Table> {
             "blocking frac",
         ],
     );
-    let n = if quick { 48 } else { 128 };
-    for alpha in [1.0, 2.0, 4.0] {
+    let n = if ctx.quick { 48 } else { 128 };
+    let alphas = [1.0, 2.0, 4.0];
+    let alpha_results = ctx.exec.map(&alphas, |ai, &alpha| {
         let d_min = 4;
-        let inst = generators::almost_regular(n, d_min, alpha, 0xC2);
-        let report = almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(5))
-            .expect("valid params");
+        let seed = ctx.seed(ID, "almost-reg", &[n as u64, ai as u64]);
+        let inst = generators::almost_regular(n, d_min, alpha, seed);
+        let algo_seed = ctx.seed(ID, "almost-reg-run", &[n as u64, ai as u64]);
+        let (report, wall_ms) = ExpCtx::time(|| {
+            almost_regular_asm(
+                &inst,
+                &AlmostRegularParams::new(eps, delta).with_seed(algo_seed),
+            )
+            .expect("valid params")
+        });
         let st = report.stability(&inst);
-        by_alpha.row(vec![
+        let mut cell = SweepCell::new(ID, "almost-reg", n, alpha, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             format!("{alpha}"),
             report.scheduled_quantile_matches.to_string(),
             report.nominal_rounds.to_string(),
             report.rounds.to_string(),
             f4(st.blocking_fraction()),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in alpha_results {
+        by_alpha.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![by_n, by_alpha]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn nominal_rounds_constant_in_n() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         let rows: Vec<Vec<String>> = tables[0]
             .to_markdown()
             .lines()

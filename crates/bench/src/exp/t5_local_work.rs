@@ -3,14 +3,17 @@
 //! instance size (the CONGEST model allows unbounded local computation,
 //! but ASM does not need it).
 
-use crate::{f2, Table};
+use super::ExpCtx;
+use crate::Table;
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_maximal::MatcherBackend;
-use std::time::Instant;
+use asm_runtime::SweepCell;
+
+const ID: &str = "t5_local_work";
 
 /// Runs the measurement and returns the result table.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let mut t = Table::new(
         "T5: simulation wall-clock per effective round (Remark 4)",
         &[
@@ -22,35 +25,59 @@ pub fn run(quick: bool) -> Vec<Table> {
             "us/round/edge x1e3",
         ],
     );
-    let sizes: &[usize] = if quick {
+    let sizes: &[usize] = if ctx.quick {
         &[32, 64]
     } else {
         &[64, 128, 256, 512]
     };
+    // Timing cells run serially even under --par: concurrent cells would
+    // contend for cores and skew each other's wall-clock.
+    let mut cells = Vec::with_capacity(sizes.len());
     for &n in sizes {
-        let inst = generators::complete(n, 0xD3);
+        let seed = ctx.seed(ID, "complete", &[n as u64]);
+        let inst = generators::complete(n, seed);
         let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
-        let start = Instant::now();
-        let report = asm(&inst, &config).expect("valid config");
-        let elapsed = start.elapsed();
-        let us_per_round = elapsed.as_micros() as f64 / report.rounds.max(1) as f64;
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
+        let us_per_round = wall_ms * 1e3 / report.rounds.max(1) as f64;
+        let mut cell = SweepCell::new(ID, "complete", n, 1.0, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
         t.row(vec![
             n.to_string(),
             inst.num_edges().to_string(),
             report.rounds.to_string(),
-            f2(elapsed.as_secs_f64() * 1e3),
-            f2(us_per_round),
-            f2(us_per_round / inst.num_edges() as f64 * 1e3),
+            ctx.fmt_ms(wall_ms),
+            ctx.fmt_ms(us_per_round),
+            ctx.fmt_ms(us_per_round / inst.num_edges() as f64 * 1e3),
         ]);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![t]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn runs_and_reports() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert_eq!(tables[0].len(), 2);
+    }
+
+    #[test]
+    fn stable_output_masks_every_timing_cell() {
+        let mut ctx = ExpCtx::quick_serial();
+        ctx.stable_output = true;
+        let md = super::run(&ctx)[0].to_markdown();
+        for line in md.lines().skip(4) {
+            let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+            if cells.len() > 6 {
+                assert_eq!(cells[4], "-");
+                assert_eq!(cells[5], "-");
+                assert_eq!(cells[6], "-");
+            }
+        }
     }
 }

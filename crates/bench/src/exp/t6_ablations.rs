@@ -4,16 +4,22 @@
 //! paper's constants are worst-case; these tables show the observed
 //! slack.
 
+use super::ExpCtx;
 use crate::{f4, Table};
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_maximal::MatcherBackend;
+use asm_runtime::SweepCell;
+
+const ID: &str = "t6_ablations";
 
 /// Runs the sweeps and returns the result tables.
-pub fn run(quick: bool) -> Vec<Table> {
-    let n = if quick { 32 } else { 128 };
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
+    let n = if ctx.quick { 32 } else { 128 };
     let eps = 0.5;
-    let inst = generators::erdos_renyi(n, n, 0.3, 0xE4);
+    let seed = ctx.seed(ID, "erdos-renyi", &[n as u64]);
+    let inst = generators::erdos_renyi(n, n, 0.3, seed);
+    let mut cells = Vec::new();
 
     let mut by_k = Table::new(
         "T6a: quantile count k (paper default k = ceil(8/eps))",
@@ -27,21 +33,31 @@ pub fn run(quick: bool) -> Vec<Table> {
         ],
     );
     let default_k = AsmConfig::new(eps).quantile_count();
-    for k in [2, 4, 8, default_k, 2 * default_k] {
+    let ks = [2, 4, 8, default_k, 2 * default_k];
+    let k_results = ctx.exec.map(&ks, |_, &k| {
         let config = AsmConfig {
             quantiles: Some(k),
             ..AsmConfig::new(eps)
         };
-        let report = asm(&inst, &config).expect("valid config");
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
         let st = report.stability(&inst);
-        by_k.row(vec![
+        let mut cell = SweepCell::new(ID, "quantiles", k, eps, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             k.to_string(),
             report.nominal_rounds.to_string(),
             report.rounds.to_string(),
             f4(st.blocking_fraction()),
             report.bad_men.len().to_string(),
             st.is_one_minus_eps_stable(eps).to_string(),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in k_results {
+        by_k.row(row);
+        cells.push(cell);
     }
 
     let mut by_inner = Table::new(
@@ -54,20 +70,30 @@ pub fn run(quick: bool) -> Vec<Table> {
             "bad men",
         ],
     );
-    for mult in [0.05, 0.25, 1.0] {
+    let mults = [0.05, 0.25, 1.0];
+    let mult_results = ctx.exec.map(&mults, |mi, &mult| {
         let config = AsmConfig {
             inner_multiplier: mult,
             ..AsmConfig::new(eps)
         };
-        let report = asm(&inst, &config).expect("valid config");
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
         let st = report.stability(&inst);
-        by_inner.row(vec![
+        let mut cell = SweepCell::new(ID, "inner-mult", mi, mult, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             format!("{mult}"),
             config.inner_iterations().to_string(),
             report.rounds.to_string(),
             f4(st.blocking_fraction()),
             report.bad_men.len().to_string(),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in mult_results {
+        by_inner.row(row);
+        cells.push(cell);
     }
 
     let mut by_backend = Table::new(
@@ -80,7 +106,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             "blocking frac",
         ],
     );
-    for (name, backend) in [
+    let backends = [
         ("hkp-oracle", MatcherBackend::HkpOracle),
         ("det-greedy", MatcherBackend::DetGreedy),
         ("bipartite-proposal", MatcherBackend::BipartiteProposal),
@@ -89,26 +115,39 @@ pub fn run(quick: bool) -> Vec<Table> {
             "israeli-itai(32)",
             MatcherBackend::IsraeliItai { max_iterations: 32 },
         ),
-    ] {
+    ];
+    let backend_results = ctx.exec.map(&backends, |bi, &(name, backend)| {
         let config = AsmConfig::new(eps).with_backend(backend);
-        let report = asm(&inst, &config).expect("valid config");
+        let (report, wall_ms) = ExpCtx::time(|| asm(&inst, &config).expect("valid config"));
         let st = report.stability(&inst);
-        by_backend.row(vec![
+        let mut cell = SweepCell::new(ID, "backend", bi, eps, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = report.rounds;
+        cell.blocking_fraction = st.blocking_fraction();
+        let row = vec![
             name.to_string(),
             report.nominal_rounds.to_string(),
             report.rounds.to_string(),
             report.mm_rounds.to_string(),
             f4(st.blocking_fraction()),
-        ]);
+        ];
+        (row, cell)
+    });
+    for (row, cell) in backend_results {
+        by_backend.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![by_k, by_inner, by_backend]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn produces_three_tables() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert_eq!(tables.len(), 3);
         for t in &tables {
             assert!(!t.is_empty());

@@ -4,15 +4,18 @@
 //! the paper — an adoption-relevant question its evaluation would
 //! naturally include.
 
-use super::families;
+use super::{family, ExpCtx, FAMILY_NAMES};
 use crate::{f2, f4, Table};
 use asm_core::{asm, AsmConfig};
 use asm_matching::{
     man_optimal_stable, rotation_chain, woman_optimal_stable, StabilityReport, WelfareReport,
 };
+use asm_runtime::SweepCell;
+
+const ID: &str = "t7_welfare";
 
 /// Runs the comparison and returns the result table.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let mut t = Table::new(
         "T7: welfare of ASM vs the stable optima (extension)",
         &[
@@ -25,12 +28,16 @@ pub fn run(quick: bool) -> Vec<Table> {
             "blocking frac",
         ],
     );
-    let n = if quick { 24 } else { 96 };
-    for (name, inst) in families(n, 0x77) {
+    let n = if ctx.quick { 24 } else { 96 };
+    let fams: Vec<usize> = (0..FAMILY_NAMES.len()).collect();
+    let results = ctx.exec.map(&fams, |_, &fam| {
+        let seed = ctx.seed(ID, FAMILY_NAMES[fam], &[n as u64]);
+        let (name, inst) = family(fam, n, seed);
+        let mut rows = Vec::new();
         let mut push = |algo: &str, matching: &asm_matching::Matching| {
             let w = WelfareReport::measure(&inst, matching);
             let st = StabilityReport::analyze(&inst, matching);
-            t.row(vec![
+            rows.push(vec![
                 name.to_string(),
                 algo.to_string(),
                 w.egalitarian_cost.to_string(),
@@ -40,29 +47,46 @@ pub fn run(quick: bool) -> Vec<Table> {
                 f4(st.blocking_fraction()),
             ]);
         };
-        let mo = man_optimal_stable(&inst);
-        push("gs-man-opt", &mo.matching);
-        let wo = woman_optimal_stable(&inst);
-        push("gs-woman-opt", &wo.matching);
-        // Best egalitarian cost over the rotation chain of the stable
-        // lattice (a polynomial-size sample between the two optima).
-        let (_, chain) = rotation_chain(&inst);
-        let best = chain
-            .iter()
-            .min_by_key(|m| WelfareReport::measure(&inst, m).egalitarian_cost)
-            .expect("chain is nonempty");
-        push("stable-chain-best", best);
-        let report = asm(&inst, &AsmConfig::new(0.5)).expect("valid config");
-        push("asm eps=0.5", &report.matching);
+        let mut cell = SweepCell::new(ID, name, n, 0.5, seed);
+        let ((), wall_ms) = ExpCtx::time(|| {
+            let mo = man_optimal_stable(&inst);
+            push("gs-man-opt", &mo.matching);
+            let wo = woman_optimal_stable(&inst);
+            push("gs-woman-opt", &wo.matching);
+            // Best egalitarian cost over the rotation chain of the stable
+            // lattice (a polynomial-size sample between the two optima).
+            let (_, chain) = rotation_chain(&inst);
+            let best = chain
+                .iter()
+                .min_by_key(|m| WelfareReport::measure(&inst, m).egalitarian_cost)
+                .expect("chain is nonempty");
+            push("stable-chain-best", best);
+            let report = asm(&inst, &AsmConfig::new(0.5)).expect("valid config");
+            push("asm eps=0.5", &report.matching);
+            cell.rounds = report.rounds;
+            cell.blocking_fraction = report.stability(&inst).blocking_fraction();
+        });
+        cell.wall_ms = wall_ms;
+        (rows, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (rows, cell) in results {
+        for row in rows {
+            t.row(row);
+        }
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![t]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn four_rows_per_family() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         assert_eq!(tables[0].len() % 4, 0);
         assert!(tables[0].len() >= 28);
     }

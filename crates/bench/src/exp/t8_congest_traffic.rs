@@ -4,15 +4,29 @@
 //! compares measured rounds against the fast engine's accounting and the
 //! Gale–Shapley protocol.
 
+use super::ExpCtx;
 use crate::{f2, Table};
 use asm_core::baselines::congest_gs;
 use asm_core::congest::asm_congest;
 use asm_core::{asm, AsmConfig};
 use asm_instance::generators;
 use asm_maximal::MatcherBackend;
+use asm_runtime::SweepCell;
+
+const ID: &str = "t8_congest_traffic";
+
+const BACKENDS: [(&str, MatcherBackend); 4] = [
+    ("asm/greedy", MatcherBackend::DetGreedy),
+    ("asm/proposal", MatcherBackend::BipartiteProposal),
+    ("asm/pan-rizzi", MatcherBackend::PanconesiRizzi),
+    (
+        "asm/ii-32",
+        MatcherBackend::IsraeliItai { max_iterations: 32 },
+    ),
+];
 
 /// Runs the measurement and returns the result table.
-pub fn run(quick: bool) -> Vec<Table> {
+pub fn run(ctx: &ExpCtx) -> Vec<Table> {
     let mut t = Table::new(
         "T8: CONGEST engine wire measurements (messages are O(1)-size tags)",
         &[
@@ -25,51 +39,75 @@ pub fn run(quick: bool) -> Vec<Table> {
             "max msg bits",
         ],
     );
-    let sizes: &[usize] = if quick { &[16, 32] } else { &[32, 64, 128] };
+    // Grid: per n, the four ASM backends plus the GS baseline (index 4).
+    let sizes: &[usize] = if ctx.quick { &[16, 32] } else { &[32, 64, 128] };
+    let mut grid = Vec::new();
     for &n in sizes {
-        let inst = generators::erdos_renyi(n, n, 0.3, 0x88);
-        for (name, backend) in [
-            ("asm/greedy", MatcherBackend::DetGreedy),
-            ("asm/proposal", MatcherBackend::BipartiteProposal),
-            ("asm/pan-rizzi", MatcherBackend::PanconesiRizzi),
-            (
-                "asm/ii-32",
-                MatcherBackend::IsraeliItai { max_iterations: 32 },
-            ),
-        ] {
-            let config = AsmConfig::new(1.0).with_backend(backend);
+        for algo in 0..=BACKENDS.len() {
+            grid.push((n, algo));
+        }
+    }
+    let results = ctx.exec.map(&grid, |_, &(n, algo)| {
+        // The instance seed depends on n only, so every backend at a
+        // given n measures the same instance.
+        let seed = ctx.seed(ID, "erdos-renyi", &[n as u64]);
+        let inst = generators::erdos_renyi(n, n, 0.3, seed);
+        if algo == BACKENDS.len() {
+            let (gs, wall_ms) = ExpCtx::time(|| congest_gs(&inst).expect("valid instance"));
+            let mut cell = SweepCell::new(ID, "gale-shapley", n, 1.0, seed);
+            cell.wall_ms = wall_ms;
+            cell.rounds = gs.stats.rounds;
+            cell.messages = gs.stats.messages;
+            let row = vec![
+                n.to_string(),
+                "gale-shapley".to_string(),
+                gs.stats.rounds.to_string(),
+                "-".to_string(),
+                gs.stats.messages.to_string(),
+                f2(gs.stats.bits as f64 / 1000.0),
+                gs.stats.max_message_bits.to_string(),
+            ];
+            return (row, cell);
+        }
+        let (name, backend) = BACKENDS[algo];
+        let config = AsmConfig::new(1.0).with_backend(backend);
+        let ((wire, fast), wall_ms) = ExpCtx::time(|| {
             let wire = asm_congest(&inst, &config).expect("supported backend");
             let fast = asm(&inst, &config).expect("valid config");
-            assert_eq!(wire.matching, fast.matching, "engines must agree");
-            t.row(vec![
-                n.to_string(),
-                name.to_string(),
-                wire.stats.rounds.to_string(),
-                fast.rounds.to_string(),
-                wire.stats.messages.to_string(),
-                f2(wire.stats.bits as f64 / 1000.0),
-                wire.stats.max_message_bits.to_string(),
-            ]);
-        }
-        let gs = congest_gs(&inst).expect("valid instance");
-        t.row(vec![
+            (wire, fast)
+        });
+        assert_eq!(wire.matching, fast.matching, "engines must agree");
+        let mut cell = SweepCell::new(ID, name, n, 1.0, seed);
+        cell.wall_ms = wall_ms;
+        cell.rounds = wire.stats.rounds;
+        cell.messages = wire.stats.messages;
+        let row = vec![
             n.to_string(),
-            "gale-shapley".to_string(),
-            gs.stats.rounds.to_string(),
-            "-".to_string(),
-            gs.stats.messages.to_string(),
-            f2(gs.stats.bits as f64 / 1000.0),
-            gs.stats.max_message_bits.to_string(),
-        ]);
+            name.to_string(),
+            wire.stats.rounds.to_string(),
+            fast.rounds.to_string(),
+            wire.stats.messages.to_string(),
+            f2(wire.stats.bits as f64 / 1000.0),
+            wire.stats.max_message_bits.to_string(),
+        ];
+        (row, cell)
+    });
+    let mut cells = Vec::with_capacity(results.len());
+    for (row, cell) in results {
+        t.row(row);
+        cells.push(cell);
     }
+    ctx.record(cells);
     vec![t]
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::ExpCtx;
+
     #[test]
     fn message_sizes_stay_constant() {
-        let tables = super::run(true);
+        let tables = super::run(&ExpCtx::quick_serial());
         for line in tables[0].to_markdown().lines().skip(4) {
             let cells: Vec<&str> = line.split('|').map(str::trim).collect();
             if cells.len() > 7 {

@@ -11,16 +11,28 @@
 //! cargo run --release -p asm-bench --bin t1_stability
 //! ```
 //!
-//! Run the whole suite (append `--quick` for a smoke-test pass):
+//! Run the whole suite (append `--quick` for a smoke-test pass, `--par N`
+//! to fan the sweep grids across `N` worker threads — the tables are
+//! byte-identical for every `N`):
 //!
 //! ```text
-//! cargo run --release -p asm-bench --bin all_experiments
+//! cargo run --release -p asm-bench --bin all_experiments -- --quick --par 4
 //! ```
+//!
+//! Every binary also writes a machine-readable `BENCH_sweep.json`
+//! (per-cell wall-clock, rounds, messages, blocking fraction — schema in
+//! `asm-runtime`); `--no-sweep` disables it and `--sweep-out PATH` moves
+//! it. The CI perf gate (`perf_gate` binary) compares such a report
+//! against the committed `results/bench_baseline.json`.
 //!
 //! Criterion wall-clock benchmarks live in `benches/`.
 
 pub mod exp;
 mod table;
+
+use asm_runtime::{RunFlags, SweepReport};
+use exp::ExpCtx;
+use std::io::Write as _;
 
 pub use table::{f2, f4, Table};
 
@@ -31,7 +43,68 @@ pub fn quick_flag() -> bool {
 
 /// Prints a set of tables with blank-line separation.
 pub fn print_tables(tables: &[Table]) {
+    print!("{}", render_tables(tables, &RunFlags::default()));
+}
+
+/// Renders tables into one buffer in the format `flags` selects
+/// (fixed-width by default, `--markdown`, or `--csv`).
+///
+/// Output is buffered so a whole experiment is emitted in one atomic
+/// write — concurrent runs (or a parallel shell pipeline) cannot
+/// interleave half-printed tables.
+pub fn render_tables(tables: &[Table], flags: &RunFlags) -> String {
+    let mut out = String::new();
     for t in tables {
-        println!("{t}");
+        if flags.markdown {
+            out.push_str(&t.to_markdown());
+            out.push('\n');
+        } else if flags.csv {
+            out.push_str(&format!("# {}\n{}\n", t.title(), t.to_csv()));
+        } else {
+            out.push_str(&format!("{t}\n"));
+        }
     }
+    out
+}
+
+/// Entry point shared by all 16 experiment binaries: parses [`RunFlags`]
+/// from the command line, runs `ids` on the deterministic executor,
+/// prints each experiment's tables through a buffered single write, and
+/// emits the `BENCH_sweep.json` report.
+///
+/// # Panics
+///
+/// Panics if an id is not in the registry or stdout goes away mid-write.
+pub fn run_binary(ids: &[&str]) {
+    let flags = RunFlags::from_env();
+    let report = run_experiments(ids, &flags);
+    if let Some(path) = &flags.sweep_out {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write sweep report {path}: {e}"));
+    }
+}
+
+/// Runs the named experiments under `flags` and returns the sweep
+/// report; each experiment's rendered tables go to stdout in one write.
+///
+/// # Panics
+///
+/// Panics if an id is not in the registry.
+pub fn run_experiments(ids: &[&str], flags: &RunFlags) -> SweepReport {
+    let ctx = ExpCtx::new(flags.quick, flags.executor(), flags.stable_output);
+    let mut report = SweepReport::new(ctx.exec.workers(), flags.quick);
+    let (_, total_ms) = ExpCtx::time(|| {
+        for id in ids {
+            let experiment = exp::find(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+            let tables = (experiment.run)(&ctx);
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            lock.write_all(render_tables(&tables, flags).as_bytes())
+                .and_then(|()| lock.flush())
+                .expect("write experiment tables to stdout");
+            report.extend(ctx.take_cells());
+        }
+    });
+    report.total_wall_ms = total_ms;
+    report
 }

@@ -1,0 +1,87 @@
+//! The sweep-determinism contract: the experiment suite renders
+//! byte-identical tables no matter how many executor workers run the
+//! grids, and the recorded sweep cells carry the same coordinates and
+//! measurements (modulo wall-clock, which is masked by design).
+
+use asm_bench::exp::{run_all_ctx, ExpCtx, EXPERIMENTS};
+use asm_bench::render_tables;
+use asm_runtime::{Executor, RunFlags, SweepCell};
+
+/// Runs the full quick suite at a worker count; returns the rendered
+/// CSV (timing cells masked) and the recorded cells.
+fn quick_run(workers: usize) -> (String, Vec<SweepCell>) {
+    let ctx = ExpCtx::new(true, Executor::new(workers), true);
+    let tables = run_all_ctx(&ctx);
+    let flags = RunFlags {
+        csv: true,
+        stable_output: true,
+        ..RunFlags::default()
+    };
+    let mut cells = ctx.take_cells();
+    cells.sort_by(|a, b| {
+        (&a.experiment, &a.family, a.n, a.eps.to_bits(), a.seed).cmp(&(
+            &b.experiment,
+            &b.family,
+            b.n,
+            b.eps.to_bits(),
+            b.seed,
+        ))
+    });
+    (render_tables(&tables, &flags), cells)
+}
+
+#[test]
+fn quick_suite_is_byte_identical_across_1_2_8_workers() {
+    let (csv1, cells1) = quick_run(1);
+    for workers in [2, 8] {
+        let (csv_n, cells_n) = quick_run(workers);
+        assert_eq!(
+            csv1, csv_n,
+            "rendered tables differ between --par 1 and --par {workers}"
+        );
+        assert_eq!(cells1.len(), cells_n.len());
+        for (a, b) in cells1.iter().zip(&cells_n) {
+            assert_eq!(
+                (&a.experiment, &a.family, a.n, a.eps.to_bits(), a.seed),
+                (&b.experiment, &b.family, b.n, b.eps.to_bits(), b.seed),
+                "cell coordinates depend on worker count"
+            );
+            assert_eq!(
+                a.rounds, b.rounds,
+                "{}: rounds depend on worker count",
+                a.experiment
+            );
+            assert_eq!(
+                a.messages, b.messages,
+                "{}: messages depend on worker count",
+                a.experiment
+            );
+            assert_eq!(
+                a.blocking_fraction.to_bits(),
+                b.blocking_fraction.to_bits(),
+                "{}: blocking fraction depends on worker count",
+                a.experiment
+            );
+        }
+    }
+}
+
+#[test]
+fn every_experiment_records_cells() {
+    let ctx = ExpCtx::new(true, Executor::new(2), true);
+    for experiment in EXPERIMENTS {
+        let tables = (experiment.run)(&ctx);
+        assert!(!tables.is_empty(), "{} returned no tables", experiment.id);
+        let cells = ctx.take_cells();
+        assert!(
+            !cells.is_empty(),
+            "{} recorded no sweep cells",
+            experiment.id
+        );
+        assert!(
+            cells.iter().all(|c| c.experiment == experiment.id),
+            "{} mislabeled its cells",
+            experiment.id
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Conformance of the **parallel CONGEST round-stepper**: the new
+//! execution-mode axis of the differential runner.
+//!
+//! The parallel stepper (`Network::step_par`) computes all nodes of a
+//! round concurrently and merges their outgoing messages in node-id
+//! order. These tests drive it through the full oracle stack across
+//! every generator family, and pin the determinism contract: the
+//! resulting `RunSummary` — and the network statistics — are identical
+//! for 1, 2, and 8 workers.
+
+use asm_conformance::differential::Algorithm;
+use asm_conformance::{assert_conforms_with_exec, run_case_with_exec, DiffCase};
+use asm_core::congest::ExecOptions;
+use asm_core::RunSummary;
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+
+/// Backends with a message-passing form, i.e. runnable on both engines.
+fn protocol_backends() -> [MatcherBackend; 4] {
+    [
+        MatcherBackend::DetGreedy,
+        MatcherBackend::BipartiteProposal,
+        MatcherBackend::PanconesiRizzi,
+        MatcherBackend::IsraeliItai { max_iterations: 48 },
+    ]
+}
+
+#[test]
+fn every_family_conforms_on_the_parallel_stepper() {
+    let exec = ExecOptions::with_workers(4);
+    let families = GeneratorConfig::all_families(14, 11);
+    assert!(families.len() >= 5, "sweep must span >= 5 families");
+    for generator in families {
+        for backend in protocol_backends() {
+            let case = DiffCase::asm(generator.clone(), backend, 1.0).with_seed(3);
+            let report = assert_conforms_with_exec(case, exec);
+            assert!(
+                report.congest_stats.is_some(),
+                "{generator} via {backend:?} must run on the parallel CONGEST stepper"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomized_algorithms_conform_on_the_parallel_stepper() {
+    let exec = ExecOptions::with_workers(4);
+    for algorithm in [Algorithm::RandAsm, Algorithm::AlmostRegular] {
+        for seed in 0..3 {
+            let case = DiffCase {
+                generator: GeneratorConfig::Regular {
+                    n: 12,
+                    d: 4,
+                    seed: 8,
+                },
+                algorithm,
+                backend: MatcherBackend::DetGreedy, // ignored
+                epsilon: 1.0,
+                delta: 0.1,
+                seed,
+            };
+            assert_conforms_with_exec(case, exec);
+        }
+    }
+}
+
+/// The determinism contract: identical `RunSummary` (and identical
+/// network statistics) across 1/2/8 worker configurations, per family
+/// and per algorithm.
+#[test]
+fn run_summary_is_identical_across_1_2_8_workers() {
+    for generator in GeneratorConfig::all_families(12, 7) {
+        for algorithm in [Algorithm::Asm, Algorithm::RandAsm, Algorithm::AlmostRegular] {
+            let case = DiffCase {
+                generator: generator.clone(),
+                algorithm,
+                backend: MatcherBackend::DetGreedy,
+                epsilon: 1.0,
+                delta: 0.1,
+                seed: 5,
+            };
+            let runs: Vec<(RunSummary, _)> = [1usize, 2, 8]
+                .iter()
+                .map(|&workers| {
+                    let report = run_case_with_exec(&case, ExecOptions::with_workers(workers))
+                        .unwrap_or_else(|f| panic!("workers={workers}: {f}"));
+                    (report.summary, report.congest_stats)
+                })
+                .collect();
+            for (summary, stats) in &runs[1..] {
+                assert_eq!(
+                    summary, &runs[0].0,
+                    "{generator} / {algorithm:?}: RunSummary depends on worker count"
+                );
+                assert_eq!(
+                    stats, &runs[0].1,
+                    "{generator} / {algorithm:?}: NetStats depend on worker count"
+                );
+            }
+        }
+    }
+}

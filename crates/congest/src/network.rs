@@ -97,6 +97,7 @@ pub struct Network<P: Process> {
     stats: NetStats,
     bit_budget: Option<usize>,
     trace: Option<Trace>,
+    parallelism: usize,
 }
 
 impl<P: Process> Network<P> {
@@ -122,7 +123,22 @@ impl<P: Process> Network<P> {
             stats: NetStats::default(),
             bit_budget: None,
             trace: None,
+            parallelism: 1,
         })
+    }
+
+    /// Sets the worker count [`Network::step_par`] uses (clamped to
+    /// ≥ 1; 1 means fully serial). Purely an execution knob: the
+    /// simulated protocol, its statistics, and its trace are identical
+    /// for every value.
+    pub fn set_parallelism(&mut self, workers: usize) -> &mut Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Enforces the CONGEST per-message budget: any payload whose
@@ -201,18 +217,92 @@ impl<P: Process> Network<P> {
     ///
     /// Fails if a process sends to a non-neighbor or exceeds the bit budget.
     pub fn step(&mut self) -> Result<RoundOutcome, CongestError> {
-        let round = self.stats.rounds;
-        let delivered = self.in_flight;
-        self.stats.messages += delivered;
-        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(delivered);
+        let delivered = self.begin_round();
 
         // Stage 1+2+3 per node: receive, compute, send. Sends are buffered
         // into `staged` so no node sees a message sent this same round.
         let mut staged: Vec<Envelope<P::Msg>> = Vec::new();
         for (i, proc_) in self.procs.iter_mut().enumerate() {
             let inbox = std::mem::take(&mut self.inboxes[i]);
+            let mut outbox = Outbox::new(NodeId::new(i as u32));
+            proc_.on_round(&inbox, &mut outbox);
+            staged.extend(outbox.into_queued());
+        }
+
+        self.finish_round(staged, delivered)
+    }
+
+    /// Simulates one synchronous round with node computation fanned out
+    /// over the worker count set by [`Network::set_parallelism`].
+    ///
+    /// Nodes hold disjoint state, so within a round they may step in any
+    /// order; the round boundary is the only synchronization point the
+    /// CONGEST model has. To keep the execution bit-identical to
+    /// [`Network::step`], each node's outgoing messages are collected
+    /// into a per-node slot and merged **in node-id order** — exactly
+    /// the order the serial loop produces — before delivery. Delivery
+    /// accounting (trace, bit statistics) also happens in node-id order,
+    /// on the calling thread.
+    ///
+    /// With parallelism 1 this *is* [`Network::step`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Network::step`].
+    pub fn step_par(&mut self) -> Result<RoundOutcome, CongestError>
+    where
+        P: Send,
+        P::Msg: Send,
+    {
+        if self.parallelism <= 1 {
+            return self.step();
+        }
+        let delivered = self.begin_round();
+
+        let n = self.procs.len();
+        let workers = self.parallelism.min(n.max(1));
+        let chunk = n.div_ceil(workers);
+        // One outbox slot per node, filled by whichever worker owns the
+        // node's contiguous chunk; merged below in node order.
+        let mut slots: Vec<Vec<Envelope<P::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+        std::thread::scope(|scope| {
+            let proc_chunks = self.procs.chunks_mut(chunk);
+            let inbox_chunks = self.inboxes.chunks_mut(chunk);
+            let slot_chunks = slots.chunks_mut(chunk);
+            for (ci, ((procs, inboxes), out)) in
+                proc_chunks.zip(inbox_chunks).zip(slot_chunks).enumerate()
+            {
+                let base = ci * chunk;
+                scope.spawn(move || {
+                    for (off, (proc_, inbox_slot)) in
+                        procs.iter_mut().zip(inboxes.iter_mut()).enumerate()
+                    {
+                        let inbox = std::mem::take(inbox_slot);
+                        let mut outbox = Outbox::new(NodeId::new((base + off) as u32));
+                        proc_.on_round(&inbox, &mut outbox);
+                        out[off] = outbox.into_queued();
+                    }
+                });
+            }
+        });
+
+        let mut staged: Vec<Envelope<P::Msg>> = Vec::new();
+        for slot in slots {
+            staged.extend(slot);
+        }
+        self.finish_round(staged, delivered)
+    }
+
+    /// Delivery accounting at the top of a round: message counters,
+    /// per-payload bit statistics, and the trace, all in node-id order.
+    fn begin_round(&mut self) -> u64 {
+        let round = self.stats.rounds;
+        let delivered = self.in_flight;
+        self.stats.messages += delivered;
+        self.stats.max_messages_per_round = self.stats.max_messages_per_round.max(delivered);
+        for inbox in &self.inboxes {
             if let Some(trace) = self.trace.as_mut() {
-                for env in &inbox {
+                for env in inbox {
                     trace.record(TraceEvent {
                         round,
                         src: env.src,
@@ -221,16 +311,21 @@ impl<P: Process> Network<P> {
                     });
                 }
             }
-            for env in &inbox {
+            for env in inbox {
                 self.stats.bits += env.payload.bits() as u64;
                 self.stats.max_message_bits = self.stats.max_message_bits.max(env.payload.bits());
             }
-            let mut outbox = Outbox::new(NodeId::new(i as u32));
-            proc_.on_round(&inbox, &mut outbox);
-            staged.extend(outbox.into_queued());
         }
+        delivered
+    }
 
-        // Validate and enqueue for the next round.
+    /// Validates and enqueues the round's staged messages for delivery
+    /// next round.
+    fn finish_round(
+        &mut self,
+        staged: Vec<Envelope<P::Msg>>,
+        delivered: u64,
+    ) -> Result<RoundOutcome, CongestError> {
         let sent = staged.len() as u64;
         for env in staged {
             if !self.topo.has_edge(env.src, env.dst) {
@@ -478,5 +573,61 @@ mod tests {
     fn unused_id_field_is_set() {
         let net = echo_net(2, vec![(0, 1)], &[]);
         assert_eq!(net.node(NodeId::new(1)).id, NodeId::new(1));
+    }
+
+    /// Runs the same echo protocol serially and with `workers` threads;
+    /// every statistic, trace event, and final node state must agree.
+    fn assert_par_equivalent(workers: usize) {
+        let n = 12;
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| vec![(i, (i + 1) % n as u32), (i, (i + 3) % n as u32)])
+            .filter(|(a, b)| a != b)
+            .collect();
+        let initial: Vec<(u32, u64)> = (0..n as u32).map(|i| (i, u64::from(i) % 5)).collect();
+
+        let mut serial = echo_net(n, edges.clone(), &initial);
+        serial.set_trace_capacity(1024);
+        while serial.step().unwrap().active() {}
+
+        let mut par = echo_net(n, edges, &initial);
+        par.set_trace_capacity(1024);
+        par.set_parallelism(workers);
+        while par.step_par().unwrap().active() {}
+
+        assert_eq!(serial.stats(), par.stats(), "workers = {workers}");
+        assert_eq!(
+            serial.trace().unwrap().events(),
+            par.trace().unwrap().events(),
+            "workers = {workers}"
+        );
+        for i in 0..n {
+            let id = NodeId::new(i as u32);
+            assert_eq!(serial.node(id).received, par.node(id).received);
+        }
+    }
+
+    #[test]
+    fn step_par_is_bit_identical_to_step() {
+        for workers in [1, 2, 3, 8, 64] {
+            assert_par_equivalent(workers);
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        let mut net = echo_net(2, vec![(0, 1)], &[]);
+        net.set_parallelism(0);
+        assert_eq!(net.parallelism(), 1);
+        net.set_parallelism(7);
+        assert_eq!(net.parallelism(), 7);
+    }
+
+    #[test]
+    fn step_par_validates_like_step() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, u64::MAX)]);
+        net.set_bit_budget(16);
+        net.set_parallelism(4);
+        let err = net.step_par().unwrap_err();
+        assert!(matches!(err, CongestError::MessageTooLarge { .. }));
     }
 }

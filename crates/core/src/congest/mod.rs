@@ -115,6 +115,40 @@ impl From<CongestError> for CongestRunError {
     }
 }
 
+/// Execution knobs for the CONGEST engine that do not affect the
+/// simulated protocol.
+///
+/// `workers > 1` steps all nodes of each synchronous round concurrently
+/// via [`asm_congest::Network::step_par`]; the message-merge order is
+/// deterministic (node-id order), so the resulting [`CongestReport`] is
+/// identical for every worker count — the conformance harness asserts
+/// this across 1/2/8 workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for the round stepper (clamped to ≥ 1).
+    pub workers: usize,
+}
+
+impl ExecOptions {
+    /// Serial execution (the default).
+    pub fn serial() -> Self {
+        ExecOptions { workers: 1 }
+    }
+
+    /// Parallel execution with the given worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecOptions {
+            workers: workers.max(1),
+        }
+    }
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions::serial()
+    }
+}
+
 /// The per-message payload allowance (in bits) the CONGEST engine
 /// enforces for a network of `num_players` nodes: a constant tag budget
 /// plus one node-id width — `O(log n)`, as the model requires.
@@ -143,9 +177,22 @@ pub fn payload_bit_budget(num_players: usize) -> usize {
 /// charged sequential oracle, not a protocol), or on network-level
 /// protocol violations.
 pub fn asm_congest(inst: &Instance, config: &AsmConfig) -> Result<CongestReport, CongestRunError> {
+    asm_congest_with(inst, config, ExecOptions::serial())
+}
+
+/// [`asm_congest()`] with explicit [`ExecOptions`] (parallel stepping).
+///
+/// # Errors
+///
+/// As for [`asm_congest()`].
+pub fn asm_congest_with(
+    inst: &Instance,
+    config: &AsmConfig,
+    exec: ExecOptions,
+) -> Result<CongestReport, CongestRunError> {
     config.validate()?;
     let schedule = asm_schedule(config, inst);
-    run(inst, config, &schedule, false)
+    run(inst, config, &schedule, false, exec)
 }
 
 /// Runs `RandASM` (Theorem 5) on the message-passing engine: the same
@@ -159,9 +206,22 @@ pub fn rand_asm_congest(
     inst: &Instance,
     params: &RandAsmParams,
 ) -> Result<CongestReport, CongestRunError> {
+    rand_asm_congest_with(inst, params, ExecOptions::serial())
+}
+
+/// [`rand_asm_congest()`] with explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// As for [`asm_congest()`].
+pub fn rand_asm_congest_with(
+    inst: &Instance,
+    params: &RandAsmParams,
+    exec: ExecOptions,
+) -> Result<CongestReport, CongestRunError> {
     let config = rand_asm_config(inst, params)?;
     let schedule = asm_schedule(&config, inst);
-    run(inst, &config, &schedule, false)
+    run(inst, &config, &schedule, false, exec)
 }
 
 /// Runs `AlmostRegularASM` (Theorem 6) on the message-passing engine: the
@@ -176,13 +236,26 @@ pub fn almost_regular_asm_congest(
     inst: &Instance,
     params: &AlmostRegularParams,
 ) -> Result<CongestReport, CongestRunError> {
+    almost_regular_asm_congest_with(inst, params, ExecOptions::serial())
+}
+
+/// [`almost_regular_asm_congest()`] with explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// As for [`asm_congest()`].
+pub fn almost_regular_asm_congest_with(
+    inst: &Instance,
+    params: &AlmostRegularParams,
+    exec: ExecOptions,
+) -> Result<CongestReport, CongestRunError> {
     let (config, ell) = almost_regular_plan(inst, params)?;
     let schedule = [SchedulePhase {
         gate: 1,
         iterations: ell,
         label: 0,
     }];
-    run(inst, &config, &schedule, true)
+    run(inst, &config, &schedule, true, exec)
 }
 
 fn run(
@@ -190,6 +263,7 @@ fn run(
     config: &AsmConfig,
     schedule: &[SchedulePhase],
     amm_removal: bool,
+    exec: ExecOptions,
 ) -> Result<CongestReport, CongestRunError> {
     let (backend, mm_cap) = match config.backend {
         MatcherBackend::DetGreedy => (
@@ -233,6 +307,7 @@ fn run(
     // The CONGEST allowance: most payloads are constant-size tags, but the
     // Panconesi–Rizzi colors legitimately carry O(log n) bits.
     net.set_bit_budget(payload_bit_budget(ids.num_players()));
+    net.set_parallelism(exec.workers);
 
     let mut pr_counter: u64 = 0;
     let mut executed: u64 = 0;
@@ -343,9 +418,9 @@ fn run_proposal_round(
     for p in net.nodes_mut() {
         p.begin_proposal_round(tag); // phase = Propose
     }
-    net.step()?; // men send PROPOSE
+    net.step_par()?; // men send PROPOSE
     set_phase(net, Phase::Respond);
-    net.step()?; // women receive, send ACCEPT, learn G0
+    net.step_par()?; // women receive, send ACCEPT, learn G0
     if backend == CongestBackend::PanconesiRizzi {
         // Panconesi–Rizzi assumes Δ(G0) is globally known; the driver
         // plays that oracle by reading the women's accept lists.
@@ -365,7 +440,7 @@ fn run_proposal_round(
     set_phase(net, Phase::Mm);
     let mut steps = 0;
     loop {
-        let outcome = net.step()?; // matcher subrounds
+        let outcome = net.step_par()?; // matcher subrounds
         steps += 1;
         if outcome.sent == 0 && !net.nodes().iter().any(Player::mm_active) {
             break;
@@ -378,16 +453,16 @@ fn run_proposal_round(
         // Theorem 6's violator detection: unmatched G0 members announce,
         // and unmatched men hearing an announcement leave the game.
         set_phase(net, Phase::UnmatchedAnnounce);
-        net.step()?;
+        net.step_par()?;
         set_phase(net, Phase::UnmatchedRecv);
-        net.step()?;
+        net.step_par()?;
     }
     for p in net.nodes_mut() {
         p.begin_reject(); // adopt M0, queue rejects; phase = RejectSend
     }
-    net.step()?; // women send REJECT
+    net.step_par()?; // women send REJECT
     set_phase(net, Phase::RejectRecv);
-    net.step()?; // men apply rejections
+    net.step_par()?; // men apply rejections
     set_phase(net, Phase::Idle);
     Ok(())
 }

@@ -43,20 +43,28 @@ impl Rotation {
     }
 }
 
-/// `s_M(m)`: the first woman after `p_M(m)` on `m`'s list who is matched
-/// and strictly prefers `m` to her partner.
+/// `s_M(m)`: the first woman after `p_M(m)` on `m`'s list who would
+/// accept `m`, i.e. strictly prefers `m` to her partner.
+///
+/// An *unmatched* woman on the way ends the scan with `None`: she is
+/// single in every stable matching (rural-hospitals), so she accepts any
+/// acceptable man — were `m` ever re-matched at or below her, `(m, w)`
+/// would block. Skipping her instead can fabricate a `next` cycle that
+/// is not a rotation (eliminating it produces an unstable matching).
 fn successor(inst: &Instance, matching: &Matching, m: NodeId) -> Option<NodeId> {
     let p = matching.partner(m)?;
     let rank_p = inst.rank(m, p).expect("partner is acceptable");
-    inst.prefs(m)
-        .ranked()
-        .iter()
-        .copied()
-        .filter(|&w| inst.rank(m, w).expect("listed") > rank_p)
-        .find(|&w| match matching.partner(w) {
-            Some(current) => inst.prefs(w).prefers(m, current),
-            None => false, // stable matchings all match the same women
-        })
+    for &w in inst.prefs(m).ranked() {
+        if inst.rank(m, w).expect("listed") <= rank_p {
+            continue;
+        }
+        match matching.partner(w) {
+            None => return None,
+            Some(current) if inst.prefs(w).prefers(m, current) => return Some(w),
+            Some(_) => {}
+        }
+    }
+    None
 }
 
 /// Finds a rotation exposed in `matching`, or `None` if `matching` is the
@@ -259,6 +267,51 @@ mod tests {
                         .prefers(man, m_before.partner(w_next).unwrap()),
                     "women move up theirs"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_survives_unmatched_women_mid_list() {
+        // Regression: `successor` used to *skip* unmatched women instead
+        // of stopping at them, fabricating a `next` cycle that is not a
+        // rotation; eliminating it left a blocking pair with the skipped
+        // woman and the chain walk then panicked ("a stable matching
+        // above the woman-optimal one exposes a rotation"). These regular
+        // instances are the shrunk triggers (each has a woman unmatched
+        // in every stable matching sitting mid-list on a matched man's
+        // preference list).
+        for (n, d, seed) in [(5, 4, 1163), (7, 3, 822), (7, 4, 427)] {
+            let inst = generators::regular(n, d, seed);
+            let lattice = enumerate_stable_matchings(&inst, 100_000).unwrap();
+            let (rotations, chain) = rotation_chain(&inst);
+            assert_eq!(chain[0], man_optimal_stable(&inst).matching);
+            assert_eq!(*chain.last().unwrap(), woman_optimal_stable(&inst).matching);
+            assert_eq!(chain.len(), rotations.len() + 1);
+            for (i, m) in chain.iter().enumerate() {
+                assert!(
+                    lattice.contains(m),
+                    "regular({n},{d},{seed}): chain entry {i} is not stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_matches_lattice_on_regular_sweep() {
+        // Broad randomized cross-check over the family that exposed the
+        // regression: every chain entry must be a lattice element and the
+        // extremes must match the Gale–Shapley ones.
+        for seed in 0..60 {
+            for d in [2, 3, 4] {
+                let inst = generators::regular(6, d, seed);
+                let lattice = enumerate_stable_matchings(&inst, 100_000).unwrap();
+                let (_, chain) = rotation_chain(&inst);
+                assert_eq!(chain[0], man_optimal_stable(&inst).matching);
+                assert_eq!(*chain.last().unwrap(), woman_optimal_stable(&inst).matching);
+                for m in &chain {
+                    assert!(lattice.contains(m), "regular(6,{d},{seed})");
+                }
             }
         }
     }

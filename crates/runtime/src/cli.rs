@@ -1,0 +1,139 @@
+//! Shared flag parsing for the bench binaries.
+
+/// The flags every experiment binary understands.
+///
+/// * `--quick` / `-q` — smoke-test sweep sizes;
+/// * `--par N` — worker count (`0` = all hardware threads; default 1);
+/// * `--csv` / `--markdown` — output format (plain tables otherwise);
+/// * `--stable-output` — replace wall-clock table cells with `-` so two
+///   runs can be byte-diffed (the sweep JSON keeps real timings);
+/// * `--sweep-out PATH` — where to write `BENCH_sweep.json`;
+/// * `--no-sweep` — skip writing the sweep artifact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFlags {
+    /// Quick (smoke) sweep sizes.
+    pub quick: bool,
+    /// Worker count (already resolved; ≥ 1).
+    pub par: usize,
+    /// Emit CSV instead of aligned tables.
+    pub csv: bool,
+    /// Emit Markdown instead of aligned tables.
+    pub markdown: bool,
+    /// Deterministic table output (timings rendered as `-`).
+    pub stable_output: bool,
+    /// Sweep artifact path, or `None` with `--no-sweep`.
+    pub sweep_out: Option<String>,
+}
+
+impl Default for RunFlags {
+    fn default() -> Self {
+        RunFlags {
+            quick: false,
+            par: 1,
+            csv: false,
+            markdown: false,
+            stable_output: false,
+            sweep_out: Some("BENCH_sweep.json".to_string()),
+        }
+    }
+}
+
+impl RunFlags {
+    /// Parses the process arguments ([`std::env::args`], program name
+    /// included).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (no program name).
+    ///
+    /// Unknown flags are ignored (individual binaries may add their
+    /// own), and a malformed `--par` value falls back to 1.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut flags = RunFlags::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" | "-q" => flags.quick = true,
+                "--csv" => flags.csv = true,
+                "--markdown" => flags.markdown = true,
+                "--stable-output" => flags.stable_output = true,
+                "--no-sweep" => flags.sweep_out = None,
+                "--par" => {
+                    let requested = args.next().and_then(|v| v.parse::<usize>().ok());
+                    flags.par = match requested {
+                        Some(0) => crate::Executor::available(),
+                        Some(n) => n,
+                        None => 1,
+                    };
+                }
+                "--sweep-out" => {
+                    if let Some(path) = args.next() {
+                        flags.sweep_out = Some(path);
+                    }
+                }
+                _ => {}
+            }
+        }
+        flags
+    }
+
+    /// Builds the executor this run asked for.
+    pub fn executor(&self) -> crate::Executor {
+        crate::Executor::new(self.par)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> RunFlags {
+        RunFlags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_serial_full_sweep() {
+        let f = parse(&[]);
+        assert!(!f.quick);
+        assert_eq!(f.par, 1);
+        assert_eq!(f.sweep_out.as_deref(), Some("BENCH_sweep.json"));
+    }
+
+    #[test]
+    fn parses_the_full_set() {
+        let f = parse(&[
+            "--quick",
+            "--par",
+            "8",
+            "--csv",
+            "--stable-output",
+            "--sweep-out",
+            "out/sweep.json",
+        ]);
+        assert!(f.quick && f.csv && f.stable_output);
+        assert_eq!(f.par, 8);
+        assert_eq!(f.sweep_out.as_deref(), Some("out/sweep.json"));
+    }
+
+    #[test]
+    fn par_zero_means_machine_sized() {
+        assert!(parse(&["--par", "0"]).par >= 1);
+    }
+
+    #[test]
+    fn malformed_par_falls_back_to_serial() {
+        assert_eq!(parse(&["--par", "lots"]).par, 1);
+        assert_eq!(parse(&["--par"]).par, 1);
+    }
+
+    #[test]
+    fn no_sweep_disables_artifact() {
+        assert_eq!(parse(&["--no-sweep"]).sweep_out, None);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        assert!(parse(&["--frobnicate", "-q"]).quick);
+    }
+}

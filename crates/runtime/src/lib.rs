@@ -1,0 +1,49 @@
+//! # asm-runtime: deterministic parallel execution
+//!
+//! The workspace's algorithms are seeded and bit-reproducible; this crate
+//! keeps them that way while fanning work out across cores. It is built
+//! on `std` scoped threads only — the workspace is offline/vendored, so
+//! no rayon, no crossbeam.
+//!
+//! Three pieces:
+//!
+//! * [`Executor`] — a work-sharded map over an *indexed* input slice.
+//!   Workers steal indices from a shared counter, but results are
+//!   collected back **in input order**, so the output of
+//!   [`Executor::map`] is a pure function of the inputs: byte-identical
+//!   for 1, 2, or N workers.
+//! * [`derive_seed`] / [`label_hash`] — the per-cell seed-derivation
+//!   scheme. A sweep cell's seed depends only on the cell's *coordinates*
+//!   (experiment, family, n, ε-index, trial), never on which worker ran
+//!   it or in what order — the other half of thread-count invariance.
+//! * [`sweep`] — machine-readable sweep output (`BENCH_sweep.json`):
+//!   per-cell wall-clock, rounds, messages, and blocking fraction, plus
+//!   the baseline-comparison logic behind the CI perf-regression gate.
+//!
+//! # Examples
+//!
+//! ```
+//! use asm_runtime::{derive_seed, label_hash, Executor};
+//!
+//! let cells: Vec<u64> = (0..64).collect();
+//! let f = |_i: usize, &c: &u64| {
+//!     let seed = derive_seed(0xA5, &[label_hash("t1"), c]);
+//!     seed.wrapping_mul(c + 1)
+//! };
+//! let serial = Executor::serial().map(&cells, f);
+//! let parallel = Executor::new(8).map(&cells, f);
+//! assert_eq!(serial, parallel);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cli;
+mod executor;
+mod seed;
+pub mod sweep;
+
+pub use cli::RunFlags;
+pub use executor::Executor;
+pub use seed::{derive_seed, label_hash};
+pub use sweep::{SweepCell, SweepReport};

@@ -1,0 +1,217 @@
+//! `loadgen`: replay a deterministic seeded request mix against a
+//! running `asm serve` instance.
+//!
+//! ```text
+//! cargo run --release -p asm-bench --bin loadgen -- \
+//!     --addr 127.0.0.1:7464 --requests 10000 --concurrency 8 --seed 1 \
+//!     --verify-metrics --expect-zero-errors --shutdown \
+//!     --report load_report.json --sweep-out loadgen_sweep.json
+//! ```
+//!
+//! Exit codes: 0 success, 1 a requested check failed (protocol errors,
+//! metrics mismatch, or `--expect-zero-errors` violated), 2 usage error.
+//! The report's deterministic section depends only on the mix seed (see
+//! `asm_bench::loadgen`); `--sweep-out` writes a `SweepReport` the
+//! perf-gate tooling understands.
+
+use asm_bench::loadgen::{control, run_mix, verify_metrics, MixConfig};
+use asm_service::{Op, Reply};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
+               [--seed S] [--families a,b] [--sizes 16,32] [--algorithms asm,gs]
+               [--eps E] [--delta D] [--deadline-ms MS] [--distinct-instances K]
+               [--open-rate RPS] [--report PATH] [--sweep-out PATH]
+               [--verify-metrics] [--expect-zero-errors] [--shutdown]";
+
+struct Args {
+    addr: String,
+    mix: MixConfig,
+    report: Option<String>,
+    sweep_out: Option<String>,
+    verify: bool,
+    expect_zero_errors: bool,
+    shutdown: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        addr: "127.0.0.1:7464".to_string(),
+        mix: MixConfig::default(),
+        report: None,
+        sweep_out: None,
+        verify: false,
+        expect_zero_errors: false,
+        shutdown: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("flag {name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?,
+            "--requests" => args.mix.requests = parsed(&value("--requests")?, "--requests")?,
+            "--concurrency" => {
+                args.mix.concurrency = parsed(&value("--concurrency")?, "--concurrency")?
+            }
+            "--seed" => args.mix.seed = parsed(&value("--seed")?, "--seed")?,
+            "--families" => args.mix.families = list(&value("--families")?),
+            "--sizes" => {
+                args.mix.sizes = list(&value("--sizes")?)
+                    .iter()
+                    .map(|s| parsed(s, "--sizes"))
+                    .collect::<Result<_, _>>()?
+            }
+            "--algorithms" => args.mix.algorithms = list(&value("--algorithms")?),
+            "--eps" => args.mix.eps = parsed(&value("--eps")?, "--eps")?,
+            "--delta" => args.mix.delta = parsed(&value("--delta")?, "--delta")?,
+            "--deadline-ms" => {
+                args.mix.deadline_ms = parsed(&value("--deadline-ms")?, "--deadline-ms")?
+            }
+            "--distinct-instances" => {
+                args.mix.distinct_instances =
+                    parsed(&value("--distinct-instances")?, "--distinct-instances")?
+            }
+            "--open-rate" => {
+                args.mix.open_rate_rps = parsed(&value("--open-rate")?, "--open-rate")?
+            }
+            "--report" => args.report = Some(value("--report")?),
+            "--sweep-out" => args.sweep_out = Some(value("--sweep-out")?),
+            "--verify-metrics" => args.verify = true,
+            "--expect-zero-errors" => args.expect_zero_errors = true,
+            "--shutdown" => args.shutdown = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.mix.families.is_empty() || args.mix.sizes.is_empty() || args.mix.algorithms.is_empty() {
+        return Err("families, sizes, and algorithms must be non-empty".to_string());
+    }
+    Ok(args)
+}
+
+fn parsed<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, String> {
+    text.parse()
+        .map_err(|_| format!("flag {flag}: cannot parse `{text}`"))
+}
+
+fn list(text: &str) -> Vec<String> {
+    text.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("loadgen: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_mix(&args.addr, &args.mix) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen: cannot reach {}: {err}", args.addr);
+            return ExitCode::from(1);
+        }
+    };
+
+    println!(
+        "loadgen: sent {} | solved {} | overloaded {} | deadline {} | errors {} | protocol errors {}",
+        report.sent,
+        report.succeeded,
+        report.rejected,
+        report.deadline_exceeded,
+        report.solve_errors,
+        report.protocol_errors
+    );
+    println!(
+        "loadgen: {:.1} ms wall, {:.0} req/s, {} cached responses",
+        report.wall.total_ms, report.wall.throughput_rps, report.wall.cached_responses
+    );
+
+    let mut failed = false;
+
+    if args.verify {
+        match control(&args.addr, Op::Metrics) {
+            Ok(Reply::Metrics(snapshot)) => {
+                let mismatches = verify_metrics(&report, &snapshot);
+                if mismatches.is_empty() {
+                    println!("loadgen: metrics reconcile with the server's counters");
+                } else {
+                    failed = true;
+                    for m in &mismatches {
+                        eprintln!("loadgen: metrics mismatch: {m}");
+                    }
+                }
+            }
+            Ok(other) => {
+                failed = true;
+                eprintln!("loadgen: metrics request drew `{}`", other.tag());
+            }
+            Err(err) => {
+                failed = true;
+                eprintln!("loadgen: cannot fetch metrics: {err}");
+            }
+        }
+    }
+
+    if args.expect_zero_errors
+        && (report.solve_errors > 0 || report.protocol_errors > 0 || report.rejected > 0)
+    {
+        failed = true;
+        eprintln!(
+            "loadgen: --expect-zero-errors violated: {} solve errors, {} protocol errors, {} rejected",
+            report.solve_errors, report.protocol_errors, report.rejected
+        );
+    }
+    if report.protocol_errors > 0 {
+        failed = true;
+        eprintln!(
+            "loadgen: {} protocol errors (unparseable or misrouted frames)",
+            report.protocol_errors
+        );
+    }
+
+    if let Some(path) = &args.report {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("loadgen: cannot write report {path}: {err}");
+            failed = true;
+        }
+    }
+    if let Some(path) = &args.sweep_out {
+        if let Err(err) = std::fs::write(path, report.to_sweep().to_json()) {
+            eprintln!("loadgen: cannot write sweep report {path}: {err}");
+            failed = true;
+        }
+    }
+
+    if args.shutdown {
+        match control(&args.addr, Op::Shutdown) {
+            Ok(Reply::ShuttingDown) => println!("loadgen: server acknowledged shutdown"),
+            Ok(other) => {
+                failed = true;
+                eprintln!("loadgen: shutdown request drew `{}`", other.tag());
+            }
+            Err(err) => {
+                failed = true;
+                eprintln!("loadgen: cannot send shutdown: {err}");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

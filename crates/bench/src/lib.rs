@@ -28,6 +28,7 @@
 //! Criterion wall-clock benchmarks live in `benches/`.
 
 pub mod exp;
+pub mod loadgen;
 mod table;
 
 use asm_runtime::{RunFlags, SweepReport};

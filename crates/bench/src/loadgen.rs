@@ -1,0 +1,703 @@
+//! Deterministic load generation for `asm-service`.
+//!
+//! A [`MixConfig`] is a *seeded recipe* for a request stream: request `i`
+//! is a pure function of the config and `derive_seed(seed, [i])`, so two
+//! runs of the same mix send byte-identical requests in the same index
+//! order. The [`LoadReport`] separates what is deterministic (request
+//! counts by outcome, Σ rounds/messages/blocking-pairs over solved
+//! replies) from what is not ([`WallStats`]: wall-clock, throughput,
+//! cache-hit observations) — CI asserts that two same-seed runs agree
+//! exactly after [`LoadReport::normalized`] strips the wall stats.
+//!
+//! Two driving modes:
+//!
+//! * **closed loop** (`open_rate_rps == 0`): `concurrency` connections
+//!   each send a request and wait for its reply before taking the next
+//!   index — in-flight requests == connections, the classic
+//!   fixed-concurrency loadtest.
+//! * **open loop** (`open_rate_rps > 0`): each connection paces its
+//!   sends at the target aggregate rate regardless of replies
+//!   (pipelining on the line protocol), modelling arrival processes that
+//!   do not back off — the mode that actually exercises admission
+//!   control.
+//!
+//! The generator can also reconcile its own tallies against the server's
+//! `metrics` counters ([`verify_metrics`]) — every frame the generator
+//! sent must be accounted for, exactly, in the server's books.
+
+use asm_instance::generators::GeneratorConfig;
+use asm_runtime::{derive_seed, SweepCell, SweepReport};
+use asm_service::{MetricsSnapshot, Reply, Request, Response, SolveBody};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Schema version of [`LoadReport`].
+pub const LOADGEN_SCHEMA: u64 = 1;
+
+/// A deterministic, seeded request-mix recipe.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MixConfig {
+    /// Total solve requests to send.
+    pub requests: u64,
+    /// Concurrent connections.
+    pub concurrency: u64,
+    /// Root seed; request `i` uses `derive_seed(seed, [i])`.
+    pub seed: u64,
+    /// Instance families to cycle through: any of `complete`, `regular`,
+    /// `erdos_renyi`, `zipf`, `chain`, `master_list`.
+    pub families: Vec<String>,
+    /// Instance sizes to cycle through (the size distribution: each
+    /// request draws its size from this list by derived seed).
+    pub sizes: Vec<u64>,
+    /// Algorithms to cycle through (`asm`, `rand-asm`, `almost-regular`,
+    /// `gs`, `truncated-gs`).
+    pub algorithms: Vec<String>,
+    /// ε for every solve.
+    pub eps: f64,
+    /// δ for the randomized algorithms.
+    pub delta: f64,
+    /// Per-request queue-wait deadline (0 disables).
+    pub deadline_ms: u64,
+    /// How many distinct instances before seeds repeat (exercises the
+    /// server cache); 0 means every request is distinct.
+    pub distinct_instances: u64,
+    /// Open-loop aggregate send rate in requests/second; 0 selects the
+    /// closed loop.
+    pub open_rate_rps: f64,
+}
+
+impl Default for MixConfig {
+    fn default() -> Self {
+        MixConfig {
+            requests: 100,
+            concurrency: 2,
+            seed: 1,
+            families: vec!["regular".to_string(), "complete".to_string()],
+            sizes: vec![16, 32],
+            algorithms: vec!["asm".to_string(), "gs".to_string()],
+            eps: 0.5,
+            delta: 0.1,
+            deadline_ms: 0,
+            distinct_instances: 0,
+            open_rate_rps: 0.0,
+        }
+    }
+}
+
+impl MixConfig {
+    /// The coordinate (family, n) grid this mix covers, in cell order.
+    pub fn coordinates(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for family in &self.families {
+            for &n in &self.sizes {
+                out.push((family.clone(), n));
+            }
+        }
+        out
+    }
+
+    /// Builds request `i` of the mix. Pure: depends only on the config
+    /// and `i`.
+    pub fn request(&self, i: u64) -> Request {
+        // Cache pressure: with `distinct_instances = k`, instance identity
+        // cycles with period k while the request index keeps advancing.
+        let identity = if self.distinct_instances == 0 {
+            i
+        } else {
+            i % self.distinct_instances
+        };
+        let ds = derive_seed(self.seed, &[identity]);
+        let family = &self.families[(identity % self.families.len() as u64) as usize];
+        let n = self.sizes[(derive_seed(ds, &[1]) % self.sizes.len() as u64) as usize];
+        let algorithm = &self.algorithms[(identity % self.algorithms.len() as u64) as usize];
+        let inst_seed = derive_seed(ds, &[2]);
+        let instance = instance_config(family, n, inst_seed);
+        Request {
+            id: Some(i),
+            op: asm_service::Op::Solve(SolveBody {
+                instance: asm_service::InstanceSpec::Generator(instance),
+                algorithm: algorithm.clone(),
+                eps: self.eps,
+                delta: self.delta,
+                seed: derive_seed(ds, &[3]),
+                backend: "greedy".to_string(),
+                deadline_ms: self.deadline_ms,
+                cycles: 8,
+            }),
+        }
+    }
+
+    /// The (family, n) coordinate index of request `i`, aligned with
+    /// [`coordinates`](MixConfig::coordinates).
+    fn coordinate_of(&self, i: u64) -> usize {
+        let identity = if self.distinct_instances == 0 {
+            i
+        } else {
+            i % self.distinct_instances
+        };
+        let ds = derive_seed(self.seed, &[identity]);
+        let family_idx = (identity % self.families.len() as u64) as usize;
+        let size_idx = (derive_seed(ds, &[1]) % self.sizes.len() as u64) as usize;
+        family_idx * self.sizes.len() + size_idx
+    }
+}
+
+/// Maps a family name + size + seed to a generator recipe.
+fn instance_config(family: &str, n: u64, seed: u64) -> GeneratorConfig {
+    let n = n as usize;
+    match family {
+        "complete" => GeneratorConfig::Complete { n, seed },
+        "regular" => GeneratorConfig::Regular {
+            n,
+            d: (n / 4).max(2),
+            seed,
+        },
+        "erdos_renyi" => GeneratorConfig::ErdosRenyi {
+            num_women: n,
+            num_men: n,
+            p: 0.5,
+            seed,
+        },
+        "zipf" => GeneratorConfig::Zipf {
+            n,
+            d: (n / 4).max(2),
+            s: 1.1,
+            seed,
+        },
+        "chain" => GeneratorConfig::Chain { n },
+        "master_list" => GeneratorConfig::MasterList { n, seed },
+        other => panic!("unknown loadgen family `{other}` (see MixConfig::families)"),
+    }
+}
+
+/// Per-coordinate deterministic sums over solved replies.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CoordTotals {
+    /// Solved replies on this coordinate.
+    pub solved: u64,
+    /// Σ rounds.
+    pub rounds: u64,
+    /// Σ messages.
+    pub messages: u64,
+    /// Σ blocking pairs.
+    pub blocking_pairs: u64,
+    /// Σ `|E|`.
+    pub num_edges: u64,
+    /// Σ matched pairs.
+    pub matched: u64,
+}
+
+/// Nondeterministic measurements, quarantined so the rest of the report
+/// can be compared exactly across runs.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WallStats {
+    /// End-to-end wall-clock of the run, ms.
+    pub total_ms: f64,
+    /// `sent / total_ms * 1000`.
+    pub throughput_rps: f64,
+    /// Solved replies that reported `cached: true` (racy by nature: two
+    /// identical in-flight requests can both miss).
+    pub cached_responses: u64,
+}
+
+/// The result of replaying a mix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// [`LOADGEN_SCHEMA`].
+    pub schema: u64,
+    /// The mix that was replayed (the report is self-describing).
+    pub mix: MixConfig,
+    /// Requests sent.
+    pub sent: u64,
+    /// `solved` replies.
+    pub succeeded: u64,
+    /// `overloaded` replies.
+    pub rejected: u64,
+    /// `deadline_exceeded` replies.
+    pub deadline_exceeded: u64,
+    /// `error` replies from the server.
+    pub solve_errors: u64,
+    /// Frames that were unparseable / wrong-id / transport failures —
+    /// always 0 against a healthy server.
+    pub protocol_errors: u64,
+    /// Per-(family, n) sums, aligned with [`MixConfig::coordinates`].
+    pub coords: Vec<CoordTotals>,
+    /// Nondeterministic wall-clock measurements.
+    pub wall: WallStats,
+}
+
+impl LoadReport {
+    /// The report with wall-clock stats zeroed: two same-seed runs must
+    /// be equal under this view.
+    pub fn normalized(&self) -> LoadReport {
+        LoadReport {
+            wall: WallStats::default(),
+            ..self.clone()
+        }
+    }
+
+    /// Total rounds across all solved replies.
+    pub fn rounds_total(&self) -> u64 {
+        self.coords.iter().map(|c| c.rounds).sum()
+    }
+
+    /// Total messages across all solved replies.
+    pub fn messages_total(&self) -> u64 {
+        self.coords.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total blocking pairs across all solved replies.
+    pub fn blocking_pairs_total(&self) -> u64 {
+        self.coords.iter().map(|c| c.blocking_pairs).sum()
+    }
+
+    /// Total matched pairs across all solved replies.
+    pub fn matched_total(&self) -> u64 {
+        self.coords.iter().map(|c| c.matched).sum()
+    }
+
+    /// Renders as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("load report serializes")
+    }
+
+    /// Converts to a [`SweepReport`] (experiment `loadgen`), one cell per
+    /// (family, n) coordinate, compatible with the perf-gate tooling.
+    /// `wall_ms` is apportioned by each coordinate's share of solved
+    /// replies — like every sweep cell, it is the one nondeterministic
+    /// field.
+    pub fn to_sweep(&self) -> SweepReport {
+        let mut report = SweepReport::new(self.mix.concurrency as usize, false);
+        let total_solved: u64 = self.coords.iter().map(|c| c.solved).sum();
+        let cells = self
+            .mix
+            .coordinates()
+            .into_iter()
+            .zip(&self.coords)
+            .map(|((family, n), totals)| {
+                let mut cell =
+                    SweepCell::new("loadgen", &family, n as usize, self.mix.eps, self.mix.seed);
+                cell.rounds = totals.rounds;
+                cell.messages = totals.messages;
+                cell.blocking_fraction = if totals.num_edges == 0 {
+                    0.0
+                } else {
+                    totals.blocking_pairs as f64 / totals.num_edges as f64
+                };
+                cell.wall_ms = if total_solved == 0 {
+                    0.0
+                } else {
+                    self.wall.total_ms * totals.solved as f64 / total_solved as f64
+                };
+                cell
+            })
+            .collect();
+        report.extend(cells);
+        report.total_wall_ms = self.wall.total_ms;
+        report
+    }
+}
+
+/// Per-connection tally, merged deterministically (summed) at the end.
+#[derive(Default)]
+struct Tally {
+    succeeded: u64,
+    rejected: u64,
+    deadline_exceeded: u64,
+    solve_errors: u64,
+    protocol_errors: u64,
+    cached: u64,
+    coords: Vec<CoordTotals>,
+}
+
+impl Tally {
+    fn new(num_coords: usize) -> Self {
+        Tally {
+            coords: vec![CoordTotals::default(); num_coords],
+            ..Tally::default()
+        }
+    }
+
+    fn classify(&mut self, mix: &MixConfig, i: u64, line: &str) {
+        let response: Response = match serde_json::from_str(line) {
+            Ok(response) => response,
+            Err(_) => {
+                self.protocol_errors += 1;
+                return;
+            }
+        };
+        if response.id != Some(i) {
+            self.protocol_errors += 1;
+            return;
+        }
+        match response.reply {
+            Reply::Solved(result) => {
+                self.succeeded += 1;
+                if result.cached {
+                    self.cached += 1;
+                }
+                let coord = &mut self.coords[mix.coordinate_of(i)];
+                coord.solved += 1;
+                coord.rounds += result.rounds;
+                coord.messages += result.messages;
+                coord.blocking_pairs += result.blocking_pairs;
+                coord.num_edges += result.num_edges;
+                coord.matched += result.matched;
+            }
+            Reply::Overloaded(_) => self.rejected += 1,
+            Reply::DeadlineExceeded(_) => self.deadline_exceeded += 1,
+            Reply::Error(_) => self.solve_errors += 1,
+            // A solve request must never draw these replies.
+            Reply::Analyzed(_) | Reply::Health(_) | Reply::Metrics(_) | Reply::ShuttingDown => {
+                self.protocol_errors += 1
+            }
+        }
+    }
+
+    fn merge(&mut self, other: Tally) {
+        self.succeeded += other.succeeded;
+        self.rejected += other.rejected;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.solve_errors += other.solve_errors;
+        self.protocol_errors += other.protocol_errors;
+        self.cached += other.cached;
+        for (mine, theirs) in self.coords.iter_mut().zip(other.coords) {
+            mine.solved += theirs.solved;
+            mine.rounds += theirs.rounds;
+            mine.messages += theirs.messages;
+            mine.blocking_pairs += theirs.blocking_pairs;
+            mine.num_edges += theirs.num_edges;
+            mine.matched += theirs.matched;
+        }
+    }
+}
+
+/// Replays `mix` against the server at `addr`.
+///
+/// # Errors
+///
+/// Returns connection errors; per-frame transport failures are counted
+/// as `protocol_errors` instead.
+pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
+    let num_coords = mix.coordinates().len();
+    let connections = mix.concurrency.max(1);
+    let next = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..connections {
+        let stream = TcpStream::connect(addr)?;
+        // Without TCP_NODELAY each one-line exchange stalls on Nagle +
+        // delayed-ACK (~40 ms), throttling the whole closed loop.
+        stream.set_nodelay(true)?;
+        let mix = mix.clone();
+        let next = Arc::clone(&next);
+        threads.push(std::thread::spawn(move || {
+            if mix.open_rate_rps > 0.0 {
+                run_open(stream, &mix, &next, c, connections, num_coords)
+            } else {
+                run_closed(stream, &mix, &next, num_coords)
+            }
+        }));
+    }
+    let mut tally = Tally::new(num_coords);
+    for thread in threads {
+        tally.merge(thread.join().expect("loadgen connection thread panicked"));
+    }
+    let total_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(LoadReport {
+        schema: LOADGEN_SCHEMA,
+        mix: mix.clone(),
+        sent: mix.requests,
+        succeeded: tally.succeeded,
+        rejected: tally.rejected,
+        deadline_exceeded: tally.deadline_exceeded,
+        solve_errors: tally.solve_errors,
+        protocol_errors: tally.protocol_errors,
+        coords: tally.coords,
+        wall: WallStats {
+            total_ms,
+            throughput_rps: if total_ms > 0.0 {
+                mix.requests as f64 / total_ms * 1e3
+            } else {
+                0.0
+            },
+            cached_responses: tally.cached,
+        },
+    })
+}
+
+/// Closed loop: send, wait for the reply, take the next shared index.
+fn run_closed(stream: TcpStream, mix: &MixConfig, next: &AtomicUsize, num_coords: usize) -> Tally {
+    let mut tally = Tally::new(num_coords);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => {
+            tally.protocol_errors += 1;
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst) as u64;
+        if i >= mix.requests {
+            return tally;
+        }
+        let line = asm_service::protocol::render(&mix.request(i));
+        if exchange(&mut writer, &mut reader, &line)
+            .map(|reply| tally.classify(mix, i, &reply))
+            .is_err()
+        {
+            tally.protocol_errors += 1;
+        }
+    }
+}
+
+/// Open loop: pace sends at the aggregate target rate, pipelining on the
+/// connection; read replies in order afterwards (the line protocol
+/// answers in request order per connection).
+fn run_open(
+    stream: TcpStream,
+    mix: &MixConfig,
+    next: &AtomicUsize,
+    connection: u64,
+    connections: u64,
+    num_coords: usize,
+) -> Tally {
+    let mut tally = Tally::new(num_coords);
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => {
+            tally.protocol_errors += 1;
+            return tally;
+        }
+    };
+    let mut reader = BufReader::new(stream);
+    // Each connection carries 1/connections of the aggregate rate.
+    let interval = Duration::from_secs_f64(connections as f64 / mix.open_rate_rps);
+    let start = Instant::now() + Duration::from_secs_f64(connection as f64 / mix.open_rate_rps);
+    let mut sent: Vec<u64> = Vec::new();
+    let mut k = 0u32;
+    loop {
+        let i = next.fetch_add(1, Ordering::SeqCst) as u64;
+        if i >= mix.requests {
+            break;
+        }
+        let at = start + interval * k;
+        k += 1;
+        if let Some(wait) = at.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let line = asm_service::protocol::render(&mix.request(i));
+        if writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            tally.protocol_errors += 1;
+            continue;
+        }
+        sent.push(i);
+    }
+    for i in sent {
+        let mut reply = String::new();
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => tally.protocol_errors += 1,
+            Ok(_) => tally.classify(mix, i, reply.trim_end()),
+        }
+    }
+    tally
+}
+
+fn exchange(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> std::io::Result<String> {
+    writer.write_all(line.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    let n = reader.read_line(&mut reply)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-exchange",
+        ));
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+/// Sends one control frame (`health`, `metrics`, `shutdown`) and returns
+/// the parsed reply.
+///
+/// # Errors
+///
+/// Returns I/O errors, or `InvalidData` if the reply does not parse.
+pub fn control(addr: &str, op: asm_service::Op) -> std::io::Result<Reply> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let line = asm_service::protocol::render(&Request { id: Some(0), op });
+    let reply = exchange(&mut writer, &mut reader, &line)?;
+    let response: Response = serde_json::from_str(&reply).map_err(|err| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("unparseable control reply: {err}"),
+        )
+    })?;
+    Ok(response.reply)
+}
+
+/// Reconciles a [`LoadReport`] against the server's own `metrics`
+/// counters. Returns the list of mismatches (empty ⇔ the books balance).
+///
+/// Assumes the load generator was the server's only client, and that the
+/// snapshot was taken after the run (so `extra_control_frames` counts
+/// the generator's own health/metrics frames, including the one that
+/// fetched `snapshot`).
+pub fn verify_metrics(report: &LoadReport, snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    let mut check = |name: &str, ours: u64, theirs: u64| {
+        if ours != theirs {
+            mismatches.push(format!(
+                "{name}: loadgen counted {ours}, server metrics say {theirs}"
+            ));
+        }
+    };
+    check("solved", report.succeeded, snapshot.solved);
+    check("overloaded", report.rejected, snapshot.overloaded);
+    check(
+        "deadline_exceeded",
+        report.deadline_exceeded,
+        snapshot.deadline_exceeded,
+    );
+    check("errors", report.solve_errors, snapshot.errors);
+    check("rounds_total", report.rounds_total(), snapshot.rounds_total);
+    check(
+        "messages_total",
+        report.messages_total(),
+        snapshot.messages_total,
+    );
+    check(
+        "blocking_pairs_total",
+        report.blocking_pairs_total(),
+        snapshot.blocking_pairs_total,
+    );
+    check(
+        "matched_total",
+        report.matched_total(),
+        snapshot.matched_total,
+    );
+    check(
+        "cache lookups",
+        report.succeeded,
+        snapshot.cache_hits + snapshot.cache_misses,
+    );
+    mismatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_pure_functions_of_the_index() {
+        let mix = MixConfig::default();
+        for i in 0..20 {
+            assert_eq!(mix.request(i), mix.request(i), "index {i}");
+        }
+        assert_ne!(mix.request(0), mix.request(1));
+    }
+
+    #[test]
+    fn distinct_instances_cycles_identities() {
+        let mix = MixConfig {
+            distinct_instances: 4,
+            ..MixConfig::default()
+        };
+        let a = mix.request(1);
+        let b = mix.request(5);
+        // Same identity (1 mod 4): same instance/algorithm/seed, new id.
+        let (asm_service::Op::Solve(a_body), asm_service::Op::Solve(b_body)) = (a.op, b.op) else {
+            panic!("loadgen only builds solves");
+        };
+        assert_eq!(a_body, b_body);
+    }
+
+    #[test]
+    fn coordinates_align_with_coordinate_of() {
+        let mix = MixConfig::default();
+        let coords = mix.coordinates();
+        assert_eq!(coords.len(), 4);
+        for i in 0..50 {
+            assert!(mix.coordinate_of(i) < coords.len());
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_normalizes() {
+        let mix = MixConfig::default();
+        let report = LoadReport {
+            schema: LOADGEN_SCHEMA,
+            coords: vec![CoordTotals::default(); mix.coordinates().len()],
+            mix,
+            sent: 10,
+            succeeded: 9,
+            rejected: 1,
+            deadline_exceeded: 0,
+            solve_errors: 0,
+            protocol_errors: 0,
+            wall: WallStats {
+                total_ms: 12.5,
+                throughput_rps: 800.0,
+                cached_responses: 3,
+            },
+        };
+        let back: LoadReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.normalized().wall, WallStats::default());
+        assert_eq!(back.normalized(), report.normalized());
+    }
+
+    #[test]
+    fn sweep_conversion_emits_one_cell_per_coordinate() {
+        let mix = MixConfig::default();
+        let mut coords = vec![CoordTotals::default(); mix.coordinates().len()];
+        coords[0] = CoordTotals {
+            solved: 2,
+            rounds: 10,
+            messages: 40,
+            blocking_pairs: 3,
+            num_edges: 30,
+            matched: 20,
+        };
+        let report = LoadReport {
+            schema: LOADGEN_SCHEMA,
+            coords,
+            mix: mix.clone(),
+            sent: 2,
+            succeeded: 2,
+            rejected: 0,
+            deadline_exceeded: 0,
+            solve_errors: 0,
+            protocol_errors: 0,
+            wall: WallStats::default(),
+        };
+        let sweep = report.to_sweep();
+        assert_eq!(sweep.cells.len(), mix.coordinates().len());
+        let cell = sweep
+            .cells
+            .iter()
+            .find(|c| c.rounds == 10)
+            .expect("populated cell present");
+        assert_eq!(cell.experiment, "loadgen");
+        assert_eq!(cell.messages, 40);
+        assert!((cell.blocking_fraction - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end loadgen tests against in-process `asm-service` servers.
+//!
+//! The CI smoke job drives the same binary against a real `asm serve`
+//! process with a 10k mix; these tests keep the contract honest at unit
+//! scale: zero protocol errors, deterministic reports modulo wall-clock,
+//! and loadgen/server bookkeeping that reconciles to the frame.
+
+use asm_bench::loadgen::{control, run_mix, verify_metrics, MixConfig};
+use asm_service::{serve, Op, Reply, ServiceConfig};
+
+fn quick_mix(requests: u64, concurrency: u64) -> MixConfig {
+    MixConfig {
+        requests,
+        concurrency,
+        seed: 7,
+        families: vec!["regular".to_string(), "complete".to_string()],
+        sizes: vec![8, 16],
+        algorithms: vec![
+            "asm".to_string(),
+            "gs".to_string(),
+            "truncated-gs".to_string(),
+        ],
+        eps: 0.5,
+        delta: 0.1,
+        deadline_ms: 0,
+        distinct_instances: 0,
+        open_rate_rps: 0.0,
+    }
+}
+
+fn default_server() -> (asm_service::ServerHandle, String) {
+    let handle = serve("127.0.0.1:0", ServiceConfig::default()).expect("bind");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn closed_loop_mix_completes_with_zero_errors() {
+    let (handle, addr) = default_server();
+    let report = run_mix(&addr, &quick_mix(60, 4)).unwrap();
+    assert_eq!(report.sent, 60);
+    assert_eq!(report.succeeded, 60);
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.deadline_exceeded, 0);
+    assert_eq!(report.solve_errors, 0);
+    assert_eq!(report.protocol_errors, 0);
+    assert_eq!(report.coords.iter().map(|c| c.solved).sum::<u64>(), 60);
+    assert!(report.rounds_total() > 0);
+    assert!(report.matched_total() > 0);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn same_seed_runs_produce_identical_normalized_reports() {
+    let mix = quick_mix(40, 3);
+    let run = || {
+        let (handle, addr) = default_server();
+        let report = run_mix(&addr, &mix).unwrap();
+        handle.shutdown();
+        handle.wait();
+        report
+    };
+    let first = run();
+    let second = run();
+    assert_ne!(first.wall.total_ms, 0.0);
+    assert_eq!(first.normalized(), second.normalized());
+    // The sweep view is deterministic in everything but wall_ms.
+    let mut a = first.to_sweep();
+    let mut b = second.to_sweep();
+    a.total_wall_ms = 0.0;
+    b.total_wall_ms = 0.0;
+    for cell in a.cells.iter_mut().chain(b.cells.iter_mut()) {
+        cell.wall_ms = 0.0;
+    }
+    assert_eq!(a.cells, b.cells);
+}
+
+#[test]
+fn loadgen_totals_reconcile_with_server_metrics() {
+    let (handle, addr) = default_server();
+    let report = run_mix(&addr, &quick_mix(50, 4)).unwrap();
+    let Reply::Metrics(snapshot) = control(&addr, Op::Metrics).unwrap() else {
+        panic!("metrics request must draw a metrics reply");
+    };
+    let mismatches = verify_metrics(&report, &snapshot);
+    assert!(mismatches.is_empty(), "{mismatches:?}");
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn zero_capacity_server_rejects_the_whole_mix_and_books_balance() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceConfig {
+            queue_capacity: 0,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let report = run_mix(&addr, &quick_mix(20, 2)).unwrap();
+    assert_eq!(report.rejected, 20);
+    assert_eq!(report.succeeded, 0);
+    assert_eq!(report.protocol_errors, 0);
+    let Reply::Metrics(snapshot) = control(&addr, Op::Metrics).unwrap() else {
+        panic!("metrics request must draw a metrics reply");
+    };
+    assert!(verify_metrics(&report, &snapshot).is_empty());
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn repeated_instances_hit_the_cache_on_a_single_connection() {
+    let (handle, addr) = default_server();
+    let mix = MixConfig {
+        distinct_instances: 5,
+        ..quick_mix(25, 1)
+    };
+    let report = run_mix(&addr, &mix).unwrap();
+    assert_eq!(report.succeeded, 25);
+    // One connection ⇒ strictly sequential ⇒ only the 5 first-of-identity
+    // solves can miss.
+    assert_eq!(report.wall.cached_responses, 20);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn open_loop_paces_and_still_collects_every_reply() {
+    let (handle, addr) = default_server();
+    let mix = MixConfig {
+        open_rate_rps: 2000.0,
+        ..quick_mix(30, 3)
+    };
+    let report = run_mix(&addr, &mix).unwrap();
+    assert_eq!(report.succeeded + report.rejected, 30);
+    assert_eq!(report.protocol_errors, 0);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn graceful_shutdown_after_a_mix_drains_cleanly() {
+    let (handle, addr) = default_server();
+    let report = run_mix(&addr, &quick_mix(16, 2)).unwrap();
+    assert_eq!(report.succeeded, 16);
+    let Reply::ShuttingDown = control(&addr, Op::Shutdown).unwrap() else {
+        panic!("shutdown must be acknowledged");
+    };
+    // 16 solves + 1 shutdown frame, all answered before wait() returns.
+    let served = handle.wait();
+    assert_eq!(served, 17);
+}

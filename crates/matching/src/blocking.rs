@@ -60,6 +60,39 @@ pub fn is_eps_blocking(
     gain_m >= eps * inst.degree(man) as f64 && gain_w >= eps * inst.degree(woman) as f64
 }
 
+/// Reusable scratch space for blocking-pair computations.
+///
+/// Every audit needs the effective-rank table `P_v(p(v))` for all
+/// players; the one-shot entry points allocate it per call. Hot paths
+/// that audit many matchings in sequence (the service worker loop, sweep
+/// cells) hold one `BlockingScratch` and call the `*_with` variants so
+/// the table's allocation is reused across calls.
+///
+/// The scratch carries no state between calls — results are identical to
+/// the allocating variants (the bench determinism suite pins this).
+#[derive(Clone, Debug, Default)]
+pub struct BlockingScratch {
+    er: Vec<Rank>,
+}
+
+impl BlockingScratch {
+    /// Creates an empty scratch; the first use sizes it to the instance.
+    pub fn new() -> Self {
+        BlockingScratch::default()
+    }
+
+    /// (Re)fills the effective-rank table for `matching` on `inst`.
+    fn fill(&mut self, inst: &Instance, matching: &Matching) -> &[Rank] {
+        self.er.clear();
+        self.er.extend(
+            inst.ids()
+                .players()
+                .map(|v| effective_rank(inst, matching, v)),
+        );
+        &self.er
+    }
+}
+
 /// All blocking pairs of `matching`, as `(man, woman)` edges.
 ///
 /// Runs in `O(|E| log Δ)`.
@@ -76,11 +109,16 @@ pub fn is_eps_blocking(
 /// assert_eq!(blocking_pairs(&inst, &empty).len(), inst.num_edges());
 /// ```
 pub fn blocking_pairs(inst: &Instance, matching: &Matching) -> Vec<(NodeId, NodeId)> {
-    let er: Vec<Rank> = inst
-        .ids()
-        .players()
-        .map(|v| effective_rank(inst, matching, v))
-        .collect();
+    blocking_pairs_with(inst, matching, &mut BlockingScratch::new())
+}
+
+/// [`blocking_pairs`] reusing the caller's [`BlockingScratch`].
+pub fn blocking_pairs_with(
+    inst: &Instance,
+    matching: &Matching,
+    scratch: &mut BlockingScratch,
+) -> Vec<(NodeId, NodeId)> {
+    let er = scratch.fill(inst, matching);
     inst.edges()
         .filter(|&(m, w)| {
             let rank_m = inst.rank(m, w).expect("edge implies mutual ranking");
@@ -92,19 +130,67 @@ pub fn blocking_pairs(inst: &Instance, matching: &Matching) -> Vec<(NodeId, Node
 
 /// Number of blocking pairs of `matching`.
 pub fn count_blocking_pairs(inst: &Instance, matching: &Matching) -> usize {
-    blocking_pairs(inst, matching).len()
+    count_blocking_pairs_with(inst, matching, &mut BlockingScratch::new())
+}
+
+/// [`count_blocking_pairs`] reusing the caller's [`BlockingScratch`];
+/// counts without materializing the pair list.
+pub fn count_blocking_pairs_with(
+    inst: &Instance,
+    matching: &Matching,
+    scratch: &mut BlockingScratch,
+) -> usize {
+    let er = scratch.fill(inst, matching);
+    inst.edges()
+        .filter(|&(m, w)| {
+            let rank_m = inst.rank(m, w).expect("edge implies mutual ranking");
+            let rank_w = inst.rank(w, m).expect("edge implies mutual ranking");
+            rank_m < er[m.index()] && rank_w < er[w.index()]
+        })
+        .count()
 }
 
 /// All ε-blocking pairs (Definition 2) of `matching`, as `(man, woman)`.
 pub fn eps_blocking_pairs(inst: &Instance, matching: &Matching, eps: f64) -> Vec<(NodeId, NodeId)> {
+    eps_blocking_pairs_with(inst, matching, eps, &mut BlockingScratch::new())
+}
+
+/// [`eps_blocking_pairs`] reusing the caller's [`BlockingScratch`].
+///
+/// The gains are computed from the shared effective-rank table — the same
+/// values [`is_eps_blocking`] derives per edge, so the result is
+/// identical.
+pub fn eps_blocking_pairs_with(
+    inst: &Instance,
+    matching: &Matching,
+    eps: f64,
+    scratch: &mut BlockingScratch,
+) -> Vec<(NodeId, NodeId)> {
+    let er = scratch.fill(inst, matching);
     inst.edges()
-        .filter(|&(m, w)| is_eps_blocking(inst, matching, m, w, eps))
+        .filter(|&(m, w)| {
+            let rank_m = inst.rank(m, w).expect("edge implies mutual ranking");
+            let rank_w = inst.rank(w, m).expect("edge implies mutual ranking");
+            let gain_m = er[m.index()] as f64 - rank_m as f64;
+            let gain_w = er[w.index()] as f64 - rank_w as f64;
+            gain_m >= eps * inst.degree(m) as f64 && gain_w >= eps * inst.degree(w) as f64
+        })
         .collect()
 }
 
 /// Number of ε-blocking pairs of `matching`.
 pub fn count_eps_blocking_pairs(inst: &Instance, matching: &Matching, eps: f64) -> usize {
-    eps_blocking_pairs(inst, matching, eps).len()
+    count_eps_blocking_pairs_with(inst, matching, eps, &mut BlockingScratch::new())
+}
+
+/// [`count_eps_blocking_pairs`] reusing the caller's [`BlockingScratch`].
+pub fn count_eps_blocking_pairs_with(
+    inst: &Instance,
+    matching: &Matching,
+    eps: f64,
+    scratch: &mut BlockingScratch,
+) -> usize {
+    eps_blocking_pairs_with(inst, matching, eps, scratch).len()
 }
 
 #[cfg(test)]
@@ -224,6 +310,62 @@ mod tests {
         assert!(
             count_eps_blocking_pairs(&inst, &m, 0.25) >= count_eps_blocking_pairs(&inst, &m, 0.5)
         );
+    }
+
+    #[test]
+    fn scratch_variants_match_allocating_variants() {
+        // One scratch reused across many instances and matchings must
+        // reproduce the one-shot results exactly.
+        let mut scratch = BlockingScratch::new();
+        for seed in 0..4 {
+            let inst = asm_instance::generators::erdos_renyi(10, 10, 0.5, seed);
+            let mut m = Matching::new(inst.ids().num_players());
+            for j in 0..5 {
+                let (man, woman) = (inst.ids().man(j), inst.ids().woman(9 - j));
+                if inst.rank(man, woman).is_some() {
+                    m.add_pair(man, woman).unwrap();
+                }
+            }
+            assert_eq!(
+                blocking_pairs_with(&inst, &m, &mut scratch),
+                blocking_pairs(&inst, &m)
+            );
+            assert_eq!(
+                count_blocking_pairs_with(&inst, &m, &mut scratch),
+                blocking_pairs(&inst, &m).len()
+            );
+            for eps in [0.25, 0.5, 1.0] {
+                assert_eq!(
+                    eps_blocking_pairs_with(&inst, &m, eps, &mut scratch),
+                    eps_blocking_pairs(&inst, &m, eps)
+                );
+                // The scratch path must agree with the per-edge
+                // is_eps_blocking formulation bit-for-bit.
+                let per_edge: Vec<_> = inst
+                    .edges()
+                    .filter(|&(a, b)| is_eps_blocking(&inst, &m, a, b, eps))
+                    .collect();
+                assert_eq!(
+                    eps_blocking_pairs_with(&inst, &m, eps, &mut scratch),
+                    per_edge
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_resizes_across_instance_sizes() {
+        let mut scratch = BlockingScratch::new();
+        let big = asm_instance::generators::complete(8, 1);
+        let small = contested();
+        let big_m = Matching::new(big.ids().num_players());
+        let small_m = Matching::new(small.ids().num_players());
+        assert_eq!(
+            count_blocking_pairs_with(&big, &big_m, &mut scratch),
+            big.num_edges()
+        );
+        // Shrinking must not leave stale ranks behind.
+        assert_eq!(count_blocking_pairs_with(&small, &small_m, &mut scratch), 4);
     }
 
     #[test]

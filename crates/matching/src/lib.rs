@@ -47,8 +47,9 @@ mod verify;
 mod welfare;
 
 pub use blocking::{
-    blocking_pairs, count_blocking_pairs, count_eps_blocking_pairs, effective_rank,
-    eps_blocking_pairs, is_blocking, is_eps_blocking,
+    blocking_pairs, blocking_pairs_with, count_blocking_pairs, count_blocking_pairs_with,
+    count_eps_blocking_pairs, count_eps_blocking_pairs_with, effective_rank, eps_blocking_pairs,
+    eps_blocking_pairs_with, is_blocking, is_eps_blocking, BlockingScratch,
 };
 pub use enumerate::enumerate_stable_matchings;
 pub use error::MatchingError;

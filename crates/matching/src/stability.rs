@@ -1,7 +1,7 @@
 //! Stability reports: Definition 1 ((1−ε)-stability) and Definition 2
 //! (ε-blocking-stability) in one audit.
 
-use crate::{blocking_pairs, eps_blocking_pairs, Matching};
+use crate::{count_blocking_pairs_with, eps_blocking_pairs, BlockingScratch, Matching};
 use asm_congest::NodeId;
 use asm_instance::Instance;
 use serde::{Deserialize, Serialize};
@@ -40,11 +40,21 @@ pub struct StabilityReport {
 impl StabilityReport {
     /// Audits `matching` against `inst`.
     pub fn analyze(inst: &Instance, matching: &Matching) -> Self {
+        Self::analyze_with(inst, matching, &mut BlockingScratch::new())
+    }
+
+    /// [`analyze`](StabilityReport::analyze) reusing the caller's
+    /// [`BlockingScratch`] — for hot loops auditing many matchings.
+    pub fn analyze_with(
+        inst: &Instance,
+        matching: &Matching,
+        scratch: &mut BlockingScratch,
+    ) -> Self {
         let ids = inst.ids();
         StabilityReport {
             num_edges: inst.num_edges(),
             matching_size: matching.len(),
-            blocking_pairs: blocking_pairs(inst, matching).len(),
+            blocking_pairs: count_blocking_pairs_with(inst, matching, scratch),
             unmatched_men: ids.men().filter(|&m| !matching.is_matched(m)).count(),
             unmatched_women: ids.women().filter(|&w| !matching.is_matched(w)).count(),
         }

@@ -19,6 +19,11 @@
 //! * [`sweep`] — machine-readable sweep output (`BENCH_sweep.json`):
 //!   per-cell wall-clock, rounds, messages, and blocking fraction, plus
 //!   the baseline-comparison logic behind the CI perf-regression gate.
+//! * [`pool`] — the streaming counterpart to [`Executor`]: a bounded
+//!   [`JobQueue`] whose non-blocking `try_push` is an admission-control
+//!   decision, and a [`WorkerPool`] of long-lived threads that drain it,
+//!   with close-then-join graceful shutdown. This is what `asm-service`
+//!   serves requests on.
 //!
 //! # Examples
 //!
@@ -40,10 +45,12 @@
 
 mod cli;
 mod executor;
+pub mod pool;
 mod seed;
 pub mod sweep;
 
 pub use cli::RunFlags;
 pub use executor::Executor;
+pub use pool::{JobQueue, PushError, WorkerPool};
 pub use seed::{derive_seed, label_hash};
 pub use sweep::{SweepCell, SweepReport};

@@ -1,0 +1,240 @@
+//! Content-addressed solve-result cache with LRU eviction.
+//!
+//! The solvers are deterministic functions of
+//! `(instance, algorithm, ε, δ, seed, backend, cycles)`, so a repeated
+//! request can be answered byte-identically without re-running the
+//! engine. The instance component of the key is a content hash
+//! ([`asm_runtime::label_hash`] over the canonical JSON of the
+//! [`InstanceSpec`]) — a generator recipe
+//! and the identical inline instance hash differently, which is safe
+//! (it only costs a duplicate entry), while identical requests always
+//! collide, which is what matters.
+//!
+//! Eviction is least-recently-used via a monotonic tick: each entry
+//! remembers the tick of its last hit, and eviction scans for the
+//! minimum. The scan is O(capacity), which is deliberate — capacities
+//! are small (hundreds), and the scan only runs on insert-at-capacity.
+
+use crate::protocol::{InstanceSpec, SolveResult};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The full identity of a solve request, as a hashable key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SolveKey {
+    /// Content hash of the instance spec's canonical JSON.
+    pub instance_hash: u64,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// ε as raw bits (f64 keys must be bit-exact, not ≈).
+    pub eps_bits: u64,
+    /// δ as raw bits.
+    pub delta_bits: u64,
+    /// Randomness seed.
+    pub seed: u64,
+    /// Backend name.
+    pub backend: String,
+    /// `truncated-gs` cycle budget.
+    pub cycles: u64,
+}
+
+impl SolveKey {
+    /// Builds the key for a solve request.
+    pub fn new(
+        instance: &InstanceSpec,
+        algorithm: &str,
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        backend: &str,
+        cycles: u64,
+    ) -> Self {
+        let canonical = serde_json::to_string(instance).expect("instance specs always serialize");
+        SolveKey {
+            instance_hash: asm_runtime::label_hash(&canonical),
+            algorithm: algorithm.to_string(),
+            eps_bits: eps.to_bits(),
+            delta_bits: delta.to_bits(),
+            seed,
+            backend: backend.to_string(),
+            cycles,
+        }
+    }
+}
+
+struct Entry {
+    result: SolveResult,
+    last_used: u64,
+}
+
+/// A thread-safe LRU cache from [`SolveKey`] to [`SolveResult`].
+///
+/// Capacity 0 disables caching entirely (every lookup misses, inserts
+/// are dropped).
+pub struct ResultCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<SolveKey, Entry>,
+    tick: u64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+        }
+    }
+
+    /// Looks up a result, refreshing its recency on hit. The returned
+    /// clone has `cached: true`.
+    pub fn get(&self, key: &SolveKey) -> Option<SolveResult> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.entries.get_mut(key)?;
+        entry.last_used = tick;
+        let mut result = entry.result.clone();
+        result.cached = true;
+        Some(result)
+    }
+
+    /// Inserts a result, evicting the least-recently-used entry at
+    /// capacity. The stored copy has `cached: false` cleared so hits can
+    /// uniformly mark it.
+    pub fn put(&self, key: SolveKey, mut result: SolveResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        result.cached = false;
+        let mut state = self.state.lock().expect("cache lock poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
+            if let Some(oldest) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                state.entries.remove(&oldest);
+            }
+        }
+        state.entries.insert(
+            key,
+            Entry {
+                result,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("cache lock poisoned")
+            .entries
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators::GeneratorConfig;
+    use asm_matching::Matching;
+
+    fn spec(seed: u64) -> InstanceSpec {
+        InstanceSpec::Generator(GeneratorConfig::Regular { n: 8, d: 3, seed })
+    }
+
+    fn result(matched: u64) -> SolveResult {
+        SolveResult {
+            matching: Matching::new(4),
+            matched,
+            num_edges: 10,
+            blocking_pairs: 1,
+            rounds: 5,
+            messages: 20,
+            cached: false,
+        }
+    }
+
+    fn key(seed: u64) -> SolveKey {
+        SolveKey::new(&spec(seed), "asm", 0.5, 0.1, 1, "greedy", 0)
+    }
+
+    #[test]
+    fn hit_marks_cached_and_miss_returns_none() {
+        let cache = ResultCache::new(4);
+        assert!(cache.get(&key(1)).is_none());
+        cache.put(key(1), result(3));
+        let hit = cache.get(&key(1)).unwrap();
+        assert!(hit.cached);
+        assert_eq!(hit.matched, 3);
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn identical_requests_share_a_key_and_different_params_do_not() {
+        assert_eq!(key(1), key(1));
+        assert_ne!(key(1), key(2));
+        let base = key(1);
+        let other_eps = SolveKey::new(&spec(1), "asm", 0.25, 0.1, 1, "greedy", 0);
+        assert_ne!(base, other_eps);
+        let other_alg = SolveKey::new(&spec(1), "gs", 0.5, 0.1, 1, "greedy", 0);
+        assert_ne!(base, other_alg);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let cache = ResultCache::new(2);
+        cache.put(key(1), result(1));
+        cache.put(key(2), result(2));
+        // Touch key 1 so key 2 is now the LRU.
+        assert!(cache.get(&key(1)).is_some());
+        cache.put(key(3), result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn reinserting_updates_without_evicting() {
+        let cache = ResultCache::new(2);
+        cache.put(key(1), result(1));
+        cache.put(key(2), result(2));
+        cache.put(key(1), result(9));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(1)).unwrap().matched, 9);
+        assert!(cache.get(&key(2)).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let cache = ResultCache::new(0);
+        cache.put(key(1), result(1));
+        assert!(cache.get(&key(1)).is_none());
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! # asm-service: a concurrent almost-stable-matching service
+//!
+//! The north-star deployment target of this repo: the paper's algorithms
+//! behind a long-running server with the operational machinery a matching
+//! service actually needs —
+//!
+//! * **Wire protocol** ([`protocol`]): newline-delimited JSON over TCP;
+//!   `solve`, `analyze`, `health`, `metrics`, `shutdown`. Specified in
+//!   `docs/PROTOCOLS.md` and pinned byte-for-byte by the golden corpus in
+//!   `crates/service/cases/`.
+//! * **Admission control** ([`service`]): a bounded job queue
+//!   ([`asm_runtime::JobQueue`]) feeding a worker pool; a full queue is an
+//!   explicit `overloaded` reply, and per-request queue-wait deadlines
+//!   yield `deadline_exceeded` instead of silent latency.
+//! * **Result cache** ([`cache`]): the solvers are deterministic in
+//!   (instance, parameters, seed), so repeated requests are answered from
+//!   a content-hash-keyed LRU without re-running the engine.
+//! * **Observability** ([`metrics`]): lock-free counters and log₂-bucket
+//!   latency quantiles, snapshotted as schema-versioned JSON by the
+//!   `metrics` request. The counters are exact enough to reconcile
+//!   against a load generator's own totals (CI does exactly that).
+//! * **Graceful drain** ([`server`]): shutdown stops admission, drains
+//!   every accepted job, and flushes every in-flight response before
+//!   [`ServerHandle::wait`] returns.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asm_service::{serve, ServiceConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::net::TcpStream;
+//!
+//! let handle = serve("127.0.0.1:0", ServiceConfig::default())?;
+//! let stream = TcpStream::connect(handle.addr())?;
+//! let mut writer = stream.try_clone()?;
+//! writeln!(
+//!     writer,
+//!     "{}",
+//!     r#"{"id":1,"op":"solve","body":{"instance":{"Generator":{"Regular":{"n":16,"d":4,"seed":7}}},"algorithm":"asm","eps":0.5,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}}"#
+//! )?;
+//! let mut reply = String::new();
+//! BufReader::new(stream).read_line(&mut reply)?;
+//! assert!(reply.contains("\"reply\":\"solved\""));
+//! handle.shutdown();
+//! handle.wait();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod service;
+
+pub use cache::{ResultCache, SolveKey};
+pub use metrics::{Metrics, MetricsSnapshot, METRICS_SCHEMA};
+pub use protocol::{
+    kind, Algorithm, AnalyzeBody, AnalyzeResult, DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec,
+    Op, OverloadInfo, Reply, Request, Response, SolveBody, SolveResult, PROTOCOL_SCHEMA,
+};
+pub use server::{serve, ServerHandle};
+pub use service::{Service, ServiceConfig};

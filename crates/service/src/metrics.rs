@@ -1,0 +1,312 @@
+//! Lock-free service observability: atomic counters and a log₂-bucket
+//! latency histogram, snapshotted on demand as schema-versioned JSON.
+//!
+//! Everything here is plain `AtomicU64` with relaxed ordering — counters
+//! are statistical, not synchronization points. A [`MetricsSnapshot`] is
+//! therefore a *consistent-enough* view: individual counters are exact,
+//! but counters read microseconds apart may straddle a request.
+//!
+//! Quantiles are reported as the **upper bound of the log₂ bucket**
+//! containing the quantile — a deliberate trade: zero allocation on the
+//! hot path, bounded error (at most 2×), and no t-digest dependency.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Schema version of [`MetricsSnapshot`]. Bump when fields change shape.
+pub const METRICS_SCHEMA: u64 = 1;
+
+/// Number of log₂ latency buckets: bucket `i` holds samples in
+/// `[2^i, 2^{i+1})` microseconds, except bucket 0 (`[0, 2)`) and the last
+/// bucket, which absorbs everything ≥ `2^39` µs (~6 days — effectively ∞).
+const LATENCY_BUCKETS: usize = 40;
+
+/// The service's live counters. One instance is shared by every
+/// connection thread and worker; all methods take `&self`.
+#[derive(Debug)]
+pub struct Metrics {
+    /// Frames received (any outcome, including malformed).
+    pub received: AtomicU64,
+    /// Frames that failed to parse as a request.
+    pub malformed: AtomicU64,
+    /// `solve` requests answered `solved`.
+    pub solved: AtomicU64,
+    /// `analyze` requests answered `analyzed`.
+    pub analyzed: AtomicU64,
+    /// `health` requests answered.
+    pub health: AtomicU64,
+    /// `metrics` requests answered.
+    pub metrics: AtomicU64,
+    /// `shutdown` requests answered.
+    pub shutdown: AtomicU64,
+    /// Jobs refused by admission control (`overloaded`).
+    pub overloaded: AtomicU64,
+    /// Jobs expired while queued (`deadline_exceeded`).
+    pub deadline_exceeded: AtomicU64,
+    /// `error` replies (invalid params, solver failure, unavailable).
+    pub errors: AtomicU64,
+    /// Solve jobs answered from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Solve jobs that had to run the engine.
+    pub cache_misses: AtomicU64,
+    /// High-water mark of the job queue depth.
+    pub queue_peak: AtomicU64,
+    /// Total communication rounds across all solved jobs.
+    pub rounds_total: AtomicU64,
+    /// Total protocol messages across all solved jobs.
+    pub messages_total: AtomicU64,
+    /// Total blocking pairs across all solved jobs.
+    pub blocking_pairs_total: AtomicU64,
+    /// Total matched pairs across all solved jobs.
+    pub matched_total: AtomicU64,
+    /// Enqueue→reply latency histogram (µs, log₂ buckets).
+    latency: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            received: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            solved: AtomicU64::new(0),
+            analyzed: AtomicU64::new(0),
+            health: AtomicU64::new(0),
+            metrics: AtomicU64::new(0),
+            shutdown: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            rounds_total: AtomicU64::new(0),
+            messages_total: AtomicU64::new(0),
+            blocking_pairs_total: AtomicU64::new(0),
+            matched_total: AtomicU64::new(0),
+            latency: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn incr(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub fn add(&self, counter: &AtomicU64, delta: u64) {
+        counter.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the queue high-water mark to at least `depth`.
+    pub fn observe_queue_depth(&self, depth: u64) {
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Records one completed job's enqueue→reply latency.
+    pub fn observe_latency_us(&self, micros: u64) {
+        let bucket = latency_bucket(micros);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot.
+    pub fn snapshot(&self, queue_depth: u64, cache_entries: u64) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let buckets: Vec<u64> = self.latency.iter().map(load).collect();
+        let hits = load(&self.cache_hits);
+        let misses = load(&self.cache_misses);
+        let lookups = hits + misses;
+        MetricsSnapshot {
+            schema: METRICS_SCHEMA,
+            received: load(&self.received),
+            malformed: load(&self.malformed),
+            solved: load(&self.solved),
+            analyzed: load(&self.analyzed),
+            health: load(&self.health),
+            metrics: load(&self.metrics),
+            shutdown: load(&self.shutdown),
+            overloaded: load(&self.overloaded),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            errors: load(&self.errors),
+            cache_hits: hits,
+            cache_misses: misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                hits as f64 / lookups as f64
+            },
+            cache_entries,
+            queue_depth,
+            queue_peak: load(&self.queue_peak),
+            rounds_total: load(&self.rounds_total),
+            messages_total: load(&self.messages_total),
+            blocking_pairs_total: load(&self.blocking_pairs_total),
+            matched_total: load(&self.matched_total),
+            latency_p50_us: bucket_quantile(&buckets, 0.50),
+            latency_p95_us: bucket_quantile(&buckets, 0.95),
+            latency_p99_us: bucket_quantile(&buckets, 0.99),
+        }
+    }
+}
+
+/// The bucket index for a latency sample.
+fn latency_bucket(micros: u64) -> usize {
+    // 0..=1 µs → bucket 0; otherwise floor(log2) capped at the last bucket.
+    let bits = 64 - micros.max(1).leading_zeros() as usize;
+    (bits - 1).min(LATENCY_BUCKETS - 1)
+}
+
+/// The quantile as the upper bound (exclusive) of its bucket, in µs.
+/// Returns 0 when no samples have been recorded.
+fn bucket_quantile(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    // Rank of the q-th sample, 1-based, clamped into [1, total].
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &count) in buckets.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return 1u64 << (i + 1).min(63);
+        }
+    }
+    1u64 << 63
+}
+
+/// A point-in-time JSON view of [`Metrics`], returned by the `metrics`
+/// request. Schema-versioned: consumers should check `schema` first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// [`METRICS_SCHEMA`].
+    pub schema: u64,
+    /// Frames received (any outcome).
+    pub received: u64,
+    /// Unparseable frames.
+    pub malformed: u64,
+    /// `solved` replies.
+    pub solved: u64,
+    /// `analyzed` replies.
+    pub analyzed: u64,
+    /// `health` replies.
+    pub health: u64,
+    /// `metrics` replies.
+    pub metrics: u64,
+    /// `shutting_down` replies.
+    pub shutdown: u64,
+    /// `overloaded` replies.
+    pub overloaded: u64,
+    /// `deadline_exceeded` replies.
+    pub deadline_exceeded: u64,
+    /// `error` replies.
+    pub errors: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)`, 0 when no lookups.
+    pub cache_hit_rate: f64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// Jobs queued at snapshot time.
+    pub queue_depth: u64,
+    /// Queue-depth high-water mark.
+    pub queue_peak: u64,
+    /// Σ rounds over solved jobs.
+    pub rounds_total: u64,
+    /// Σ messages over solved jobs.
+    pub messages_total: u64,
+    /// Σ blocking pairs over solved jobs.
+    pub blocking_pairs_total: u64,
+    /// Σ matched pairs over solved jobs.
+    pub matched_total: u64,
+    /// p50 enqueue→reply latency (log₂-bucket upper bound, µs).
+    pub latency_p50_us: u64,
+    /// p95 enqueue→reply latency (log₂-bucket upper bound, µs).
+    pub latency_p95_us: u64,
+    /// p99 enqueue→reply latency (log₂-bucket upper bound, µs).
+    pub latency_p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_snapshot_is_all_zero() {
+        let m = Metrics::new();
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.schema, METRICS_SCHEMA);
+        assert_eq!(snap.received, 0);
+        assert_eq!(snap.latency_p99_us, 0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let m = Metrics::new();
+        m.incr(&m.received);
+        m.incr(&m.solved);
+        m.add(&m.rounds_total, 17);
+        m.observe_latency_us(900);
+        let snap = m.snapshot(2, 1);
+        let line = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn latency_buckets_are_log2() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let m = Metrics::new();
+        // 90 samples in [2,4), 10 samples in [1024,2048).
+        for _ in 0..90 {
+            m.observe_latency_us(3);
+        }
+        for _ in 0..10 {
+            m.observe_latency_us(1500);
+        }
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.latency_p50_us, 4);
+        assert_eq!(snap.latency_p95_us, 2048);
+        assert_eq!(snap.latency_p99_us, 2048);
+    }
+
+    #[test]
+    fn queue_peak_is_monotone() {
+        let m = Metrics::new();
+        m.observe_queue_depth(3);
+        m.observe_queue_depth(1);
+        m.observe_queue_depth(7);
+        m.observe_queue_depth(2);
+        assert_eq!(m.snapshot(0, 0).queue_peak, 7);
+    }
+
+    #[test]
+    fn cache_hit_rate_counts_lookups() {
+        let m = Metrics::new();
+        m.incr(&m.cache_hits);
+        m.incr(&m.cache_hits);
+        m.incr(&m.cache_misses);
+        let snap = m.snapshot(0, 0);
+        assert!((snap.cache_hit_rate - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,612 @@
+//! The `asm-service` wire protocol: newline-delimited JSON frames.
+//!
+//! Every frame is one line of JSON. Requests look like
+//!
+//! ```json
+//! {"id":7,"op":"solve","body":{...}}
+//! {"id":8,"op":"health"}
+//! ```
+//!
+//! and responses echo the id with a lowercase `reply` tag:
+//!
+//! ```json
+//! {"id":7,"reply":"solved","body":{...}}
+//! {"id":9,"reply":"overloaded","body":{"queue_capacity":64,"queue_depth":64}}
+//! ```
+//!
+//! The envelope (`Request`/`Response`) is serialized by hand so the wire
+//! tags are the protocol's lowercase names rather than Rust variant
+//! names; the bodies are plain serde derives. The full specification —
+//! field tables, error kinds, and the golden corpus that pins the exact
+//! bytes — lives in `docs/PROTOCOLS.md` ("The asm-service line
+//! protocol") and `crates/service/cases/`.
+
+use asm_instance::generators::GeneratorConfig;
+use asm_instance::Instance;
+use asm_matching::Matching;
+use asm_maximal::MatcherBackend;
+use serde::{content_get, Content, Deserialize, Serialize};
+
+/// Protocol schema version, reported by `health` and `metrics`.
+pub const PROTOCOL_SCHEMA: u64 = 1;
+
+/// One request frame: a client-chosen correlation id plus the operation.
+///
+/// The id is echoed verbatim in the response. `None` models a frame whose
+/// id could not be parsed (responses then carry `"id":null`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: Option<u64>,
+    /// The requested operation.
+    pub op: Op,
+}
+
+/// The operations the service understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Solve an instance; wire tag `"solve"`.
+    Solve(SolveBody),
+    /// Audit a matching against an instance; wire tag `"analyze"`.
+    Analyze(AnalyzeBody),
+    /// Liveness + configuration probe; wire tag `"health"`.
+    Health,
+    /// Metrics snapshot; wire tag `"metrics"`.
+    Metrics,
+    /// Begin graceful shutdown; wire tag `"shutdown"`.
+    Shutdown,
+}
+
+impl Op {
+    /// The lowercase wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Op::Solve(_) => "solve",
+            Op::Analyze(_) => "analyze",
+            Op::Health => "health",
+            Op::Metrics => "metrics",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Body of a `solve` request. All fields are required on the wire
+/// (clients state their configuration explicitly; there are no implicit
+/// server-side defaults to drift).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolveBody {
+    /// The instance to solve (inline or as a generator recipe).
+    pub instance: InstanceSpec,
+    /// Algorithm name: `asm`, `rand-asm`, `almost-regular`, `gs`, or
+    /// `truncated-gs`.
+    pub algorithm: String,
+    /// Blocking-pair budget ε (must be positive and finite for the ASM
+    /// family; ignored by `gs`/`truncated-gs`).
+    pub eps: f64,
+    /// Failure probability δ (RandASM / AlmostRegularASM only).
+    pub delta: f64,
+    /// Randomness seed. Part of the cache key: the solvers are
+    /// deterministic functions of (instance, parameters, seed).
+    pub seed: u64,
+    /// Maximal-matching backend: `hkp`, `greedy`, `proposal`, `pr`, `ii`.
+    pub backend: String,
+    /// Queue-wait deadline in milliseconds; `0` disables. A job whose
+    /// queue wait exceeds its deadline is answered `deadline_exceeded`
+    /// without being solved (a started solve always runs to completion).
+    pub deadline_ms: u64,
+    /// Proposal-cycle budget for `truncated-gs` (the latency/quality knob
+    /// of Floréen et al.); `0` means run Gale–Shapley to convergence.
+    pub cycles: u64,
+}
+
+/// Body of an `analyze` request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeBody {
+    /// The instance the matching is audited against.
+    pub instance: InstanceSpec,
+    /// The matching to audit.
+    pub matching: Matching,
+    /// ε for the ε-blocking-pair count and the (1−ε)-stability verdict.
+    pub eps: f64,
+}
+
+/// An instance, either inline or as a pure generator recipe.
+///
+/// Generator specs are preferred for load generation: the request stays
+/// tiny, the server rebuilds the instance bit-for-bit, and the recipe
+/// doubles as a compact cache key.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum InstanceSpec {
+    /// A generator recipe (`{"Generator":{"Regular":{...}}}` on the wire).
+    Generator(GeneratorConfig),
+    /// A full inline instance (`{"Inline":{...}}` on the wire).
+    Inline(Instance),
+}
+
+impl InstanceSpec {
+    /// Materializes the instance (builds the generator or clones inline).
+    pub fn build(&self) -> Instance {
+        match self {
+            InstanceSpec::Generator(config) => config.build(),
+            InstanceSpec::Inline(inst) => inst.clone(),
+        }
+    }
+}
+
+/// One response frame: the echoed id plus the reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's id (`None` → `"id":null`, e.g. for malformed frames).
+    pub id: Option<u64>,
+    /// The reply payload.
+    pub reply: Reply,
+}
+
+/// Reply payloads, tagged on the wire by their lowercase name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Wire tag `"solved"`.
+    Solved(SolveResult),
+    /// Wire tag `"analyzed"`.
+    Analyzed(AnalyzeResult),
+    /// Wire tag `"health"`.
+    Health(HealthInfo),
+    /// Wire tag `"metrics"`.
+    Metrics(crate::metrics::MetricsSnapshot),
+    /// Wire tag `"shutting_down"`: shutdown accepted, in-flight jobs
+    /// will drain.
+    ShuttingDown,
+    /// Wire tag `"overloaded"`: admission control refused the job.
+    Overloaded(OverloadInfo),
+    /// Wire tag `"deadline_exceeded"`: the job expired while queued.
+    DeadlineExceeded(DeadlineInfo),
+    /// Wire tag `"error"`.
+    Error(ErrorInfo),
+}
+
+impl Reply {
+    /// The lowercase wire tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Reply::Solved(_) => "solved",
+            Reply::Analyzed(_) => "analyzed",
+            Reply::Health(_) => "health",
+            Reply::Metrics(_) => "metrics",
+            Reply::ShuttingDown => "shutting_down",
+            Reply::Overloaded(_) => "overloaded",
+            Reply::DeadlineExceeded(_) => "deadline_exceeded",
+            Reply::Error(_) => "error",
+        }
+    }
+}
+
+/// Result of a successful solve. Every field is a deterministic function
+/// of the request (wall-clock lives in `metrics`, not here).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SolveResult {
+    /// The matching produced.
+    pub matching: Matching,
+    /// Number of matched pairs.
+    pub matched: u64,
+    /// `|E|` of the instance.
+    pub num_edges: u64,
+    /// Blocking pairs induced by the matching.
+    pub blocking_pairs: u64,
+    /// Effective communication rounds of the run (0 for centralized GS
+    /// truncation bookkeeping differences — see docs).
+    pub rounds: u64,
+    /// Protocol messages sent (proposals + acceptances + rejections).
+    pub messages: u64,
+    /// Whether this result was served from the instance/result cache.
+    pub cached: bool,
+}
+
+/// Result of an `analyze` request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzeResult {
+    /// Number of matched pairs.
+    pub matched: u64,
+    /// `|E|` of the instance.
+    pub num_edges: u64,
+    /// Blocking pairs (Definition 1 numerator).
+    pub blocking_pairs: u64,
+    /// Unmatched men.
+    pub unmatched_men: u64,
+    /// Unmatched women.
+    pub unmatched_women: u64,
+    /// ε-blocking pairs (Definition 2) at the request's ε.
+    pub eps_blocking_pairs: u64,
+    /// Whether the matching is (1−ε)-stable at the request's ε.
+    pub one_minus_eps_stable: bool,
+}
+
+/// `health` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthInfo {
+    /// Protocol schema version ([`PROTOCOL_SCHEMA`]).
+    pub schema: u64,
+    /// Whether new jobs are being admitted (false once shutdown began).
+    pub accepting: bool,
+    /// Worker-thread count.
+    pub workers: u64,
+    /// Bounded queue capacity.
+    pub queue_capacity: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+}
+
+/// `overloaded` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OverloadInfo {
+    /// The queue's capacity.
+    pub queue_capacity: u64,
+    /// Queue depth at the moment of refusal.
+    pub queue_depth: u64,
+}
+
+/// `deadline_exceeded` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DeadlineInfo {
+    /// The deadline the request carried.
+    pub deadline_ms: u64,
+}
+
+/// `error` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ErrorInfo {
+    /// Error class: one of [`kind::MALFORMED`], [`kind::INVALID`],
+    /// [`kind::SOLVE`], [`kind::UNAVAILABLE`].
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+/// The error-kind strings of [`ErrorInfo`].
+pub mod kind {
+    /// The frame was not a valid request (bad JSON, missing envelope
+    /// fields, unknown op).
+    pub const MALFORMED: &str = "malformed";
+    /// The request parsed but its parameters are unusable (unknown
+    /// algorithm/backend, out-of-range ε, matching/instance mismatch).
+    pub const INVALID: &str = "invalid";
+    /// The solver itself failed.
+    pub const SOLVE: &str = "solve";
+    /// The service is shutting down and no longer admits jobs.
+    pub const UNAVAILABLE: &str = "unavailable";
+}
+
+impl ErrorInfo {
+    /// Builds an error body from a kind constant and message.
+    pub fn new(kind: &str, message: impl Into<String>) -> Self {
+        ErrorInfo {
+            kind: kind.to_string(),
+            message: message.into(),
+        }
+    }
+}
+
+// ------------------------------------------------------------ envelopes
+
+impl Serialize for Request {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("id".to_string(), self.id.to_content()),
+            ("op".to_string(), Content::Str(self.op.tag().to_string())),
+        ];
+        match &self.op {
+            Op::Solve(body) => map.push(("body".to_string(), body.to_content())),
+            Op::Analyze(body) => map.push(("body".to_string(), body.to_content())),
+            Op::Health | Op::Metrics | Op::Shutdown => {}
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Request {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a request object"))?;
+        let id = match content_get(map, "id") {
+            Some(c) => Option::<u64>::from_content(c)?,
+            None => return Err(serde::Error::custom("missing field `id` in request")),
+        };
+        let tag = match content_get(map, "op") {
+            Some(Content::Str(s)) => s.as_str(),
+            Some(other) => {
+                return Err(serde::Error::custom(format!(
+                    "field `op` must be a string, found {}",
+                    other.kind()
+                )))
+            }
+            None => return Err(serde::Error::custom("missing field `op` in request")),
+        };
+        let body = || {
+            content_get(map, "body")
+                .ok_or_else(|| serde::Error::custom(format!("op `{tag}` requires a `body`")))
+        };
+        let op = match tag {
+            "solve" => Op::Solve(SolveBody::from_content(body()?)?),
+            "analyze" => Op::Analyze(AnalyzeBody::from_content(body()?)?),
+            "health" => Op::Health,
+            "metrics" => Op::Metrics,
+            "shutdown" => Op::Shutdown,
+            other => return Err(serde::Error::custom(format!("unknown op `{other}`"))),
+        };
+        Ok(Request { id, op })
+    }
+}
+
+impl Serialize for Response {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("id".to_string(), self.id.to_content()),
+            (
+                "reply".to_string(),
+                Content::Str(self.reply.tag().to_string()),
+            ),
+        ];
+        let body = match &self.reply {
+            Reply::Solved(b) => Some(b.to_content()),
+            Reply::Analyzed(b) => Some(b.to_content()),
+            Reply::Health(b) => Some(b.to_content()),
+            Reply::Metrics(b) => Some(b.to_content()),
+            Reply::Overloaded(b) => Some(b.to_content()),
+            Reply::DeadlineExceeded(b) => Some(b.to_content()),
+            Reply::Error(b) => Some(b.to_content()),
+            Reply::ShuttingDown => None,
+        };
+        if let Some(b) = body {
+            map.push(("body".to_string(), b));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for Response {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a response object"))?;
+        let id = match content_get(map, "id") {
+            Some(c) => Option::<u64>::from_content(c)?,
+            None => return Err(serde::Error::custom("missing field `id` in response")),
+        };
+        let tag = match content_get(map, "reply") {
+            Some(Content::Str(s)) => s.as_str(),
+            _ => return Err(serde::Error::custom("missing string field `reply`")),
+        };
+        let body = || {
+            content_get(map, "body")
+                .ok_or_else(|| serde::Error::custom(format!("reply `{tag}` requires a `body`")))
+        };
+        let reply = match tag {
+            "solved" => Reply::Solved(SolveResult::from_content(body()?)?),
+            "analyzed" => Reply::Analyzed(AnalyzeResult::from_content(body()?)?),
+            "health" => Reply::Health(HealthInfo::from_content(body()?)?),
+            "metrics" => Reply::Metrics(crate::metrics::MetricsSnapshot::from_content(body()?)?),
+            "shutting_down" => Reply::ShuttingDown,
+            "overloaded" => Reply::Overloaded(OverloadInfo::from_content(body()?)?),
+            "deadline_exceeded" => Reply::DeadlineExceeded(DeadlineInfo::from_content(body()?)?),
+            "error" => Reply::Error(ErrorInfo::from_content(body()?)?),
+            other => return Err(serde::Error::custom(format!("unknown reply `{other}`"))),
+        };
+        Ok(Response { id, reply })
+    }
+}
+
+/// Parses one request frame (one line, no trailing newline).
+///
+/// # Errors
+///
+/// Returns the JSON or shape error; the server maps it to an
+/// [`kind::MALFORMED`] error response with `"id":null`.
+pub fn parse_request(line: &str) -> Result<Request, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+/// Parses one response frame.
+///
+/// # Errors
+///
+/// Returns the JSON or shape error (clients count these as protocol
+/// errors).
+pub fn parse_response(line: &str) -> Result<Response, serde_json::Error> {
+    serde_json::from_str(line)
+}
+
+/// Renders a frame as its single wire line (no trailing newline).
+pub fn render<T: Serialize>(frame: &T) -> String {
+    serde_json::to_string(frame).expect("protocol frames always serialize")
+}
+
+// ------------------------------------------------- algorithm / backend
+
+/// The algorithms the service can run per request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Deterministic `ASM` (Algorithm 3).
+    Asm,
+    /// `RandASM` (Algorithm 4).
+    RandAsm,
+    /// `AlmostRegularASM` (Algorithm 5).
+    AlmostRegular,
+    /// Distributed Gale–Shapley to convergence.
+    Gs,
+    /// Truncated Gale–Shapley (per-request latency/quality knob).
+    TruncatedGs,
+}
+
+impl Algorithm {
+    /// Parses a wire/CLI name (`asm`, `rand-asm`, `almost-regular`, `gs`,
+    /// `truncated-gs`).
+    pub fn parse(name: &str) -> Option<Algorithm> {
+        match name {
+            "asm" => Some(Algorithm::Asm),
+            "rand-asm" => Some(Algorithm::RandAsm),
+            "almost-regular" => Some(Algorithm::AlmostRegular),
+            "gs" => Some(Algorithm::Gs),
+            "truncated-gs" => Some(Algorithm::TruncatedGs),
+            _ => None,
+        }
+    }
+
+    /// The wire/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Asm => "asm",
+            Algorithm::RandAsm => "rand-asm",
+            Algorithm::AlmostRegular => "almost-regular",
+            Algorithm::Gs => "gs",
+            Algorithm::TruncatedGs => "truncated-gs",
+        }
+    }
+}
+
+/// Parses a maximal-matching backend name (`hkp`, `greedy`, `proposal`,
+/// `pr`, `ii`) — shared by the wire protocol and the `asm` CLI.
+pub fn parse_backend(name: &str) -> Option<MatcherBackend> {
+    match name {
+        "hkp" => Some(MatcherBackend::HkpOracle),
+        "greedy" => Some(MatcherBackend::DetGreedy),
+        "proposal" => Some(MatcherBackend::BipartiteProposal),
+        "pr" => Some(MatcherBackend::PanconesiRizzi),
+        "ii" => Some(MatcherBackend::IsraeliItai { max_iterations: 64 }),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_body() -> SolveBody {
+        SolveBody {
+            instance: InstanceSpec::Generator(GeneratorConfig::Regular {
+                n: 8,
+                d: 3,
+                seed: 7,
+            }),
+            algorithm: "asm".to_string(),
+            eps: 0.5,
+            delta: 0.1,
+            seed: 42,
+            backend: "greedy".to_string(),
+            deadline_ms: 0,
+            cycles: 0,
+        }
+    }
+
+    #[test]
+    fn request_round_trips_with_lowercase_tags() {
+        let req = Request {
+            id: Some(7),
+            op: Op::Solve(solve_body()),
+        };
+        let line = render(&req);
+        assert!(
+            line.starts_with("{\"id\":7,\"op\":\"solve\",\"body\":"),
+            "{line}"
+        );
+        assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn bodyless_ops_omit_the_body_field() {
+        for (op, tag) in [
+            (Op::Health, "health"),
+            (Op::Metrics, "metrics"),
+            (Op::Shutdown, "shutdown"),
+        ] {
+            let req = Request { id: Some(1), op };
+            let line = render(&req);
+            assert_eq!(line, format!("{{\"id\":1,\"op\":\"{tag}\"}}"));
+            assert_eq!(parse_request(&line).unwrap().op.tag(), tag);
+        }
+    }
+
+    #[test]
+    fn null_id_round_trips() {
+        let resp = Response {
+            id: None,
+            reply: Reply::Error(ErrorInfo::new(kind::MALFORMED, "boom")),
+        };
+        let line = render(&resp);
+        assert!(
+            line.starts_with("{\"id\":null,\"reply\":\"error\""),
+            "{line}"
+        );
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn unknown_op_is_rejected_with_its_name() {
+        let err = parse_request("{\"id\":1,\"op\":\"dance\"}").unwrap_err();
+        assert!(err.to_string().contains("dance"), "{err}");
+    }
+
+    #[test]
+    fn missing_body_is_rejected() {
+        let err = parse_request("{\"id\":1,\"op\":\"solve\"}").unwrap_err();
+        assert!(err.to_string().contains("body"), "{err}");
+    }
+
+    #[test]
+    fn missing_id_is_rejected() {
+        assert!(parse_request("{\"op\":\"health\"}").is_err());
+    }
+
+    #[test]
+    fn shutting_down_response_round_trips() {
+        let resp = Response {
+            id: Some(3),
+            reply: Reply::ShuttingDown,
+        };
+        let line = render(&resp);
+        assert_eq!(line, "{\"id\":3,\"reply\":\"shutting_down\"}");
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn analyze_round_trips_with_inline_instance() {
+        let inst = asm_instance::generators::complete(3, 1);
+        let matching = Matching::new(inst.ids().num_players());
+        let req = Request {
+            id: Some(2),
+            op: Op::Analyze(AnalyzeBody {
+                instance: InstanceSpec::Inline(inst),
+                matching,
+                eps: 1.0,
+            }),
+        };
+        assert_eq!(parse_request(&render(&req)).unwrap(), req);
+    }
+
+    #[test]
+    fn instance_spec_builds_generator_and_inline_identically() {
+        let config = GeneratorConfig::Regular {
+            n: 6,
+            d: 2,
+            seed: 3,
+        };
+        let built = config.build();
+        assert_eq!(InstanceSpec::Generator(config).build(), built);
+        assert_eq!(InstanceSpec::Inline(built.clone()).build(), built);
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for name in ["asm", "rand-asm", "almost-regular", "gs", "truncated-gs"] {
+            assert_eq!(Algorithm::parse(name).unwrap().name(), name);
+        }
+        assert!(Algorithm::parse("quantum").is_none());
+    }
+
+    #[test]
+    fn backends_parse() {
+        for name in ["hkp", "greedy", "proposal", "pr", "ii"] {
+            assert!(parse_backend(name).is_some(), "{name}");
+        }
+        assert!(parse_backend("magic").is_none());
+    }
+}

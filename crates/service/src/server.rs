@@ -1,0 +1,267 @@
+//! The TCP layer: a listener, one thread per connection, newline-delimited
+//! frames in and out.
+//!
+//! Deliberately thin: all protocol behaviour lives in
+//! [`Service::handle_line`], so this module only owns sockets and thread
+//! lifecycle. The accept loop polls a shutdown flag with a non-blocking
+//! listener (no self-connect tricks), and [`ServerHandle::wait`] provides
+//! the graceful-drain guarantee: accept loop stopped → workers joined
+//! (every accepted job answered) → every in-flight response line flushed.
+
+use crate::service::{Service, ServiceConfig};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// A running server: the service plus its accept thread.
+pub struct ServerHandle {
+    service: Arc<Service>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    open_frames: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service (for in-process probes in tests).
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Asks the server to stop accepting connections and admitting jobs,
+    /// as if a `shutdown` request had arrived. Idempotent.
+    pub fn shutdown(&self) {
+        self.service.begin_shutdown();
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the server has fully drained: the accept loop has
+    /// exited, every accepted job has been answered, and every in-flight
+    /// response has been written. Returns the number of frames served.
+    ///
+    /// Callers normally send a `shutdown` request (or call
+    /// [`shutdown`](ServerHandle::shutdown)) first; `wait` alone blocks
+    /// until someone does.
+    pub fn wait(mut self) -> u64 {
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        // Workers exit once the (closed) queue is drained.
+        self.service.join();
+        // Connection threads may still be writing their final lines.
+        while self.open_frames.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.service.metrics().snapshot(0, 0).received
+    }
+}
+
+/// Binds `addr` and serves the protocol until a `shutdown` request (or
+/// [`ServerHandle::shutdown`]) arrives.
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve(addr: &str, config: ServiceConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let service = Service::start(config);
+    let stop = Arc::new(AtomicBool::new(false));
+    let open_frames = Arc::new(AtomicU64::new(0));
+
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        let open_frames = Arc::clone(&open_frames);
+        std::thread::Builder::new()
+            .name("asm-accept".to_string())
+            .spawn(move || {
+                accept_loop(&listener, &service, &stop, &open_frames);
+            })
+            .expect("spawning the accept thread")
+    };
+
+    Ok(ServerHandle {
+        service,
+        addr,
+        stop,
+        open_frames,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    service: &Arc<Service>,
+    stop: &Arc<AtomicBool>,
+    open_frames: &Arc<AtomicU64>,
+) {
+    loop {
+        // A `shutdown` request flips `accepting`; the handle's shutdown()
+        // flips `stop`. Either ends the accept loop.
+        if stop.load(Ordering::SeqCst) || !service.is_accepting() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(service);
+                let open_frames = Arc::clone(open_frames);
+                let _ = std::thread::Builder::new()
+                    .name("asm-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &service, &open_frames);
+                    });
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. ECONNABORTED): keep serving.
+                std::thread::sleep(ACCEPT_POLL);
+            }
+        }
+    }
+}
+
+/// Serves one connection: one request line in, one response line out,
+/// until EOF. The frame counter brackets handle→write so `wait()` knows
+/// when every response has hit the socket.
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<Service>,
+    open_frames: &Arc<AtomicU64>,
+) -> io::Result<()> {
+    // Blocking I/O per connection (the listener's nonblocking flag is
+    // per-socket on all tier-1 platforms, but set it explicitly: accepted
+    // sockets can inherit O_NONBLOCK on some BSDs).
+    stream.set_nonblocking(false)?;
+    // One-line request/response frames must not sit in Nagle's buffer
+    // waiting for a delayed ACK (~40 ms per exchange otherwise).
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        open_frames.fetch_add(1, Ordering::SeqCst);
+        let response = service.handle_line(&line);
+        let outcome = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush());
+        open_frames.fetch_sub(1, Ordering::SeqCst);
+        outcome?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for line in lines {
+            writer.write_all(line.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(response.trim_end().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn serves_health_then_drains_on_shutdown() {
+        let handle = serve("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        let addr = handle.addr();
+        let replies = send_lines(
+            addr,
+            &[
+                "{\"id\":1,\"op\":\"health\"}",
+                "{\"id\":2,\"op\":\"metrics\"}",
+                "{\"id\":3,\"op\":\"shutdown\"}",
+            ],
+        );
+        assert!(
+            replies[0].contains("\"reply\":\"health\""),
+            "{}",
+            replies[0]
+        );
+        assert!(
+            replies[1].contains("\"reply\":\"metrics\""),
+            "{}",
+            replies[1]
+        );
+        assert!(
+            replies[2].contains("\"reply\":\"shutting_down\""),
+            "{}",
+            replies[2]
+        );
+        let served = handle.wait();
+        assert_eq!(served, 3);
+        // The listener is gone: connecting may succeed briefly on some
+        // stacks, but a fresh serve() can rebind the port.
+        let rebound = serve(&addr.to_string(), ServiceConfig::default());
+        if let Ok(rebound) = rebound {
+            rebound.shutdown();
+            rebound.wait();
+        }
+    }
+
+    #[test]
+    fn concurrent_connections_each_get_their_replies() {
+        let handle = serve("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        let addr = handle.addr();
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let line = format!("{{\"id\":{i},\"op\":\"health\"}}");
+                    send_lines(addr, &[&line])
+                })
+            })
+            .collect();
+        for (i, thread) in threads.into_iter().enumerate() {
+            let replies = thread.join().unwrap();
+            assert!(
+                replies[0].starts_with(&format!("{{\"id\":{i},")),
+                "{}",
+                replies[0]
+            );
+        }
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn malformed_line_gets_null_id_error_over_the_wire() {
+        let handle = serve("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        let replies = send_lines(handle.addr(), &["this is not json"]);
+        assert!(
+            replies[0].starts_with("{\"id\":null,\"reply\":\"error\""),
+            "{}",
+            replies[0]
+        );
+        handle.shutdown();
+        handle.wait();
+    }
+}

@@ -1,0 +1,735 @@
+//! The service core: admission control, the worker pool, and request
+//! handling — everything except the TCP listener.
+//!
+//! [`Service::handle_line`] is the entire protocol state machine: one
+//! request line in, one response line out. Connection threads call it
+//! directly; the TCP layer in [`server`](crate::server) is a thin loop
+//! around it, which is what makes the golden-corpus tests possible — they
+//! drive `handle_line` in-process and pin exact response bytes without a
+//! socket in sight.
+//!
+//! ## Job flow
+//!
+//! `solve`/`analyze` requests are validated on the connection thread
+//! (unknown algorithm, bad ε, …, are rejected *before* consuming queue
+//! capacity), then enqueued on the bounded [`JobQueue`]. A full queue is
+//! an immediate `overloaded` reply — admission control by backpressure,
+//! never unbounded buffering. Workers dequeue, check the queue-wait
+//! deadline, consult the result cache, and run the engine; the connection
+//! thread blocks on a rendezvous channel until its reply arrives
+//! (connection concurrency, not request pipelining, is the concurrency
+//! unit).
+//!
+//! ## Shutdown
+//!
+//! `shutdown` flips `accepting` and closes the queue. Already-accepted
+//! jobs drain; later solve/analyze requests get an `unavailable` error;
+//! `health`/`metrics` keep answering so operators can watch the drain.
+
+use crate::cache::{ResultCache, SolveKey};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    kind, Algorithm, AnalyzeBody, AnalyzeResult, DeadlineInfo, ErrorInfo, HealthInfo, Op,
+    OverloadInfo, Reply, Request, Response, SolveBody, SolveResult, PROTOCOL_SCHEMA,
+};
+use asm_core::baselines::{distributed_gs, truncated_gs};
+use asm_core::{almost_regular_asm, asm, rand_asm, AlmostRegularParams, AsmConfig, RandAsmParams};
+use asm_matching::{
+    count_eps_blocking_pairs_with, verify_matching, BlockingScratch, StabilityReport,
+};
+use asm_maximal::MatcherBackend;
+use asm_runtime::{JobQueue, PushError, WorkerPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Tunables for a [`Service`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServiceConfig {
+    /// Worker threads (0 ⇒ clamped to 1; the CLI maps 0 to the machine's
+    /// parallelism before constructing the service).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue answers `overloaded`.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Artificial per-job service delay in milliseconds, applied by the
+    /// worker before the deadline check. Zero in production; nonzero makes
+    /// queue-wait deadlines and overload deterministic for tests and load
+    /// shaping.
+    pub worker_delay_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            worker_delay_ms: 0,
+        }
+    }
+}
+
+/// A queued solve/analyze job plus its reply rendezvous.
+struct Job {
+    enqueued: Instant,
+    deadline_ms: u64,
+    body: JobBody,
+    reply_tx: mpsc::Sender<Reply>,
+}
+
+enum JobBody {
+    Solve {
+        body: SolveBody,
+        algorithm: Algorithm,
+        backend: MatcherBackend,
+    },
+    Analyze(AnalyzeBody),
+}
+
+/// The matching service: admission control, workers, cache, metrics.
+///
+/// Construct with [`Service::start`]; share via the returned `Arc`.
+pub struct Service {
+    config: ServiceConfig,
+    workers: usize,
+    queue: Arc<JobQueue<Job>>,
+    pool: Mutex<Option<WorkerPool>>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    accepting: AtomicBool,
+}
+
+impl Service {
+    /// Starts the worker pool and returns the shared service handle.
+    pub fn start(config: ServiceConfig) -> Arc<Service> {
+        let workers = config.workers.max(1);
+        let queue = JobQueue::new(config.queue_capacity);
+        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let metrics = Arc::new(Metrics::new());
+        let pool = {
+            let cache = Arc::clone(&cache);
+            let metrics = Arc::clone(&metrics);
+            let delay_ms = config.worker_delay_ms;
+            WorkerPool::spawn(workers, &queue, move |_index, job: Job| {
+                run_job(job, &cache, &metrics, delay_ms);
+            })
+        };
+        Arc::new(Service {
+            config,
+            workers,
+            queue,
+            pool: Mutex::new(Some(pool)),
+            cache,
+            metrics,
+            accepting: AtomicBool::new(true),
+        })
+    }
+
+    /// Handles one request line, returning the single response line
+    /// (no trailing newline). Never panics on untrusted input.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.metrics.incr(&self.metrics.received);
+        let request = match crate::protocol::parse_request(line) {
+            Ok(request) => request,
+            Err(err) => {
+                self.metrics.incr(&self.metrics.malformed);
+                self.metrics.incr(&self.metrics.errors);
+                return crate::protocol::render(&Response {
+                    id: None,
+                    reply: Reply::Error(ErrorInfo::new(kind::MALFORMED, err.to_string())),
+                });
+            }
+        };
+        let id = request.id;
+        let reply = self.dispatch(request);
+        crate::protocol::render(&Response { id, reply })
+    }
+
+    fn dispatch(&self, request: Request) -> Reply {
+        match request.op {
+            Op::Health => {
+                self.metrics.incr(&self.metrics.health);
+                Reply::Health(HealthInfo {
+                    schema: PROTOCOL_SCHEMA,
+                    accepting: self.is_accepting(),
+                    workers: self.workers as u64,
+                    queue_capacity: self.config.queue_capacity as u64,
+                    queue_depth: self.queue.len() as u64,
+                })
+            }
+            Op::Metrics => {
+                self.metrics.incr(&self.metrics.metrics);
+                Reply::Metrics(
+                    self.metrics
+                        .snapshot(self.queue.len() as u64, self.cache.len() as u64),
+                )
+            }
+            Op::Shutdown => {
+                self.metrics.incr(&self.metrics.shutdown);
+                self.begin_shutdown();
+                Reply::ShuttingDown
+            }
+            Op::Solve(body) => match validate_solve(&body) {
+                Ok((algorithm, backend)) => self.submit(
+                    body.deadline_ms,
+                    JobBody::Solve {
+                        body,
+                        algorithm,
+                        backend,
+                    },
+                ),
+                Err(reply) => {
+                    self.metrics.incr(&self.metrics.errors);
+                    *reply
+                }
+            },
+            Op::Analyze(body) => {
+                if !(body.eps.is_finite() && body.eps >= 0.0) {
+                    self.metrics.incr(&self.metrics.errors);
+                    return Reply::Error(ErrorInfo::new(
+                        kind::INVALID,
+                        format!("analyze eps must be finite and >= 0, got {}", body.eps),
+                    ));
+                }
+                self.submit(0, JobBody::Analyze(body))
+            }
+        }
+    }
+
+    /// Enqueues a job and blocks until its reply arrives.
+    fn submit(&self, deadline_ms: u64, body: JobBody) -> Reply {
+        if !self.is_accepting() {
+            self.metrics.incr(&self.metrics.errors);
+            return Reply::Error(ErrorInfo::new(
+                kind::UNAVAILABLE,
+                "service is shutting down",
+            ));
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let job = Job {
+            enqueued: Instant::now(),
+            deadline_ms,
+            body,
+            reply_tx,
+        };
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.metrics.observe_queue_depth(self.queue.len() as u64);
+            }
+            Err(PushError::Full(_)) => {
+                self.metrics.incr(&self.metrics.overloaded);
+                return Reply::Overloaded(OverloadInfo {
+                    queue_capacity: self.config.queue_capacity as u64,
+                    queue_depth: self.queue.len() as u64,
+                });
+            }
+            Err(PushError::Closed(_)) => {
+                self.metrics.incr(&self.metrics.errors);
+                return Reply::Error(ErrorInfo::new(
+                    kind::UNAVAILABLE,
+                    "service is shutting down",
+                ));
+            }
+        }
+        match reply_rx.recv() {
+            Ok(reply) => {
+                self.count_reply(&reply);
+                reply
+            }
+            Err(_) => {
+                // The worker died (panic) before replying.
+                self.metrics.incr(&self.metrics.errors);
+                Reply::Error(ErrorInfo::new(kind::SOLVE, "worker failed before replying"))
+            }
+        }
+    }
+
+    /// Attributes a worker-produced reply to the outcome counters.
+    /// Centralized here so the counters exactly match what went over the
+    /// wire (the invariant `loadgen` verifies against `metrics`).
+    fn count_reply(&self, reply: &Reply) {
+        let m = &self.metrics;
+        match reply {
+            Reply::Solved(result) => {
+                m.incr(&m.solved);
+                m.add(&m.rounds_total, result.rounds);
+                m.add(&m.messages_total, result.messages);
+                m.add(&m.blocking_pairs_total, result.blocking_pairs);
+                m.add(&m.matched_total, result.matched);
+                if result.cached {
+                    m.incr(&m.cache_hits);
+                } else {
+                    m.incr(&m.cache_misses);
+                }
+            }
+            Reply::Analyzed(_) => m.incr(&m.analyzed),
+            Reply::DeadlineExceeded(_) => m.incr(&m.deadline_exceeded),
+            Reply::Error(_) => m.incr(&m.errors),
+            // Workers never produce the remaining variants.
+            _ => {}
+        }
+    }
+
+    /// Whether new solve/analyze jobs are admitted.
+    pub fn is_accepting(&self) -> bool {
+        self.accepting.load(Ordering::SeqCst)
+    }
+
+    /// Begins graceful shutdown: stop admitting, close the queue.
+    /// Idempotent; already-queued jobs still run to completion.
+    pub fn begin_shutdown(&self) {
+        self.accepting.store(false, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// Blocks until every accepted job has been drained and the workers
+    /// have exited. Implies [`begin_shutdown`](Service::begin_shutdown).
+    pub fn join(&self) {
+        self.begin_shutdown();
+        let pool = self.pool.lock().expect("pool lock poisoned").take();
+        if let Some(pool) = pool {
+            pool.join();
+        }
+    }
+
+    /// The live metrics handle (for tests and embedding).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+}
+
+/// Pre-admission validation: everything that can be rejected without
+/// building the instance.
+fn validate_solve(body: &SolveBody) -> Result<(Algorithm, MatcherBackend), Box<Reply>> {
+    let invalid = |message: String| Box::new(Reply::Error(ErrorInfo::new(kind::INVALID, message)));
+    let algorithm = Algorithm::parse(&body.algorithm)
+        .ok_or_else(|| invalid(format!("unknown algorithm `{}`", body.algorithm)))?;
+    let backend = crate::protocol::parse_backend(&body.backend)
+        .ok_or_else(|| invalid(format!("unknown backend `{}`", body.backend)))?;
+    match algorithm {
+        Algorithm::Asm => {
+            let config = asm_config(body.eps, backend, body.seed);
+            config
+                .validate()
+                .map_err(|err| invalid(format!("invalid asm parameters: {err}")))?;
+        }
+        Algorithm::RandAsm | Algorithm::AlmostRegular => {
+            if !(body.eps > 0.0 && body.eps.is_finite()) {
+                return Err(invalid(format!(
+                    "eps must be positive and finite, got {}",
+                    body.eps
+                )));
+            }
+            if !(body.delta > 0.0 && body.delta < 1.0) {
+                return Err(invalid(format!(
+                    "delta must be in (0, 1), got {}",
+                    body.delta
+                )));
+            }
+        }
+        Algorithm::Gs | Algorithm::TruncatedGs => {}
+    }
+    Ok((algorithm, backend))
+}
+
+/// Builds an [`AsmConfig`] by struct literal — [`AsmConfig::new`] panics
+/// on bad ε, and untrusted input must never panic the worker.
+fn asm_config(eps: f64, backend: MatcherBackend, seed: u64) -> AsmConfig {
+    AsmConfig {
+        epsilon: eps,
+        quantiles: None,
+        delta_override: None,
+        inner_multiplier: 1.0,
+        backend,
+        seed,
+        early_exit: true,
+    }
+}
+
+thread_local! {
+    /// Per-worker scratch for blocking-pair audits (satellite of the
+    /// blocking-pair hot-path work: no per-job allocation).
+    static SCRATCH: std::cell::RefCell<BlockingScratch> =
+        std::cell::RefCell::new(BlockingScratch::new());
+}
+
+/// Executes one dequeued job on a worker thread.
+fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
+    if delay_ms > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+    }
+    let reply =
+        if job.deadline_ms > 0 && job.enqueued.elapsed().as_millis() as u64 > job.deadline_ms {
+            Reply::DeadlineExceeded(DeadlineInfo {
+                deadline_ms: job.deadline_ms,
+            })
+        } else {
+            match &job.body {
+                JobBody::Solve {
+                    body,
+                    algorithm,
+                    backend,
+                } => run_solve(body, *algorithm, *backend, cache),
+                JobBody::Analyze(body) => run_analyze(body),
+            }
+        };
+    metrics.observe_latency_us(job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+    // A disconnected receiver means the connection died; nothing to do.
+    let _ = job.reply_tx.send(reply);
+}
+
+fn run_solve(
+    body: &SolveBody,
+    algorithm: Algorithm,
+    backend: MatcherBackend,
+    cache: &ResultCache,
+) -> Reply {
+    let key = SolveKey::new(
+        &body.instance,
+        &body.algorithm,
+        body.eps,
+        body.delta,
+        body.seed,
+        &body.backend,
+        body.cycles,
+    );
+    if let Some(hit) = cache.get(&key) {
+        return Reply::Solved(hit);
+    }
+    let inst = body.instance.build();
+    let (matching, rounds, messages) = match algorithm {
+        Algorithm::Asm => match asm(&inst, &asm_config(body.eps, backend, body.seed)) {
+            Ok(report) => {
+                let messages = report.proposals + report.acceptances + report.rejections;
+                (report.matching, report.rounds, messages)
+            }
+            Err(err) => return solve_error(err),
+        },
+        Algorithm::RandAsm => {
+            let params = RandAsmParams::new(body.eps, body.delta).with_seed(body.seed);
+            match rand_asm(&inst, &params) {
+                Ok(report) => {
+                    let messages = report.proposals + report.acceptances + report.rejections;
+                    (report.matching, report.rounds, messages)
+                }
+                Err(err) => return solve_error(err),
+            }
+        }
+        Algorithm::AlmostRegular => {
+            let params = AlmostRegularParams::new(body.eps, body.delta).with_seed(body.seed);
+            match almost_regular_asm(&inst, &params) {
+                Ok(report) => {
+                    let messages = report.proposals + report.acceptances + report.rejections;
+                    (report.matching, report.rounds, messages)
+                }
+                Err(err) => return solve_error(err),
+            }
+        }
+        Algorithm::Gs => {
+            let report = distributed_gs(&inst);
+            (report.matching, report.rounds, report.proposals)
+        }
+        Algorithm::TruncatedGs => {
+            let report = if body.cycles == 0 {
+                distributed_gs(&inst)
+            } else {
+                truncated_gs(&inst, body.cycles)
+            };
+            (report.matching, report.rounds, report.proposals)
+        }
+    };
+    let stability = SCRATCH
+        .with(|scratch| StabilityReport::analyze_with(&inst, &matching, &mut scratch.borrow_mut()));
+    let result = SolveResult {
+        matched: stability.matching_size as u64,
+        num_edges: stability.num_edges as u64,
+        blocking_pairs: stability.blocking_pairs as u64,
+        rounds,
+        messages,
+        matching,
+        cached: false,
+    };
+    cache.put(key, result.clone());
+    Reply::Solved(result)
+}
+
+fn solve_error(err: impl std::fmt::Display) -> Reply {
+    Reply::Error(ErrorInfo::new(kind::SOLVE, err.to_string()))
+}
+
+fn run_analyze(body: &AnalyzeBody) -> Reply {
+    let inst = body.instance.build();
+    // Untrusted matchings must be verified before analysis: `Matching`
+    // indexing panics on out-of-range ids.
+    if let Err(err) = verify_matching(&inst, &body.matching) {
+        return Reply::Error(ErrorInfo::new(
+            kind::INVALID,
+            format!("matching does not fit instance: {err}"),
+        ));
+    }
+    SCRATCH.with(|scratch| {
+        let scratch = &mut *scratch.borrow_mut();
+        let stability = StabilityReport::analyze_with(&inst, &body.matching, scratch);
+        let eps_blocking = count_eps_blocking_pairs_with(&inst, &body.matching, body.eps, scratch);
+        Reply::Analyzed(AnalyzeResult {
+            matched: stability.matching_size as u64,
+            num_edges: stability.num_edges as u64,
+            blocking_pairs: stability.blocking_pairs as u64,
+            unmatched_men: stability.unmatched_men as u64,
+            unmatched_women: stability.unmatched_women as u64,
+            eps_blocking_pairs: eps_blocking as u64,
+            one_minus_eps_stable: stability.is_one_minus_eps_stable(body.eps),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{parse_response, InstanceSpec};
+    use asm_instance::generators::GeneratorConfig;
+
+    fn service() -> Arc<Service> {
+        Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 8,
+            worker_delay_ms: 0,
+        })
+    }
+
+    fn solve_line(id: u64, seed: u64, algorithm: &str) -> String {
+        let body = SolveBody {
+            instance: InstanceSpec::Generator(GeneratorConfig::Regular { n: 12, d: 4, seed }),
+            algorithm: algorithm.to_string(),
+            eps: 0.5,
+            delta: 0.1,
+            seed: 1,
+            backend: "greedy".to_string(),
+            deadline_ms: 0,
+            cycles: 4,
+        };
+        crate::protocol::render(&Request {
+            id: Some(id),
+            op: Op::Solve(body),
+        })
+    }
+
+    fn reply_of(service: &Service, line: &str) -> Reply {
+        parse_response(&service.handle_line(line)).unwrap().reply
+    }
+
+    #[test]
+    fn solve_produces_a_verified_matching_for_every_algorithm() {
+        let service = service();
+        for (id, algorithm) in ["asm", "rand-asm", "almost-regular", "gs", "truncated-gs"]
+            .iter()
+            .enumerate()
+        {
+            match reply_of(&service, &solve_line(id as u64, 3, algorithm)) {
+                Reply::Solved(result) => {
+                    assert_eq!(result.matched, result.matching.len() as u64, "{algorithm}");
+                    assert!(!result.cached);
+                }
+                other => panic!("{algorithm}: expected solved, got {other:?}"),
+            }
+        }
+        service.join();
+    }
+
+    #[test]
+    fn identical_solves_hit_the_cache_with_identical_payloads() {
+        let service = service();
+        let first = reply_of(&service, &solve_line(1, 5, "asm"));
+        let second = reply_of(&service, &solve_line(2, 5, "asm"));
+        let (Reply::Solved(a), Reply::Solved(b)) = (first, second) else {
+            panic!("expected two solved replies");
+        };
+        assert!(!a.cached);
+        assert!(b.cached);
+        assert_eq!(a.matching, b.matching);
+        assert_eq!(a.rounds, b.rounds);
+        let snap = service.metrics().snapshot(0, 0);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        service.join();
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_before_the_queue() {
+        let service = service();
+        for line in [
+            solve_line(1, 1, "quantum"),
+            solve_line(2, 1, "asm").replace("\"eps\":0.5", "\"eps\":-1.0"),
+            solve_line(3, 1, "asm").replace("\"backend\":\"greedy\"", "\"backend\":\"magic\""),
+        ] {
+            match reply_of(&service, &line) {
+                Reply::Error(err) => assert_eq!(err.kind, kind::INVALID, "{line}"),
+                other => panic!("expected invalid error, got {other:?}"),
+            }
+        }
+        assert_eq!(service.metrics().snapshot(0, 0).errors, 3);
+        service.join();
+    }
+
+    #[test]
+    fn malformed_frames_get_null_id_errors() {
+        let service = service();
+        let out = service.handle_line("{not json");
+        assert!(out.starts_with("{\"id\":null,\"reply\":\"error\""), "{out}");
+        let snap = service.metrics().snapshot(0, 0);
+        assert_eq!(snap.malformed, 1);
+        assert_eq!(snap.errors, 1);
+        service.join();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_work_but_health_still_answers() {
+        let service = service();
+        assert!(matches!(
+            reply_of(&service, "{\"id\":1,\"op\":\"shutdown\"}"),
+            Reply::ShuttingDown
+        ));
+        match reply_of(&service, &solve_line(2, 1, "asm")) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::UNAVAILABLE),
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        match reply_of(&service, "{\"id\":3,\"op\":\"health\"}") {
+            Reply::Health(health) => assert!(!health.accepting),
+            other => panic!("expected health, got {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn queue_wait_deadline_expires_deterministically() {
+        // One worker sleeping 40 ms per job: the second job waits ≥ 40 ms,
+        // far past its 5 ms deadline.
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 8,
+            cache_capacity: 0,
+            worker_delay_ms: 40,
+        });
+        let line = solve_line(1, 1, "gs").replace("\"deadline_ms\":0", "\"deadline_ms\":5");
+        let service2 = Arc::clone(&service);
+        let line2 = line.clone();
+        let racer = std::thread::spawn(move || reply_of(&service2, &line2));
+        let local = reply_of(&service, &line);
+        let remote = racer.join().unwrap();
+        let deadline_count = [&local, &remote]
+            .iter()
+            .filter(|r| matches!(r, Reply::DeadlineExceeded(_)))
+            .count();
+        assert!(deadline_count >= 1, "got {local:?} and {remote:?}");
+        service.join();
+    }
+
+    #[test]
+    fn zero_capacity_queue_is_always_overloaded() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 0,
+            cache_capacity: 0,
+            worker_delay_ms: 0,
+        });
+        match reply_of(&service, &solve_line(1, 1, "gs")) {
+            Reply::Overloaded(info) => assert_eq!(info.queue_capacity, 0),
+            other => panic!("expected overloaded, got {other:?}"),
+        }
+        assert_eq!(service.metrics().snapshot(0, 0).overloaded, 1);
+        service.join();
+    }
+
+    #[test]
+    fn analyze_verifies_untrusted_matchings() {
+        let service = service();
+        let inst = asm_instance::generators::complete(4, 1);
+        let body = AnalyzeBody {
+            instance: InstanceSpec::Inline(inst),
+            matching: asm_matching::Matching::new(2), // too small: 8 players
+            eps: 0.5,
+        };
+        let line = crate::protocol::render(&Request {
+            id: Some(1),
+            op: Op::Analyze(body),
+        });
+        match reply_of(&service, &line) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::INVALID),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn analyze_audits_a_solved_matching_consistently() {
+        let service = service();
+        let Reply::Solved(result) = reply_of(&service, &solve_line(1, 9, "asm")) else {
+            panic!("expected solved");
+        };
+        let body = AnalyzeBody {
+            instance: InstanceSpec::Generator(GeneratorConfig::Regular {
+                n: 12,
+                d: 4,
+                seed: 9,
+            }),
+            matching: result.matching,
+            eps: 0.5,
+        };
+        let line = crate::protocol::render(&Request {
+            id: Some(2),
+            op: Op::Analyze(body),
+        });
+        match reply_of(&service, &line) {
+            Reply::Analyzed(analyzed) => {
+                assert_eq!(analyzed.blocking_pairs, result.blocking_pairs);
+                assert_eq!(analyzed.matched, result.matched);
+                assert!(analyzed.one_minus_eps_stable);
+            }
+            other => panic!("expected analyzed, got {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn join_drains_accepted_jobs() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            cache_capacity: 0,
+            worker_delay_ms: 1,
+        });
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let service = Arc::clone(&service);
+            handles.push(std::thread::spawn(move || {
+                reply_of(&service, &solve_line(i, i, "gs"))
+            }));
+        }
+        // Let some submissions land, then shut down under load.
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        service.begin_shutdown();
+        let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        service.join();
+        // Every accepted job was answered: each reply is solved or an
+        // explicit unavailable refusal — never a hang, never a lost job.
+        let solved = replies
+            .iter()
+            .filter(|r| matches!(r, Reply::Solved(_)))
+            .count();
+        let refused = replies
+            .iter()
+            .filter(|r| matches!(r, Reply::Error(e) if e.kind == kind::UNAVAILABLE))
+            .count();
+        assert_eq!(solved + refused, 8, "{replies:?}");
+        let snap = service.metrics().snapshot(0, 0);
+        assert_eq!(snap.solved as usize, solved);
+    }
+}

@@ -1,0 +1,60 @@
+//! Service quickstart: embed `asm-service`, speak the wire protocol,
+//! and reconcile the books.
+//!
+//! Run with: `cargo run --release --example service_quickstart`
+//!
+//! The same protocol is served by `asm serve` as a standalone process;
+//! see docs/PROTOCOLS.md ("The asm-service line protocol") and the
+//! `loadgen` binary in `asm-bench` for driving it at scale.
+
+use asm_service::{serve, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An in-process server on an OS-assigned port, two workers.
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    )?;
+    println!("serving on {}", handle.addr());
+
+    let stream = TcpStream::connect(handle.addr())?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut exchange = |line: &str| -> std::io::Result<String> {
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply)?;
+        Ok(reply.trim_end().to_string())
+    };
+
+    // Solve a generator-described instance twice: the second reply comes
+    // from the result cache ("cached":true) without re-running ASM.
+    let solve = r#"{"id":1,"op":"solve","body":{"instance":{"Generator":{"Regular":{"n":64,"d":8,"seed":7}}},"algorithm":"asm","eps":0.25,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}}"#;
+    let first = exchange(solve)?;
+    let second = exchange(&solve.replacen("\"id\":1", "\"id\":2", 1))?;
+    assert!(first.contains("\"reply\":\"solved\""), "{first}");
+    assert!(first.contains("\"cached\":false"), "{first}");
+    assert!(second.contains("\"cached\":true"), "{second}");
+    println!("solved once, answered twice (second from cache)");
+
+    // The metrics snapshot accounts for exactly what we sent.
+    let metrics = exchange(r#"{"id":3,"op":"metrics"}"#)?;
+    assert!(metrics.contains("\"solved\":2"), "{metrics}");
+    assert!(metrics.contains("\"cache_hits\":1"), "{metrics}");
+    println!("metrics reconcile: 2 solved, 1 cache hit");
+
+    // Graceful shutdown: the reply is acknowledged, accepted work drains,
+    // and wait() returns the number of frames served.
+    let bye = exchange(r#"{"id":4,"op":"shutdown"}"#)?;
+    assert!(bye.contains("\"reply\":\"shutting_down\""), "{bye}");
+    let served = handle.wait();
+    println!("drained after {served} frames");
+    assert_eq!(served, 4);
+    Ok(())
+}

@@ -7,10 +7,28 @@
 //!              [--out matching.json]
 //! asm analyze  --input inst.json --matching matching.json [--eps E]
 //! asm info     --input inst.json
+//! asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+//!              [--cache-capacity N] [--worker-delay-ms MS]
 //! ```
 //!
 //! Instances and matchings are JSON (serde representations of
 //! [`almost_stable::Instance`] and [`almost_stable::Matching`]).
+//!
+//! ## Exit codes
+//!
+//! There is exactly one exit path (`main`'s match on [`run`]), and every
+//! failure is classified:
+//!
+//! | code | class | examples |
+//! |------|-------|----------|
+//! | 0    | success | |
+//! | 2    | usage | unknown subcommand, unknown flag, bad flag value |
+//! | 3    | input | unreadable file, malformed instance/matching JSON |
+//! | 4    | solve | engine error, matching fails verification |
+//!
+//! Scripts can therefore distinguish "you called it wrong" from "your
+//! file is bad" from "the solve itself failed". `tests/cli.rs` pins
+//! these codes.
 
 use almost_stable::core::baselines::distributed_gs;
 use almost_stable::{
@@ -18,9 +36,11 @@ use almost_stable::{
     InstanceMetrics, MatcherBackend, Matching, RandAsmParams, StabilityReport,
 };
 use asm_matching::{verify_matching, InstabilityMeasures, WelfareReport};
+use asm_service::ServiceConfig;
 use std::collections::HashMap;
-use std::error::Error;
+use std::fmt;
 use std::fs;
+use std::io::Write as _;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
@@ -32,30 +52,79 @@ const USAGE: &str = "usage:
                [--eps E] [--delta D] [--seed SEED]
                [--backend hkp|greedy|proposal|pr|ii] [--out FILE]
   asm analyze  --input FILE --matching FILE [--eps E]
-  asm info     --input FILE";
+  asm info     --input FILE
+  asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+               [--cache-capacity N] [--worker-delay-ms MS]
+
+exit codes: 0 success, 2 usage error, 3 input/I-O error, 4 solve error";
+
+/// Every CLI failure, classified for the exit code. See the module docs.
+#[derive(Debug)]
+enum CliError {
+    /// Exit 2: the invocation itself is wrong.
+    Usage(String),
+    /// Exit 3: a file could not be read, written, or parsed.
+    Input(String),
+    /// Exit 4: the engine rejected or failed the computation.
+    Solve(String),
+}
+
+impl CliError {
+    fn usage(message: impl fmt::Display) -> Self {
+        CliError::Usage(message.to_string())
+    }
+
+    fn input(message: impl fmt::Display) -> Self {
+        CliError::Input(message.to_string())
+    }
+
+    fn solve(message: impl fmt::Display) -> Self {
+        CliError::Solve(message.to_string())
+    }
+
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Solve(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Input(m) | CliError::Solve(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+type CliResult<T> = Result<T, CliError>;
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            if matches!(e, CliError::Usage(_)) {
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.code())
         }
     }
 }
 
 /// Splits `--key value` argument pairs after the subcommand.
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, Box<dyn Error>> {
+fn parse_flags(args: &[String]) -> CliResult<HashMap<String, String>> {
     let mut flags = HashMap::new();
     let mut i = 0;
     while i < args.len() {
         let key = args[i]
             .strip_prefix("--")
-            .ok_or_else(|| format!("expected --flag, got {:?}", args[i]))?;
+            .ok_or_else(|| CliError::usage(format!("expected --flag, got {:?}", args[i])))?;
         let value = args
             .get(i + 1)
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+            .ok_or_else(|| CliError::usage(format!("--{key} needs a value")))?;
         flags.insert(key.to_string(), value.clone());
         i += 2;
     }
@@ -66,20 +135,22 @@ fn get_parsed<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
     key: &str,
     default: T,
-) -> Result<T, Box<dyn Error>>
+) -> CliResult<T>
 where
-    T::Err: Error + 'static,
+    T::Err: fmt::Display,
 {
     match flags.get(key) {
-        Some(v) => Ok(v.parse::<T>().map_err(|e| format!("--{key}: {e}"))?),
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|e| CliError::usage(format!("--{key}: {e}"))),
         None => Ok(default),
     }
 }
 
-fn run() -> Result<(), Box<dyn Error>> {
+fn run() -> CliResult<()> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
-        return Err("missing subcommand".into());
+        return Err(CliError::usage("missing subcommand"));
     };
     if matches!(command.as_str(), "help" | "--help" | "-h") {
         println!("{USAGE}");
@@ -91,28 +162,31 @@ fn run() -> Result<(), Box<dyn Error>> {
         "solve" => solve(&flags),
         "analyze" => analyze(&flags),
         "info" => info(&flags),
-        other => Err(format!("unknown subcommand {other:?}").into()),
+        "serve" => serve(&flags),
+        other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, Box<dyn Error>> {
-    let path = flags.get("input").ok_or("--input is required")?;
-    let text = fs::read_to_string(path)?;
+fn load_instance(flags: &HashMap<String, String>) -> CliResult<Instance> {
+    let path = flags
+        .get("input")
+        .ok_or_else(|| CliError::usage("--input is required"))?;
+    let text = fs::read_to_string(path).map_err(|e| CliError::input(format!("{path}: {e}")))?;
     if path.ends_with(".txt") {
-        Ok(asm_instance::parse_text(&text)?)
+        asm_instance::parse_text(&text).map_err(|e| CliError::input(format!("{path}: {e}")))
     } else {
-        Ok(serde_json::from_str(&text)?)
+        serde_json::from_str(&text).map_err(|e| CliError::input(format!("{path}: {e}")))
     }
 }
 
 fn write_or_print<T: serde::Serialize>(
     flags: &HashMap<String, String>,
     value: &T,
-) -> Result<(), Box<dyn Error>> {
-    let json = serde_json::to_string(value)?;
+) -> CliResult<()> {
+    let json = serde_json::to_string(value).map_err(CliError::input)?;
     match flags.get("out") {
         Some(path) => {
-            fs::write(path, json)?;
+            fs::write(path, json).map_err(|e| CliError::input(format!("{path}: {e}")))?;
             eprintln!("wrote {path}");
         }
         None => println!("{json}"),
@@ -120,10 +194,11 @@ fn write_or_print<T: serde::Serialize>(
     Ok(())
 }
 
-fn write_instance(flags: &HashMap<String, String>, inst: &Instance) -> Result<(), Box<dyn Error>> {
+fn write_instance(flags: &HashMap<String, String>, inst: &Instance) -> CliResult<()> {
     match flags.get("out") {
         Some(path) if path.ends_with(".txt") => {
-            fs::write(path, asm_instance::to_text(inst))?;
+            fs::write(path, asm_instance::to_text(inst))
+                .map_err(|e| CliError::input(format!("{path}: {e}")))?;
             eprintln!("wrote {path}");
             Ok(())
         }
@@ -131,11 +206,14 @@ fn write_instance(flags: &HashMap<String, String>, inst: &Instance) -> Result<()
     }
 }
 
-fn generate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
-    let family = flags.get("family").ok_or("--family is required")?.as_str();
+fn generate(flags: &HashMap<String, String>) -> CliResult<()> {
+    let family = flags
+        .get("family")
+        .ok_or_else(|| CliError::usage("--family is required"))?
+        .as_str();
     let n: usize = get_parsed(flags, "n", 0)?;
     if n == 0 {
-        return Err("--n must be a positive integer".into());
+        return Err(CliError::usage("--n must be a positive integer"));
     }
     let d: usize = get_parsed(flags, "d", (n / 8).max(2).min(n))?;
     let seed: u64 = get_parsed(flags, "seed", 0)?;
@@ -151,29 +229,28 @@ fn generate(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
         "chain" => generators::adversarial_chain(n),
         "master-list" => generators::master_list(n, seed),
         "noisy-master" => generators::noisy_master(n, get_parsed(flags, "noise", 1.0)?, seed),
-        other => return Err(format!("unknown family {other:?}").into()),
+        other => return Err(CliError::usage(format!("unknown family {other:?}"))),
     };
     eprintln!("generated: {}", InstanceMetrics::measure(&inst));
     write_instance(flags, &inst)
 }
 
-fn backend_from(flags: &HashMap<String, String>) -> Result<MatcherBackend, Box<dyn Error>> {
+fn backend_from(flags: &HashMap<String, String>) -> CliResult<MatcherBackend> {
     match flags.get("backend").map(String::as_str) {
-        None | Some("hkp") => Ok(MatcherBackend::HkpOracle),
-        Some("greedy") => Ok(MatcherBackend::DetGreedy),
-        Some("proposal") => Ok(MatcherBackend::BipartiteProposal),
-        Some("pr") => Ok(MatcherBackend::PanconesiRizzi),
-        Some("ii") => Ok(MatcherBackend::IsraeliItai { max_iterations: 64 }),
-        Some(other) => Err(format!("unknown backend {other:?}").into()),
+        None => Ok(MatcherBackend::HkpOracle),
+        Some(name) => asm_service::protocol::parse_backend(name)
+            .ok_or_else(|| CliError::usage(format!("unknown backend {name:?}"))),
     }
 }
 
-fn solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn solve(flags: &HashMap<String, String>) -> CliResult<()> {
     let inst = load_instance(flags)?;
     let eps: f64 = get_parsed(flags, "eps", 0.5)?;
     // AsmConfig::new panics on a bad ε; surface it as a CLI error instead.
     if !(eps > 0.0 && eps.is_finite()) {
-        return Err(format!("--eps must be positive and finite, got {eps}").into());
+        return Err(CliError::usage(format!(
+            "--eps must be positive and finite, got {eps}"
+        )));
     }
     let delta: f64 = get_parsed(flags, "delta", 0.1)?;
     let seed: u64 = get_parsed(flags, "seed", 0)?;
@@ -183,18 +260,20 @@ fn solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             let config = AsmConfig::new(eps)
                 .with_seed(seed)
                 .with_backend(backend_from(flags)?);
-            let report = asm(&inst, &config)?;
+            let report = asm(&inst, &config).map_err(CliError::solve)?;
             eprintln!("asm: {report}");
             report.matching
         }
         "rand-asm" => {
-            let report = rand_asm(&inst, &RandAsmParams::new(eps, delta).with_seed(seed))?;
+            let report = rand_asm(&inst, &RandAsmParams::new(eps, delta).with_seed(seed))
+                .map_err(CliError::solve)?;
             eprintln!("rand-asm: {report}");
             report.matching
         }
         "almost-regular" => {
             let report =
-                almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(seed))?;
+                almost_regular_asm(&inst, &AlmostRegularParams::new(eps, delta).with_seed(seed))
+                    .map_err(CliError::solve)?;
             eprintln!("almost-regular-asm: {report}");
             report.matching
         }
@@ -208,18 +287,22 @@ fn solve(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
             );
             report.matching
         }
-        other => return Err(format!("unknown algorithm {other:?}").into()),
+        other => return Err(CliError::usage(format!("unknown algorithm {other:?}"))),
     };
     let stability = StabilityReport::analyze(&inst, &matching);
     eprintln!("stability: {stability}");
     write_or_print(flags, &matching)
 }
 
-fn analyze(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn analyze(flags: &HashMap<String, String>) -> CliResult<()> {
     let inst = load_instance(flags)?;
-    let mpath = flags.get("matching").ok_or("--matching is required")?;
-    let matching: Matching = serde_json::from_str(&fs::read_to_string(mpath)?)?;
-    verify_matching(&inst, &matching)?;
+    let mpath = flags
+        .get("matching")
+        .ok_or_else(|| CliError::usage("--matching is required"))?;
+    let text = fs::read_to_string(mpath).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+    let matching: Matching =
+        serde_json::from_str(&text).map_err(|e| CliError::input(format!("{mpath}: {e}")))?;
+    verify_matching(&inst, &matching).map_err(CliError::solve)?;
     let stability = StabilityReport::analyze(&inst, &matching);
     println!("stability   : {stability}");
     println!(
@@ -228,7 +311,9 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     );
     println!("welfare     : {}", WelfareReport::measure(&inst, &matching));
     if let Some(eps) = flags.get("eps") {
-        let eps: f64 = eps.parse()?;
+        let eps: f64 = eps
+            .parse()
+            .map_err(|e| CliError::usage(format!("--eps: {e}")))?;
         println!(
             "(1-{eps})-stable : {}",
             stability.is_one_minus_eps_stable(eps)
@@ -237,12 +322,45 @@ fn analyze(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn info(flags: &HashMap<String, String>) -> Result<(), Box<dyn Error>> {
+fn info(flags: &HashMap<String, String>) -> CliResult<()> {
     let inst = load_instance(flags)?;
     let m = InstanceMetrics::measure(&inst);
     println!("{m}");
     println!("complete    : {}", inst.is_complete());
     println!("alpha (men) : {:.3}", inst.alpha());
     println!("isolated    : {}", m.isolated_players);
+    Ok(())
+}
+
+/// Runs the matching service until a `shutdown` request arrives.
+///
+/// Prints `asm-service listening on ADDR` as the first stdout line (and
+/// flushes it) so wrappers can scrape the bound address — with
+/// `--addr 127.0.0.1:0` the OS picks the port.
+fn serve(flags: &HashMap<String, String>) -> CliResult<()> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7464".to_string());
+    let workers: usize = get_parsed(flags, "workers", 0)?;
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        workers
+    };
+    let config = ServiceConfig {
+        workers,
+        queue_capacity: get_parsed(flags, "queue-capacity", 64)?,
+        cache_capacity: get_parsed(flags, "cache-capacity", 256)?,
+        worker_delay_ms: get_parsed(flags, "worker-delay-ms", 0)?,
+    };
+    let handle = asm_service::serve(&addr, config)
+        .map_err(|e| CliError::input(format!("cannot bind {addr}: {e}")))?;
+    println!("asm-service listening on {}", handle.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::input(format!("stdout: {e}")))?;
+    let served = handle.wait();
+    println!("asm-service drained after {served} frames");
     Ok(())
 }

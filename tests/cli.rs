@@ -1,8 +1,17 @@
 //! End-to-end tests of the `asm` CLI binary: generate → info → solve →
-//! analyze pipelines over both the JSON and text formats.
+//! analyze pipelines over both the JSON and text formats, the exit-code
+//! contract (0 success / 2 usage / 3 input / 4 solve), and the `serve`
+//! subcommand's wire round trip.
 
 use std::path::PathBuf;
 use std::process::Command;
+
+/// Exit code for usage errors (unknown subcommand/flag, bad flag value).
+const EXIT_USAGE: i32 = 2;
+/// Exit code for input/I-O errors (unreadable or malformed files).
+const EXIT_INPUT: i32 = 3;
+/// Exit code for solve errors (engine failures, unverifiable matchings).
+const EXIT_SOLVE: i32 = 4;
 
 fn asm_bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_asm"))
@@ -260,6 +269,126 @@ fn bad_invocations_fail_with_usage() {
         .output()
         .expect("binary runs");
     assert!(!out.status.success());
+}
+
+#[test]
+fn exit_codes_distinguish_usage_from_input_from_solve() {
+    // Usage errors: exit 2.
+    for args in [
+        vec![],
+        vec!["dance"],
+        vec!["solve"], // --input missing
+        vec!["generate", "--family", "nonsense", "--n", "4"],
+        vec!["generate", "--family", "complete", "--n", "nope"],
+        vec!["generate", "--family"], // flag without value
+        vec!["generate", "nodashes"],
+    ] {
+        let out = asm_bin().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(EXIT_USAGE), "{args:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "{args:?} must print usage"
+        );
+    }
+
+    // Input errors: exit 3.
+    let garbled = tmp("exit-code-garbled.json");
+    std::fs::write(&garbled, "{ not json").unwrap();
+    for args in [
+        vec!["solve", "--input", "/nonexistent/file.json"],
+        vec!["info", "--input", garbled.to_str().unwrap()],
+        vec!["solve", "--input", garbled.to_str().unwrap()],
+    ] {
+        let out = asm_bin().args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(EXIT_INPUT), "{args:?}");
+        assert!(
+            !String::from_utf8_lossy(&out.stderr).contains("usage:"),
+            "{args:?}: input errors must not dump usage"
+        );
+    }
+    std::fs::remove_file(&garbled).ok();
+
+    // Solve errors: exit 4 (a well-formed matching the verifier rejects).
+    let inst = tmp("exit-code-inst.json");
+    let out = asm_bin()
+        .args(["generate", "--family", "complete", "--n", "6"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let wrong = tmp("exit-code-wrong-matching.json");
+    std::fs::write(
+        &wrong,
+        "{\"partner\":[0,null,null,null,null,null,null,null,null,null,null,null]}",
+    )
+    .unwrap();
+    let out = asm_bin()
+        .args(["analyze", "--input", inst.to_str().unwrap()])
+        .args(["--matching", wrong.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(EXIT_SOLVE));
+    std::fs::remove_file(&inst).ok();
+    std::fs::remove_file(&wrong).ok();
+}
+
+#[test]
+fn eps_flag_errors_are_usage_errors() {
+    let inst = tmp("eps-exit-code.json");
+    let out = asm_bin()
+        .args(["generate", "--family", "complete", "--n", "6"])
+        .args(["--out", inst.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = asm_bin()
+        .args(["solve", "--input", inst.to_str().unwrap(), "--eps", "-1"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(EXIT_USAGE));
+    std::fs::remove_file(&inst).ok();
+}
+
+#[test]
+fn serve_round_trips_health_solve_and_shutdown() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let mut child = asm_bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut lines = BufReader::new(child.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("asm-service listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut exchange = |line: &str| {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply
+    };
+
+    let health = exchange("{\"id\":1,\"op\":\"health\"}");
+    assert!(health.contains("\"reply\":\"health\""), "{health}");
+    let solve = exchange(
+        "{\"id\":2,\"op\":\"solve\",\"body\":{\"instance\":{\"Generator\":{\"Complete\":{\"n\":8,\"seed\":3}}},\"algorithm\":\"asm\",\"eps\":0.5,\"delta\":0.1,\"seed\":1,\"backend\":\"greedy\",\"deadline_ms\":0,\"cycles\":0}}",
+    );
+    assert!(solve.contains("\"reply\":\"solved\""), "{solve}");
+    let bye = exchange("{\"id\":3,\"op\":\"shutdown\"}");
+    assert!(bye.contains("\"reply\":\"shutting_down\""), "{bye}");
+
+    let status = child.wait().expect("server exits");
+    assert!(status.success(), "graceful shutdown must exit 0: {status}");
+    let drained = lines.next().unwrap().unwrap();
+    assert!(drained.contains("drained"), "{drained}");
 }
 
 #[test]

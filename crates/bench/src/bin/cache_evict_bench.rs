@@ -1,0 +1,148 @@
+//! `cache_evict_bench`: microbenchmark for the result cache's eviction
+//! path. Fills a cache to capacity, then times `put` calls that each
+//! must evict the LRU entry. With the intrusive doubly-linked LRU the
+//! cost per evicting put is O(1) — flat as capacity grows — where the
+//! old full-scan eviction was O(capacity).
+//!
+//! ```text
+//! cargo run --release -p asm-bench --bin cache_evict_bench -- \
+//!     --out results/cache_eviction.json
+//! ```
+//!
+//! Exit codes: 0 success, 2 usage error. Timings are wall-clock and
+//! machine-dependent; the committed artifact documents the shape (flat),
+//! not absolute numbers.
+
+use asm_service::{ResultCache, SolveKey, SolveResult};
+use serde::Serialize;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const CAPACITIES: &[usize] = &[256, 1024, 4096, 16384, 65536];
+
+fn key(i: u64) -> SolveKey {
+    SolveKey {
+        instance_hash: i,
+        algorithm: "gs".to_string(),
+        eps_bits: 0,
+        delta_bits: 0,
+        seed: i,
+        backend: "greedy".to_string(),
+        cycles: 0,
+    }
+}
+
+fn result() -> SolveResult {
+    SolveResult {
+        matching: asm_matching::Matching::new(4),
+        matched: 2,
+        num_edges: 6,
+        blocking_pairs: 0,
+        rounds: 3,
+        messages: 12,
+        cached: false,
+    }
+}
+
+/// ns per evicting `put` against a cache pre-filled to `capacity`.
+fn bench(capacity: usize, puts: u64) -> f64 {
+    let cache = ResultCache::new(capacity);
+    for i in 0..capacity as u64 {
+        cache.put(key(i), result());
+    }
+    assert_eq!(cache.len(), capacity, "cache must be full before timing");
+    let start = Instant::now();
+    for i in 0..puts {
+        cache.put(key(capacity as u64 + i), result());
+    }
+    let elapsed = start.elapsed().as_nanos() as f64 / puts as f64;
+    assert_eq!(cache.len(), capacity, "every timed put must evict");
+    elapsed
+}
+
+#[derive(Serialize)]
+struct Cell {
+    capacity: usize,
+    puts: u64,
+    ns_per_evicting_put: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u64,
+    cells: Vec<Cell>,
+    /// slowest / fastest ns-per-put across capacities — near 1.0 for an
+    /// O(1) eviction path, ~capacity-ratio for a scan.
+    spread: f64,
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<String> = None;
+    let mut puts: u64 = 200_000;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match (flag.as_str(), it.next()) {
+            ("--out", Some(path)) => out = Some(path),
+            ("--puts", Some(n)) => match n.parse() {
+                Ok(n) => puts = n,
+                Err(_) => {
+                    eprintln!("cache_evict_bench: cannot parse --puts `{n}`");
+                    return ExitCode::from(2);
+                }
+            },
+            (other, _) => {
+                eprintln!("cache_evict_bench: unknown or valueless flag {other}");
+                eprintln!("usage: cache_evict_bench [--out PATH] [--puts N]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Warm up allocator and caches before timing.
+    bench(CAPACITIES[0], puts.min(10_000));
+
+    let cells: Vec<Cell> = CAPACITIES
+        .iter()
+        .map(|&capacity| {
+            let ns = bench(capacity, puts);
+            println!("cache_evict_bench: capacity {capacity:>6} -> {ns:.1} ns/evicting put");
+            Cell {
+                capacity,
+                puts,
+                ns_per_evicting_put: ns,
+            }
+        })
+        .collect();
+    let fastest = cells
+        .iter()
+        .map(|c| c.ns_per_evicting_put)
+        .fold(f64::INFINITY, f64::min);
+    let slowest = cells
+        .iter()
+        .map(|c| c.ns_per_evicting_put)
+        .fold(0.0, f64::max);
+    let spread = if fastest > 0.0 {
+        slowest / fastest
+    } else {
+        0.0
+    };
+    println!(
+        "cache_evict_bench: spread {spread:.2}x across a {}x capacity range",
+        CAPACITIES[CAPACITIES.len() - 1] / CAPACITIES[0]
+    );
+
+    let report = Report {
+        schema: 1,
+        cells,
+        spread,
+    };
+    if let Some(path) = out {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(err) = std::fs::write(&path, json) {
+            eprintln!("cache_evict_bench: cannot write {path}: {err}");
+            return ExitCode::from(1);
+        }
+        println!("cache_evict_bench: wrote {path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -15,14 +15,20 @@
 //! perf-gate tooling understands.
 
 use asm_bench::loadgen::{control, run_mix, verify_metrics, MixConfig};
-use asm_service::{Op, Reply};
+use asm_service::{Op, Reply, ServiceConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
                [--seed S] [--families a,b] [--sizes 16,32] [--algorithms asm,gs]
                [--eps E] [--delta D] [--deadline-ms MS] [--distinct-instances K]
-               [--open-rate RPS] [--report PATH] [--sweep-out PATH]
-               [--verify-metrics] [--expect-zero-errors] [--shutdown]";
+               [--open-rate RPS] [--batch N] [--report PATH] [--sweep-out PATH]
+               [--verify-metrics] [--expect-zero-errors] [--shutdown]
+               [--shards-sweep 1,2,4,8] [--workers N]
+
+With --shards-sweep, loadgen ignores --addr: it starts one in-process
+server per listed shard count (port 0), replays the same mix against
+each, verifies metrics reconciliation, and writes one combined
+SweepReport (cells annotated with their shard count) to --sweep-out.";
 
 struct Args {
     addr: String,
@@ -32,6 +38,8 @@ struct Args {
     verify: bool,
     expect_zero_errors: bool,
     shutdown: bool,
+    shards_sweep: Vec<u64>,
+    workers: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +51,8 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         expect_zero_errors: false,
         shutdown: false,
+        shards_sweep: Vec::new(),
+        workers: 4,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,6 +87,14 @@ fn parse_args() -> Result<Args, String> {
             "--open-rate" => {
                 args.mix.open_rate_rps = parsed(&value("--open-rate")?, "--open-rate")?
             }
+            "--batch" => args.mix.batch = parsed(&value("--batch")?, "--batch")?,
+            "--shards-sweep" => {
+                args.shards_sweep = list(&value("--shards-sweep")?)
+                    .iter()
+                    .map(|s| parsed(s, "--shards-sweep"))
+                    .collect::<Result<_, _>>()?
+            }
+            "--workers" => args.workers = parsed(&value("--workers")?, "--workers")?,
             "--report" => args.report = Some(value("--report")?),
             "--sweep-out" => args.sweep_out = Some(value("--sweep-out")?),
             "--verify-metrics" => args.verify = true,
@@ -105,6 +123,93 @@ fn list(text: &str) -> Vec<String> {
         .collect()
 }
 
+/// Self-serve shard sweep: one in-process server per shard count, the
+/// same mix replayed against each, all cells merged into one
+/// `SweepReport` keyed by their `shards` column.
+fn run_shards_sweep(args: &Args) -> ExitCode {
+    let mut combined = asm_runtime::SweepReport::new(args.mix.concurrency as usize, false);
+    let mut failed = false;
+    for &shards in &args.shards_sweep {
+        if shards == 0 {
+            eprintln!("loadgen: --shards-sweep entries must be >= 1");
+            return ExitCode::from(2);
+        }
+        let config = ServiceConfig {
+            workers: args.workers,
+            shards: shards as usize,
+            ..ServiceConfig::default()
+        };
+        let handle = match asm_service::serve("127.0.0.1:0", config) {
+            Ok(handle) => handle,
+            Err(err) => {
+                eprintln!("loadgen: cannot start in-process server: {err}");
+                return ExitCode::from(1);
+            }
+        };
+        let addr = handle.addr().to_string();
+        let report = match run_mix(&addr, &args.mix) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("loadgen: cannot reach in-process server {addr}: {err}");
+                handle.shutdown();
+                handle.wait();
+                return ExitCode::from(1);
+            }
+        };
+        println!(
+            "loadgen: shards={shards} | solved {} | overloaded {} | errors {} | {:.1} ms wall, {:.0} req/s",
+            report.succeeded,
+            report.rejected,
+            report.solve_errors + report.protocol_errors,
+            report.wall.total_ms,
+            report.wall.throughput_rps
+        );
+        match control(&addr, Op::Metrics) {
+            Ok(Reply::Metrics(snapshot)) => {
+                for m in verify_metrics(&report, &snapshot) {
+                    failed = true;
+                    eprintln!("loadgen: shards={shards} metrics mismatch: {m}");
+                }
+            }
+            _ => {
+                failed = true;
+                eprintln!("loadgen: shards={shards}: cannot fetch metrics");
+            }
+        }
+        if args.expect_zero_errors
+            && (report.solve_errors > 0 || report.protocol_errors > 0 || report.rejected > 0)
+        {
+            failed = true;
+            eprintln!(
+                "loadgen: shards={shards}: --expect-zero-errors violated: {} solve errors, {} protocol errors, {} rejected",
+                report.solve_errors, report.protocol_errors, report.rejected
+            );
+        }
+        handle.shutdown();
+        handle.wait();
+        let sweep = report.to_sweep();
+        combined.total_wall_ms += sweep.total_wall_ms;
+        combined.extend(sweep.cells);
+    }
+    if let Some(path) = &args.sweep_out {
+        if let Err(err) = std::fs::write(path, combined.to_json()) {
+            eprintln!("loadgen: cannot write sweep report {path}: {err}");
+            failed = true;
+        } else {
+            println!(
+                "loadgen: wrote {} cells across shard counts {:?} to {path}",
+                combined.cells.len(),
+                args.shards_sweep
+            );
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -116,6 +221,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if !args.shards_sweep.is_empty() {
+        return run_shards_sweep(&args);
+    }
 
     let report = match run_mix(&args.addr, &args.mix) {
         Ok(report) => report,

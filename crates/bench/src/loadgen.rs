@@ -68,6 +68,12 @@ pub struct MixConfig {
     /// Open-loop aggregate send rate in requests/second; 0 selects the
     /// closed loop.
     pub open_rate_rps: f64,
+    /// Batch size: `0`/`1` sends one `solve` frame per request; `N > 1`
+    /// groups N consecutive request indices into one `solve_batch`
+    /// frame (the frame id is the first index; outcomes are tallied
+    /// per item, so every counter below means the same thing in both
+    /// modes).
+    pub batch: u64,
 }
 
 impl Default for MixConfig {
@@ -84,6 +90,7 @@ impl Default for MixConfig {
             deadline_ms: 0,
             distinct_instances: 0,
             open_rate_rps: 0.0,
+            batch: 0,
         }
     }
 }
@@ -129,6 +136,32 @@ impl MixConfig {
                 cycles: 8,
             }),
         }
+    }
+
+    /// The solve body of request `i` (the item payload shared by single
+    /// and batch frames).
+    fn solve_body(&self, i: u64) -> SolveBody {
+        let asm_service::Op::Solve(body) = self.request(i).op else {
+            unreachable!("request always builds a solve")
+        };
+        body
+    }
+
+    /// Builds the `solve_batch` frame covering request indices
+    /// `[start, start + count)`. Pure, like [`request`](MixConfig::request);
+    /// the frame id is `start`.
+    pub fn batch_frame(&self, start: u64, count: u64) -> Request {
+        Request {
+            id: Some(start),
+            op: asm_service::Op::SolveBatch(asm_service::BatchBody {
+                items: (start..start + count).map(|i| self.solve_body(i)).collect(),
+            }),
+        }
+    }
+
+    /// The number of request indices each frame covers.
+    pub fn stride(&self) -> u64 {
+        self.batch.max(1)
     }
 
     /// The (family, n) coordinate index of request `i`, aligned with
@@ -224,6 +257,11 @@ pub struct LoadReport {
     /// Frames that were unparseable / wrong-id / transport failures —
     /// always 0 against a healthy server.
     pub protocol_errors: u64,
+    /// The server's shard count, as reported by `health` when the run
+    /// started (0 if health could not be queried). Deterministic for a
+    /// fixed server configuration, and carried into the sweep cells so
+    /// shard-count sweeps are comparable side by side.
+    pub shards: u64,
     /// Per-(family, n) sums, aligned with [`MixConfig::coordinates`].
     pub coords: Vec<CoordTotals>,
     /// Nondeterministic wall-clock measurements.
@@ -281,6 +319,7 @@ impl LoadReport {
             .map(|((family, n), totals)| {
                 let mut cell =
                     SweepCell::new("loadgen", &family, n as usize, self.mix.eps, self.mix.seed);
+                cell.shards = self.shards;
                 cell.rounds = totals.rounds;
                 cell.messages = totals.messages;
                 cell.blocking_fraction = if totals.num_edges == 0 {
@@ -335,27 +374,69 @@ impl Tally {
             return;
         }
         match response.reply {
-            Reply::Solved(result) => {
-                self.succeeded += 1;
-                if result.cached {
-                    self.cached += 1;
-                }
-                let coord = &mut self.coords[mix.coordinate_of(i)];
-                coord.solved += 1;
-                coord.rounds += result.rounds;
-                coord.messages += result.messages;
-                coord.blocking_pairs += result.blocking_pairs;
-                coord.num_edges += result.num_edges;
-                coord.matched += result.matched;
-            }
+            Reply::Solved(result) => self.tally_solved(mix, i, &result),
             Reply::Overloaded(_) => self.rejected += 1,
             Reply::DeadlineExceeded(_) => self.deadline_exceeded += 1,
             Reply::Error(_) => self.solve_errors += 1,
-            // A solve request must never draw these replies.
-            Reply::Analyzed(_) | Reply::Health(_) | Reply::Metrics(_) | Reply::ShuttingDown => {
-                self.protocol_errors += 1
-            }
+            // A single solve must never draw these replies.
+            Reply::SolvedBatch(_)
+            | Reply::Analyzed(_)
+            | Reply::Health(_)
+            | Reply::Metrics(_)
+            | Reply::ShuttingDown => self.protocol_errors += 1,
         }
+    }
+
+    /// Classifies one `solved_batch` reply covering request indices
+    /// `[start, start + count)` — per-item outcomes tally exactly like
+    /// their single-frame equivalents, so the report (and the server
+    /// reconciliation) is batch-transparent.
+    fn classify_batch(&mut self, mix: &MixConfig, start: u64, count: u64, line: &str) {
+        let response: Response = match serde_json::from_str(line) {
+            Ok(response) => response,
+            Err(_) => {
+                self.protocol_errors += 1;
+                return;
+            }
+        };
+        if response.id != Some(start) {
+            self.protocol_errors += 1;
+            return;
+        }
+        match response.reply {
+            Reply::SolvedBatch(batch) if batch.items.len() as u64 == count => {
+                for (j, item) in batch.items.into_iter().enumerate() {
+                    let i = start + j as u64;
+                    match item {
+                        asm_service::BatchItemResult::Solved(result) => {
+                            self.tally_solved(mix, i, &result)
+                        }
+                        asm_service::BatchItemResult::Overloaded(_) => self.rejected += 1,
+                        asm_service::BatchItemResult::DeadlineExceeded(_) => {
+                            self.deadline_exceeded += 1
+                        }
+                        asm_service::BatchItemResult::Error(_) => self.solve_errors += 1,
+                    }
+                }
+            }
+            // A whole-batch refusal (shutdown) is one server-side error.
+            Reply::Error(_) => self.solve_errors += 1,
+            _ => self.protocol_errors += 1,
+        }
+    }
+
+    fn tally_solved(&mut self, mix: &MixConfig, i: u64, result: &asm_service::SolveResult) {
+        self.succeeded += 1;
+        if result.cached {
+            self.cached += 1;
+        }
+        let coord = &mut self.coords[mix.coordinate_of(i)];
+        coord.solved += 1;
+        coord.rounds += result.rounds;
+        coord.messages += result.messages;
+        coord.blocking_pairs += result.blocking_pairs;
+        coord.num_edges += result.num_edges;
+        coord.matched += result.matched;
     }
 
     fn merge(&mut self, other: Tally) {
@@ -385,6 +466,12 @@ impl Tally {
 pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
     let num_coords = mix.coordinates().len();
     let connections = mix.concurrency.max(1);
+    // Record the server's shard count up front — the report annotates
+    // its sweep cells with it, making shard sweeps self-describing.
+    let shards = match control(addr, asm_service::Op::Health)? {
+        Reply::Health(health) => health.shards,
+        _ => 0,
+    };
     let next = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
     let mut threads = Vec::new();
@@ -417,6 +504,7 @@ pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
         deadline_exceeded: tally.deadline_exceeded,
         solve_errors: tally.solve_errors,
         protocol_errors: tally.protocol_errors,
+        shards,
         coords: tally.coords,
         wall: WallStats {
             total_ms,
@@ -441,16 +529,22 @@ fn run_closed(stream: TcpStream, mix: &MixConfig, next: &AtomicUsize, num_coords
         }
     };
     let mut reader = BufReader::new(stream);
+    let stride = mix.stride();
     loop {
-        let i = next.fetch_add(1, Ordering::SeqCst) as u64;
+        let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
         if i >= mix.requests {
             return tally;
         }
-        let line = asm_service::protocol::render(&mix.request(i));
-        if exchange(&mut writer, &mut reader, &line)
-            .map(|reply| tally.classify(mix, i, &reply))
-            .is_err()
-        {
+        let count = stride.min(mix.requests - i);
+        let outcome = if stride == 1 {
+            let line = asm_service::protocol::render(&mix.request(i));
+            exchange(&mut writer, &mut reader, &line).map(|reply| tally.classify(mix, i, &reply))
+        } else {
+            let line = asm_service::protocol::render(&mix.batch_frame(i, count));
+            exchange(&mut writer, &mut reader, &line)
+                .map(|reply| tally.classify_batch(mix, i, count, &reply))
+        };
+        if outcome.is_err() {
             tally.protocol_errors += 1;
         }
     }
@@ -476,22 +570,30 @@ fn run_open(
         }
     };
     let mut reader = BufReader::new(stream);
-    // Each connection carries 1/connections of the aggregate rate.
-    let interval = Duration::from_secs_f64(connections as f64 / mix.open_rate_rps);
+    let stride = mix.stride();
+    // Each connection carries 1/connections of the aggregate *request*
+    // rate; a batch frame covers `stride` requests, so frames pace
+    // `stride`× slower.
+    let interval = Duration::from_secs_f64(stride as f64 * connections as f64 / mix.open_rate_rps);
     let start = Instant::now() + Duration::from_secs_f64(connection as f64 / mix.open_rate_rps);
-    let mut sent: Vec<u64> = Vec::new();
+    let mut sent: Vec<(u64, u64)> = Vec::new();
     let mut k = 0u32;
     loop {
-        let i = next.fetch_add(1, Ordering::SeqCst) as u64;
+        let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
         if i >= mix.requests {
             break;
         }
+        let count = stride.min(mix.requests - i);
         let at = start + interval * k;
         k += 1;
         if let Some(wait) = at.checked_duration_since(Instant::now()) {
             std::thread::sleep(wait);
         }
-        let line = asm_service::protocol::render(&mix.request(i));
+        let line = if stride == 1 {
+            asm_service::protocol::render(&mix.request(i))
+        } else {
+            asm_service::protocol::render(&mix.batch_frame(i, count))
+        };
         if writer
             .write_all(line.as_bytes())
             .and_then(|()| writer.write_all(b"\n"))
@@ -501,13 +603,14 @@ fn run_open(
             tally.protocol_errors += 1;
             continue;
         }
-        sent.push(i);
+        sent.push((i, count));
     }
-    for i in sent {
+    for (i, count) in sent {
         let mut reply = String::new();
         match reader.read_line(&mut reply) {
             Ok(0) | Err(_) => tally.protocol_errors += 1,
-            Ok(_) => tally.classify(mix, i, reply.trim_end()),
+            Ok(_) if stride == 1 => tally.classify(mix, i, reply.trim_end()),
+            Ok(_) => tally.classify_batch(mix, i, count, reply.trim_end()),
         }
     }
     tally
@@ -599,6 +702,69 @@ pub fn verify_metrics(report: &LoadReport, snapshot: &MetricsSnapshot) -> Vec<St
         report.succeeded,
         snapshot.cache_hits + snapshot.cache_misses,
     );
+    // On a sharded server the per-shard books must sum exactly to the
+    // aggregates (queue_peak aggregates by max, not sum).
+    if !snapshot.shards.is_empty() {
+        let sum =
+            |f: fn(&asm_service::ShardSnapshot) -> u64| snapshot.shards.iter().map(f).sum::<u64>();
+        check("Σ shard solved", sum(|s| s.solved), snapshot.solved);
+        check("Σ shard analyzed", sum(|s| s.analyzed), snapshot.analyzed);
+        check(
+            "Σ shard overloaded",
+            sum(|s| s.overloaded),
+            snapshot.overloaded,
+        );
+        check(
+            "Σ shard deadline_exceeded",
+            sum(|s| s.deadline_exceeded),
+            snapshot.deadline_exceeded,
+        );
+        check(
+            "Σ shard cache_hits",
+            sum(|s| s.cache_hits),
+            snapshot.cache_hits,
+        );
+        check(
+            "Σ shard cache_misses",
+            sum(|s| s.cache_misses),
+            snapshot.cache_misses,
+        );
+        check(
+            "Σ shard cache_entries",
+            sum(|s| s.cache_entries),
+            snapshot.cache_entries,
+        );
+        check(
+            "Σ shard rounds_total",
+            sum(|s| s.rounds_total),
+            snapshot.rounds_total,
+        );
+        check(
+            "Σ shard messages_total",
+            sum(|s| s.messages_total),
+            snapshot.messages_total,
+        );
+        check(
+            "Σ shard blocking_pairs_total",
+            sum(|s| s.blocking_pairs_total),
+            snapshot.blocking_pairs_total,
+        );
+        check(
+            "Σ shard matched_total",
+            sum(|s| s.matched_total),
+            snapshot.matched_total,
+        );
+        check(
+            "max shard queue_peak",
+            snapshot
+                .shards
+                .iter()
+                .map(|s| s.queue_peak)
+                .max()
+                .unwrap_or(0),
+            snapshot.queue_peak,
+        );
+    }
     mismatches
 }
 
@@ -653,6 +819,7 @@ mod tests {
             deadline_exceeded: 0,
             solve_errors: 0,
             protocol_errors: 0,
+            shards: 1,
             wall: WallStats {
                 total_ms: 12.5,
                 throughput_rps: 800.0,
@@ -687,6 +854,7 @@ mod tests {
             deadline_exceeded: 0,
             solve_errors: 0,
             protocol_errors: 0,
+            shards: 4,
             wall: WallStats::default(),
         };
         let sweep = report.to_sweep();
@@ -699,5 +867,78 @@ mod tests {
         assert_eq!(cell.experiment, "loadgen");
         assert_eq!(cell.messages, 40);
         assert!((cell.blocking_fraction - 0.1).abs() < 1e-12);
+        assert!(
+            sweep.cells.iter().all(|c| c.shards == 4),
+            "every cell carries the server shard count"
+        );
+    }
+
+    #[test]
+    fn batch_frames_are_pure_and_cover_their_indices() {
+        let mix = MixConfig {
+            batch: 4,
+            ..MixConfig::default()
+        };
+        assert_eq!(mix.stride(), 4);
+        let frame = mix.batch_frame(8, 4);
+        assert_eq!(frame, mix.batch_frame(8, 4));
+        assert_eq!(frame.id, Some(8));
+        let asm_service::Op::SolveBatch(body) = frame.op else {
+            panic!("expected a solve_batch frame");
+        };
+        assert_eq!(body.items.len(), 4);
+        // Item j is exactly the body of single request 8 + j.
+        for (j, item) in body.items.iter().enumerate() {
+            let asm_service::Op::Solve(single) = mix.request(8 + j as u64).op else {
+                panic!("request always builds a solve");
+            };
+            assert_eq!(item, &single, "item {j}");
+        }
+    }
+
+    #[test]
+    fn classify_batch_tallies_items_like_singles() {
+        let mix = MixConfig::default();
+        let frame = mix.batch_frame(0, 3);
+        let asm_service::Op::SolveBatch(body) = frame.op else {
+            panic!("expected a solve_batch frame");
+        };
+        // Synthesize a reply: one solved, one overloaded, one error.
+        let solved = asm_service::SolveResult {
+            matching: asm_matching::Matching::new(4),
+            matched: 2,
+            num_edges: 6,
+            blocking_pairs: 1,
+            rounds: 5,
+            messages: 9,
+            cached: false,
+        };
+        let reply = asm_service::protocol::render(&Response {
+            id: Some(0),
+            reply: Reply::SolvedBatch(asm_service::BatchResult {
+                items: vec![
+                    asm_service::BatchItemResult::Solved(solved),
+                    asm_service::BatchItemResult::Overloaded(asm_service::OverloadInfo {
+                        queue_capacity: 1,
+                        queue_depth: 1,
+                    }),
+                    asm_service::BatchItemResult::Error(asm_service::ErrorInfo::new(
+                        asm_service::kind::INVALID,
+                        "nope",
+                    )),
+                ],
+            }),
+        });
+        let mut tally = Tally::new(mix.coordinates().len());
+        tally.classify_batch(&mix, 0, body.items.len() as u64, &reply);
+        assert_eq!(tally.succeeded, 1);
+        assert_eq!(tally.rejected, 1);
+        assert_eq!(tally.solve_errors, 1);
+        assert_eq!(tally.protocol_errors, 0);
+        // Wrong id → protocol error, nothing else moves.
+        let mut wrong = Tally::new(mix.coordinates().len());
+        wrong.classify_batch(&mix, 7, 3, &reply);
+        assert_eq!(wrong.protocol_errors, 1);
+        assert_eq!(wrong.succeeded, 0);
     }
 }

@@ -25,6 +25,7 @@ fn quick_mix(requests: u64, concurrency: u64) -> MixConfig {
         deadline_ms: 0,
         distinct_instances: 0,
         open_rate_rps: 0.0,
+        batch: 0,
     }
 }
 
@@ -143,6 +144,51 @@ fn open_loop_paces_and_still_collects_every_reply() {
 }
 
 #[test]
+fn batched_mix_matches_the_single_frame_mix_and_reconciles() {
+    let sharded = || {
+        serve(
+            "127.0.0.1:0",
+            ServiceConfig {
+                workers: 4,
+                shards: 4,
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind")
+    };
+    // Same mix, batch sizes 1 (singles), 4, and 7 (last frame is a
+    // partial batch): the normalized reports must agree exactly, and the
+    // server's books — aggregate and per-shard — must reconcile each time.
+    let mut normalized = Vec::new();
+    for batch in [0u64, 4, 7] {
+        let handle = sharded();
+        let addr = handle.addr().to_string();
+        let mix = MixConfig {
+            batch,
+            ..quick_mix(30, 3)
+        };
+        let report = run_mix(&addr, &mix).unwrap();
+        assert_eq!(report.succeeded, 30, "batch={batch}");
+        assert_eq!(report.protocol_errors, 0, "batch={batch}");
+        assert_eq!(report.shards, 4, "batch={batch}");
+        let Reply::Metrics(snapshot) = control(&addr, Op::Metrics).unwrap() else {
+            panic!("metrics request must draw a metrics reply");
+        };
+        assert_eq!(snapshot.shards.len(), 4, "batch={batch}");
+        let mismatches = verify_metrics(&report, &snapshot);
+        assert!(mismatches.is_empty(), "batch={batch}: {mismatches:?}");
+        handle.shutdown();
+        handle.wait();
+        // Zero the mix's batch knob so reports are comparable across modes.
+        let mut norm = report.normalized();
+        norm.mix.batch = 0;
+        normalized.push(norm);
+    }
+    assert_eq!(normalized[0], normalized[1]);
+    assert_eq!(normalized[0], normalized[2]);
+}
+
+#[test]
 fn graceful_shutdown_after_a_mix_drains_cleanly() {
     let (handle, addr) = default_server();
     let report = run_mix(&addr, &quick_mix(16, 2)).unwrap();
@@ -150,7 +196,8 @@ fn graceful_shutdown_after_a_mix_drains_cleanly() {
     let Reply::ShuttingDown = control(&addr, Op::Shutdown).unwrap() else {
         panic!("shutdown must be acknowledged");
     };
-    // 16 solves + 1 shutdown frame, all answered before wait() returns.
+    // 16 solves + run_mix's health probe + 1 shutdown frame, all
+    // answered before wait() returns.
     let served = handle.wait();
-    assert_eq!(served, 17);
+    assert_eq!(served, 18);
 }

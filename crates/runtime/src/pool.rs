@@ -77,13 +77,16 @@ impl<T> JobQueue<T> {
         self.state.lock().expect("queue lock").closed
     }
 
-    /// Admits `job` if there is room, without blocking.
+    /// Admits `job` if there is room, without blocking. Returns the queue
+    /// depth *including the job just pushed* — the caller's deterministic
+    /// high-water observation (reading `len()` afterwards races with
+    /// consumers, which made queue-peak metrics nondeterministic).
     ///
     /// # Errors
     ///
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`close`](JobQueue::close); both return the job to the caller.
-    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+    pub fn try_push(&self, job: T) -> Result<usize, PushError<T>> {
         let mut state = self.state.lock().expect("queue lock");
         if state.closed {
             return Err(PushError::Closed(job));
@@ -92,9 +95,10 @@ impl<T> JobQueue<T> {
             return Err(PushError::Full(job));
         }
         state.items.push_back(job);
+        let depth = state.items.len();
         drop(state);
         self.not_empty.notify_one();
-        Ok(())
+        Ok(depth)
     }
 
     /// Takes the next job, blocking while the queue is open but empty.
@@ -153,6 +157,46 @@ impl WorkerPool {
                     .expect("spawn worker thread")
             })
             .collect();
+        WorkerPool { handles }
+    }
+
+    /// Spawns workers partitioned across `queues`, one shard per queue.
+    ///
+    /// `workers` is the *total* thread budget; every shard is guaranteed
+    /// at least one dedicated worker (so no shard's queue can starve),
+    /// and any surplus is dealt round-robin from shard 0 — the effective
+    /// thread count is `max(workers, queues.len())`. The handler is
+    /// called as `handler(shard_index, worker_index, job)` with
+    /// `worker_index` global across shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is empty.
+    pub fn spawn_sharded<T, F>(workers: usize, queues: &[Arc<JobQueue<T>>], handler: F) -> Self
+    where
+        T: Send + 'static,
+        F: Fn(usize, usize, T) + Send + Sync + 'static,
+    {
+        assert!(!queues.is_empty(), "spawn_sharded needs at least one queue");
+        let shards = queues.len();
+        let total = workers.max(shards);
+        let handler = Arc::new(handler);
+        let mut handles = Vec::with_capacity(total);
+        for index in 0..total {
+            let shard = index % shards;
+            let queue = Arc::clone(&queues[shard]);
+            let handler = Arc::clone(&handler);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("asm-worker-{shard}.{index}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.pop() {
+                            handler(shard, index, job);
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
         WorkerPool { handles }
     }
 
@@ -241,6 +285,53 @@ mod tests {
         pool.join();
         assert_eq!(done.load(Ordering::Relaxed), 100);
         assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn try_push_reports_the_depth_including_itself() {
+        let q = JobQueue::new(4);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert_eq!(q.try_push(2).unwrap(), 2);
+        q.pop().unwrap();
+        assert_eq!(q.try_push(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn sharded_pool_gives_every_shard_a_worker_and_drains_all() {
+        let queues: Vec<_> = (0..3).map(|_| JobQueue::new(64)).collect();
+        let per_shard: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+        let pool = {
+            let per_shard = Arc::clone(&per_shard);
+            // Thread budget below the shard count: still one per shard.
+            WorkerPool::spawn_sharded(1, &queues, move |shard, _worker, job: u64| {
+                per_shard[shard].fetch_add(job, Ordering::Relaxed);
+            })
+        };
+        assert_eq!(pool.workers(), 3);
+        for (s, q) in queues.iter().enumerate() {
+            for j in 0..10u64 {
+                q.try_push(100 * s as u64 + j).unwrap();
+            }
+        }
+        for q in &queues {
+            q.close();
+        }
+        pool.join();
+        for (s, total) in per_shard.iter().enumerate() {
+            let expect: u64 = (0..10u64).map(|j| 100 * s as u64 + j).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expect, "shard {s}");
+        }
+    }
+
+    #[test]
+    fn sharded_pool_distributes_surplus_workers() {
+        let queues: Vec<_> = (0..2).map(|_| JobQueue::<u8>::new(1)).collect();
+        let pool = WorkerPool::spawn_sharded(5, &queues, |_, _, _| {});
+        assert_eq!(pool.workers(), 5);
+        for q in &queues {
+            q.close();
+        }
+        pool.join();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! structurally identical across worker counts (only the wall-clock
 //! values vary run to run — the counters must not).
 
-use serde::{Deserialize, Serialize};
+use serde::{content_get, Content, Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -18,7 +18,7 @@ use std::fmt;
 pub const SWEEP_SCHEMA: u64 = 1;
 
 /// One sweep-grid cell: coordinates plus measurements.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepCell {
     /// Experiment id (`t1_stability`, `f5_eps_blocking`, ...).
     pub experiment: String,
@@ -31,6 +31,14 @@ pub struct SweepCell {
     pub eps: f64,
     /// The derived cell seed actually used.
     pub seed: u64,
+    /// Service shard count the cell was measured against (`0` when the
+    /// experiment has no serving-layer dimension). A coordinate, not a
+    /// measurement: cells at different shard counts are distinct.
+    ///
+    /// Omitted from the JSON when `0`, so pre-sharding sweep artifacts
+    /// (and the committed perf-gate baseline) parse and regenerate
+    /// byte-identically.
+    pub shards: u64,
     /// Wall-clock spent computing the cell, in milliseconds. The only
     /// non-deterministic field.
     pub wall_ms: f64,
@@ -43,6 +51,59 @@ pub struct SweepCell {
     pub blocking_fraction: f64,
 }
 
+// Hand-written (not derived) so `shards` can be omitted when 0: the
+// vendored serde derive has no `default`/`skip_serializing_if`, and the
+// column must not perturb existing sweep artifacts.
+impl Serialize for SweepCell {
+    fn to_content(&self) -> Content {
+        let mut m: Vec<(String, Content)> = vec![
+            ("experiment".to_string(), self.experiment.to_content()),
+            ("family".to_string(), self.family.to_content()),
+            ("n".to_string(), self.n.to_content()),
+            ("eps".to_string(), self.eps.to_content()),
+            ("seed".to_string(), self.seed.to_content()),
+        ];
+        if self.shards > 0 {
+            m.push(("shards".to_string(), self.shards.to_content()));
+        }
+        m.push(("wall_ms".to_string(), self.wall_ms.to_content()));
+        m.push(("rounds".to_string(), self.rounds.to_content()));
+        m.push(("messages".to_string(), self.messages.to_content()));
+        m.push((
+            "blocking_fraction".to_string(),
+            self.blocking_fraction.to_content(),
+        ));
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for SweepCell {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for SweepCell"))?;
+        let field = |name: &str| {
+            content_get(map, name)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{name}` in SweepCell")))
+        };
+        Ok(SweepCell {
+            experiment: String::from_content(field("experiment")?)?,
+            family: String::from_content(field("family")?)?,
+            n: u64::from_content(field("n")?)?,
+            eps: f64::from_content(field("eps")?)?,
+            seed: u64::from_content(field("seed")?)?,
+            shards: match content_get(map, "shards") {
+                Some(c) => u64::from_content(c)?,
+                None => 0,
+            },
+            wall_ms: f64::from_content(field("wall_ms")?)?,
+            rounds: u64::from_content(field("rounds")?)?,
+            messages: u64::from_content(field("messages")?)?,
+            blocking_fraction: f64::from_content(field("blocking_fraction")?)?,
+        })
+    }
+}
+
 impl SweepCell {
     /// Creates a cell with all measurements zeroed; callers fill in what
     /// their experiment actually measures.
@@ -53,6 +114,7 @@ impl SweepCell {
             n: n as u64,
             eps,
             seed,
+            shards: 0,
             wall_ms: 0.0,
             rounds: 0,
             messages: 0,
@@ -61,13 +123,14 @@ impl SweepCell {
     }
 
     /// The cell's sort/merge key (everything but the measurements).
-    fn key(&self) -> (String, String, u64, u64, u64) {
+    fn key(&self) -> (String, String, u64, u64, u64, u64) {
         (
             self.experiment.clone(),
             self.family.clone(),
             self.n,
             self.eps.to_bits(),
             self.seed,
+            self.shards,
         )
     }
 }
@@ -240,6 +303,34 @@ mod tests {
         let keys_b: Vec<_> = b.cells.iter().map(|c| c.experiment.clone()).collect();
         assert_eq!(keys_a, keys_b);
         assert_eq!(keys_a, vec!["t1", "t2"]);
+    }
+
+    #[test]
+    fn shards_column_is_omitted_at_zero_and_round_trips_otherwise() {
+        let plain = cell("t1", "complete", 32, 1.0);
+        let json = serde_json::to_string(&plain).unwrap();
+        assert!(!json.contains("shards"), "{json}");
+        let back: SweepCell = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plain);
+
+        let mut sharded = plain.clone();
+        sharded.shards = 4;
+        let json = serde_json::to_string(&sharded).unwrap();
+        assert!(json.contains("\"shards\":4"), "{json}");
+        let back: SweepCell = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sharded);
+    }
+
+    #[test]
+    fn cells_differing_only_in_shards_sort_deterministically() {
+        let mut r = SweepReport::new(1, false);
+        let mut s4 = cell("loadgen", "regular", 32, 2.0);
+        s4.shards = 4;
+        let mut s1 = cell("loadgen", "regular", 32, 1.0);
+        s1.shards = 1;
+        r.extend(vec![s4, s1]);
+        let shards: Vec<u64> = r.cells.iter().map(|c| c.shards).collect();
+        assert_eq!(shards, vec![1, 4]);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Content-addressed solve-result cache with LRU eviction.
+//! Content-addressed solve-result cache with O(1) LRU eviction.
 //!
 //! The solvers are deterministic functions of
 //! `(instance, algorithm, ε, δ, seed, backend, cycles)`, so a repeated
@@ -8,12 +8,17 @@
 //! [`InstanceSpec`]) — a generator recipe
 //! and the identical inline instance hash differently, which is safe
 //! (it only costs a duplicate entry), while identical requests always
-//! collide, which is what matters.
+//! collide, which is what matters. The sharded service reuses the same
+//! hash to route jobs, so every key of one instance lives in one shard's
+//! cache.
 //!
-//! Eviction is least-recently-used via a monotonic tick: each entry
-//! remembers the tick of its last hit, and eviction scans for the
-//! minimum. The scan is O(capacity), which is deliberate — capacities
-//! are small (hundreds), and the scan only runs on insert-at-capacity.
+//! Eviction is an intrusive doubly-linked LRU list threaded through a
+//! slot arena by index (no `unsafe`, no per-entry allocation): `get`
+//! unlinks the entry and pushes it to the front, `put` at capacity pops
+//! the tail. Touch and evict are both O(1), so eviction cost is flat in
+//! capacity — the earlier min-tick scan was O(capacity) per insert at
+//! capacity, which `loadgen` mixes with more distinct instances than
+//! cache slots turned into a hot path.
 
 use crate::protocol::{InstanceSpec, SolveResult};
 use std::collections::HashMap;
@@ -49,9 +54,8 @@ impl SolveKey {
         backend: &str,
         cycles: u64,
     ) -> Self {
-        let canonical = serde_json::to_string(instance).expect("instance specs always serialize");
         SolveKey {
-            instance_hash: asm_runtime::label_hash(&canonical),
+            instance_hash: instance_hash(instance),
             algorithm: algorithm.to_string(),
             eps_bits: eps.to_bits(),
             delta_bits: delta.to_bits(),
@@ -62,9 +66,130 @@ impl SolveKey {
     }
 }
 
-struct Entry {
+/// Content hash of an instance spec's canonical JSON — the cache-key
+/// component *and* the service's shard-routing key (identical instances
+/// must land on the same shard for their cache entries to be findable).
+pub fn instance_hash(instance: &InstanceSpec) -> u64 {
+    let canonical = serde_json::to_string(instance).expect("instance specs always serialize");
+    asm_runtime::label_hash(&canonical)
+}
+
+/// Sentinel for "no neighbour" in the intrusive list.
+const NIL: usize = usize::MAX;
+
+/// One arena slot: the entry plus its intrusive LRU links.
+struct Node {
+    key: SolveKey,
     result: SolveResult,
-    last_used: u64,
+    /// Towards the MRU end (NIL for the head).
+    prev: usize,
+    /// Towards the LRU end (NIL for the tail).
+    next: usize,
+}
+
+#[derive(Default)]
+struct CacheState {
+    /// Key → arena slot.
+    index: HashMap<SolveKey, usize>,
+    /// Slot arena; freed slots are recycled via `free`.
+    nodes: Vec<Option<Node>>,
+    free: Vec<usize>,
+    /// Most recently used slot (NIL when empty).
+    head: usize,
+    /// Least recently used slot (NIL when empty).
+    tail: usize,
+}
+
+impl CacheState {
+    fn new() -> Self {
+        CacheState {
+            head: NIL,
+            tail: NIL,
+            ..CacheState::default()
+        }
+    }
+
+    fn node(&self, slot: usize) -> &Node {
+        self.nodes[slot].as_ref().expect("linked slot is occupied")
+    }
+
+    fn node_mut(&mut self, slot: usize) -> &mut Node {
+        self.nodes[slot].as_mut().expect("linked slot is occupied")
+    }
+
+    /// Detaches `slot` from the recency list (its links become dangling;
+    /// callers relink or free immediately).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = {
+            let n = self.node(slot);
+            (n.prev, n.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.node_mut(p).next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.node_mut(n).prev = prev,
+        }
+    }
+
+    /// Links `slot` in as the most recently used entry.
+    fn push_front(&mut self, slot: usize) {
+        let old_head = self.head;
+        {
+            let n = self.node_mut(slot);
+            n.prev = NIL;
+            n.next = old_head;
+        }
+        match old_head {
+            NIL => self.tail = slot,
+            h => self.node_mut(h).prev = slot,
+        }
+        self.head = slot;
+    }
+
+    /// Moves an already-linked slot to the front. O(1).
+    fn touch(&mut self, slot: usize) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Evicts the least-recently-used entry. O(1).
+    fn evict_tail(&mut self) {
+        let slot = self.tail;
+        if slot == NIL {
+            return;
+        }
+        self.unlink(slot);
+        let node = self.nodes[slot].take().expect("tail slot is occupied");
+        self.index.remove(&node.key);
+        self.free.push(slot);
+    }
+
+    /// Stores a new entry at the front, reusing a freed slot if any.
+    fn insert_front(&mut self, key: SolveKey, result: SolveResult) {
+        let node = Node {
+            key: key.clone(),
+            result,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.nodes[slot] = Some(node);
+                slot
+            }
+            None => {
+                self.nodes.push(Some(node));
+                self.nodes.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+    }
 }
 
 /// A thread-safe LRU cache from [`SolveKey`] to [`SolveResult`].
@@ -76,18 +201,12 @@ pub struct ResultCache {
     state: Mutex<CacheState>,
 }
 
-#[derive(Default)]
-struct CacheState {
-    entries: HashMap<SolveKey, Entry>,
-    tick: u64,
-}
-
 impl ResultCache {
     /// Creates a cache holding at most `capacity` results.
     pub fn new(capacity: usize) -> Self {
         ResultCache {
             capacity,
-            state: Mutex::new(CacheState::default()),
+            state: Mutex::new(CacheState::new()),
         }
     }
 
@@ -98,11 +217,9 @@ impl ResultCache {
             return None;
         }
         let mut state = self.state.lock().expect("cache lock poisoned");
-        state.tick += 1;
-        let tick = state.tick;
-        let entry = state.entries.get_mut(key)?;
-        entry.last_used = tick;
-        let mut result = entry.result.clone();
+        let slot = *state.index.get(key)?;
+        state.touch(slot);
+        let mut result = state.node(slot).result.clone();
         result.cached = true;
         Some(result)
     }
@@ -116,34 +233,20 @@ impl ResultCache {
         }
         result.cached = false;
         let mut state = self.state.lock().expect("cache lock poisoned");
-        state.tick += 1;
-        let tick = state.tick;
-        if !state.entries.contains_key(&key) && state.entries.len() >= self.capacity {
-            if let Some(oldest) = state
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                state.entries.remove(&oldest);
-            }
+        if let Some(&slot) = state.index.get(&key) {
+            state.touch(slot);
+            state.node_mut(slot).result = result;
+            return;
         }
-        state.entries.insert(
-            key,
-            Entry {
-                result,
-                last_used: tick,
-            },
-        );
+        if state.index.len() >= self.capacity {
+            state.evict_tail();
+        }
+        state.insert_front(key, result);
     }
 
     /// Number of cached results.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .expect("cache lock poisoned")
-            .entries
-            .len()
+        self.state.lock().expect("cache lock poisoned").index.len()
     }
 
     /// Whether the cache is empty.
@@ -183,6 +286,19 @@ mod tests {
         SolveKey::new(&spec(seed), "asm", 0.5, 0.1, 1, "greedy", 0)
     }
 
+    /// A key built without serializing an instance, for hot-loop tests.
+    fn raw_key(i: u64) -> SolveKey {
+        SolveKey {
+            instance_hash: i,
+            algorithm: "asm".to_string(),
+            eps_bits: 0,
+            delta_bits: 0,
+            seed: 0,
+            backend: "greedy".to_string(),
+            cycles: 0,
+        }
+    }
+
     #[test]
     fn hit_marks_cached_and_miss_returns_none() {
         let cache = ResultCache::new(4);
@@ -220,6 +336,39 @@ mod tests {
     }
 
     #[test]
+    fn eviction_follows_exact_lru_order() {
+        let cache = ResultCache::new(4);
+        for i in 1..=4 {
+            cache.put(raw_key(i), result(i));
+        }
+        // Recency, most→least recent, is now [4, 3, 2, 1]. Touch 3 then
+        // 1: [1, 3, 4, 2]. The exact eviction order must be 2, 4, 3, 1.
+        assert!(cache.get(&raw_key(3)).is_some());
+        assert!(cache.get(&raw_key(1)).is_some());
+        let mut evicted = Vec::new();
+        for next in 5..=8 {
+            cache.put(raw_key(next), result(next));
+            for candidate in 1..=4 {
+                if !cache
+                    .state
+                    .lock()
+                    .unwrap()
+                    .index
+                    .contains_key(&raw_key(candidate))
+                    && !evicted.contains(&candidate)
+                {
+                    evicted.push(candidate);
+                }
+            }
+        }
+        assert_eq!(evicted, vec![2, 4, 3, 1]);
+        assert_eq!(cache.len(), 4);
+        for survivor in 5..=8 {
+            assert!(cache.get(&raw_key(survivor)).is_some(), "{survivor}");
+        }
+    }
+
+    #[test]
     fn reinserting_updates_without_evicting() {
         let cache = ResultCache::new(2);
         cache.put(key(1), result(1));
@@ -231,10 +380,62 @@ mod tests {
     }
 
     #[test]
+    fn reinserting_refreshes_recency() {
+        let cache = ResultCache::new(2);
+        cache.put(raw_key(1), result(1));
+        cache.put(raw_key(2), result(2));
+        // Re-putting 1 makes 2 the LRU.
+        cache.put(raw_key(1), result(1));
+        cache.put(raw_key(3), result(3));
+        assert!(cache.get(&raw_key(1)).is_some());
+        assert!(cache.get(&raw_key(2)).is_none());
+    }
+
+    #[test]
     fn capacity_zero_disables_caching() {
         let cache = ResultCache::new(0);
         cache.put(key(1), result(1));
         assert!(cache.get(&key(1)).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_one_churn_stays_consistent() {
+        let cache = ResultCache::new(1);
+        for i in 0..100 {
+            cache.put(raw_key(i), result(i));
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(&raw_key(i)).unwrap().matched, i);
+            if i > 0 {
+                assert!(cache.get(&raw_key(i - 1)).is_none());
+            }
+        }
+    }
+
+    /// Eviction must be O(1): per-insert cost at capacity 1000 must be
+    /// within an order of magnitude of capacity 10 (the old min-tick scan
+    /// was O(capacity) per insert, a ~100× spread on this measurement).
+    #[test]
+    fn eviction_cost_is_flat_in_capacity() {
+        fn churn_ns_per_insert(capacity: usize, inserts: u64) -> f64 {
+            let cache = ResultCache::new(capacity);
+            // Fill to capacity so every subsequent insert evicts.
+            for i in 0..capacity as u64 {
+                cache.put(raw_key(i), result(i));
+            }
+            let start = std::time::Instant::now();
+            for i in 0..inserts {
+                cache.put(raw_key(capacity as u64 + i), result(i));
+            }
+            start.elapsed().as_nanos() as f64 / inserts as f64
+        }
+        // Warm up allocators and branch predictors off the clock.
+        churn_ns_per_insert(10, 2_000);
+        let small = churn_ns_per_insert(10, 50_000);
+        let large = churn_ns_per_insert(1_000, 50_000);
+        assert!(
+            large < small * 10.0 + 500.0,
+            "eviction scales with capacity: {small:.0} ns at cap 10 vs {large:.0} ns at cap 1000"
+        );
     }
 }

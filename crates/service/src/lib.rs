@@ -5,20 +5,27 @@
 //! service actually needs —
 //!
 //! * **Wire protocol** ([`protocol`]): newline-delimited JSON over TCP;
-//!   `solve`, `analyze`, `health`, `metrics`, `shutdown`. Specified in
-//!   `docs/PROTOCOLS.md` and pinned byte-for-byte by the golden corpus in
-//!   `crates/service/cases/`.
-//! * **Admission control** ([`service`]): a bounded job queue
-//!   ([`asm_runtime::JobQueue`]) feeding a worker pool; a full queue is an
-//!   explicit `overloaded` reply, and per-request queue-wait deadlines
-//!   yield `deadline_exceeded` instead of silent latency.
+//!   `solve`, `solve_batch`, `analyze`, `health`, `metrics`, `shutdown`.
+//!   Specified in `docs/PROTOCOLS.md` and pinned byte-for-byte by the
+//!   golden corpus in `crates/service/cases/`.
+//! * **Sharding + admission control** ([`service`]): N independent
+//!   shards, each with its own bounded job queue
+//!   ([`asm_runtime::JobQueue`]), worker subset, and result cache; jobs
+//!   route by the instance content hash, so identical instances always
+//!   share a shard (and its cache). A full shard queue is an explicit
+//!   `overloaded` reply, and per-request queue-wait deadlines yield
+//!   `deadline_exceeded` instead of silent latency. `solve_batch`
+//!   amortizes one envelope and one admission per shard touched across
+//!   many instances.
 //! * **Result cache** ([`cache`]): the solvers are deterministic in
 //!   (instance, parameters, seed), so repeated requests are answered from
-//!   a content-hash-keyed LRU without re-running the engine.
+//!   a content-hash-keyed cache with O(1) intrusive-list LRU eviction,
+//!   without re-running the engine.
 //! * **Observability** ([`metrics`]): lock-free counters and log₂-bucket
 //!   latency quantiles, snapshotted as schema-versioned JSON by the
-//!   `metrics` request. The counters are exact enough to reconcile
-//!   against a load generator's own totals (CI does exactly that).
+//!   `metrics` request, with per-shard counters that sum exactly to the
+//!   aggregates. The counters are exact enough to reconcile against a
+//!   load generator's own totals (CI does exactly that).
 //! * **Graceful drain** ([`server`]): shutdown stops admission, drains
 //!   every accepted job, and flushes every in-flight response before
 //!   [`ServerHandle::wait`] returns.
@@ -55,11 +62,12 @@ pub mod protocol;
 pub mod server;
 pub mod service;
 
-pub use cache::{ResultCache, SolveKey};
-pub use metrics::{Metrics, MetricsSnapshot, METRICS_SCHEMA};
+pub use cache::{instance_hash, ResultCache, SolveKey};
+pub use metrics::{Metrics, MetricsSnapshot, ShardCounters, ShardSnapshot, METRICS_SCHEMA};
 pub use protocol::{
-    kind, Algorithm, AnalyzeBody, AnalyzeResult, DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec,
-    Op, OverloadInfo, Reply, Request, Response, SolveBody, SolveResult, PROTOCOL_SCHEMA,
+    kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchBody, BatchItemResult, BatchResult,
+    DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec, Op, OverloadInfo, Reply, Request, Response,
+    SolveBody, SolveResult, PROTOCOL_SCHEMA,
 };
 pub use server::{serve, ServerHandle};
 pub use service::{Service, ServiceConfig};

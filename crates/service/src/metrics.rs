@@ -9,8 +9,19 @@
 //! Quantiles are reported as the **upper bound of the log₂ bucket**
 //! containing the quantile — a deliberate trade: zero allocation on the
 //! hot path, bounded error (at most 2×), and no t-digest dependency.
+//!
+//! ## Per-shard counters
+//!
+//! A sharded service additionally keeps one [`ShardCounters`] per shard.
+//! Every shard-routed outcome is counted in *both* books at the same
+//! call site, so each [`ShardSnapshot`] counter sums exactly to the
+//! aggregate across shards (`queue_peak` is a per-shard high-water mark,
+//! so the aggregate peak is the *max* of the shard peaks, not the sum).
+//! The `shards` array is omitted from the snapshot JSON when the service
+//! runs a single shard, which keeps the `shards = 1` wire format
+//! byte-identical to the pre-sharding protocol.
 
-use serde::{Deserialize, Serialize};
+use serde::{content_get, Content, Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Schema version of [`MetricsSnapshot`]. Bump when fields change shape.
@@ -115,7 +126,8 @@ impl Metrics {
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Takes a point-in-time snapshot.
+    /// Takes a point-in-time snapshot. The `shards` array starts empty;
+    /// a sharded service appends its [`ShardSnapshot`]s before replying.
     pub fn snapshot(&self, queue_depth: u64, cache_entries: u64) -> MetricsSnapshot {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         let buckets: Vec<u64> = self.latency.iter().map(load).collect();
@@ -151,8 +163,101 @@ impl Metrics {
             latency_p50_us: bucket_quantile(&buckets, 0.50),
             latency_p95_us: bucket_quantile(&buckets, 0.95),
             latency_p99_us: bucket_quantile(&buckets, 0.99),
+            shards: Vec::new(),
         }
     }
+}
+
+/// Per-shard outcome counters. Incremented at the same call sites as the
+/// aggregate [`Metrics`], so shard counters sum exactly to the totals.
+#[derive(Debug, Default)]
+pub struct ShardCounters {
+    /// `solved` replies routed to this shard.
+    pub solved: AtomicU64,
+    /// `analyzed` replies routed to this shard.
+    pub analyzed: AtomicU64,
+    /// Jobs this shard's queue refused (`overloaded`).
+    pub overloaded: AtomicU64,
+    /// Jobs that expired in this shard's queue.
+    pub deadline_exceeded: AtomicU64,
+    /// Hits in this shard's result cache.
+    pub cache_hits: AtomicU64,
+    /// Misses in this shard's result cache.
+    pub cache_misses: AtomicU64,
+    /// High-water mark of this shard's queue depth.
+    pub queue_peak: AtomicU64,
+    /// Σ rounds over this shard's solved jobs.
+    pub rounds_total: AtomicU64,
+    /// Σ messages over this shard's solved jobs.
+    pub messages_total: AtomicU64,
+    /// Σ blocking pairs over this shard's solved jobs.
+    pub blocking_pairs_total: AtomicU64,
+    /// Σ matched pairs over this shard's solved jobs.
+    pub matched_total: AtomicU64,
+}
+
+impl ShardCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ShardCounters::default()
+    }
+
+    /// Takes this shard's point-in-time snapshot.
+    pub fn snapshot(&self, shard: u64, queue_depth: u64, cache_entries: u64) -> ShardSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ShardSnapshot {
+            shard,
+            solved: load(&self.solved),
+            analyzed: load(&self.analyzed),
+            overloaded: load(&self.overloaded),
+            deadline_exceeded: load(&self.deadline_exceeded),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            cache_entries,
+            queue_depth,
+            queue_peak: load(&self.queue_peak),
+            rounds_total: load(&self.rounds_total),
+            messages_total: load(&self.messages_total),
+            blocking_pairs_total: load(&self.blocking_pairs_total),
+            matched_total: load(&self.matched_total),
+        }
+    }
+}
+
+/// One shard's slice of the books, embedded in [`MetricsSnapshot`] when
+/// the service runs more than one shard. Counter fields sum exactly to
+/// the aggregate snapshot; `queue_peak` aggregates by max, and
+/// `cache_entries`/`queue_depth` are point-in-time gauges that sum.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// Shard index (0-based).
+    pub shard: u64,
+    /// `solved` replies routed here.
+    pub solved: u64,
+    /// `analyzed` replies routed here.
+    pub analyzed: u64,
+    /// `overloaded` refusals from this shard's queue.
+    pub overloaded: u64,
+    /// Deadline expiries in this shard's queue.
+    pub deadline_exceeded: u64,
+    /// This shard's result-cache hits.
+    pub cache_hits: u64,
+    /// This shard's result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently in this shard's cache.
+    pub cache_entries: u64,
+    /// Jobs currently in this shard's queue.
+    pub queue_depth: u64,
+    /// This shard's queue-depth high-water mark.
+    pub queue_peak: u64,
+    /// Σ rounds over this shard's solved jobs.
+    pub rounds_total: u64,
+    /// Σ messages over this shard's solved jobs.
+    pub messages_total: u64,
+    /// Σ blocking pairs over this shard's solved jobs.
+    pub blocking_pairs_total: u64,
+    /// Σ matched pairs over this shard's solved jobs.
+    pub matched_total: u64,
 }
 
 /// The bucket index for a latency sample.
@@ -183,7 +288,7 @@ fn bucket_quantile(buckets: &[u64], q: f64) -> u64 {
 
 /// A point-in-time JSON view of [`Metrics`], returned by the `metrics`
 /// request. Schema-versioned: consumers should check `schema` first.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MetricsSnapshot {
     /// [`METRICS_SCHEMA`].
     pub schema: u64,
@@ -233,6 +338,119 @@ pub struct MetricsSnapshot {
     pub latency_p95_us: u64,
     /// p99 enqueue→reply latency (log₂-bucket upper bound, µs).
     pub latency_p99_us: u64,
+    /// Per-shard books; empty (and omitted from the JSON) when the
+    /// service runs a single shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+/// Field order of the flat `u64` counters, shared by both hand-written
+/// impls below (hand-written so `shards` can be omitted when empty — the
+/// vendored serde derive has no `default`/`skip_serializing_if`, and the
+/// single-shard wire format must stay byte-identical to schema 1 without
+/// shards).
+macro_rules! snapshot_u64_fields {
+    ($macro:ident) => {
+        $macro!(
+            received,
+            malformed,
+            solved,
+            analyzed,
+            health,
+            metrics,
+            shutdown,
+            overloaded,
+            deadline_exceeded,
+            errors,
+            cache_hits,
+            cache_misses
+        );
+    };
+}
+
+macro_rules! snapshot_tail_u64_fields {
+    ($macro:ident) => {
+        $macro!(
+            cache_entries,
+            queue_depth,
+            queue_peak,
+            rounds_total,
+            messages_total,
+            blocking_pairs_total,
+            matched_total,
+            latency_p50_us,
+            latency_p95_us,
+            latency_p99_us
+        );
+    };
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_content(&self) -> Content {
+        let mut m: Vec<(String, Content)> = vec![("schema".to_string(), self.schema.to_content())];
+        macro_rules! push {
+            ($($field:ident),*) => {
+                $(m.push((stringify!($field).to_string(), self.$field.to_content()));)*
+            };
+        }
+        snapshot_u64_fields!(push);
+        m.push((
+            "cache_hit_rate".to_string(),
+            self.cache_hit_rate.to_content(),
+        ));
+        snapshot_tail_u64_fields!(push);
+        if !self.shards.is_empty() {
+            m.push(("shards".to_string(), self.shards.to_content()));
+        }
+        Content::Map(m)
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for MetricsSnapshot"))?;
+        let field = |name: &str| {
+            content_get(map, name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in MetricsSnapshot"))
+            })
+        };
+        macro_rules! get {
+            ($field:ident) => {
+                u64::from_content(field(stringify!($field))?)?
+            };
+        }
+        Ok(MetricsSnapshot {
+            schema: get!(schema),
+            received: get!(received),
+            malformed: get!(malformed),
+            solved: get!(solved),
+            analyzed: get!(analyzed),
+            health: get!(health),
+            metrics: get!(metrics),
+            shutdown: get!(shutdown),
+            overloaded: get!(overloaded),
+            deadline_exceeded: get!(deadline_exceeded),
+            errors: get!(errors),
+            cache_hits: get!(cache_hits),
+            cache_misses: get!(cache_misses),
+            cache_hit_rate: f64::from_content(field("cache_hit_rate")?)?,
+            cache_entries: get!(cache_entries),
+            queue_depth: get!(queue_depth),
+            queue_peak: get!(queue_peak),
+            rounds_total: get!(rounds_total),
+            messages_total: get!(messages_total),
+            blocking_pairs_total: get!(blocking_pairs_total),
+            matched_total: get!(matched_total),
+            latency_p50_us: get!(latency_p50_us),
+            latency_p95_us: get!(latency_p95_us),
+            latency_p99_us: get!(latency_p99_us),
+            shards: match content_get(map, "shards") {
+                Some(c) => Vec::<ShardSnapshot>::from_content(c)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +478,34 @@ mod tests {
         let line = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn shards_array_is_omitted_when_empty_and_round_trips_otherwise() {
+        let m = Metrics::new();
+        let plain = m.snapshot(0, 0);
+        let line = serde_json::to_string(&plain).unwrap();
+        assert!(!line.contains("shards"), "{line}");
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, plain);
+
+        let counters = ShardCounters::new();
+        counters.solved.store(3, Ordering::Relaxed);
+        counters.queue_peak.store(2, Ordering::Relaxed);
+        let mut sharded = m.snapshot(0, 0);
+        sharded.shards = vec![
+            counters.snapshot(0, 1, 4),
+            ShardCounters::new().snapshot(1, 0, 0),
+        ];
+        let line = serde_json::to_string(&sharded).unwrap();
+        assert!(
+            line.contains("\"shards\":[{\"shard\":0,\"solved\":3"),
+            "{line}"
+        );
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, sharded);
+        assert_eq!(back.shards[0].cache_entries, 4);
+        assert_eq!(back.shards[1].shard, 1);
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub struct Request {
 pub enum Op {
     /// Solve an instance; wire tag `"solve"`.
     Solve(SolveBody),
+    /// Solve many instances in one frame; wire tag `"solve_batch"`.
+    SolveBatch(BatchBody),
     /// Audit a matching against an instance; wire tag `"analyze"`.
     Analyze(AnalyzeBody),
     /// Liveness + configuration probe; wire tag `"health"`.
@@ -62,6 +64,7 @@ impl Op {
     pub fn tag(&self) -> &'static str {
         match self {
             Op::Solve(_) => "solve",
+            Op::SolveBatch(_) => "solve_batch",
             Op::Analyze(_) => "analyze",
             Op::Health => "health",
             Op::Metrics => "metrics",
@@ -97,6 +100,17 @@ pub struct SolveBody {
     /// Proposal-cycle budget for `truncated-gs` (the latency/quality knob
     /// of Floréen et al.); `0` means run Gale–Shapley to convergence.
     pub cycles: u64,
+}
+
+/// Body of a `solve_batch` request: many solves amortizing one envelope
+/// (and one queue admission per shard touched). Items are solved
+/// independently — each can individually succeed, be refused, expire, or
+/// fail — and the reply lists one outcome per item *in request order*,
+/// however the items were fanned out across shards.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchBody {
+    /// The solves, in the order their outcomes will be replied.
+    pub items: Vec<SolveBody>,
 }
 
 /// Body of an `analyze` request.
@@ -147,6 +161,8 @@ pub struct Response {
 pub enum Reply {
     /// Wire tag `"solved"`.
     Solved(SolveResult),
+    /// Wire tag `"solved_batch"`.
+    SolvedBatch(BatchResult),
     /// Wire tag `"analyzed"`.
     Analyzed(AnalyzeResult),
     /// Wire tag `"health"`.
@@ -169,6 +185,7 @@ impl Reply {
     pub fn tag(&self) -> &'static str {
         match self {
             Reply::Solved(_) => "solved",
+            Reply::SolvedBatch(_) => "solved_batch",
             Reply::Analyzed(_) => "analyzed",
             Reply::Health(_) => "health",
             Reply::Metrics(_) => "metrics",
@@ -201,6 +218,90 @@ pub struct SolveResult {
     pub cached: bool,
 }
 
+/// `solved_batch` reply body: one outcome per batch item, request order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// Per-item outcomes, aligned index-for-index with the request's
+    /// `items` array.
+    pub items: Vec<BatchItemResult>,
+}
+
+/// The outcome of one item inside a `solve_batch`.
+///
+/// On the wire each item is a miniature response without an id —
+/// `{"reply":"solved","body":{...}}` — reusing the single-op reply tags
+/// and bodies, so a client's per-response decoding logic applies
+/// per-item unchanged.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BatchItemResult {
+    /// The item was solved; wire tag `"solved"`.
+    Solved(SolveResult),
+    /// The item's shard queue was full; wire tag `"overloaded"`.
+    Overloaded(OverloadInfo),
+    /// The item expired while queued; wire tag `"deadline_exceeded"`.
+    DeadlineExceeded(DeadlineInfo),
+    /// The item was invalid or its solve failed; wire tag `"error"`.
+    Error(ErrorInfo),
+}
+
+impl BatchItemResult {
+    /// The lowercase wire tag (matches the equivalent [`Reply`] tag).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            BatchItemResult::Solved(_) => "solved",
+            BatchItemResult::Overloaded(_) => "overloaded",
+            BatchItemResult::DeadlineExceeded(_) => "deadline_exceeded",
+            BatchItemResult::Error(_) => "error",
+        }
+    }
+}
+
+impl Serialize for BatchItemResult {
+    fn to_content(&self) -> Content {
+        let body = match self {
+            BatchItemResult::Solved(b) => b.to_content(),
+            BatchItemResult::Overloaded(b) => b.to_content(),
+            BatchItemResult::DeadlineExceeded(b) => b.to_content(),
+            BatchItemResult::Error(b) => b.to_content(),
+        };
+        Content::Map(vec![
+            ("reply".to_string(), Content::Str(self.tag().to_string())),
+            ("body".to_string(), body),
+        ])
+    }
+}
+
+impl Deserialize for BatchItemResult {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a batch-item object"))?;
+        let tag = match content_get(map, "reply") {
+            Some(Content::Str(s)) => s.as_str(),
+            _ => {
+                return Err(serde::Error::custom(
+                    "missing string field `reply` in batch item",
+                ))
+            }
+        };
+        let body = content_get(map, "body")
+            .ok_or_else(|| serde::Error::custom(format!("batch item `{tag}` requires a `body`")))?;
+        match tag {
+            "solved" => Ok(BatchItemResult::Solved(SolveResult::from_content(body)?)),
+            "overloaded" => Ok(BatchItemResult::Overloaded(OverloadInfo::from_content(
+                body,
+            )?)),
+            "deadline_exceeded" => Ok(BatchItemResult::DeadlineExceeded(
+                DeadlineInfo::from_content(body)?,
+            )),
+            "error" => Ok(BatchItemResult::Error(ErrorInfo::from_content(body)?)),
+            other => Err(serde::Error::custom(format!(
+                "unknown batch-item reply `{other}`"
+            ))),
+        }
+    }
+}
+
 /// Result of an `analyze` request.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AnalyzeResult {
@@ -221,7 +322,11 @@ pub struct AnalyzeResult {
 }
 
 /// `health` reply body.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialized by hand: the `shards` field is omitted when it is `1`, so
+/// single-shard deployments (and the pre-sharding golden corpus) keep
+/// their exact bytes; deserialization defaults a missing `shards` to `1`.
+#[derive(Clone, Debug, PartialEq)]
 pub struct HealthInfo {
     /// Protocol schema version ([`PROTOCOL_SCHEMA`]).
     pub schema: u64,
@@ -229,10 +334,55 @@ pub struct HealthInfo {
     pub accepting: bool,
     /// Worker-thread count.
     pub workers: u64,
-    /// Bounded queue capacity.
+    /// Bounded queue capacity (aggregate across shards).
     pub queue_capacity: u64,
-    /// Jobs currently queued.
+    /// Jobs currently queued (aggregate across shards).
     pub queue_depth: u64,
+    /// Number of shards serving this instance (`1` = unsharded; omitted
+    /// from the wire at `1`).
+    pub shards: u64,
+}
+
+impl Serialize for HealthInfo {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("schema".to_string(), self.schema.to_content()),
+            ("accepting".to_string(), self.accepting.to_content()),
+            ("workers".to_string(), self.workers.to_content()),
+            (
+                "queue_capacity".to_string(),
+                self.queue_capacity.to_content(),
+            ),
+            ("queue_depth".to_string(), self.queue_depth.to_content()),
+        ];
+        if self.shards != 1 {
+            map.push(("shards".to_string(), self.shards.to_content()));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for HealthInfo {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a health object"))?;
+        let field = |name: &str| {
+            content_get(map, name)
+                .ok_or_else(|| serde::Error::custom(format!("missing field `{name}` in health")))
+        };
+        Ok(HealthInfo {
+            schema: u64::from_content(field("schema")?)?,
+            accepting: bool::from_content(field("accepting")?)?,
+            workers: u64::from_content(field("workers")?)?,
+            queue_capacity: u64::from_content(field("queue_capacity")?)?,
+            queue_depth: u64::from_content(field("queue_depth")?)?,
+            shards: match content_get(map, "shards") {
+                Some(c) => u64::from_content(c)?,
+                None => 1,
+            },
+        })
+    }
 }
 
 /// `overloaded` reply body.
@@ -295,6 +445,7 @@ impl Serialize for Request {
         ];
         match &self.op {
             Op::Solve(body) => map.push(("body".to_string(), body.to_content())),
+            Op::SolveBatch(body) => map.push(("body".to_string(), body.to_content())),
             Op::Analyze(body) => map.push(("body".to_string(), body.to_content())),
             Op::Health | Op::Metrics | Op::Shutdown => {}
         }
@@ -327,6 +478,7 @@ impl Deserialize for Request {
         };
         let op = match tag {
             "solve" => Op::Solve(SolveBody::from_content(body()?)?),
+            "solve_batch" => Op::SolveBatch(BatchBody::from_content(body()?)?),
             "analyze" => Op::Analyze(AnalyzeBody::from_content(body()?)?),
             "health" => Op::Health,
             "metrics" => Op::Metrics,
@@ -348,6 +500,7 @@ impl Serialize for Response {
         ];
         let body = match &self.reply {
             Reply::Solved(b) => Some(b.to_content()),
+            Reply::SolvedBatch(b) => Some(b.to_content()),
             Reply::Analyzed(b) => Some(b.to_content()),
             Reply::Health(b) => Some(b.to_content()),
             Reply::Metrics(b) => Some(b.to_content()),
@@ -382,6 +535,7 @@ impl Deserialize for Response {
         };
         let reply = match tag {
             "solved" => Reply::Solved(SolveResult::from_content(body()?)?),
+            "solved_batch" => Reply::SolvedBatch(BatchResult::from_content(body()?)?),
             "analyzed" => Reply::Analyzed(AnalyzeResult::from_content(body()?)?),
             "health" => Reply::Health(HealthInfo::from_content(body()?)?),
             "metrics" => Reply::Metrics(crate::metrics::MetricsSnapshot::from_content(body()?)?),
@@ -565,6 +719,80 @@ mod tests {
         let line = render(&resp);
         assert_eq!(line, "{\"id\":3,\"reply\":\"shutting_down\"}");
         assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn solve_batch_request_round_trips() {
+        let mut second = solve_body();
+        second.seed = 43;
+        let req = Request {
+            id: Some(11),
+            op: Op::SolveBatch(BatchBody {
+                items: vec![solve_body(), second],
+            }),
+        };
+        let line = render(&req);
+        assert!(
+            line.starts_with("{\"id\":11,\"op\":\"solve_batch\",\"body\":{\"items\":["),
+            "{line}"
+        );
+        assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn solved_batch_reply_round_trips_mixed_outcomes() {
+        let resp = Response {
+            id: Some(12),
+            reply: Reply::SolvedBatch(BatchResult {
+                items: vec![
+                    BatchItemResult::Overloaded(OverloadInfo {
+                        queue_capacity: 4,
+                        queue_depth: 4,
+                    }),
+                    BatchItemResult::DeadlineExceeded(DeadlineInfo { deadline_ms: 5 }),
+                    BatchItemResult::Error(ErrorInfo::new(kind::INVALID, "bad eps")),
+                ],
+            }),
+        };
+        let line = render(&resp);
+        assert!(
+            line.contains("{\"reply\":\"overloaded\",\"body\":{\"queue_capacity\":4"),
+            "{line}"
+        );
+        assert_eq!(parse_response(&line).unwrap(), resp);
+    }
+
+    #[test]
+    fn batch_item_with_unknown_tag_is_rejected() {
+        let err = BatchItemResult::from_content(&Content::Map(vec![
+            ("reply".to_string(), Content::Str("dance".to_string())),
+            ("body".to_string(), Content::Null),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("dance"), "{err}");
+    }
+
+    #[test]
+    fn health_omits_shards_at_one_and_round_trips_otherwise() {
+        let mut info = HealthInfo {
+            schema: PROTOCOL_SCHEMA,
+            accepting: true,
+            workers: 2,
+            queue_capacity: 8,
+            queue_depth: 0,
+            shards: 1,
+        };
+        let line = render(&info);
+        assert!(!line.contains("shards"), "{line}");
+        assert_eq!(
+            serde_json::from_str::<HealthInfo>(&line).unwrap(),
+            info,
+            "missing shards must default to 1"
+        );
+        info.shards = 4;
+        let line = render(&info);
+        assert!(line.ends_with("\"shards\":4}"), "{line}");
+        assert_eq!(serde_json::from_str::<HealthInfo>(&line).unwrap(), info);
     }
 
     #[test]

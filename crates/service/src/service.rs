@@ -1,5 +1,5 @@
-//! The service core: admission control, the worker pool, and request
-//! handling — everything except the TCP listener.
+//! The service core: admission control, sharded worker pools, and
+//! request handling — everything except the TCP listener.
 //!
 //! [`Service::handle_line`] is the entire protocol state machine: one
 //! request line in, one response line out. Connection threads call it
@@ -8,29 +8,48 @@
 //! drive `handle_line` in-process and pin exact response bytes without a
 //! socket in sight.
 //!
+//! ## Sharding
+//!
+//! The service runs `shards` independent lanes, each owning its own
+//! bounded [`JobQueue`], worker subset, and [`ResultCache`]. A job is
+//! routed by the *content hash of its instance* — the same hash that
+//! keys the cache — so identical instances always land on the same
+//! shard and their cache entries stay findable regardless of the shard
+//! count. One shard degenerates to the pre-sharding service exactly:
+//! same admission decisions, same wire bytes (pinned by the golden
+//! corpus), same metrics.
+//!
 //! ## Job flow
 //!
 //! `solve`/`analyze` requests are validated on the connection thread
 //! (unknown algorithm, bad ε, …, are rejected *before* consuming queue
-//! capacity), then enqueued on the bounded [`JobQueue`]. A full queue is
-//! an immediate `overloaded` reply — admission control by backpressure,
-//! never unbounded buffering. Workers dequeue, check the queue-wait
-//! deadline, consult the result cache, and run the engine; the connection
-//! thread blocks on a rendezvous channel until its reply arrives
-//! (connection concurrency, not request pipelining, is the concurrency
-//! unit).
+//! capacity), then enqueued on the routed shard's bounded queue. A full
+//! shard queue is an immediate `overloaded` reply — admission control by
+//! backpressure, never unbounded buffering. Workers dequeue, check the
+//! queue-wait deadline, consult the shard's result cache, and run the
+//! engine; the connection thread blocks on a rendezvous channel until
+//! its reply arrives (connection concurrency, not request pipelining, is
+//! the concurrency unit).
+//!
+//! `solve_batch` amortizes one envelope and one queue admission *per
+//! shard touched* over many instances: items are validated up front
+//! (invalid ones consume no capacity), grouped by routing hash, enqueued
+//! as one job per shard group, and the per-item outcomes are merged back
+//! into request order.
 //!
 //! ## Shutdown
 //!
-//! `shutdown` flips `accepting` and closes the queue. Already-accepted
-//! jobs drain; later solve/analyze requests get an `unavailable` error;
-//! `health`/`metrics` keep answering so operators can watch the drain.
+//! `shutdown` flips `accepting` and closes every shard queue.
+//! Already-accepted jobs drain; later solve/analyze requests get an
+//! `unavailable` error; `health`/`metrics` keep answering so operators
+//! can watch the drain.
 
-use crate::cache::{ResultCache, SolveKey};
-use crate::metrics::Metrics;
+use crate::cache::{instance_hash, ResultCache, SolveKey};
+use crate::metrics::{Metrics, ShardCounters};
 use crate::protocol::{
-    kind, Algorithm, AnalyzeBody, AnalyzeResult, DeadlineInfo, ErrorInfo, HealthInfo, Op,
-    OverloadInfo, Reply, Request, Response, SolveBody, SolveResult, PROTOCOL_SCHEMA,
+    kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchItemResult, BatchResult, DeadlineInfo,
+    ErrorInfo, HealthInfo, Op, OverloadInfo, Reply, Request, Response, SolveBody, SolveResult,
+    PROTOCOL_SCHEMA,
 };
 use asm_core::baselines::{distributed_gs, truncated_gs};
 use asm_core::{almost_regular_asm, asm, rand_asm, AlmostRegularParams, AsmConfig, RandAsmParams};
@@ -46,18 +65,24 @@ use std::time::Instant;
 /// Tunables for a [`Service`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct ServiceConfig {
-    /// Worker threads (0 ⇒ clamped to 1; the CLI maps 0 to the machine's
-    /// parallelism before constructing the service).
+    /// Worker threads *in total* across shards (0 ⇒ clamped to 1; every
+    /// shard always gets at least one dedicated worker, so the effective
+    /// count is `max(workers, shards)`).
     pub workers: usize,
-    /// Bounded job-queue capacity; a full queue answers `overloaded`.
+    /// Bounded job-queue capacity **per shard**; a full shard queue
+    /// answers `overloaded`.
     pub queue_capacity: usize,
-    /// Result-cache capacity in entries; 0 disables caching.
+    /// Result-cache capacity in entries **per shard**; 0 disables
+    /// caching.
     pub cache_capacity: usize,
     /// Artificial per-job service delay in milliseconds, applied by the
-    /// worker before the deadline check. Zero in production; nonzero makes
-    /// queue-wait deadlines and overload deterministic for tests and load
-    /// shaping.
+    /// worker before the deadline check (once per batch item). Zero in
+    /// production; nonzero makes queue-wait deadlines and overload
+    /// deterministic for tests and load shaping.
     pub worker_delay_ms: u64,
+    /// Number of shards (0 ⇒ clamped to 1). `1` reproduces the
+    /// unsharded service bit-for-bit.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -67,16 +92,18 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 256,
             worker_delay_ms: 0,
+            shards: 1,
         }
     }
 }
 
-/// A queued solve/analyze job plus its reply rendezvous.
+/// A queued job plus its reply rendezvous.
 struct Job {
     enqueued: Instant,
+    /// Queue-wait deadline for single jobs; batch items carry their own.
     deadline_ms: u64,
     body: JobBody,
-    reply_tx: mpsc::Sender<Reply>,
+    reply_tx: mpsc::Sender<JobOutcome>,
 }
 
 enum JobBody {
@@ -84,44 +111,79 @@ enum JobBody {
         body: SolveBody,
         algorithm: Algorithm,
         backend: MatcherBackend,
+        key: SolveKey,
     },
     Analyze(AnalyzeBody),
+    /// One shard's slice of a `solve_batch`, in request order.
+    SolveBatch(Vec<BatchItem>),
 }
 
-/// The matching service: admission control, workers, cache, metrics.
+/// One validated `solve_batch` item, tagged with its request position.
+struct BatchItem {
+    index: usize,
+    body: SolveBody,
+    algorithm: Algorithm,
+    backend: MatcherBackend,
+    key: SolveKey,
+}
+
+/// What a worker hands back over the rendezvous channel.
+enum JobOutcome {
+    /// A single solve/analyze reply.
+    One(Reply),
+    /// Per-item batch outcomes, tagged with request positions.
+    Many(Vec<(usize, BatchItemResult)>),
+}
+
+/// One shard: its queue, its result cache, its slice of the books.
+struct Shard {
+    queue: Arc<JobQueue<Job>>,
+    cache: Arc<ResultCache>,
+    counters: Arc<ShardCounters>,
+}
+
+/// The matching service: admission control, sharded workers, caches,
+/// metrics.
 ///
 /// Construct with [`Service::start`]; share via the returned `Arc`.
 pub struct Service {
     config: ServiceConfig,
     workers: usize,
-    queue: Arc<JobQueue<Job>>,
+    shards: Vec<Shard>,
     pool: Mutex<Option<WorkerPool>>,
-    cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
     accepting: AtomicBool,
 }
 
 impl Service {
-    /// Starts the worker pool and returns the shared service handle.
+    /// Starts the sharded worker pool and returns the shared handle.
     pub fn start(config: ServiceConfig) -> Arc<Service> {
-        let workers = config.workers.max(1);
-        let queue = JobQueue::new(config.queue_capacity);
-        let cache = Arc::new(ResultCache::new(config.cache_capacity));
+        let shard_count = config.shards.max(1);
+        let workers = config.workers.max(1).max(shard_count);
+        let shards: Vec<Shard> = (0..shard_count)
+            .map(|_| Shard {
+                queue: JobQueue::new(config.queue_capacity),
+                cache: Arc::new(ResultCache::new(config.cache_capacity)),
+                counters: Arc::new(ShardCounters::new()),
+            })
+            .collect();
         let metrics = Arc::new(Metrics::new());
         let pool = {
-            let cache = Arc::clone(&cache);
+            let queues: Vec<Arc<JobQueue<Job>>> =
+                shards.iter().map(|s| Arc::clone(&s.queue)).collect();
+            let caches: Vec<Arc<ResultCache>> =
+                shards.iter().map(|s| Arc::clone(&s.cache)).collect();
             let metrics = Arc::clone(&metrics);
             let delay_ms = config.worker_delay_ms;
-            WorkerPool::spawn(workers, &queue, move |_index, job: Job| {
-                run_job(job, &cache, &metrics, delay_ms);
+            WorkerPool::spawn_sharded(workers, &queues, move |shard, _worker, job: Job| {
+                run_job(job, &caches[shard], &metrics, delay_ms);
             })
         };
         Arc::new(Service {
             config,
             workers,
-            queue,
+            shards,
             pool: Mutex::new(Some(pool)),
-            cache,
             metrics,
             accepting: AtomicBool::new(true),
         })
@@ -155,16 +217,31 @@ impl Service {
                     schema: PROTOCOL_SCHEMA,
                     accepting: self.is_accepting(),
                     workers: self.workers as u64,
-                    queue_capacity: self.config.queue_capacity as u64,
-                    queue_depth: self.queue.len() as u64,
+                    queue_capacity: (self.config.queue_capacity * self.shards.len()) as u64,
+                    queue_depth: self.total_queue_depth(),
+                    shards: self.shards.len() as u64,
                 })
             }
             Op::Metrics => {
                 self.metrics.incr(&self.metrics.metrics);
-                Reply::Metrics(
-                    self.metrics
-                        .snapshot(self.queue.len() as u64, self.cache.len() as u64),
-                )
+                let mut snap = self
+                    .metrics
+                    .snapshot(self.total_queue_depth(), self.total_cache_entries());
+                if self.shards.len() > 1 {
+                    snap.shards = self
+                        .shards
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            s.counters.snapshot(
+                                i as u64,
+                                s.queue.len() as u64,
+                                s.cache.len() as u64,
+                            )
+                        })
+                        .collect();
+                }
+                Reply::Metrics(snap)
             }
             Op::Shutdown => {
                 self.metrics.incr(&self.metrics.shutdown);
@@ -172,19 +249,26 @@ impl Service {
                 Reply::ShuttingDown
             }
             Op::Solve(body) => match validate_solve(&body) {
-                Ok((algorithm, backend)) => self.submit(
-                    body.deadline_ms,
-                    JobBody::Solve {
-                        body,
-                        algorithm,
-                        backend,
-                    },
-                ),
+                Ok((algorithm, backend)) => {
+                    let key = solve_key(&body);
+                    let shard = self.route_hash(key.instance_hash);
+                    self.submit(
+                        body.deadline_ms,
+                        shard,
+                        JobBody::Solve {
+                            body,
+                            algorithm,
+                            backend,
+                            key,
+                        },
+                    )
+                }
                 Err(reply) => {
                     self.metrics.incr(&self.metrics.errors);
                     *reply
                 }
             },
+            Op::SolveBatch(batch) => self.submit_batch(batch.items),
             Op::Analyze(body) => {
                 if !(body.eps.is_finite() && body.eps >= 0.0) {
                     self.metrics.incr(&self.metrics.errors);
@@ -193,13 +277,34 @@ impl Service {
                         format!("analyze eps must be finite and >= 0, got {}", body.eps),
                     ));
                 }
-                self.submit(0, JobBody::Analyze(body))
+                let shard = self.route_hash(instance_hash(&body.instance));
+                self.submit(0, shard, JobBody::Analyze(body))
             }
         }
     }
 
-    /// Enqueues a job and blocks until its reply arrives.
-    fn submit(&self, deadline_ms: u64, body: JobBody) -> Reply {
+    /// The shard an instance hash routes to. Deterministic in the hash
+    /// and the shard count only — the property the cache depends on.
+    fn route_hash(&self, hash: u64) -> usize {
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// The shard an instance spec routes to (exposed for tests and
+    /// embedding; the service applies the same function internally).
+    pub fn route(&self, instance: &crate::protocol::InstanceSpec) -> usize {
+        self.route_hash(instance_hash(instance))
+    }
+
+    fn total_queue_depth(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue.len() as u64).sum()
+    }
+
+    fn total_cache_entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.cache.len() as u64).sum()
+    }
+
+    /// Enqueues a single job on `shard` and blocks until its reply.
+    fn submit(&self, deadline_ms: u64, shard: usize, body: JobBody) -> Reply {
         if !self.is_accepting() {
             self.metrics.incr(&self.metrics.errors);
             return Reply::Error(ErrorInfo::new(
@@ -214,16 +319,13 @@ impl Service {
             body,
             reply_tx,
         };
-        match self.queue.try_push(job) {
-            Ok(()) => {
-                self.metrics.observe_queue_depth(self.queue.len() as u64);
-            }
+        let s = &self.shards[shard];
+        match s.queue.try_push(job) {
+            Ok(depth) => self.observe_depth(shard, depth),
             Err(PushError::Full(_)) => {
                 self.metrics.incr(&self.metrics.overloaded);
-                return Reply::Overloaded(OverloadInfo {
-                    queue_capacity: self.config.queue_capacity as u64,
-                    queue_depth: self.queue.len() as u64,
-                });
+                self.metrics.incr(&s.counters.overloaded);
+                return Reply::Overloaded(self.overload_info(shard));
             }
             Err(PushError::Closed(_)) => {
                 self.metrics.incr(&self.metrics.errors);
@@ -234,41 +336,205 @@ impl Service {
             }
         }
         match reply_rx.recv() {
-            Ok(reply) => {
-                self.count_reply(&reply);
+            Ok(JobOutcome::One(reply)) => {
+                self.count_reply(shard, &reply);
                 reply
             }
-            Err(_) => {
-                // The worker died (panic) before replying.
+            // A batch outcome for a single job, or a worker that died
+            // (panicked) before replying: fail the request explicitly.
+            Ok(JobOutcome::Many(_)) | Err(_) => {
                 self.metrics.incr(&self.metrics.errors);
                 Reply::Error(ErrorInfo::new(kind::SOLVE, "worker failed before replying"))
             }
         }
     }
 
-    /// Attributes a worker-produced reply to the outcome counters.
-    /// Centralized here so the counters exactly match what went over the
-    /// wire (the invariant `loadgen` verifies against `metrics`).
-    fn count_reply(&self, reply: &Reply) {
-        let m = &self.metrics;
-        match reply {
-            Reply::Solved(result) => {
-                m.incr(&m.solved);
-                m.add(&m.rounds_total, result.rounds);
-                m.add(&m.messages_total, result.messages);
-                m.add(&m.blocking_pairs_total, result.blocking_pairs);
-                m.add(&m.matched_total, result.matched);
-                if result.cached {
-                    m.incr(&m.cache_hits);
-                } else {
-                    m.incr(&m.cache_misses);
+    /// Validates, fans a batch out across shards (one admission per
+    /// shard touched), and merges per-item outcomes in request order.
+    fn submit_batch(&self, items: Vec<SolveBody>) -> Reply {
+        if !self.is_accepting() {
+            self.metrics.incr(&self.metrics.errors);
+            return Reply::Error(ErrorInfo::new(
+                kind::UNAVAILABLE,
+                "service is shutting down",
+            ));
+        }
+        let total = items.len();
+        let mut results: Vec<Option<(usize, BatchItemResult)>> = (0..total).map(|_| None).collect();
+        let mut groups: Vec<Vec<BatchItem>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (index, body) in items.into_iter().enumerate() {
+            match validate_solve(&body) {
+                Ok((algorithm, backend)) => {
+                    let key = solve_key(&body);
+                    let shard = self.route_hash(key.instance_hash);
+                    groups[shard].push(BatchItem {
+                        index,
+                        body,
+                        algorithm,
+                        backend,
+                        key,
+                    });
+                }
+                Err(reply) => {
+                    // Invalid items consume no queue capacity; the shard
+                    // tag is irrelevant (errors are not shard-counted).
+                    let Reply::Error(err) = *reply else {
+                        unreachable!("validate_solve only fails with errors")
+                    };
+                    results[index] = Some((0, BatchItemResult::Error(err)));
                 }
             }
-            Reply::Analyzed(_) => m.incr(&m.analyzed),
-            Reply::DeadlineExceeded(_) => m.incr(&m.deadline_exceeded),
+        }
+        let mut receivers = Vec::new();
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let s = &self.shards[shard];
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                enqueued: Instant::now(),
+                deadline_ms: 0,
+                body: JobBody::SolveBatch(group),
+                reply_tx,
+            };
+            match s.queue.try_push(job) {
+                Ok(depth) => {
+                    self.observe_depth(shard, depth);
+                    receivers.push((shard, reply_rx));
+                }
+                Err(PushError::Full(job)) => {
+                    let JobBody::SolveBatch(group) = job.body else {
+                        unreachable!("the refused job is the batch group")
+                    };
+                    let info = self.overload_info(shard);
+                    for item in group {
+                        results[item.index] =
+                            Some((shard, BatchItemResult::Overloaded(info.clone())));
+                    }
+                }
+                Err(PushError::Closed(job)) => {
+                    let JobBody::SolveBatch(group) = job.body else {
+                        unreachable!("the refused job is the batch group")
+                    };
+                    for item in group {
+                        results[item.index] = Some((
+                            shard,
+                            BatchItemResult::Error(ErrorInfo::new(
+                                kind::UNAVAILABLE,
+                                "service is shutting down",
+                            )),
+                        ));
+                    }
+                }
+            }
+        }
+        for (shard, reply_rx) in receivers {
+            if let Ok(JobOutcome::Many(parts)) = reply_rx.recv() {
+                for (index, item) in parts {
+                    results[index] = Some((shard, item));
+                }
+            }
+            // A dead worker leaves its slots `None`; filled below.
+        }
+        let mut merged = Vec::with_capacity(total);
+        for slot in results {
+            let (shard, item) = slot.unwrap_or((
+                0,
+                BatchItemResult::Error(ErrorInfo::new(
+                    kind::SOLVE,
+                    "worker failed before replying",
+                )),
+            ));
+            self.count_item(shard, &item);
+            merged.push(item);
+        }
+        Reply::SolvedBatch(BatchResult { items: merged })
+    }
+
+    /// Records a post-push queue depth in both books (aggregate peak is
+    /// the max over shard observations).
+    fn observe_depth(&self, shard: usize, depth: usize) {
+        self.metrics.observe_queue_depth(depth as u64);
+        self.shards[shard]
+            .counters
+            .queue_peak
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn overload_info(&self, shard: usize) -> OverloadInfo {
+        let q = &self.shards[shard].queue;
+        OverloadInfo {
+            queue_capacity: q.capacity() as u64,
+            queue_depth: q.len() as u64,
+        }
+    }
+
+    /// Attributes a worker-produced reply to the outcome counters —
+    /// aggregate and shard books at the same site, so shard counters sum
+    /// exactly to the totals (the invariant `loadgen` verifies against
+    /// `metrics`).
+    fn count_reply(&self, shard: usize, reply: &Reply) {
+        let m = &self.metrics;
+        let c = &self.shards[shard].counters;
+        match reply {
+            Reply::Solved(result) => self.count_solved(shard, result),
+            Reply::Analyzed(_) => {
+                m.incr(&m.analyzed);
+                m.incr(&c.analyzed);
+            }
+            Reply::DeadlineExceeded(_) => {
+                m.incr(&m.deadline_exceeded);
+                m.incr(&c.deadline_exceeded);
+            }
+            // Errors are deliberately aggregate-only: malformed frames,
+            // invalid parameters, and shutdown refusals never reach a
+            // shard, so a shard `errors` column could not sum to the
+            // aggregate.
             Reply::Error(_) => m.incr(&m.errors),
             // Workers never produce the remaining variants.
             _ => {}
+        }
+    }
+
+    /// Per-item accounting for batch outcomes (the item-shaped mirror of
+    /// [`count_reply`](Service::count_reply)).
+    fn count_item(&self, shard: usize, item: &BatchItemResult) {
+        let m = &self.metrics;
+        let c = &self.shards[shard].counters;
+        match item {
+            BatchItemResult::Solved(result) => self.count_solved(shard, result),
+            BatchItemResult::Overloaded(_) => {
+                m.incr(&m.overloaded);
+                m.incr(&c.overloaded);
+            }
+            BatchItemResult::DeadlineExceeded(_) => {
+                m.incr(&m.deadline_exceeded);
+                m.incr(&c.deadline_exceeded);
+            }
+            BatchItemResult::Error(_) => m.incr(&m.errors),
+        }
+    }
+
+    fn count_solved(&self, shard: usize, result: &SolveResult) {
+        let m = &self.metrics;
+        let c = &self.shards[shard].counters;
+        m.incr(&m.solved);
+        m.incr(&c.solved);
+        m.add(&m.rounds_total, result.rounds);
+        m.add(&c.rounds_total, result.rounds);
+        m.add(&m.messages_total, result.messages);
+        m.add(&c.messages_total, result.messages);
+        m.add(&m.blocking_pairs_total, result.blocking_pairs);
+        m.add(&c.blocking_pairs_total, result.blocking_pairs);
+        m.add(&m.matched_total, result.matched);
+        m.add(&c.matched_total, result.matched);
+        if result.cached {
+            m.incr(&m.cache_hits);
+            m.incr(&c.cache_hits);
+        } else {
+            m.incr(&m.cache_misses);
+            m.incr(&c.cache_misses);
         }
     }
 
@@ -277,11 +543,13 @@ impl Service {
         self.accepting.load(Ordering::SeqCst)
     }
 
-    /// Begins graceful shutdown: stop admitting, close the queue.
-    /// Idempotent; already-queued jobs still run to completion.
+    /// Begins graceful shutdown: stop admitting, close every shard
+    /// queue. Idempotent; already-queued jobs still run to completion.
     pub fn begin_shutdown(&self) {
         self.accepting.store(false, Ordering::SeqCst);
-        self.queue.close();
+        for shard in &self.shards {
+            shard.queue.close();
+        }
     }
 
     /// Blocks until every accepted job has been drained and the workers
@@ -303,6 +571,24 @@ impl Service {
     pub fn config(&self) -> &ServiceConfig {
         &self.config
     }
+
+    /// Number of shards actually running (config clamped to ≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+/// Builds the cache/routing key for a solve request.
+fn solve_key(body: &SolveBody) -> SolveKey {
+    SolveKey::new(
+        &body.instance,
+        &body.algorithm,
+        body.eps,
+        body.delta,
+        body.seed,
+        &body.backend,
+        body.cycles,
+    )
 }
 
 /// Pre-admission validation: everything that can be rejected without
@@ -360,46 +646,85 @@ thread_local! {
         std::cell::RefCell::new(BlockingScratch::new());
 }
 
-/// Executes one dequeued job on a worker thread.
+/// Executes one dequeued job on a worker thread against its shard's
+/// cache.
 fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
-    if delay_ms > 0 {
-        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
-    }
-    let reply =
-        if job.deadline_ms > 0 && job.enqueued.elapsed().as_millis() as u64 > job.deadline_ms {
-            Reply::DeadlineExceeded(DeadlineInfo {
-                deadline_ms: job.deadline_ms,
+    let Job {
+        enqueued,
+        deadline_ms,
+        body,
+        reply_tx,
+    } = job;
+    let delay = || {
+        if delay_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        }
+    };
+    let expired =
+        |deadline_ms: u64| deadline_ms > 0 && enqueued.elapsed().as_millis() as u64 > deadline_ms;
+    let outcome = match body {
+        JobBody::Solve {
+            body,
+            algorithm,
+            backend,
+            key,
+        } => {
+            delay();
+            JobOutcome::One(if expired(deadline_ms) {
+                Reply::DeadlineExceeded(DeadlineInfo { deadline_ms })
+            } else {
+                run_solve(&body, algorithm, backend, key, cache)
             })
-        } else {
-            match &job.body {
-                JobBody::Solve {
-                    body,
-                    algorithm,
-                    backend,
-                } => run_solve(body, *algorithm, *backend, cache),
-                JobBody::Analyze(body) => run_analyze(body),
+        }
+        JobBody::Analyze(body) => {
+            delay();
+            JobOutcome::One(if expired(deadline_ms) {
+                Reply::DeadlineExceeded(DeadlineInfo { deadline_ms })
+            } else {
+                run_analyze(&body)
+            })
+        }
+        JobBody::SolveBatch(group) => {
+            let mut parts = Vec::with_capacity(group.len());
+            for item in group {
+                delay();
+                let reply = if expired(item.body.deadline_ms) {
+                    Reply::DeadlineExceeded(DeadlineInfo {
+                        deadline_ms: item.body.deadline_ms,
+                    })
+                } else {
+                    run_solve(&item.body, item.algorithm, item.backend, item.key, cache)
+                };
+                parts.push((item.index, to_item_result(reply)));
             }
-        };
-    metrics.observe_latency_us(job.enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+            JobOutcome::Many(parts)
+        }
+    };
+    metrics.observe_latency_us(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
     // A disconnected receiver means the connection died; nothing to do.
-    let _ = job.reply_tx.send(reply);
+    let _ = reply_tx.send(outcome);
+}
+
+/// Narrows a worker reply to the batch-item outcome set.
+fn to_item_result(reply: Reply) -> BatchItemResult {
+    match reply {
+        Reply::Solved(result) => BatchItemResult::Solved(result),
+        Reply::DeadlineExceeded(info) => BatchItemResult::DeadlineExceeded(info),
+        Reply::Error(err) => BatchItemResult::Error(err),
+        other => BatchItemResult::Error(ErrorInfo::new(
+            kind::SOLVE,
+            format!("unexpected worker reply `{}`", other.tag()),
+        )),
+    }
 }
 
 fn run_solve(
     body: &SolveBody,
     algorithm: Algorithm,
     backend: MatcherBackend,
+    key: SolveKey,
     cache: &ResultCache,
 ) -> Reply {
-    let key = SolveKey::new(
-        &body.instance,
-        &body.algorithm,
-        body.eps,
-        body.delta,
-        body.seed,
-        &body.backend,
-        body.cycles,
-    );
     if let Some(hit) = cache.get(&key) {
         return Reply::Solved(hit);
     }
@@ -493,7 +818,7 @@ fn run_analyze(body: &AnalyzeBody) -> Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{parse_response, InstanceSpec};
+    use crate::protocol::{parse_response, BatchBody, InstanceSpec};
     use asm_instance::generators::GeneratorConfig;
 
     fn service() -> Arc<Service> {
@@ -502,11 +827,12 @@ mod tests {
             queue_capacity: 8,
             cache_capacity: 8,
             worker_delay_ms: 0,
+            shards: 1,
         })
     }
 
-    fn solve_line(id: u64, seed: u64, algorithm: &str) -> String {
-        let body = SolveBody {
+    fn solve_body(seed: u64, algorithm: &str) -> SolveBody {
+        SolveBody {
             instance: InstanceSpec::Generator(GeneratorConfig::Regular { n: 12, d: 4, seed }),
             algorithm: algorithm.to_string(),
             eps: 0.5,
@@ -515,10 +841,20 @@ mod tests {
             backend: "greedy".to_string(),
             deadline_ms: 0,
             cycles: 4,
-        };
+        }
+    }
+
+    fn solve_line(id: u64, seed: u64, algorithm: &str) -> String {
         crate::protocol::render(&Request {
             id: Some(id),
-            op: Op::Solve(body),
+            op: Op::Solve(solve_body(seed, algorithm)),
+        })
+    }
+
+    fn batch_line(id: u64, items: Vec<SolveBody>) -> String {
+        crate::protocol::render(&Request {
+            id: Some(id),
+            op: Op::SolveBatch(BatchBody { items }),
         })
     }
 
@@ -617,6 +953,7 @@ mod tests {
             queue_capacity: 8,
             cache_capacity: 0,
             worker_delay_ms: 40,
+            shards: 1,
         });
         let line = solve_line(1, 1, "gs").replace("\"deadline_ms\":0", "\"deadline_ms\":5");
         let service2 = Arc::clone(&service);
@@ -639,6 +976,7 @@ mod tests {
             queue_capacity: 0,
             cache_capacity: 0,
             worker_delay_ms: 0,
+            shards: 1,
         });
         match reply_of(&service, &solve_line(1, 1, "gs")) {
             Reply::Overloaded(info) => assert_eq!(info.queue_capacity, 0),
@@ -705,6 +1043,7 @@ mod tests {
             queue_capacity: 32,
             cache_capacity: 0,
             worker_delay_ms: 1,
+            shards: 1,
         });
         let mut handles = Vec::new();
         for i in 0..8 {
@@ -731,5 +1070,159 @@ mod tests {
         assert_eq!(solved + refused, 8, "{replies:?}");
         let snap = service.metrics().snapshot(0, 0);
         assert_eq!(snap.solved as usize, solved);
+    }
+
+    #[test]
+    fn batch_merges_outcomes_in_request_order_across_shards() {
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            worker_delay_ms: 0,
+            shards: 4,
+        });
+        let mut invalid = solve_body(3, "quantum");
+        invalid.seed = 99;
+        let items = vec![
+            solve_body(1, "gs"),
+            invalid,
+            solve_body(2, "asm"),
+            solve_body(1, "gs"), // duplicate of item 0: same shard, cached
+        ];
+        let Reply::SolvedBatch(batch) = reply_of(&service, &batch_line(7, items)) else {
+            panic!("expected solved_batch");
+        };
+        assert_eq!(batch.items.len(), 4);
+        let BatchItemResult::Solved(first) = &batch.items[0] else {
+            panic!("item 0: {:?}", batch.items[0]);
+        };
+        assert!(!first.cached);
+        let BatchItemResult::Error(err) = &batch.items[1] else {
+            panic!("item 1: {:?}", batch.items[1]);
+        };
+        assert_eq!(err.kind, kind::INVALID);
+        assert!(matches!(&batch.items[2], BatchItemResult::Solved(_)));
+        let BatchItemResult::Solved(last) = &batch.items[3] else {
+            panic!("item 3: {:?}", batch.items[3]);
+        };
+        assert!(last.cached, "duplicate item must hit the shard cache");
+        assert_eq!(last.matching, first.matching);
+        let snap = service.metrics().snapshot(0, 0);
+        assert_eq!(snap.solved, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 2);
+        service.join();
+    }
+
+    #[test]
+    fn batch_against_a_full_queue_reports_every_item_overloaded() {
+        let service = Service::start(ServiceConfig {
+            workers: 1,
+            queue_capacity: 0,
+            cache_capacity: 0,
+            worker_delay_ms: 0,
+            shards: 2,
+        });
+        let items = vec![
+            solve_body(1, "gs"),
+            solve_body(2, "gs"),
+            solve_body(3, "gs"),
+        ];
+        let Reply::SolvedBatch(batch) = reply_of(&service, &batch_line(1, items)) else {
+            panic!("expected solved_batch");
+        };
+        assert!(batch
+            .items
+            .iter()
+            .all(|i| matches!(i, BatchItemResult::Overloaded(_))));
+        assert_eq!(service.metrics().snapshot(0, 0).overloaded, 3);
+        service.join();
+    }
+
+    #[test]
+    fn empty_batch_is_answered_empty() {
+        let service = service();
+        let Reply::SolvedBatch(batch) = reply_of(&service, &batch_line(1, Vec::new())) else {
+            panic!("expected solved_batch");
+        };
+        assert!(batch.items.is_empty());
+        service.join();
+    }
+
+    #[test]
+    fn batch_after_shutdown_is_unavailable() {
+        let service = service();
+        service.begin_shutdown();
+        match reply_of(&service, &batch_line(1, vec![solve_body(1, "gs")])) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::UNAVAILABLE),
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn sharded_service_keeps_cache_hits_and_books_balanced() {
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            worker_delay_ms: 0,
+            shards: 4,
+        });
+        assert_eq!(service.shard_count(), 4);
+        for (id, seed) in [(1, 5), (2, 5), (3, 6), (4, 6)] {
+            assert!(matches!(
+                reply_of(&service, &solve_line(id, seed, "asm")),
+                Reply::Solved(_)
+            ));
+        }
+        let Reply::Metrics(snap) = reply_of(&service, "{\"id\":9,\"op\":\"metrics\"}") else {
+            panic!("expected metrics");
+        };
+        assert_eq!(snap.solved, 4);
+        assert_eq!(snap.cache_hits, 2);
+        assert_eq!(snap.cache_misses, 2);
+        assert_eq!(snap.shards.len(), 4);
+        let sum =
+            |f: fn(&crate::metrics::ShardSnapshot) -> u64| snap.shards.iter().map(f).sum::<u64>();
+        assert_eq!(sum(|s| s.solved), snap.solved);
+        assert_eq!(sum(|s| s.cache_hits), snap.cache_hits);
+        assert_eq!(sum(|s| s.cache_misses), snap.cache_misses);
+        assert_eq!(sum(|s| s.matched_total), snap.matched_total);
+        assert_eq!(
+            snap.shards.iter().map(|s| s.queue_peak).max().unwrap(),
+            snap.queue_peak
+        );
+        service.join();
+    }
+
+    #[test]
+    fn single_shard_metrics_omit_the_shards_array() {
+        let service = service();
+        let Reply::Metrics(snap) = reply_of(&service, "{\"id\":1,\"op\":\"metrics\"}") else {
+            panic!("expected metrics");
+        };
+        assert!(snap.shards.is_empty());
+        service.join();
+    }
+
+    #[test]
+    fn health_reports_aggregate_capacity_and_shards() {
+        let service = Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 8,
+            cache_capacity: 0,
+            worker_delay_ms: 0,
+            shards: 4,
+        });
+        let Reply::Health(health) = reply_of(&service, "{\"id\":1,\"op\":\"health\"}") else {
+            panic!("expected health");
+        };
+        assert_eq!(health.shards, 4);
+        assert_eq!(health.queue_capacity, 32);
+        // Every shard got a dedicated worker despite the budget of 2.
+        assert_eq!(health.workers, 4);
+        service.join();
     }
 }

@@ -14,7 +14,7 @@
 //! bumped if the shape of a body changed).
 
 use asm_service::{Service, ServiceConfig};
-use serde::{Deserialize, Serialize};
+use serde::{content_get, Content, Deserialize, Serialize};
 use std::path::PathBuf;
 
 /// One corpus file: a service configuration and a scripted exchange.
@@ -26,12 +26,63 @@ struct GoldenCase {
 }
 
 /// `ServiceConfig` mirror with wire-friendly integer fields.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// Serialized by hand so `shards` is omitted when it is `1`: the
+/// pre-sharding case files carry no `shards` key, and `regen` must keep
+/// rewriting them byte-identically.
+#[derive(Clone, Debug)]
 struct CaseConfig {
     workers: u64,
     queue_capacity: u64,
     cache_capacity: u64,
     worker_delay_ms: u64,
+    shards: u64,
+}
+
+impl Serialize for CaseConfig {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            ("workers".to_string(), self.workers.to_content()),
+            (
+                "queue_capacity".to_string(),
+                self.queue_capacity.to_content(),
+            ),
+            (
+                "cache_capacity".to_string(),
+                self.cache_capacity.to_content(),
+            ),
+            (
+                "worker_delay_ms".to_string(),
+                self.worker_delay_ms.to_content(),
+            ),
+        ];
+        if self.shards != 1 {
+            map.push(("shards".to_string(), self.shards.to_content()));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for CaseConfig {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a config object"))?;
+        let field = |name: &str| {
+            content_get(map, name)
+                .ok_or_else(|| serde::Error::custom(format!("missing config field `{name}`")))
+        };
+        Ok(CaseConfig {
+            workers: u64::from_content(field("workers")?)?,
+            queue_capacity: u64::from_content(field("queue_capacity")?)?,
+            cache_capacity: u64::from_content(field("cache_capacity")?)?,
+            worker_delay_ms: u64::from_content(field("worker_delay_ms")?)?,
+            shards: match content_get(map, "shards") {
+                Some(c) => u64::from_content(c)?,
+                None => 1,
+            },
+        })
+    }
 }
 
 impl CaseConfig {
@@ -41,6 +92,7 @@ impl CaseConfig {
             queue_capacity: self.queue_capacity as usize,
             cache_capacity: self.cache_capacity as usize,
             worker_delay_ms: self.worker_delay_ms,
+            shards: self.shards as usize,
         }
     }
 }
@@ -61,8 +113,12 @@ fn default_config() -> CaseConfig {
         queue_capacity: 8,
         cache_capacity: 8,
         worker_delay_ms: 0,
+        shards: 1,
     }
 }
+
+/// The body of [`SOLVE_REGULAR`], reused verbatim by the batch case.
+const SOLVE_BODY: &str = r#"{"instance":{"Generator":{"Regular":{"n":8,"d":3,"seed":7}}},"algorithm":"asm","eps":0.5,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}"#;
 
 const SOLVE_REGULAR: &str = r#"{"id":1,"op":"solve","body":{"instance":{"Generator":{"Regular":{"n":8,"d":3,"seed":7}}},"algorithm":"asm","eps":0.5,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}}"#;
 
@@ -178,6 +234,43 @@ fn corpus() -> Vec<(&'static str, CaseConfig, &'static str, Vec<String>)> {
                 "{\"id\":1,\"op\":\"shutdown\"}".to_string(),
                 SOLVE_REGULAR.replacen("\"id\":1", "\"id\":2", 1),
                 "{\"id\":3,\"op\":\"health\"}".to_string(),
+            ],
+        ),
+        (
+            "solve_batch",
+            CaseConfig {
+                workers: 2,
+                shards: 2,
+                ..default_config()
+            },
+            "solve_batch on two shards: per-item outcomes in request order, duplicate hits the shard cache, invalid item errors without consuming capacity",
+            vec![format!(
+                "{{\"id\":1,\"op\":\"solve_batch\",\"body\":{{\"items\":[{},{},{},{}]}}}}",
+                SOLVE_BODY,
+                SOLVE_BODY.replacen("\"seed\":7", "\"seed\":9", 1),
+                SOLVE_BODY,
+                SOLVE_BODY.replacen("\"algorithm\":\"asm\"", "\"algorithm\":\"quantum\"", 1),
+            )],
+        ),
+        (
+            "sharded_metrics",
+            CaseConfig {
+                workers: 4,
+                shards: 4,
+                // Large enough that every solve's enqueue→reply latency
+                // falls in one stable log₂ bucket ([65536, 131072) µs).
+                worker_delay_ms: 70,
+                ..default_config()
+            },
+            "four shards: health reports the shard count, metrics carries per-shard books summing to the aggregates",
+            vec![
+                SOLVE_REGULAR.to_string(),
+                SOLVE_REGULAR
+                    .replacen("\"id\":1", "\"id\":2", 1)
+                    .replacen("\"seed\":7", "\"seed\":9", 1),
+                SOLVE_REGULAR.replacen("\"id\":1", "\"id\":3", 1),
+                "{\"id\":4,\"op\":\"health\"}".to_string(),
+                "{\"id\":5,\"op\":\"metrics\"}".to_string(),
             ],
         ),
     ]

@@ -8,7 +8,7 @@
 //! asm analyze  --input inst.json --matching matching.json [--eps E]
 //! asm info     --input inst.json
 //! asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-//!              [--cache-capacity N] [--worker-delay-ms MS]
+//!              [--cache-capacity N] [--worker-delay-ms MS] [--shards N]
 //! ```
 //!
 //! Instances and matchings are JSON (serde representations of
@@ -54,7 +54,7 @@ const USAGE: &str = "usage:
   asm analyze  --input FILE --matching FILE [--eps E]
   asm info     --input FILE
   asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
-               [--cache-capacity N] [--worker-delay-ms MS]
+               [--cache-capacity N] [--worker-delay-ms MS] [--shards N]
 
 exit codes: 0 success, 2 usage error, 3 input/I-O error, 4 solve error";
 
@@ -353,6 +353,7 @@ fn serve(flags: &HashMap<String, String>) -> CliResult<()> {
         queue_capacity: get_parsed(flags, "queue-capacity", 64)?,
         cache_capacity: get_parsed(flags, "cache-capacity", 256)?,
         worker_delay_ms: get_parsed(flags, "worker-delay-ms", 0)?,
+        shards: get_parsed(flags, "shards", 1)?,
     };
     let handle = asm_service::serve(&addr, config)
         .map_err(|e| CliError::input(format!("cannot bind {addr}: {e}")))?;

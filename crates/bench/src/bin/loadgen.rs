@@ -19,11 +19,14 @@ use asm_service::{Op, Reply, ServiceConfig};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurrency C]
-               [--seed S] [--families a,b] [--sizes 16,32] [--algorithms asm,gs]
+               [--connections N] [--seed S] [--families a,b] [--sizes 16,32] [--algorithms asm,gs]
                [--eps E] [--delta D] [--deadline-ms MS] [--distinct-instances K]
                [--open-rate RPS] [--batch N] [--report PATH] [--sweep-out PATH]
                [--verify-metrics] [--expect-zero-errors] [--shutdown]
                [--shards-sweep 1,2,4,8] [--workers N]
+
+--connections N fans N sockets out across the --concurrency threads
+(one frame in flight per socket); 0 means one socket per thread.
 
 With --shards-sweep, loadgen ignores --addr: it starts one in-process
 server per listed shard count (port 0), replays the same mix against
@@ -65,6 +68,9 @@ fn parse_args() -> Result<Args, String> {
             "--requests" => args.mix.requests = parsed(&value("--requests")?, "--requests")?,
             "--concurrency" => {
                 args.mix.concurrency = parsed(&value("--concurrency")?, "--concurrency")?
+            }
+            "--connections" => {
+                args.mix.connections = parsed(&value("--connections")?, "--connections")?
             }
             "--seed" => args.mix.seed = parsed(&value("--seed")?, "--seed")?,
             "--families" => args.mix.families = list(&value("--families")?),

@@ -43,8 +43,15 @@ pub const LOADGEN_SCHEMA: u64 = 1;
 pub struct MixConfig {
     /// Total solve requests to send.
     pub requests: u64,
-    /// Concurrent connections.
+    /// Driver threads (and, when `connections` is 0, sockets).
     pub concurrency: u64,
+    /// Total sockets to drive. `0` means one socket per `concurrency`
+    /// thread (the classic closed-loop shape). `N > concurrency` fans N
+    /// sockets out across the `concurrency` threads — each thread
+    /// round-robins its share, keeping one frame in flight per socket —
+    /// so large connection counts cost the *server* sockets but the
+    /// generator only `concurrency` threads.
+    pub connections: u64,
     /// Root seed; request `i` uses `derive_seed(seed, [i])`.
     pub seed: u64,
     /// Instance families to cycle through: any of `complete`, `regular`,
@@ -81,6 +88,7 @@ impl Default for MixConfig {
         MixConfig {
             requests: 100,
             concurrency: 2,
+            connections: 0,
             seed: 1,
             families: vec!["regular".to_string(), "complete".to_string()],
             sizes: vec![16, 32],
@@ -465,7 +473,12 @@ impl Tally {
 /// as `protocol_errors` instead.
 pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
     let num_coords = mix.coordinates().len();
-    let connections = mix.concurrency.max(1);
+    let sockets_total = if mix.connections == 0 {
+        mix.concurrency.max(1)
+    } else {
+        mix.connections.max(1)
+    };
+    let threads_wanted = mix.concurrency.max(1).min(sockets_total);
     // Record the server's shard count up front — the report annotates
     // its sweep cells with it, making shard sweeps self-describing.
     let shards = match control(addr, asm_service::Op::Health)? {
@@ -475,18 +488,25 @@ pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
     let next = Arc::new(AtomicUsize::new(0));
     let start = Instant::now();
     let mut threads = Vec::new();
-    for c in 0..connections {
-        let stream = TcpStream::connect(addr)?;
-        // Without TCP_NODELAY each one-line exchange stalls on Nagle +
-        // delayed-ACK (~40 ms), throttling the whole closed loop.
-        stream.set_nodelay(true)?;
+    for t in 0..threads_wanted {
+        // Thread t owns sockets t, t + threads, t + 2·threads, …
+        let mut streams = Vec::new();
+        let mut s = t;
+        while s < sockets_total {
+            let stream = TcpStream::connect(addr)?;
+            // Without TCP_NODELAY each one-line exchange stalls on Nagle +
+            // delayed-ACK (~40 ms), throttling the whole closed loop.
+            stream.set_nodelay(true)?;
+            streams.push((s, stream));
+            s += threads_wanted;
+        }
         let mix = mix.clone();
         let next = Arc::clone(&next);
         threads.push(std::thread::spawn(move || {
             if mix.open_rate_rps > 0.0 {
-                run_open(stream, &mix, &next, c, connections, num_coords)
+                run_open(streams, &mix, &next, sockets_total, num_coords)
             } else {
-                run_closed(stream, &mix, &next, num_coords)
+                run_closed(streams, &mix, &next, num_coords)
             }
         }));
     }
@@ -518,99 +538,151 @@ pub fn run_mix(addr: &str, mix: &MixConfig) -> std::io::Result<LoadReport> {
     })
 }
 
-/// Closed loop: send, wait for the reply, take the next shared index.
-fn run_closed(stream: TcpStream, mix: &MixConfig, next: &AtomicUsize, num_coords: usize) -> Tally {
+/// Closed loop over a thread's fan-out share: each round sends one
+/// frame on every owned socket, then collects the replies — one frame
+/// in flight per *socket*, so `--connections 512` keeps 512 requests
+/// outstanding from far fewer threads. With one socket per thread this
+/// degenerates to the classic send-then-wait loop.
+fn run_closed(
+    streams: Vec<(u64, TcpStream)>,
+    mix: &MixConfig,
+    next: &AtomicUsize,
+    num_coords: usize,
+) -> Tally {
     let mut tally = Tally::new(num_coords);
-    let mut writer = match stream.try_clone() {
-        Ok(writer) => writer,
-        Err(_) => {
-            tally.protocol_errors += 1;
-            return tally;
+    let mut conns = Vec::new();
+    for (_, stream) in streams {
+        match stream.try_clone() {
+            Ok(writer) => conns.push((writer, BufReader::new(stream))),
+            Err(_) => tally.protocol_errors += 1,
         }
-    };
-    let mut reader = BufReader::new(stream);
+    }
     let stride = mix.stride();
     loop {
-        let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
-        if i >= mix.requests {
+        let mut sent: Vec<(usize, u64, u64)> = Vec::new();
+        for (slot, (writer, _)) in conns.iter_mut().enumerate() {
+            let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
+            if i >= mix.requests {
+                break;
+            }
+            let count = stride.min(mix.requests - i);
+            let line = if stride == 1 {
+                asm_service::protocol::render(&mix.request(i))
+            } else {
+                asm_service::protocol::render(&mix.batch_frame(i, count))
+            };
+            if writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+                .is_err()
+            {
+                tally.protocol_errors += 1;
+                continue;
+            }
+            sent.push((slot, i, count));
+        }
+        if sent.is_empty() {
             return tally;
         }
-        let count = stride.min(mix.requests - i);
-        let outcome = if stride == 1 {
-            let line = asm_service::protocol::render(&mix.request(i));
-            exchange(&mut writer, &mut reader, &line).map(|reply| tally.classify(mix, i, &reply))
-        } else {
-            let line = asm_service::protocol::render(&mix.batch_frame(i, count));
-            exchange(&mut writer, &mut reader, &line)
-                .map(|reply| tally.classify_batch(mix, i, count, &reply))
-        };
-        if outcome.is_err() {
-            tally.protocol_errors += 1;
+        for (slot, i, count) in sent {
+            let (_, reader) = &mut conns[slot];
+            let mut reply = String::new();
+            match reader.read_line(&mut reply) {
+                Ok(0) | Err(_) => tally.protocol_errors += 1,
+                Ok(_) if stride == 1 => tally.classify(mix, i, reply.trim_end()),
+                Ok(_) => tally.classify_batch(mix, i, count, reply.trim_end()),
+            }
         }
     }
 }
 
-/// Open loop: pace sends at the aggregate target rate, pipelining on the
-/// connection; read replies in order afterwards (the line protocol
-/// answers in request order per connection).
+/// One open-loop socket's state within a thread's fan-out share.
+struct OpenConn {
+    /// Phase offset: global socket index staggers the first send.
+    phase: Duration,
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    /// (index, count) per frame sent, for the in-order reply collection.
+    sent: Vec<(u64, u64)>,
+    /// Frames sent on this socket so far (its pacing clock).
+    k: u32,
+}
+
+/// Open loop: pace sends at the aggregate target rate, pipelining on
+/// each connection; read replies in order afterwards (the line protocol
+/// answers in request order per connection). A thread round-robins its
+/// fan-out share — sockets' stagger phases are in index order, so
+/// round-robin order is chronological order.
 fn run_open(
-    stream: TcpStream,
+    streams: Vec<(u64, TcpStream)>,
     mix: &MixConfig,
     next: &AtomicUsize,
-    connection: u64,
-    connections: u64,
+    sockets_total: u64,
     num_coords: usize,
 ) -> Tally {
     let mut tally = Tally::new(num_coords);
-    let mut writer = match stream.try_clone() {
-        Ok(writer) => writer,
-        Err(_) => {
-            tally.protocol_errors += 1;
-            return tally;
+    let mut conns = Vec::new();
+    for (s, stream) in streams {
+        match stream.try_clone() {
+            Ok(writer) => conns.push(OpenConn {
+                phase: Duration::from_secs_f64(s as f64 / mix.open_rate_rps),
+                writer,
+                reader: BufReader::new(stream),
+                sent: Vec::new(),
+                k: 0,
+            }),
+            Err(_) => tally.protocol_errors += 1,
         }
-    };
-    let mut reader = BufReader::new(stream);
+    }
     let stride = mix.stride();
-    // Each connection carries 1/connections of the aggregate *request*
+    // Each socket carries 1/sockets_total of the aggregate *request*
     // rate; a batch frame covers `stride` requests, so frames pace
     // `stride`× slower.
-    let interval = Duration::from_secs_f64(stride as f64 * connections as f64 / mix.open_rate_rps);
-    let start = Instant::now() + Duration::from_secs_f64(connection as f64 / mix.open_rate_rps);
-    let mut sent: Vec<(u64, u64)> = Vec::new();
-    let mut k = 0u32;
-    loop {
-        let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
-        if i >= mix.requests {
+    let interval =
+        Duration::from_secs_f64(stride as f64 * sockets_total as f64 / mix.open_rate_rps);
+    let start = Instant::now();
+    'pace: loop {
+        for conn in &mut conns {
+            let i = next.fetch_add(stride as usize, Ordering::SeqCst) as u64;
+            if i >= mix.requests {
+                break 'pace;
+            }
+            let count = stride.min(mix.requests - i);
+            let at = start + conn.phase + interval * conn.k;
+            conn.k += 1;
+            if let Some(wait) = at.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let line = if stride == 1 {
+                asm_service::protocol::render(&mix.request(i))
+            } else {
+                asm_service::protocol::render(&mix.batch_frame(i, count))
+            };
+            if conn
+                .writer
+                .write_all(line.as_bytes())
+                .and_then(|()| conn.writer.write_all(b"\n"))
+                .and_then(|()| conn.writer.flush())
+                .is_err()
+            {
+                tally.protocol_errors += 1;
+                continue;
+            }
+            conn.sent.push((i, count));
+        }
+        if conns.is_empty() {
             break;
         }
-        let count = stride.min(mix.requests - i);
-        let at = start + interval * k;
-        k += 1;
-        if let Some(wait) = at.checked_duration_since(Instant::now()) {
-            std::thread::sleep(wait);
-        }
-        let line = if stride == 1 {
-            asm_service::protocol::render(&mix.request(i))
-        } else {
-            asm_service::protocol::render(&mix.batch_frame(i, count))
-        };
-        if writer
-            .write_all(line.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            tally.protocol_errors += 1;
-            continue;
-        }
-        sent.push((i, count));
     }
-    for (i, count) in sent {
-        let mut reply = String::new();
-        match reader.read_line(&mut reply) {
-            Ok(0) | Err(_) => tally.protocol_errors += 1,
-            Ok(_) if stride == 1 => tally.classify(mix, i, reply.trim_end()),
-            Ok(_) => tally.classify_batch(mix, i, count, reply.trim_end()),
+    for conn in &mut conns {
+        for &(i, count) in &conn.sent {
+            let mut reply = String::new();
+            match conn.reader.read_line(&mut reply) {
+                Ok(0) | Err(_) => tally.protocol_errors += 1,
+                Ok(_) if stride == 1 => tally.classify(mix, i, reply.trim_end()),
+                Ok(_) => tally.classify_batch(mix, i, count, reply.trim_end()),
+            }
         }
     }
     tally

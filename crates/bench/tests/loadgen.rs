@@ -12,6 +12,7 @@ fn quick_mix(requests: u64, concurrency: u64) -> MixConfig {
     MixConfig {
         requests,
         concurrency,
+        connections: 0,
         seed: 7,
         families: vec!["regular".to_string(), "complete".to_string()],
         sizes: vec![8, 16],
@@ -186,6 +187,39 @@ fn batched_mix_matches_the_single_frame_mix_and_reconciles() {
     }
     assert_eq!(normalized[0], normalized[1]);
     assert_eq!(normalized[0], normalized[2]);
+}
+
+#[test]
+fn connection_fanout_drives_more_sockets_than_threads() {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 4,
+            shards: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr().to_string();
+    // 24 sockets from 3 threads: every socket keeps one frame in
+    // flight, and the tallies still sum and reconcile exactly.
+    let mix = MixConfig {
+        connections: 24,
+        ..quick_mix(96, 3)
+    };
+    let report = run_mix(&addr, &mix).unwrap();
+    assert_eq!(report.succeeded, 96);
+    assert_eq!(report.protocol_errors, 0);
+    let Reply::Metrics(snapshot) = control(&addr, Op::Metrics).unwrap() else {
+        panic!("metrics request must draw a metrics reply");
+    };
+    let mismatches = verify_metrics(&report, &snapshot);
+    assert!(mismatches.is_empty(), "{mismatches:?}");
+    let counters = std::sync::Arc::clone(handle.reactor_counters());
+    // 24 mix sockets + the health probe + the metrics fetch.
+    assert_eq!(counters.get(&counters.accepted), 26);
+    handle.shutdown();
+    handle.wait();
 }
 
 #[test]

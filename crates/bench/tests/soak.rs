@@ -1,0 +1,102 @@
+//! Concurrency soak: 512 simultaneous sockets against a 4-shard server.
+//!
+//! Gated behind `#[ignore]` locally (it opens 512 sockets and pushes a
+//! couple thousand solves); CI runs it explicitly with `-- --ignored`.
+//! The assertions are the service's production contract at scale: zero
+//! errors of any kind, loadgen and server books that reconcile to the
+//! frame (aggregate and per-shard), and a same-seed report that is
+//! deterministic modulo the quarantined wall-clock block.
+
+use asm_bench::loadgen::{control, run_mix, verify_metrics, MixConfig};
+use asm_service::{serve, Op, Reply, ServiceConfig};
+
+fn soak_mix() -> MixConfig {
+    MixConfig {
+        requests: 2048,
+        concurrency: 8,
+        connections: 512,
+        seed: 11,
+        families: vec!["regular".to_string(), "complete".to_string()],
+        sizes: vec![8, 16],
+        algorithms: vec![
+            "asm".to_string(),
+            "gs".to_string(),
+            "truncated-gs".to_string(),
+        ],
+        eps: 0.5,
+        delta: 0.1,
+        deadline_ms: 0,
+        distinct_instances: 64,
+        open_rate_rps: 0.0,
+        batch: 0,
+    }
+}
+
+fn soak_server() -> (asm_service::ServerHandle, String) {
+    let handle = serve(
+        "127.0.0.1:0",
+        ServiceConfig {
+            workers: 8,
+            shards: 4,
+            queue_capacity: 4096,
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind soak server");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+#[ignore = "512-socket soak; run explicitly (CI does) with -- --ignored"]
+fn five_hundred_twelve_connections_zero_errors_books_reconcile() {
+    let (handle, addr) = soak_server();
+    let report = run_mix(&addr, &soak_mix()).unwrap();
+
+    assert_eq!(report.sent, 2048);
+    assert_eq!(report.succeeded, 2048, "every request must solve");
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.deadline_exceeded, 0);
+    assert_eq!(report.solve_errors, 0);
+    assert_eq!(report.protocol_errors, 0);
+
+    let Reply::Metrics(snapshot) = control(&addr, Op::Metrics).unwrap() else {
+        panic!("metrics request must draw a metrics reply");
+    };
+    assert_eq!(snapshot.shards.len(), 4);
+    let mismatches = verify_metrics(&report, &snapshot);
+    assert!(mismatches.is_empty(), "books diverged: {mismatches:?}");
+
+    let counters = std::sync::Arc::clone(handle.reactor_counters());
+    // 512 mix sockets + the health probe + the metrics fetch.
+    assert_eq!(counters.get(&counters.accepted), 514);
+    assert_eq!(
+        counters.get(&counters.frames),
+        2048 + 2,
+        "every frame framed exactly once"
+    );
+
+    handle.shutdown();
+    // 2048 solves + health probe + metrics fetch, all flushed.
+    assert_eq!(handle.wait(), 2048 + 2);
+}
+
+#[test]
+#[ignore = "512-socket soak; run explicitly (CI does) with -- --ignored"]
+fn soak_reports_are_deterministic_for_the_same_seed() {
+    let run = || {
+        let (handle, addr) = soak_server();
+        let report = run_mix(&addr, &soak_mix()).unwrap();
+        handle.shutdown();
+        handle.wait();
+        report
+    };
+    let first = run();
+    let second = run();
+    assert_ne!(first.wall.total_ms, 0.0);
+    assert_eq!(
+        first.normalized(),
+        second.normalized(),
+        "same-seed soak runs must agree exactly outside the wall block"
+    );
+}

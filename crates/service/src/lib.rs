@@ -26,6 +26,12 @@
 //!   `metrics` request, with per-shard counters that sum exactly to the
 //!   aggregates. The counters are exact enough to reconcile against a
 //!   load generator's own totals (CI does exactly that).
+//! * **Connection reactor** ([`reactor`]): a single std-only
+//!   poll-based reactor thread multiplexes every connection over
+//!   nonblocking sockets — incremental newline framing, ordered
+//!   response outboxes, and per-connection backpressure — so clients
+//!   cost buffers, not threads. Worker completions and shutdown wake it
+//!   immediately through a condvar-backed wake queue.
 //! * **Graceful drain** ([`server`]): shutdown stops admission, drains
 //!   every accepted job, and flushes every in-flight response before
 //!   [`ServerHandle::wait`] returns.
@@ -59,15 +65,19 @@
 pub mod cache;
 pub mod metrics;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 
 pub use cache::{instance_hash, ResultCache, SolveKey};
-pub use metrics::{Metrics, MetricsSnapshot, ShardCounters, ShardSnapshot, METRICS_SCHEMA};
+pub use metrics::{
+    Metrics, MetricsSnapshot, ReactorCounters, ShardCounters, ShardSnapshot, METRICS_SCHEMA,
+};
 pub use protocol::{
     kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchBody, BatchItemResult, BatchResult,
     DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec, Op, OverloadInfo, Reply, Request, Response,
     SolveBody, SolveResult, PROTOCOL_SCHEMA,
 };
-pub use server::{serve, ServerHandle};
-pub use service::{Service, ServiceConfig};
+pub use reactor::ReactorConfig;
+pub use server::{serve, serve_with, ServerHandle};
+pub use service::{CompletionSink, Service, ServiceConfig};

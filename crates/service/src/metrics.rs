@@ -168,6 +168,53 @@ impl Metrics {
     }
 }
 
+/// Reactor-internal observability: connection and wakeup counters kept
+/// **outside** [`MetricsSnapshot`] on purpose — the snapshot's JSON is
+/// pinned byte-for-byte by the golden corpus, and reactor internals are
+/// an implementation detail of the TCP layer, not the wire protocol.
+/// Exposed via `ServerHandle::reactor_counters` for tests and embedding.
+#[derive(Debug, Default)]
+pub struct ReactorCounters {
+    /// Connections currently open (gauge: incremented on accept,
+    /// decremented when the reactor retires the connection).
+    pub open_connections: AtomicU64,
+    /// Connections accepted since start.
+    pub accepted: AtomicU64,
+    /// Complete frames the reactor extracted from read buffers.
+    pub frames: AtomicU64,
+    /// Idle waits that ended because the wake queue was poked (a worker
+    /// completion or a shutdown request) rather than by timeout.
+    pub wakeups: AtomicU64,
+    /// Worker completions delivered back to the reactor.
+    pub completions: AtomicU64,
+    /// Completions whose connection was already gone when they arrived
+    /// (the outcome was still counted in [`Metrics`] by the worker, so
+    /// the books reconcile; only the response line is dropped).
+    pub discarded_completions: AtomicU64,
+    /// Transitions into the stalled state: the reactor stopped reading a
+    /// connection because its write buffer or outstanding-reply window
+    /// was full (backpressure, never unbounded buffering).
+    pub backpressure_stalls: AtomicU64,
+    /// High-water mark of any single connection's unflushed write buffer,
+    /// in bytes.
+    pub write_buffer_peak: AtomicU64,
+    /// Connections dropped on a socket error (reset, broken pipe, or a
+    /// frame that was not valid UTF-8 / overflowed the frame cap).
+    pub resets: AtomicU64,
+}
+
+impl ReactorCounters {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        ReactorCounters::default()
+    }
+
+    /// Loads a counter (relaxed; counters are statistical).
+    pub fn get(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
 /// Per-shard outcome counters. Incremented at the same call sites as the
 /// aggregate [`Metrics`], so shard counters sum exactly to the totals.
 #[derive(Debug, Default)]

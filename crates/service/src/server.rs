@@ -1,31 +1,40 @@
-//! The TCP layer: a listener, one thread per connection, newline-delimited
-//! frames in and out.
+//! The TCP layer: one reactor thread, any number of connections,
+//! newline-delimited frames in and out.
 //!
 //! Deliberately thin: all protocol behaviour lives in
-//! [`Service::handle_line`], so this module only owns sockets and thread
-//! lifecycle. The accept loop polls a shutdown flag with a non-blocking
-//! listener (no self-connect tricks), and [`ServerHandle::wait`] provides
-//! the graceful-drain guarantee: accept loop stopped → workers joined
-//! (every accepted job answered) → every in-flight response line flushed.
+//! [`Service::handle_line_async`] (byte-identical to
+//! [`Service::handle_line`](crate::service::Service::handle_line), which
+//! the golden corpus pins), so this module only owns sockets and the
+//! [`reactor`](crate::reactor) lifecycle. Connections no longer cost a
+//! thread each: the reactor multiplexes every socket over nonblocking
+//! I/O, and worker completions wake it through its condvar-backed wake
+//! queue — including shutdown, which is immediate instead of waiting out
+//! an accept-poll interval.
+//!
+//! [`ServerHandle::wait`] keeps the graceful-drain guarantee: accept
+//! stopped (listener dropped, port free) → workers joined (every
+//! accepted job answered) → every in-flight response line flushed.
+//! Connections still open at that point keep being served control frames
+//! (and refusals) by the detached reactor until they close.
 
+use crate::metrics::ReactorCounters;
+use crate::reactor::{spawn_reactor, ReactorConfig, WakeQueue};
 use crate::service::{Service, ServiceConfig};
-use std::io::{self, BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-/// How often the accept loop re-checks the shutdown flag.
-const ACCEPT_POLL: Duration = Duration::from_millis(5);
-
-/// A running server: the service plus its accept thread.
+/// A running server: the service plus its reactor thread.
 pub struct ServerHandle {
     service: Arc<Service>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    open_frames: Arc<AtomicU64>,
-    accept_thread: Option<JoinHandle<()>>,
+    wake: Arc<WakeQueue>,
+    counters: Arc<ReactorCounters>,
+    drained_rx: mpsc::Receiver<()>,
+    reactor_thread: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -39,140 +48,103 @@ impl ServerHandle {
         &self.service
     }
 
+    /// The reactor's I/O books: connection gauge, frame/wakeup/
+    /// backpressure counters. Not part of the `metrics` wire reply.
+    pub fn reactor_counters(&self) -> &Arc<ReactorCounters> {
+        &self.counters
+    }
+
     /// Asks the server to stop accepting connections and admitting jobs,
-    /// as if a `shutdown` request had arrived. Idempotent.
+    /// as if a `shutdown` request had arrived. Takes effect immediately:
+    /// the wake queue is poked, so the reactor does not sleep out a poll
+    /// interval first. Idempotent.
     pub fn shutdown(&self) {
         self.service.begin_shutdown();
         self.stop.store(true, Ordering::SeqCst);
+        self.wake.poke();
     }
 
-    /// Blocks until the server has fully drained: the accept loop has
-    /// exited, every accepted job has been answered, and every in-flight
+    /// Blocks until the server has fully drained: the listener is
+    /// closed, every accepted job has been answered, and every in-flight
     /// response has been written. Returns the number of frames served.
     ///
     /// Callers normally send a `shutdown` request (or call
     /// [`shutdown`](ServerHandle::shutdown)) first; `wait` alone blocks
     /// until someone does.
     pub fn wait(mut self) -> u64 {
-        if let Some(accept) = self.accept_thread.take() {
-            let _ = accept.join();
-        }
-        // Workers exit once the (closed) queue is drained.
+        // The reactor signals once stopping with nothing in flight. A
+        // recv error means the reactor died; fall through and join.
+        let _ = self.drained_rx.recv();
+        // Workers exit once the (closed) queues are drained.
         self.service.join();
-        // Connection threads may still be writing their final lines.
-        while self.open_frames.load(Ordering::SeqCst) > 0 {
-            std::thread::sleep(Duration::from_millis(1));
+        if let Some(reactor) = self.reactor_thread.take() {
+            if reactor.is_finished() {
+                let _ = reactor.join();
+            }
+            // Otherwise the reactor stays behind serving lingering
+            // connections (control frames, refusals) until they close —
+            // the same afterlife the per-connection threads used to have.
         }
         self.service.metrics().snapshot(0, 0).received
     }
 }
 
 /// Binds `addr` and serves the protocol until a `shutdown` request (or
-/// [`ServerHandle::shutdown`]) arrives.
+/// [`ServerHandle::shutdown`]) arrives. Uses the default
+/// [`ReactorConfig`]; tests that need deterministic backpressure use
+/// [`serve_with`].
 ///
 /// # Errors
 ///
 /// Returns the bind error if the address is unavailable.
 pub fn serve(addr: &str, config: ServiceConfig) -> io::Result<ServerHandle> {
+    serve_with(addr, config, ReactorConfig::default())
+}
+
+/// [`serve`] with explicit reactor tunables (buffer high-water marks,
+/// outstanding-frame limits, maximum frame size).
+///
+/// # Errors
+///
+/// Returns the bind error if the address is unavailable.
+pub fn serve_with(
+    addr: &str,
+    config: ServiceConfig,
+    reactor_config: ReactorConfig,
+) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let service = Service::start(config);
     let stop = Arc::new(AtomicBool::new(false));
-    let open_frames = Arc::new(AtomicU64::new(0));
-
-    let accept_thread = {
-        let service = Arc::clone(&service);
-        let stop = Arc::clone(&stop);
-        let open_frames = Arc::clone(&open_frames);
-        std::thread::Builder::new()
-            .name("asm-accept".to_string())
-            .spawn(move || {
-                accept_loop(&listener, &service, &stop, &open_frames);
-            })
-            .expect("spawning the accept thread")
-    };
-
+    let wake = WakeQueue::new();
+    let counters = Arc::new(ReactorCounters::new());
+    let (drained_tx, drained_rx) = mpsc::channel();
+    let reactor_thread = spawn_reactor(
+        listener,
+        Arc::clone(&service),
+        Arc::clone(&stop),
+        Arc::clone(&wake),
+        Arc::clone(&counters),
+        drained_tx,
+        reactor_config,
+    );
     Ok(ServerHandle {
         service,
         addr,
         stop,
-        open_frames,
-        accept_thread: Some(accept_thread),
+        wake,
+        counters,
+        drained_rx,
+        reactor_thread: Some(reactor_thread),
     })
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    service: &Arc<Service>,
-    stop: &Arc<AtomicBool>,
-    open_frames: &Arc<AtomicU64>,
-) {
-    loop {
-        // A `shutdown` request flips `accepting`; the handle's shutdown()
-        // flips `stop`. Either ends the accept loop.
-        if stop.load(Ordering::SeqCst) || !service.is_accepting() {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let service = Arc::clone(service);
-                let open_frames = Arc::clone(open_frames);
-                let _ = std::thread::Builder::new()
-                    .name("asm-conn".to_string())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &service, &open_frames);
-                    });
-            }
-            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => {
-                // Transient accept errors (e.g. ECONNABORTED): keep serving.
-                std::thread::sleep(ACCEPT_POLL);
-            }
-        }
-    }
-}
-
-/// Serves one connection: one request line in, one response line out,
-/// until EOF. The frame counter brackets handle→write so `wait()` knows
-/// when every response has hit the socket.
-fn handle_connection(
-    stream: TcpStream,
-    service: &Arc<Service>,
-    open_frames: &Arc<AtomicU64>,
-) -> io::Result<()> {
-    // Blocking I/O per connection (the listener's nonblocking flag is
-    // per-socket on all tier-1 platforms, but set it explicitly: accepted
-    // sockets can inherit O_NONBLOCK on some BSDs).
-    stream.set_nonblocking(false)?;
-    // One-line request/response frames must not sit in Nagle's buffer
-    // waiting for a delayed ACK (~40 ms per exchange otherwise).
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        open_frames.fetch_add(1, Ordering::SeqCst);
-        let response = service.handle_line(&line);
-        let outcome = writer
-            .write_all(response.as_bytes())
-            .and_then(|()| writer.write_all(b"\n"))
-            .and_then(|()| writer.flush());
-        open_frames.fetch_sub(1, Ordering::SeqCst);
-        outcome?;
-    }
-    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::BufRead;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
 
     fn send_lines(addr: SocketAddr, lines: &[&str]) -> Vec<String> {
         let stream = TcpStream::connect(addr).unwrap();
@@ -263,5 +235,24 @@ mod tests {
         );
         handle.shutdown();
         handle.wait();
+    }
+
+    #[test]
+    fn reactor_counters_track_connections_and_frames() {
+        let handle = serve("127.0.0.1:0", ServiceConfig::default()).unwrap();
+        let replies = send_lines(
+            handle.addr(),
+            &[
+                "{\"id\":1,\"op\":\"health\"}",
+                "{\"id\":2,\"op\":\"health\"}",
+            ],
+        );
+        assert_eq!(replies.len(), 2);
+        let counters = Arc::clone(handle.reactor_counters());
+        assert_eq!(counters.get(&counters.accepted), 1);
+        assert_eq!(counters.get(&counters.frames), 2);
+        handle.shutdown();
+        handle.wait();
+        assert_eq!(counters.get(&counters.open_connections), 0);
     }
 }

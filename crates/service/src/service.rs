@@ -58,8 +58,8 @@ use asm_matching::{
 };
 use asm_maximal::MatcherBackend;
 use asm_runtime::{JobQueue, PushError, WorkerPool};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::Instant;
 
 /// Tunables for a [`Service`].
@@ -97,13 +97,152 @@ impl Default for ServiceConfig {
     }
 }
 
-/// A queued job plus its reply rendezvous.
+/// Where a completed job's response goes, decided at admission time.
+///
+/// The synchronous path ([`Service::handle_line`]) blocks on a
+/// rendezvous channel; the reactor path renders the response on the
+/// worker thread and hands the finished line to a [`CompletionSink`].
+/// Either way the outcome counters are bumped *before* the response can
+/// reach a client, so a `metrics` probe sent after reading a solve reply
+/// always sees that solve counted — the ordering the golden corpus pins.
+enum ReplyTo {
+    /// Rendezvous channel: the submitting thread blocks on `recv`.
+    Channel(mpsc::Sender<JobOutcome>),
+    /// A reactor-owned frame: count, render, and deliver on the worker.
+    Reactor(AsyncReply),
+    /// One shard's slice of an asynchronous `solve_batch`.
+    Batch(BatchSlot),
+}
+
+/// A queued job plus its reply destination.
 struct Job {
     enqueued: Instant,
     /// Queue-wait deadline for single jobs; batch items carry their own.
     deadline_ms: u64,
     body: JobBody,
-    reply_tx: mpsc::Sender<JobOutcome>,
+    reply: ReplyTo,
+}
+
+impl Job {
+    /// Defuses a refused job so dropping it does not fire a spurious
+    /// "worker failed" completion (the refusal is answered inline).
+    fn disarm(self) {
+        match self.reply {
+            ReplyTo::Reactor(mut reply) => reply.armed = false,
+            ReplyTo::Channel(_) | ReplyTo::Batch(_) => {}
+        }
+    }
+}
+
+/// Receives rendered response lines for frames handled asynchronously
+/// via [`Service::handle_line_async`]. Implemented by the reactor's wake
+/// queue; `(token, seq)` identifies the connection and the frame's
+/// position on it, so replies can be flushed in request order.
+pub trait CompletionSink: Send + Sync {
+    /// Delivers the response line (no trailing newline) for frame
+    /// (`token`, `seq`). Called from worker threads.
+    fn complete(&self, token: u64, seq: u64, line: String);
+}
+
+/// The reactor half of a pending single job: everything needed to count,
+/// render, and deliver the response from the worker thread.
+struct AsyncReply {
+    service: Weak<Service>,
+    sink: Arc<dyn CompletionSink>,
+    token: u64,
+    seq: u64,
+    id: Option<u64>,
+    shard: usize,
+    /// While `true`, dropping without [`deliver`](AsyncReply::deliver)
+    /// fires the "worker failed before replying" completion — the async
+    /// mirror of the sync path's dropped rendezvous sender.
+    armed: bool,
+}
+
+impl AsyncReply {
+    /// Counts the outcome, renders the response, and hands the line to
+    /// the sink. Runs on the worker thread, so the books are settled
+    /// before the client can observe the reply.
+    fn deliver(mut self, reply: Reply) {
+        self.armed = false;
+        if let Some(service) = self.service.upgrade() {
+            service.count_reply(self.shard, &reply);
+        }
+        let line = crate::protocol::render(&Response { id: self.id, reply });
+        self.sink.complete(self.token, self.seq, line);
+    }
+}
+
+impl Drop for AsyncReply {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        if let Some(service) = self.service.upgrade() {
+            service.metrics.incr(&service.metrics.errors);
+        }
+        let line = crate::protocol::render(&Response {
+            id: self.id,
+            reply: Reply::Error(ErrorInfo::new(kind::SOLVE, "worker failed before replying")),
+        });
+        self.sink.complete(self.token, self.seq, line);
+    }
+}
+
+/// Shared accumulator for an asynchronous `solve_batch`: per-shard
+/// groups fill their slices; the last group to finish merges in request
+/// order and delivers the single batched response.
+struct BatchState {
+    service: Weak<Service>,
+    sink: Arc<dyn CompletionSink>,
+    token: u64,
+    seq: u64,
+    id: Option<u64>,
+    results: Mutex<Vec<Option<(usize, BatchItemResult)>>>,
+    remaining: AtomicUsize,
+}
+
+impl BatchState {
+    /// Merges and delivers. Called exactly once, by whichever
+    /// [`BatchSlot`] drops last; slots a dead worker never filled merge
+    /// as explicit "worker failed" errors, like the sync path.
+    fn finalize(&self) {
+        let results = std::mem::take(&mut *self.results.lock().expect("batch results lock"));
+        let Some(service) = self.service.upgrade() else {
+            return;
+        };
+        let reply = service.merge_batch(results);
+        let line = crate::protocol::render(&Response { id: self.id, reply });
+        self.sink.complete(self.token, self.seq, line);
+    }
+}
+
+/// One shard group's handle on a [`BatchState`]. Dropping (after a
+/// worker delivers, or during a worker panic's unwind) decrements the
+/// group count; the last drop finalizes the batch.
+struct BatchSlot {
+    state: Arc<BatchState>,
+    shard: usize,
+}
+
+impl BatchSlot {
+    fn deliver(&self, outcome: JobOutcome) {
+        if let JobOutcome::Many(parts) = outcome {
+            let mut results = self.state.results.lock().expect("batch results lock");
+            for (index, item) in parts {
+                results[index] = Some((self.shard, item));
+            }
+        }
+    }
+}
+
+impl Drop for BatchSlot {
+    fn drop(&mut self) {
+        if self.state.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.state.finalize();
+        }
+    }
 }
 
 enum JobBody {
@@ -211,76 +350,156 @@ impl Service {
 
     fn dispatch(&self, request: Request) -> Reply {
         match request.op {
-            Op::Health => {
-                self.metrics.incr(&self.metrics.health);
-                Reply::Health(HealthInfo {
-                    schema: PROTOCOL_SCHEMA,
-                    accepting: self.is_accepting(),
-                    workers: self.workers as u64,
-                    queue_capacity: (self.config.queue_capacity * self.shards.len()) as u64,
-                    queue_depth: self.total_queue_depth(),
-                    shards: self.shards.len() as u64,
-                })
-            }
-            Op::Metrics => {
-                self.metrics.incr(&self.metrics.metrics);
-                let mut snap = self
-                    .metrics
-                    .snapshot(self.total_queue_depth(), self.total_cache_entries());
-                if self.shards.len() > 1 {
-                    snap.shards = self
-                        .shards
-                        .iter()
-                        .enumerate()
-                        .map(|(i, s)| {
-                            s.counters.snapshot(
-                                i as u64,
-                                s.queue.len() as u64,
-                                s.cache.len() as u64,
-                            )
-                        })
-                        .collect();
-                }
-                Reply::Metrics(snap)
-            }
-            Op::Shutdown => {
-                self.metrics.incr(&self.metrics.shutdown);
-                self.begin_shutdown();
-                Reply::ShuttingDown
-            }
-            Op::Solve(body) => match validate_solve(&body) {
-                Ok((algorithm, backend)) => {
-                    let key = solve_key(&body);
-                    let shard = self.route_hash(key.instance_hash);
-                    self.submit(
-                        body.deadline_ms,
-                        shard,
-                        JobBody::Solve {
-                            body,
-                            algorithm,
-                            backend,
-                            key,
-                        },
-                    )
-                }
+            Op::Health => self.health_reply(),
+            Op::Metrics => self.metrics_reply(),
+            Op::Shutdown => self.shutdown_reply(),
+            Op::Solve(body) => match self.route_solve(body) {
+                Ok((deadline_ms, shard, job)) => self.submit(deadline_ms, shard, job),
                 Err(reply) => {
                     self.metrics.incr(&self.metrics.errors);
                     *reply
                 }
             },
             Op::SolveBatch(batch) => self.submit_batch(batch.items),
-            Op::Analyze(body) => {
-                if !(body.eps.is_finite() && body.eps >= 0.0) {
+            Op::Analyze(body) => match self.route_analyze(body) {
+                Ok((shard, job)) => self.submit(0, shard, job),
+                Err(reply) => {
                     self.metrics.incr(&self.metrics.errors);
-                    return Reply::Error(ErrorInfo::new(
-                        kind::INVALID,
-                        format!("analyze eps must be finite and >= 0, got {}", body.eps),
-                    ));
+                    *reply
                 }
-                let shard = self.route_hash(instance_hash(&body.instance));
-                self.submit(0, shard, JobBody::Analyze(body))
-            }
+            },
         }
+    }
+
+    /// Handles one request line without blocking on workers. Control ops
+    /// and refusals answer inline (`Some(line)`); admitted solve/analyze
+    /// jobs return `None`, and the rendered response arrives later via
+    /// `sink` tagged with (`token`, `seq`). Counting, validation, and
+    /// response bytes are identical to [`handle_line`](Service::handle_line)
+    /// — the two paths share every helper, which is what keeps the golden
+    /// corpus pinned while the reactor serves thousands of connections
+    /// from one thread.
+    pub fn handle_line_async(
+        self: &Arc<Self>,
+        line: &str,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<String> {
+        self.metrics.incr(&self.metrics.received);
+        let request = match crate::protocol::parse_request(line) {
+            Ok(request) => request,
+            Err(err) => {
+                self.metrics.incr(&self.metrics.malformed);
+                self.metrics.incr(&self.metrics.errors);
+                return Some(crate::protocol::render(&Response {
+                    id: None,
+                    reply: Reply::Error(ErrorInfo::new(kind::MALFORMED, err.to_string())),
+                }));
+            }
+        };
+        let id = request.id;
+        self.dispatch_async(request, token, seq, sink)
+            .map(|reply| crate::protocol::render(&Response { id, reply }))
+    }
+
+    fn dispatch_async(
+        self: &Arc<Self>,
+        request: Request,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<Reply> {
+        let id = request.id;
+        match request.op {
+            Op::Health => Some(self.health_reply()),
+            Op::Metrics => Some(self.metrics_reply()),
+            Op::Shutdown => Some(self.shutdown_reply()),
+            Op::Solve(body) => match self.route_solve(body) {
+                Ok((deadline_ms, shard, job)) => {
+                    self.submit_async(id, deadline_ms, shard, job, token, seq, sink)
+                }
+                Err(reply) => {
+                    self.metrics.incr(&self.metrics.errors);
+                    Some(*reply)
+                }
+            },
+            Op::SolveBatch(batch) => self.submit_batch_async(id, batch.items, token, seq, sink),
+            Op::Analyze(body) => match self.route_analyze(body) {
+                Ok((shard, job)) => self.submit_async(id, 0, shard, job, token, seq, sink),
+                Err(reply) => {
+                    self.metrics.incr(&self.metrics.errors);
+                    Some(*reply)
+                }
+            },
+        }
+    }
+
+    fn health_reply(&self) -> Reply {
+        self.metrics.incr(&self.metrics.health);
+        Reply::Health(HealthInfo {
+            schema: PROTOCOL_SCHEMA,
+            accepting: self.is_accepting(),
+            workers: self.workers as u64,
+            queue_capacity: (self.config.queue_capacity * self.shards.len()) as u64,
+            queue_depth: self.total_queue_depth(),
+            shards: self.shards.len() as u64,
+        })
+    }
+
+    fn metrics_reply(&self) -> Reply {
+        self.metrics.incr(&self.metrics.metrics);
+        let mut snap = self
+            .metrics
+            .snapshot(self.total_queue_depth(), self.total_cache_entries());
+        if self.shards.len() > 1 {
+            snap.shards = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    s.counters
+                        .snapshot(i as u64, s.queue.len() as u64, s.cache.len() as u64)
+                })
+                .collect();
+        }
+        Reply::Metrics(snap)
+    }
+
+    fn shutdown_reply(&self) -> Reply {
+        self.metrics.incr(&self.metrics.shutdown);
+        self.begin_shutdown();
+        Reply::ShuttingDown
+    }
+
+    /// Validates a solve and routes it: the shared front half of the
+    /// sync and async submission paths.
+    fn route_solve(&self, body: SolveBody) -> Result<(u64, usize, JobBody), Box<Reply>> {
+        let (algorithm, backend) = validate_solve(&body)?;
+        let key = solve_key(&body);
+        let shard = self.route_hash(key.instance_hash);
+        Ok((
+            body.deadline_ms,
+            shard,
+            JobBody::Solve {
+                body,
+                algorithm,
+                backend,
+                key,
+            },
+        ))
+    }
+
+    /// Validates an analyze and routes it (shared by both paths).
+    fn route_analyze(&self, body: AnalyzeBody) -> Result<(usize, JobBody), Box<Reply>> {
+        if !(body.eps.is_finite() && body.eps >= 0.0) {
+            return Err(Box::new(Reply::Error(ErrorInfo::new(
+                kind::INVALID,
+                format!("analyze eps must be finite and >= 0, got {}", body.eps),
+            ))));
+        }
+        let shard = self.route_hash(instance_hash(&body.instance));
+        Ok((shard, JobBody::Analyze(body)))
     }
 
     /// The shard an instance hash routes to. Deterministic in the hash
@@ -317,7 +536,7 @@ impl Service {
             enqueued: Instant::now(),
             deadline_ms,
             body,
-            reply_tx,
+            reply: ReplyTo::Channel(reply_tx),
         };
         let s = &self.shards[shard];
         match s.queue.try_push(job) {
@@ -359,6 +578,140 @@ impl Service {
                 "service is shutting down",
             ));
         }
+        let (mut results, groups) = self.plan_batch(items);
+        let mut receivers = Vec::new();
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let s = &self.shards[shard];
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = Job {
+                enqueued: Instant::now(),
+                deadline_ms: 0,
+                body: JobBody::SolveBatch(group),
+                reply: ReplyTo::Channel(reply_tx),
+            };
+            match s.queue.try_push(job) {
+                Ok(depth) => {
+                    self.observe_depth(shard, depth);
+                    receivers.push((shard, reply_rx));
+                }
+                Err(refused) => self.fill_refused_group(&mut results, shard, refused),
+            }
+        }
+        for (shard, reply_rx) in receivers {
+            if let Ok(JobOutcome::Many(parts)) = reply_rx.recv() {
+                for (index, item) in parts {
+                    results[index] = Some((shard, item));
+                }
+            }
+            // A dead worker leaves its slots `None`; merge_batch fills them.
+        }
+        self.merge_batch(results)
+    }
+
+    /// The async `solve_batch` path: same plan, but each shard group
+    /// carries a [`BatchSlot`] and the last group to finish merges and
+    /// delivers through the sink. A batch whose every item resolves at
+    /// admission time (invalid, overloaded, refused, or empty) answers
+    /// inline.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_batch_async(
+        self: &Arc<Self>,
+        id: Option<u64>,
+        items: Vec<SolveBody>,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<Reply> {
+        if !self.is_accepting() {
+            self.metrics.incr(&self.metrics.errors);
+            return Some(Reply::Error(ErrorInfo::new(
+                kind::UNAVAILABLE,
+                "service is shutting down",
+            )));
+        }
+        let (results, groups) = self.plan_batch(items);
+        let pending_groups = groups.iter().filter(|g| !g.is_empty()).count();
+        if pending_groups == 0 {
+            return Some(self.merge_batch(results));
+        }
+        let state = Arc::new(BatchState {
+            service: Arc::downgrade(self),
+            sink: Arc::clone(sink),
+            token,
+            seq,
+            id,
+            results: Mutex::new(results),
+            remaining: AtomicUsize::new(pending_groups),
+        });
+        for (shard, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let job = Job {
+                enqueued: Instant::now(),
+                deadline_ms: 0,
+                body: JobBody::SolveBatch(group),
+                reply: ReplyTo::Batch(BatchSlot {
+                    state: Arc::clone(&state),
+                    shard,
+                }),
+            };
+            match self.shards[shard].queue.try_push(job) {
+                Ok(depth) => self.observe_depth(shard, depth),
+                Err(refused) => {
+                    // Fill the refused group's slots, then let the job's
+                    // BatchSlot drop — the last drop finalizes, so a
+                    // fully refused batch still answers exactly once.
+                    let job = match refused {
+                        PushError::Full(job) => {
+                            let JobBody::SolveBatch(group) = &job.body else {
+                                unreachable!("the refused job is the batch group")
+                            };
+                            let info = self.overload_info(shard);
+                            let mut slots = state.results.lock().expect("batch results lock");
+                            for item in group {
+                                slots[item.index] =
+                                    Some((shard, BatchItemResult::Overloaded(info.clone())));
+                            }
+                            drop(slots);
+                            job
+                        }
+                        PushError::Closed(job) => {
+                            let JobBody::SolveBatch(group) = &job.body else {
+                                unreachable!("the refused job is the batch group")
+                            };
+                            let mut slots = state.results.lock().expect("batch results lock");
+                            for item in group {
+                                slots[item.index] = Some((
+                                    shard,
+                                    BatchItemResult::Error(ErrorInfo::new(
+                                        kind::UNAVAILABLE,
+                                        "service is shutting down",
+                                    )),
+                                ));
+                            }
+                            drop(slots);
+                            job
+                        }
+                    };
+                    drop(job);
+                }
+            }
+        }
+        None
+    }
+
+    /// Validates batch items and groups the admissible ones by routed
+    /// shard; invalid items resolve immediately (consuming no capacity).
+    /// Shared by the sync and async batch paths.
+    #[allow(clippy::type_complexity)]
+    fn plan_batch(
+        &self,
+        items: Vec<SolveBody>,
+    ) -> (Vec<Option<(usize, BatchItemResult)>>, Vec<Vec<BatchItem>>) {
         let total = items.len();
         let mut results: Vec<Option<(usize, BatchItemResult)>> = (0..total).map(|_| None).collect();
         let mut groups: Vec<Vec<BatchItem>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
@@ -385,59 +738,47 @@ impl Service {
                 }
             }
         }
-        let mut receivers = Vec::new();
-        for (shard, group) in groups.into_iter().enumerate() {
-            if group.is_empty() {
-                continue;
+        (results, groups)
+    }
+
+    /// Resolves a refused sync batch group into its result slots.
+    fn fill_refused_group(
+        &self,
+        results: &mut [Option<(usize, BatchItemResult)>],
+        shard: usize,
+        refused: PushError<Job>,
+    ) {
+        match refused {
+            PushError::Full(job) => {
+                let JobBody::SolveBatch(group) = job.body else {
+                    unreachable!("the refused job is the batch group")
+                };
+                let info = self.overload_info(shard);
+                for item in group {
+                    results[item.index] = Some((shard, BatchItemResult::Overloaded(info.clone())));
+                }
             }
-            let s = &self.shards[shard];
-            let (reply_tx, reply_rx) = mpsc::channel();
-            let job = Job {
-                enqueued: Instant::now(),
-                deadline_ms: 0,
-                body: JobBody::SolveBatch(group),
-                reply_tx,
-            };
-            match s.queue.try_push(job) {
-                Ok(depth) => {
-                    self.observe_depth(shard, depth);
-                    receivers.push((shard, reply_rx));
-                }
-                Err(PushError::Full(job)) => {
-                    let JobBody::SolveBatch(group) = job.body else {
-                        unreachable!("the refused job is the batch group")
-                    };
-                    let info = self.overload_info(shard);
-                    for item in group {
-                        results[item.index] =
-                            Some((shard, BatchItemResult::Overloaded(info.clone())));
-                    }
-                }
-                Err(PushError::Closed(job)) => {
-                    let JobBody::SolveBatch(group) = job.body else {
-                        unreachable!("the refused job is the batch group")
-                    };
-                    for item in group {
-                        results[item.index] = Some((
-                            shard,
-                            BatchItemResult::Error(ErrorInfo::new(
-                                kind::UNAVAILABLE,
-                                "service is shutting down",
-                            )),
-                        ));
-                    }
+            PushError::Closed(job) => {
+                let JobBody::SolveBatch(group) = job.body else {
+                    unreachable!("the refused job is the batch group")
+                };
+                for item in group {
+                    results[item.index] = Some((
+                        shard,
+                        BatchItemResult::Error(ErrorInfo::new(
+                            kind::UNAVAILABLE,
+                            "service is shutting down",
+                        )),
+                    ));
                 }
             }
         }
-        for (shard, reply_rx) in receivers {
-            if let Ok(JobOutcome::Many(parts)) = reply_rx.recv() {
-                for (index, item) in parts {
-                    results[index] = Some((shard, item));
-                }
-            }
-            // A dead worker leaves its slots `None`; filled below.
-        }
-        let mut merged = Vec::with_capacity(total);
+    }
+
+    /// Counts per-item outcomes and assembles the batch reply in request
+    /// order; unfilled slots become explicit "worker failed" errors.
+    fn merge_batch(&self, results: Vec<Option<(usize, BatchItemResult)>>) -> Reply {
+        let mut merged = Vec::with_capacity(results.len());
         for slot in results {
             let (shard, item) = slot.unwrap_or((
                 0,
@@ -450,6 +791,64 @@ impl Service {
             merged.push(item);
         }
         Reply::SolvedBatch(BatchResult { items: merged })
+    }
+
+    /// Enqueues a single job for asynchronous completion. `None` means
+    /// admitted (the response will arrive via the sink); `Some` is an
+    /// inline refusal, counted exactly like the sync path.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_async(
+        self: &Arc<Self>,
+        id: Option<u64>,
+        deadline_ms: u64,
+        shard: usize,
+        body: JobBody,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<Reply> {
+        if !self.is_accepting() {
+            self.metrics.incr(&self.metrics.errors);
+            return Some(Reply::Error(ErrorInfo::new(
+                kind::UNAVAILABLE,
+                "service is shutting down",
+            )));
+        }
+        let job = Job {
+            enqueued: Instant::now(),
+            deadline_ms,
+            body,
+            reply: ReplyTo::Reactor(AsyncReply {
+                service: Arc::downgrade(self),
+                sink: Arc::clone(sink),
+                token,
+                seq,
+                id,
+                shard,
+                armed: true,
+            }),
+        };
+        let s = &self.shards[shard];
+        match s.queue.try_push(job) {
+            Ok(depth) => {
+                self.observe_depth(shard, depth);
+                None
+            }
+            Err(PushError::Full(job)) => {
+                job.disarm();
+                self.metrics.incr(&self.metrics.overloaded);
+                self.metrics.incr(&s.counters.overloaded);
+                Some(Reply::Overloaded(self.overload_info(shard)))
+            }
+            Err(PushError::Closed(job)) => {
+                job.disarm();
+                self.metrics.incr(&self.metrics.errors);
+                Some(Reply::Error(ErrorInfo::new(
+                    kind::UNAVAILABLE,
+                    "service is shutting down",
+                )))
+            }
+        }
     }
 
     /// Records a post-push queue depth in both books (aggregate peak is
@@ -653,7 +1052,7 @@ fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
         enqueued,
         deadline_ms,
         body,
-        reply_tx,
+        reply,
     } = job;
     let delay = || {
         if delay_ms > 0 {
@@ -701,8 +1100,25 @@ fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
         }
     };
     metrics.observe_latency_us(enqueued.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
-    // A disconnected receiver means the connection died; nothing to do.
-    let _ = reply_tx.send(outcome);
+    match reply {
+        // A disconnected receiver means the connection died; nothing to do.
+        ReplyTo::Channel(tx) => {
+            let _ = tx.send(outcome);
+        }
+        ReplyTo::Reactor(async_reply) => {
+            let reply = match outcome {
+                JobOutcome::One(reply) => reply,
+                JobOutcome::Many(_) => Reply::Error(ErrorInfo::new(
+                    kind::SOLVE,
+                    "unexpected batch outcome for a single job",
+                )),
+            };
+            async_reply.deliver(reply);
+        }
+        // The slot's Drop decrements the group count; the last group
+        // finalizes and delivers the merged batch.
+        ReplyTo::Batch(slot) => slot.deliver(outcome),
+    }
 }
 
 /// Narrows a worker reply to the batch-item outcome set.

@@ -127,6 +127,7 @@ const SOLVE_REGULAR: &str = r#"{"id":1,"op":"solve","body":{"instance":{"Generat
 /// checked-in files then pin them.
 fn corpus() -> Vec<(&'static str, CaseConfig, &'static str, Vec<String>)> {
     let solve2 = SOLVE_REGULAR.replacen("\"id\":1", "\"id\":2", 1);
+    let solve2_cached = solve2.clone();
     vec![
         (
             "health",
@@ -251,6 +252,12 @@ fn corpus() -> Vec<(&'static str, CaseConfig, &'static str, Vec<String>)> {
                 SOLVE_BODY,
                 SOLVE_BODY.replacen("\"algorithm\":\"asm\"", "\"algorithm\":\"quantum\"", 1),
             )],
+        ),
+        (
+            "pipelined",
+            default_config(),
+            "two solves pipelined in a single TCP segment answer in request order; the single worker completes the first before the second, so the repeat is cached",
+            vec![SOLVE_REGULAR.to_string(), solve2_cached],
         ),
         (
             "sharded_metrics",

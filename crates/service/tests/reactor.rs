@@ -1,0 +1,372 @@
+//! Fault-injection battery for the connection reactor.
+//!
+//! The golden suites pin what the reactor answers; this suite pins how
+//! it behaves when the transport misbehaves — frames arriving a byte at
+//! a time, many frames coalesced into one segment, clients vanishing
+//! mid-frame, slow readers that would buffer the server into the
+//! ground, and disconnects racing the drain. Every case ends by
+//! checking that the metrics books still reconcile: each received frame
+//! is accounted to exactly one outcome, and per-shard books sum to the
+//! aggregates.
+
+use asm_service::{serve, serve_with, MetricsSnapshot, ReactorConfig, ServiceConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn config(worker_delay_ms: u64) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        queue_capacity: 64,
+        cache_capacity: 8,
+        worker_delay_ms,
+        shards: 1,
+    }
+}
+
+fn solve_frame(id: u64, seed: u64) -> String {
+    format!(
+        r#"{{"id":{id},"op":"solve","body":{{"instance":{{"Generator":{{"Regular":{{"n":8,"d":3,"seed":{seed}}}}}}},"algorithm":"asm","eps":0.5,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}}}}"#
+    )
+}
+
+/// Every received single-op frame must be booked to exactly one
+/// outcome, and any per-shard books must sum to the aggregates.
+fn assert_books_reconcile(snapshot: &MetricsSnapshot) {
+    let outcomes = snapshot.malformed
+        + snapshot.solved
+        + snapshot.analyzed
+        + snapshot.health
+        + snapshot.metrics
+        + snapshot.shutdown
+        + snapshot.overloaded
+        + snapshot.deadline_exceeded
+        + snapshot.errors;
+    assert_eq!(
+        snapshot.received, outcomes,
+        "books do not reconcile: received {} vs outcomes {}",
+        snapshot.received, outcomes
+    );
+    if !snapshot.shards.is_empty() {
+        let sum = |f: fn(&asm_service::ShardSnapshot) -> u64| -> u64 {
+            snapshot.shards.iter().map(f).sum()
+        };
+        assert_eq!(sum(|s| s.solved), snapshot.solved, "shard solved sum");
+        assert_eq!(sum(|s| s.analyzed), snapshot.analyzed, "shard analyzed sum");
+        assert_eq!(
+            sum(|s| s.overloaded),
+            snapshot.overloaded,
+            "shard overloaded sum"
+        );
+        assert_eq!(
+            sum(|s| s.deadline_exceeded),
+            snapshot.deadline_exceeded,
+            "shard deadline sum"
+        );
+    }
+}
+
+#[test]
+fn partial_frames_arriving_byte_at_a_time_are_reassembled() {
+    let handle = serve("127.0.0.1:0", config(0)).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // One byte per segment: the reactor must buffer the partial frame
+    // across sweeps and only dispatch at the newline.
+    let frame = b"{\"id\":1,\"op\":\"health\"}\n";
+    for byte in frame {
+        writer.write_all(std::slice::from_ref(byte)).unwrap();
+        writer.flush().unwrap();
+    }
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.starts_with("{\"id\":1,"), "{reply}");
+    assert!(reply.contains("\"reply\":\"health\""), "{reply}");
+
+    // A solve split mid-JSON with a pause between the halves.
+    let frame = format!("{}\n", solve_frame(2, 7));
+    let (a, b) = frame.as_bytes().split_at(frame.len() / 2);
+    writer.write_all(a).unwrap();
+    writer.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    writer.write_all(b).unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"reply\":\"solved\""), "{reply}");
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    let snapshot = handle.service().metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, 2);
+    assert_eq!(snapshot.health, 1);
+    assert_eq!(snapshot.solved, 1);
+    assert_books_reconcile(&snapshot);
+    handle.wait();
+}
+
+#[test]
+fn pipelined_mixed_frames_answer_in_request_order() {
+    // A 20 ms worker delay guarantees the solve replies are still
+    // pending when the inline-answered health is dispatched — the
+    // ordered outbox must hold the health reply back.
+    let handle = serve("127.0.0.1:0", config(20)).unwrap();
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    let segment = format!(
+        "{}\n{}\n{}\n",
+        solve_frame(1, 7),
+        "{\"id\":2,\"op\":\"health\"}",
+        solve_frame(3, 9)
+    );
+    writer.write_all(segment.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    let expect = [
+        (1, "\"reply\":\"solved\""),
+        (2, "\"reply\":\"health\""),
+        (3, "\"reply\":\"solved\""),
+    ];
+    for (id, kind) in expect {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with(&format!("{{\"id\":{id},")),
+            "expected id {id} next (replies must be in request order), got: {reply}"
+        );
+        assert!(reply.contains(kind), "{reply}");
+    }
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    let snapshot = handle.service().metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, 3);
+    assert_eq!(snapshot.solved, 2);
+    assert_eq!(snapshot.health, 1);
+    assert_books_reconcile(&snapshot);
+    handle.wait();
+}
+
+#[test]
+fn mid_frame_disconnect_discards_the_partial_frame() {
+    let handle = serve("127.0.0.1:0", config(0)).unwrap();
+    let counters = std::sync::Arc::clone(handle.reactor_counters());
+
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.write_all(b"{\"id\":1,\"op\":\"hea").unwrap();
+        stream.flush().unwrap();
+        // Drop mid-frame: no newline ever arrives.
+    }
+
+    // The reactor must notice the EOF and retire the connection.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while counters.get(&counters.open_connections) != 0 {
+        assert!(
+            Instant::now() < deadline,
+            "reactor never culled the half-frame connection"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // The truncated frame is not a frame: nothing was received, nothing
+    // booked. A fresh client is unaffected.
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"{\"id\":2,\"op\":\"health\"}\n").unwrap();
+    writer.flush().unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    assert!(reply.contains("\"reply\":\"health\""), "{reply}");
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    let snapshot = handle.service().metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, 1, "the partial frame must not count");
+    assert_eq!(snapshot.malformed, 0);
+    assert_eq!(snapshot.health, 1);
+    assert_books_reconcile(&snapshot);
+    handle.wait();
+}
+
+#[test]
+fn slow_reader_backpressure_bounds_server_buffering() {
+    // Tiny limits make the stall observable: at most 4 unanswered
+    // frames per connection, so the server buffers at most 4 replies no
+    // matter how many frames the client pipelines.
+    let reactor_config = ReactorConfig {
+        write_high_water: 4096,
+        max_outstanding: 4,
+        ..ReactorConfig::default()
+    };
+    let handle = serve_with("127.0.0.1:0", config(2), reactor_config).unwrap();
+    let counters = std::sync::Arc::clone(handle.reactor_counters());
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    const FRAMES: u64 = 64;
+    let mut segment = String::new();
+    for id in 0..FRAMES {
+        segment.push_str(&solve_frame(id, 7));
+        segment.push('\n');
+    }
+    // Pipeline everything without reading a single reply.
+    writer.write_all(segment.as_bytes()).unwrap();
+    writer.flush().unwrap();
+
+    // Now drain: every reply, in request order.
+    for id in 0..FRAMES {
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(
+            reply.starts_with(&format!("{{\"id\":{id},")),
+            "expected id {id} next, got: {reply}"
+        );
+        assert!(reply.contains("\"reply\":\"solved\""), "{reply}");
+    }
+
+    assert!(
+        counters.get(&counters.backpressure_stalls) > 0,
+        "64 pipelined frames against max_outstanding=4 must stall reads"
+    );
+    // Bounded buffering: the write buffer never held anywhere near all
+    // 64 replies — only the high-water mark plus one stall window.
+    let peak = counters.get(&counters.write_buffer_peak);
+    assert!(peak < 64 * 1024, "write buffer peaked at {peak} bytes");
+
+    drop(writer);
+    drop(reader);
+    handle.shutdown();
+    let snapshot = handle.service().metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, FRAMES);
+    assert_eq!(snapshot.solved, FRAMES);
+    assert_books_reconcile(&snapshot);
+    handle.wait();
+}
+
+#[test]
+fn abrupt_disconnect_during_drain_still_drains() {
+    let handle = serve("127.0.0.1:0", config(50)).unwrap();
+
+    // Client A admits a slow solve, then vanishes without reading.
+    {
+        let mut stream = TcpStream::connect(handle.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream
+            .write_all(format!("{}\n", solve_frame(1, 7)).as_bytes())
+            .unwrap();
+        stream.flush().unwrap();
+        // Give the reactor a moment to read and admit the frame before
+        // the connection dies.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Client B shuts the server down while A's job is still running.
+    let stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for (line, expect) in [
+        ("{\"id\":2,\"op\":\"health\"}", "\"reply\":\"health\""),
+        (
+            "{\"id\":3,\"op\":\"shutdown\"}",
+            "\"reply\":\"shutting_down\"",
+        ),
+    ] {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains(expect), "{reply}");
+    }
+    drop(writer);
+    drop(reader);
+
+    // The drain must complete even though the solve's connection is
+    // gone: the completion is discarded, not leaked and not hung on.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let service = std::sync::Arc::clone(handle.service());
+    std::thread::spawn(move || {
+        let served = handle.wait();
+        let _ = done_tx.send(served);
+    });
+    let served = done_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("wait() hung: drain never completed after the abrupt disconnect");
+    assert_eq!(served, 3);
+
+    let snapshot = service.metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, 3);
+    assert_eq!(snapshot.solved, 1, "the orphaned solve still completed");
+    assert_eq!(snapshot.health, 1);
+    assert_eq!(snapshot.shutdown, 1);
+    assert_books_reconcile(&snapshot);
+}
+
+#[test]
+fn shutdown_drains_within_five_milliseconds() {
+    // The old accept loop slept in 5 ms poll intervals, so every drain
+    // paid up to one interval of latency. The wake queue makes shutdown
+    // immediate; best-of-three absorbs scheduler noise on loaded CI.
+    let mut best = Duration::MAX;
+    for _ in 0..3 {
+        let handle = serve("127.0.0.1:0", config(0)).unwrap();
+        let start = Instant::now();
+        handle.shutdown();
+        handle.wait();
+        best = best.min(start.elapsed());
+    }
+    assert!(
+        best < Duration::from_millis(5),
+        "drain took {best:?}; the shutdown wakeup must not sleep out a poll interval"
+    );
+}
+
+#[test]
+fn oversized_frame_without_newline_drops_the_connection() {
+    let reactor_config = ReactorConfig {
+        max_frame: 1024,
+        ..ReactorConfig::default()
+    };
+    let handle = serve_with("127.0.0.1:0", config(0), reactor_config).unwrap();
+    let counters = std::sync::Arc::clone(handle.reactor_counters());
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    // 4 KiB of newline-free garbage: the reactor must cut the
+    // connection instead of buffering an unbounded frame.
+    let garbage = vec![b'x'; 4096];
+    let _ = stream.write_all(&garbage);
+    let _ = stream.flush();
+    let mut reply = Vec::new();
+    let n = stream.read_to_end(&mut reply).unwrap_or(0);
+    assert_eq!(n, 0, "no reply for an unterminated oversized frame");
+
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while counters.get(&counters.open_connections) != 0 {
+        assert!(Instant::now() < deadline, "oversized connection not culled");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(counters.get(&counters.resets) > 0);
+
+    handle.shutdown();
+    let snapshot = handle.service().metrics().snapshot(0, 0);
+    assert_eq!(snapshot.received, 0, "garbage bytes are not frames");
+    assert_books_reconcile(&snapshot);
+    handle.wait();
+}

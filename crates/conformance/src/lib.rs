@@ -56,7 +56,7 @@ pub use differential::{
     DiffReport,
 };
 pub use mutate::Mutation;
-pub use oracle::{check_summary, Violation};
+pub use oracle::{check_congest_run, check_summary, Violation};
 pub use replay::{
     assert_conforms, assert_conforms_with_exec, emit_failure, load_cases, replay_out_dir,
     ReplayCase,

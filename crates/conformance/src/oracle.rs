@@ -18,7 +18,7 @@
 //! | [`check_mm_maximality`] | deterministic matchers never truncate |
 
 use asm_congest::NetStats;
-use asm_core::congest::payload_bit_budget;
+use asm_core::congest::{payload_bit_budget, CongestReport};
 use asm_core::{AsmReport, RunSummary};
 use asm_instance::Instance;
 use asm_matching::{verify_matching, StabilityReport};
@@ -260,6 +260,29 @@ pub fn check_summary(
     violations
 }
 
+/// Runs every oracle applicable to a CONGEST-engine transcript — the
+/// entry point for runs executed *outside* this process (the distributed
+/// orchestrator assembles a [`CongestReport`] from node replies and
+/// feeds it here).
+///
+/// Covers the summary-level oracles of [`check_summary`] (validity,
+/// ε·|E| blocking budget, player partition, optional δ bad-men budget)
+/// plus the CONGEST payload budget over the measured message sizes.
+pub fn check_congest_run(
+    inst: &Instance,
+    report: &CongestReport,
+    epsilon: Option<f64>,
+    delta: Option<f64>,
+) -> Vec<Violation> {
+    let summary = RunSummary::from(report);
+    let mut violations = check_summary(inst, &summary, epsilon, delta);
+    violations.extend(check_payload_budget(
+        inst.ids().num_players(),
+        &report.stats,
+    ));
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +365,24 @@ mod tests {
         let mut fat = report.stats.clone();
         fat.max_message_bits = 10_000;
         assert!(check_payload_budget(n, &fat).is_some());
+    }
+
+    #[test]
+    fn congest_run_oracle_passes_clean_transcripts_and_flags_corrupt_ones() {
+        let inst = generators::complete(10, 8);
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let report = asm_core::congest::asm_congest(&inst, &config).unwrap();
+        assert_eq!(check_congest_run(&inst, &report, Some(1.0), Some(0.2)), []);
+
+        let mut fat = report.clone();
+        fat.stats.max_message_bits = 10_000;
+        let violations = check_congest_run(&inst, &fat, Some(1.0), None);
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::PayloadBudgetExceeded { .. })),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Transport-agnostic round driving.
+//!
+//! The ASM engines are *driven* protocols: a coordinator sequences the
+//! globally-known phase schedule, applying control operations to every
+//! node between rounds and reading back a small amount of aggregate
+//! state (simulating the shared round clock every CONGEST node can
+//! compute locally). [`RoundDriver`] abstracts that coordinator/executor
+//! boundary so the same driver loop can run against
+//!
+//! * an in-process [`crate::Network`] (the reference simulator), or
+//! * a fleet of node processes exchanging rounds over TCP
+//!   (`asm-distributed`).
+//!
+//! Because the driver loop issues the identical sequence of control and
+//! step operations either way, round and message tallies agree between
+//! transports by construction — the differential tests in
+//! `asm-distributed` pin this.
+
+use crate::RoundOutcome;
+
+/// One synchronous-round executor a protocol driver can sequence.
+///
+/// A driver alternates [`RoundDriver::control`] (broadcast a batch of
+/// control operations to every node, between rounds) with
+/// [`RoundDriver::step`] (execute one synchronous round), then calls
+/// [`RoundDriver::finish`] to collect the final per-node state. Both
+/// `control` and `step` return a [`RoundDriver::Summary`] — the merged
+/// aggregate of per-node state the driver needs for its scheduling
+/// decisions — so the driver never touches node state directly.
+pub trait RoundDriver {
+    /// A control operation applied to every node between rounds.
+    type Ctl;
+    /// Merged aggregate of per-node state, recomputed after every
+    /// control batch and every round.
+    type Summary;
+    /// Final state collected from all nodes at the end of the run.
+    type Final;
+    /// Transport- or engine-level failure.
+    type Error;
+
+    /// Applies `ops`, in order, to every node, and reports the
+    /// post-control summary.
+    ///
+    /// # Errors
+    ///
+    /// Transport or engine failure delivering the control batch.
+    fn control(&mut self, ops: &[Self::Ctl]) -> Result<Self::Summary, Self::Error>;
+
+    /// Executes one synchronous round: deliver in-flight messages, run
+    /// every node, collect what they send.
+    ///
+    /// # Errors
+    ///
+    /// Transport or engine failure executing the round (including
+    /// protocol violations such as a non-neighbor send or a payload
+    /// over the bit budget).
+    fn step(&mut self) -> Result<(RoundOutcome, Self::Summary), Self::Error>;
+
+    /// Tears the executor down and collects the final per-node state.
+    ///
+    /// # Errors
+    ///
+    /// Transport or engine failure collecting the final state.
+    fn finish(self) -> Result<Self::Final, Self::Error>;
+}

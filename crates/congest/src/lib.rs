@@ -76,6 +76,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
 mod error;
 mod graph;
 mod message;
@@ -85,6 +86,7 @@ mod rng;
 mod stats;
 mod trace;
 
+pub use driver::RoundDriver;
 pub use error::CongestError;
 pub use graph::Topology;
 pub use message::{Envelope, Outbox, Payload};

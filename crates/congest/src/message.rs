@@ -58,6 +58,39 @@ impl<P> Envelope<P> {
     }
 }
 
+// Hand-written (not derived) because the vendored serde derive does not
+// handle generic types. The wire form is a compact `[src, dst, payload]`
+// triple — envelopes dominate distributed round frames, so the fixed
+// field names would be pure overhead.
+impl<P: serde::Serialize> serde::Serialize for Envelope<P> {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Seq(vec![
+            self.src.to_content(),
+            self.dst.to_content(),
+            self.payload.to_content(),
+        ])
+    }
+}
+
+impl<P: serde::Deserialize> serde::Deserialize for Envelope<P> {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let items = content
+            .as_seq()
+            .ok_or_else(|| serde::Error::custom("expected [src, dst, payload] envelope"))?;
+        if items.len() != 3 {
+            return Err(serde::Error::custom(format!(
+                "expected 3-element envelope, found {} elements",
+                items.len()
+            )));
+        }
+        Ok(Envelope {
+            src: NodeId::from_content(&items[0])?,
+            dst: NodeId::from_content(&items[1])?,
+            payload: P::from_content(&items[2])?,
+        })
+    }
+}
+
 /// Buffer into which a process queues its outgoing messages for the current
 /// round.
 ///

@@ -97,6 +97,10 @@ pub struct Network<P: Process> {
     stats: NetStats,
     bit_budget: Option<usize>,
     trace: Option<Trace>,
+    /// `stats.messages` at the moment tracing was enabled, so the trace's
+    /// [`Trace::total_recorded`] can be reconciled against the delivery
+    /// counter even when tracing starts mid-run.
+    trace_baseline: u64,
     parallelism: usize,
 }
 
@@ -123,6 +127,7 @@ impl<P: Process> Network<P> {
             stats: NetStats::default(),
             bit_budget: None,
             trace: None,
+            trace_baseline: 0,
             parallelism: 1,
         })
     }
@@ -153,6 +158,7 @@ impl<P: Process> Network<P> {
     /// Enables tracing of the most recent `capacity` message deliveries.
     pub fn set_trace_capacity(&mut self, capacity: usize) -> &mut Self {
         self.trace = Some(Trace::with_capacity(capacity));
+        self.trace_baseline = self.stats.messages;
         self
     }
 
@@ -315,6 +321,16 @@ impl<P: Process> Network<P> {
                 self.stats.bits += env.payload.bits() as u64;
                 self.stats.max_message_bits = self.stats.max_message_bits.max(env.payload.bits());
             }
+        }
+        if let Some(trace) = self.trace.as_ref() {
+            // Every delivery since tracing began must have been recorded
+            // exactly once; the in-flight counter and the trace are
+            // independent books over the same deliveries.
+            debug_assert_eq!(
+                trace.total_recorded(),
+                self.stats.messages - self.trace_baseline,
+                "trace records diverged from delivery accounting"
+            );
         }
         delivered
     }
@@ -550,6 +566,67 @@ mod tests {
         let trace = net.trace().unwrap();
         assert_eq!(trace.events().len(), 2);
         assert!(trace.events()[0].payload.contains("Num"));
+    }
+
+    #[test]
+    fn round_outcomes_reconcile_with_trace_totals() {
+        // Book 1: per-round `RoundOutcome::{delivered,sent}`.
+        // Book 2: the trace, which records each delivery exactly once.
+        // Book 3: `NetStats::messages`. All three must agree, and each
+        // round's `sent` must come back as the next round's `delivered`.
+        let mut net = echo_net(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)], &[(0, 3), (2, 2)]);
+        net.set_trace_capacity(1024);
+        let mut outcomes = Vec::new();
+        loop {
+            let outcome = net.step().unwrap();
+            outcomes.push(outcome);
+            if !outcome.active() {
+                break;
+            }
+        }
+        let delivered_total: u64 = outcomes.iter().map(|o| o.delivered).sum();
+        let sent_total: u64 = outcomes.iter().map(|o| o.sent).sum();
+        assert_eq!(delivered_total, net.stats().messages);
+        assert_eq!(net.trace().unwrap().total_recorded(), delivered_total);
+        // Everything sent was eventually delivered (the run drained).
+        assert_eq!(sent_total, delivered_total);
+        // One-round delay: round r's sends are round r+1's deliveries.
+        for pair in outcomes.windows(2) {
+            assert_eq!(pair[0].sent, pair[1].delivered);
+        }
+    }
+
+    #[test]
+    fn trace_enabled_mid_run_reconciles_from_its_baseline() {
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 4)]);
+        net.step().unwrap(); // round 0: send
+        net.step().unwrap(); // round 1: first delivery (pre-trace)
+        let pre = net.stats().messages;
+        assert!(pre > 0, "some deliveries happened before tracing started");
+        net.set_trace_capacity(8);
+        let mut post = 0;
+        loop {
+            let outcome = net.step().unwrap();
+            post += outcome.delivered;
+            if !outcome.active() {
+                break;
+            }
+        }
+        assert_eq!(net.trace().unwrap().total_recorded(), post);
+        assert_eq!(net.stats().messages, pre + post);
+    }
+
+    #[test]
+    fn trace_reconciliation_survives_eviction() {
+        // Capacity 1 forces eviction on nearly every delivery; the
+        // reconciliation uses total_recorded (events + dropped), which
+        // must keep matching the delivery counter regardless.
+        let mut net = echo_net(2, vec![(0, 1)], &[(0, 6)]);
+        net.set_trace_capacity(1);
+        while net.step().unwrap().active() {}
+        let trace = net.trace().unwrap();
+        assert!(trace.dropped() > 0);
+        assert_eq!(trace.total_recorded(), net.stats().messages);
     }
 
     #[test]

@@ -69,6 +69,15 @@ impl Trace {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// Total deliveries ever recorded: retained events plus evicted ones.
+    ///
+    /// On a [`crate::Network`] this must equal the messages delivered since
+    /// tracing was enabled, which is what makes the trace a trustworthy
+    /// cross-check for [`crate::RoundOutcome`] accounting.
+    pub fn total_recorded(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
 }
 
 #[cfg(test)]

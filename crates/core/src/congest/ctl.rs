@@ -1,0 +1,238 @@
+//! Driver-to-player control operations and aggregate summaries.
+//!
+//! The ASM driver loop never touches player state directly: between
+//! rounds it broadcasts [`AsmCtl`] operations to every player and reads
+//! back an [`AsmSummary`]. Keeping that boundary explicit (and
+//! serializable) is what lets the identical driver loop run against the
+//! in-process [`asm_congest::Network`] and against remote node
+//! processes hosting disjoint player ranges: a transport only has to
+//! ship `AsmCtl` batches one way and merged `AsmSummary`s the other.
+
+use super::player::{Phase, Player};
+use asm_congest::NodeId;
+use asm_instance::Gender;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One control operation the driver applies to every player between
+/// rounds (the simulated globally-known round clock).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AsmCtl {
+    /// `QuantileMatch` start: arm `A ← Q_i` on men passing `gate`.
+    BeginQuantileMatch {
+        /// The outer-loop activity gate (`|Q| ≥ gate`).
+        gate: usize,
+    },
+    /// `ProposalRound` start; `tag` seeds the embedded matcher.
+    BeginProposalRound {
+        /// Matcher randomness tag for this invocation.
+        tag: u64,
+    },
+    /// Flip every player to `phase`.
+    SetPhase(Phase),
+    /// Panconesi–Rizzi only: announce the globally computed `G₀` forest
+    /// count.
+    SetPrForests {
+        /// The forest count (an upper bound on Δ(G₀)).
+        forests: u16,
+    },
+    /// `ProposalRound` step 4 start: adopt `M₀`, queue rejections.
+    BeginReject,
+}
+
+/// Aggregate of player state the driver reads between rounds, merged
+/// across all players (and, distributed, across all node processes).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsmSummary {
+    /// Whether any man would send a proposal (OR-merged).
+    pub would_propose: bool,
+    /// Whether every player is good or gated out at the last announced
+    /// gate (AND-merged) — the driver's early-exit condition.
+    pub all_blocked: bool,
+    /// Whether any embedded matcher is still working (OR-merged).
+    pub mm_active: bool,
+    /// Per-edge-low-endpoint accept counts of the women's current `G₀`
+    /// adjacency (Panconesi–Rizzi backend only; empty otherwise).
+    /// Partial counts: merging sums entries with equal keys.
+    pub g0_out_degrees: Vec<(NodeId, u16)>,
+}
+
+impl AsmSummary {
+    /// The identity element of [`AsmSummary::absorb`]: merging it into a
+    /// summary leaves the summary unchanged.
+    pub fn empty() -> Self {
+        AsmSummary {
+            would_propose: false,
+            all_blocked: true,
+            mm_active: false,
+            g0_out_degrees: Vec::new(),
+        }
+    }
+
+    /// Merges another partition's summary into this one.
+    pub fn absorb(&mut self, other: &AsmSummary) {
+        self.would_propose |= other.would_propose;
+        self.all_blocked &= other.all_blocked;
+        self.mm_active |= other.mm_active;
+        self.g0_out_degrees.extend(other.g0_out_degrees.iter());
+    }
+
+    /// The `G₀` forest count Panconesi–Rizzi needs: the maximum
+    /// out-degree after summing partial counts with equal keys.
+    pub fn pr_forests(&self) -> u16 {
+        let mut totals: HashMap<NodeId, u16> = HashMap::new();
+        for &(low, count) in &self.g0_out_degrees {
+            *totals.entry(low).or_default() += count;
+        }
+        totals.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Final state of one player, collected when a run ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlayerFinal {
+    /// The player's node id.
+    pub id: NodeId,
+    /// Final partner, if matched.
+    pub partner: Option<NodeId>,
+    /// Whether the player ended good (matched, fully rejected, or a
+    /// woman).
+    pub good: bool,
+    /// Whether `AlmostRegularASM`'s violator rule removed the player.
+    pub removed: bool,
+}
+
+/// Applies a batch of control operations, in order, to every player.
+///
+/// Exposed so remote executors (`asm-node`) apply exactly the operations
+/// the in-process [`super::LocalDriver`] applies.
+pub fn apply_ctl(players: &mut [Player], ops: &[AsmCtl]) {
+    for op in ops {
+        for p in players.iter_mut() {
+            match *op {
+                AsmCtl::BeginQuantileMatch { gate } => p.begin_quantile_match(gate),
+                AsmCtl::BeginProposalRound { tag } => p.begin_proposal_round(tag),
+                AsmCtl::SetPhase(phase) => p.phase = phase,
+                AsmCtl::SetPrForests { forests } => p.set_pr_forests(forests),
+                AsmCtl::BeginReject => p.begin_reject(),
+            }
+        }
+    }
+}
+
+/// Summarizes a slice of players under the most recently announced
+/// `gate`; partitions merge their summaries with [`AsmSummary::absorb`].
+pub fn summarize_players(players: &[Player], gate: usize) -> AsmSummary {
+    let mut g0_out_degrees: Vec<(NodeId, u16)> = Vec::new();
+    let mut counts: HashMap<NodeId, u16> = HashMap::new();
+    for p in players {
+        if p.gender() == Gender::Woman {
+            for &m in p.g0_accepts() {
+                let low = m.min(p.id());
+                *counts.entry(low).or_default() += 1;
+            }
+        }
+    }
+    if !counts.is_empty() {
+        let mut entries: Vec<(NodeId, u16)> = counts.into_iter().collect();
+        entries.sort_unstable_by_key(|&(low, _)| low);
+        g0_out_degrees = entries;
+    }
+    AsmSummary {
+        would_propose: players.iter().any(Player::would_propose),
+        all_blocked: players.iter().all(|p| p.is_good() || p.remaining() < gate),
+        mm_active: players.iter().any(Player::mm_active),
+        g0_out_degrees,
+    }
+}
+
+/// Collects the final state of a slice of players, in slice order.
+pub fn collect_finals(players: &[Player]) -> Vec<PlayerFinal> {
+    players
+        .iter()
+        .map(|p| PlayerFinal {
+            id: p.id(),
+            partner: p.partner(),
+            good: p.is_good(),
+            removed: p.removed_from_play(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::player::CongestBackend;
+    use super::*;
+    use asm_congest::SplitRng;
+
+    fn man(id: u32, ranked: &[u32]) -> Player {
+        Player::new(
+            NodeId::new(id),
+            Gender::Man,
+            &ranked.iter().map(|&r| NodeId::new(r)).collect::<Vec<_>>(),
+            2,
+            CongestBackend::DetGreedy,
+            SplitRng::new(1),
+        )
+    }
+
+    #[test]
+    fn ctl_round_trips_through_json() {
+        let ops = vec![
+            AsmCtl::BeginQuantileMatch { gate: 4 },
+            AsmCtl::BeginProposalRound { tag: 1 << 32 },
+            AsmCtl::SetPhase(Phase::Respond),
+            AsmCtl::SetPrForests { forests: 3 },
+            AsmCtl::BeginReject,
+        ];
+        let json = serde_json::to_string(&ops).unwrap();
+        let back: Vec<AsmCtl> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn summary_merge_is_sum_and_or() {
+        let mut a = AsmSummary {
+            would_propose: false,
+            all_blocked: true,
+            mm_active: true,
+            g0_out_degrees: vec![(NodeId::new(1), 2)],
+        };
+        let b = AsmSummary {
+            would_propose: true,
+            all_blocked: false,
+            mm_active: false,
+            g0_out_degrees: vec![(NodeId::new(1), 1), (NodeId::new(2), 1)],
+        };
+        a.absorb(&b);
+        assert!(a.would_propose && !a.all_blocked && a.mm_active);
+        assert_eq!(a.pr_forests(), 3, "partial counts for node 1 sum to 3");
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let s = AsmSummary {
+            would_propose: true,
+            all_blocked: false,
+            mm_active: true,
+            g0_out_degrees: vec![(NodeId::new(7), 5)],
+        };
+        let mut acc = AsmSummary::empty();
+        acc.absorb(&s);
+        assert_eq!(acc, s);
+    }
+
+    #[test]
+    fn apply_ctl_drives_player_hooks() {
+        let mut players = vec![man(0, &[2, 3]), man(1, &[3])];
+        apply_ctl(&mut players, &[AsmCtl::BeginQuantileMatch { gate: 1 }]);
+        let s = summarize_players(&players, 1);
+        assert!(s.would_propose);
+        assert!(!s.all_blocked);
+        apply_ctl(&mut players, &[AsmCtl::SetPhase(Phase::Idle)]);
+        let finals = collect_finals(&players);
+        assert_eq!(finals.len(), 2);
+        assert_eq!(finals[0].id, NodeId::new(0));
+        assert!(!finals[0].good);
+    }
+}

@@ -2,13 +2,17 @@
 
 use asm_congest::Payload;
 use asm_maximal::protocols::{MmMsg, PrMsg};
+use serde::{Deserialize, Serialize};
 
 /// Messages exchanged by ASM players (Section 3.2's PROPOSE / ACCEPT /
 /// REJECT, plus the embedded maximal-matching traffic).
 ///
 /// Every variant fits comfortably in the `O(log n)` CONGEST budget: the
 /// payload is a constant-size tag (addressing is carried by the network).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// The serde derives define the message's wire form for the distributed
+/// runtime (`asm-distributed`), which ships envelopes between node
+/// processes as JSON frames.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AsmMsg {
     /// Step 1: a man proposes.
     Propose,

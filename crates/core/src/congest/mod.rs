@@ -29,19 +29,21 @@
 //! # Ok::<(), asm_core::congest::CongestRunError>(())
 //! ```
 
+mod ctl;
 mod messages;
 mod player;
 
+pub use crate::fast::SchedulePhase;
+pub use ctl::{apply_ctl, collect_finals, summarize_players, AsmCtl, AsmSummary, PlayerFinal};
 pub use messages::AsmMsg;
-pub use player::{CongestBackend, Player};
+pub use player::{CongestBackend, Phase, Player};
 
-use crate::fast::{almost_regular_plan, asm_schedule, SchedulePhase};
+use crate::fast::{almost_regular_plan, asm_schedule};
 use crate::{rand_asm_config, AlmostRegularParams, AsmConfig, ConfigError, RandAsmParams};
-use asm_congest::{CongestError, NetStats, Network, NodeId, SplitRng};
+use asm_congest::{CongestError, NetStats, Network, NodeId, RoundDriver, RoundOutcome, SplitRng};
 use asm_instance::Instance;
 use asm_matching::Matching;
 use asm_maximal::MatcherBackend;
-use player::Phase;
 use serde::{Deserialize, Serialize};
 use std::error::Error;
 use std::fmt;
@@ -190,9 +192,8 @@ pub fn asm_congest_with(
     config: &AsmConfig,
     exec: ExecOptions,
 ) -> Result<CongestReport, CongestRunError> {
-    config.validate()?;
-    let schedule = asm_schedule(config, inst);
-    run(inst, config, &schedule, false, exec)
+    let plan = RunPlan::asm(inst, config)?;
+    run_local(inst, &plan, exec)
 }
 
 /// Runs `RandASM` (Theorem 5) on the message-passing engine: the same
@@ -219,9 +220,8 @@ pub fn rand_asm_congest_with(
     params: &RandAsmParams,
     exec: ExecOptions,
 ) -> Result<CongestReport, CongestRunError> {
-    let config = rand_asm_config(inst, params)?;
-    let schedule = asm_schedule(&config, inst);
-    run(inst, &config, &schedule, false, exec)
+    let plan = RunPlan::rand_asm(inst, params)?;
+    run_local(inst, &plan, exec)
 }
 
 /// Runs `AlmostRegularASM` (Theorem 6) on the message-passing engine: the
@@ -249,23 +249,92 @@ pub fn almost_regular_asm_congest_with(
     params: &AlmostRegularParams,
     exec: ExecOptions,
 ) -> Result<CongestReport, CongestRunError> {
-    let (config, ell) = almost_regular_plan(inst, params)?;
-    let schedule = [SchedulePhase {
-        gate: 1,
-        iterations: ell,
-        label: 0,
-    }];
-    run(inst, &config, &schedule, true, exec)
+    let plan = RunPlan::almost_regular(inst, params)?;
+    run_local(inst, &plan, exec)
 }
 
-fn run(
+/// A fully resolved execution plan for the CONGEST engine: the validated
+/// configuration, the phase schedule, and whether `AlmostRegularASM`'s
+/// violator-removal rounds run.
+///
+/// Serializable so the distributed runtime can ship the same plan the
+/// in-process engine executes to node processes; equal plans plus equal
+/// instances yield byte-identical runs on any [`RoundDriver`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunPlan {
+    /// The validated algorithm configuration.
+    pub config: AsmConfig,
+    /// The `QuantileMatch` schedule the driver sequences.
+    pub schedule: Vec<SchedulePhase>,
+    /// Whether the `AlmostRegularASM` violator-removal rounds run.
+    pub amm_removal: bool,
+}
+
+impl RunPlan {
+    /// The plan [`asm_congest()`] executes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration.
+    pub fn asm(inst: &Instance, config: &AsmConfig) -> Result<Self, CongestRunError> {
+        config.validate()?;
+        Ok(RunPlan {
+            config: config.clone(),
+            schedule: asm_schedule(config, inst),
+            amm_removal: false,
+        })
+    }
+
+    /// The plan [`rand_asm_congest()`] executes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid parameters.
+    pub fn rand_asm(inst: &Instance, params: &RandAsmParams) -> Result<Self, CongestRunError> {
+        let config = rand_asm_config(inst, params)?;
+        let schedule = asm_schedule(&config, inst);
+        Ok(RunPlan {
+            config,
+            schedule,
+            amm_removal: false,
+        })
+    }
+
+    /// The plan [`almost_regular_asm_congest()`] executes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid parameters.
+    pub fn almost_regular(
+        inst: &Instance,
+        params: &AlmostRegularParams,
+    ) -> Result<Self, CongestRunError> {
+        let (config, ell) = almost_regular_plan(inst, params)?;
+        Ok(RunPlan {
+            config,
+            schedule: vec![SchedulePhase {
+                gate: 1,
+                iterations: ell,
+                label: 0,
+            }],
+            amm_removal: true,
+        })
+    }
+}
+
+/// Resolves the message-passing backend and its per-invocation matcher
+/// round cap for `config` on `inst`.
+///
+/// # Errors
+///
+/// Fails on invalid configuration or a backend with no message-passing
+/// form (the charged HKP oracle).
+pub fn congest_backend(
     inst: &Instance,
     config: &AsmConfig,
-    schedule: &[SchedulePhase],
-    amm_removal: bool,
-    exec: ExecOptions,
-) -> Result<CongestReport, CongestRunError> {
-    let (backend, mm_cap) = match config.backend {
+) -> Result<(CongestBackend, u64), CongestRunError> {
+    config.validate()?;
+    Ok(match config.backend {
         MatcherBackend::DetGreedy => (
             CongestBackend::DetGreedy,
             2 * inst.ids().num_players() as u64 + 16,
@@ -285,13 +354,30 @@ fn run(
             4 * max_iterations + 16,
         ),
         other => return Err(CongestRunError::UnsupportedBackend(other)),
-    };
+    })
+}
 
+/// Builds the players whose node ids fall in `range` (raw-id order), with
+/// state identical to the corresponding slice of an in-process run.
+///
+/// The full network is `build_players(inst, config, 0..n)`; a distributed
+/// node process hosts a contiguous sub-range.
+///
+/// # Errors
+///
+/// As for [`congest_backend`].
+pub fn build_players(
+    inst: &Instance,
+    config: &AsmConfig,
+    range: std::ops::Range<u32>,
+) -> Result<Vec<Player>, CongestRunError> {
+    let (backend, _) = congest_backend(inst, config)?;
     let ids = inst.ids();
     let k = config.quantile_count();
     let rng_base = SplitRng::new(config.seed);
-    let players: Vec<Player> = ids
+    Ok(ids
         .players()
+        .filter(|v| range.contains(&v.raw()))
         .map(|v| {
             Player::new(
                 v,
@@ -302,46 +388,170 @@ fn run(
                 rng_base.clone(),
             )
         })
-        .collect();
-    let mut net = Network::new(inst.topology(), players)?;
-    // The CONGEST allowance: most payloads are constant-size tags, but the
-    // Panconesi–Rizzi colors legitimately carry O(log n) bits.
-    net.set_bit_budget(payload_bit_budget(ids.num_players()));
-    net.set_parallelism(exec.workers);
+        .collect())
+}
+
+/// Everything a [`RoundDriver`] hands back when a run finishes: the final
+/// per-player state (in node-id order) and the network statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunArtifacts {
+    /// Final per-player state, indexed by node id.
+    pub finals: Vec<PlayerFinal>,
+    /// The executor's network statistics.
+    pub stats: NetStats,
+}
+
+/// Errors from driving an ASM run over an arbitrary [`RoundDriver`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum DriveError<E> {
+    /// Setup failure before any round ran (invalid config or backend).
+    Setup(CongestRunError),
+    /// The embedded matcher exceeded its round cap (livelock guard).
+    MmBudgetExhausted {
+        /// The exhausted cap.
+        budget: u64,
+    },
+    /// Transport or engine failure from the driver itself.
+    Driver(E),
+}
+
+impl<E: fmt::Display> fmt::Display for DriveError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::Setup(e) => write!(f, "setup failed: {e}"),
+            DriveError::MmBudgetExhausted { budget } => {
+                write!(f, "matcher exceeded its {budget}-round budget")
+            }
+            DriveError::Driver(e) => write!(f, "round driver failed: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> Error for DriveError<E> {}
+
+/// The in-process [`RoundDriver`]: wraps an [`asm_congest::Network`] of
+/// [`Player`]s — the reference executor every other transport is
+/// differential-tested against.
+#[derive(Debug)]
+pub struct LocalDriver {
+    net: Network<Player>,
+    last_gate: usize,
+}
+
+impl LocalDriver {
+    /// Builds the full-network executor for `inst` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`congest_backend`], plus network construction failures.
+    pub fn new(
+        inst: &Instance,
+        config: &AsmConfig,
+        exec: ExecOptions,
+    ) -> Result<Self, CongestRunError> {
+        let n = inst.ids().num_players();
+        let players = build_players(inst, config, 0..n as u32)?;
+        let mut net = Network::new(inst.topology(), players)?;
+        // The CONGEST allowance: most payloads are constant-size tags,
+        // but the Panconesi–Rizzi colors legitimately carry O(log n) bits.
+        net.set_bit_budget(payload_bit_budget(n));
+        net.set_parallelism(exec.workers);
+        Ok(LocalDriver { net, last_gate: 0 })
+    }
+}
+
+impl RoundDriver for LocalDriver {
+    type Ctl = AsmCtl;
+    type Summary = AsmSummary;
+    type Final = RunArtifacts;
+    type Error = CongestError;
+
+    fn control(&mut self, ops: &[AsmCtl]) -> Result<AsmSummary, CongestError> {
+        for op in ops {
+            if let AsmCtl::BeginQuantileMatch { gate } = *op {
+                self.last_gate = gate;
+            }
+        }
+        apply_ctl(self.net.nodes_mut(), ops);
+        Ok(summarize_players(self.net.nodes(), self.last_gate))
+    }
+
+    fn step(&mut self) -> Result<(RoundOutcome, AsmSummary), CongestError> {
+        let outcome = self.net.step_par()?;
+        Ok((outcome, summarize_players(self.net.nodes(), self.last_gate)))
+    }
+
+    fn finish(self) -> Result<RunArtifacts, CongestError> {
+        Ok(RunArtifacts {
+            finals: collect_finals(self.net.nodes()),
+            stats: self.net.stats().clone(),
+        })
+    }
+}
+
+/// Runs `plan` against the local in-process executor.
+fn run_local(
+    inst: &Instance,
+    plan: &RunPlan,
+    exec: ExecOptions,
+) -> Result<CongestReport, CongestRunError> {
+    let driver = LocalDriver::new(inst, &plan.config, exec)?;
+    run_plan_with_driver(inst, plan, driver).map_err(|e| match e {
+        DriveError::Setup(e) => e,
+        DriveError::MmBudgetExhausted { budget } => {
+            CongestRunError::Network(CongestError::PhaseBudgetExhausted { budget })
+        }
+        DriveError::Driver(e) => CongestRunError::Network(e),
+    })
+}
+
+/// Executes `plan` on an arbitrary [`RoundDriver`] and assembles the
+/// report.
+///
+/// This is **the** driver loop: both the in-process engine
+/// ([`asm_congest()`] and friends, via [`LocalDriver`]) and the
+/// distributed orchestrator run this exact function, so the sequence of
+/// control batches and round steps — and therefore the round and message
+/// tallies — is identical across transports by construction.
+///
+/// # Errors
+///
+/// Setup failures, matcher budget exhaustion, and driver (transport or
+/// engine) failures.
+pub fn run_plan_with_driver<D>(
+    inst: &Instance,
+    plan: &RunPlan,
+    mut driver: D,
+) -> Result<CongestReport, DriveError<D::Error>>
+where
+    D: RoundDriver<Ctl = AsmCtl, Summary = AsmSummary, Final = RunArtifacts>,
+{
+    let (backend, mm_cap) = congest_backend(inst, &plan.config).map_err(DriveError::Setup)?;
+    let ids = inst.ids();
+    let k = plan.config.quantile_count();
 
     let mut pr_counter: u64 = 0;
     let mut executed: u64 = 0;
     let mut scheduled: u64 = 0;
 
-    'outer: for phase in schedule {
+    'outer: for (pi, phase) in plan.schedule.iter().enumerate() {
         for it in 0..phase.iterations {
             scheduled += k as u64;
             // Global termination detection: if no man passes this gate,
             // none will pass any later (larger) gate.
-            for p in net.nodes_mut() {
-                p.begin_quantile_match(phase.gate);
-            }
-            if !net.nodes().iter().any(Player::would_propose) {
-                let blocked = net
-                    .nodes()
-                    .iter()
-                    .all(|p| p.is_good() || p.remaining() < phase.gate);
-                if blocked && config.early_exit {
+            let mut summary = driver
+                .control(&[AsmCtl::BeginQuantileMatch { gate: phase.gate }])
+                .map_err(DriveError::Driver)?;
+            if !summary.would_propose {
+                if summary.all_blocked && plan.config.early_exit {
                     // Account the rest of the schedule as scheduled-only:
                     // the remaining iterations of this phase, then every
                     // later phase — matching the fast engine's nominal
                     // bookkeeping exactly (the conformance harness diffs
                     // the two).
                     let mut rest: u64 = (phase.iterations - 1 - it) * k as u64;
-                    let mut seen_current = false;
-                    for ph in schedule {
-                        if std::ptr::eq(ph, phase) {
-                            seen_current = true;
-                            continue;
-                        }
-                        if seen_current {
-                            rest += ph.iterations * k as u64;
-                        }
+                    for ph in &plan.schedule[pi + 1..] {
+                        rest += ph.iterations * k as u64;
                     }
                     scheduled += rest;
                     break 'outer;
@@ -349,29 +559,35 @@ fn run(
                 continue;
             }
             for _ in 0..k {
-                if !net.nodes().iter().any(Player::would_propose) {
+                if !summary.would_propose {
                     break;
                 }
                 pr_counter += 1;
                 executed += 1;
-                run_proposal_round(
-                    &mut net,
-                    inst,
+                summary = run_proposal_round(
+                    &mut driver,
                     backend,
                     pr_counter << 32,
                     mm_cap,
-                    amm_removal,
+                    plan.amm_removal,
                 )?;
             }
         }
     }
 
+    let arts = driver.finish().map_err(DriveError::Driver)?;
+    debug_assert_eq!(arts.finals.len(), ids.num_players());
+
     // Collect the matching from the women's partner fields; assert the
     // men agree.
     let mut matching = Matching::new(ids.num_players());
     for w in ids.women() {
-        if let Some(m) = net.node(w).partner() {
-            debug_assert_eq!(net.node(m).partner(), Some(w), "partner tables agree");
+        if let Some(m) = arts.finals[w.index()].partner {
+            debug_assert_eq!(
+                arts.finals[m.index()].partner,
+                Some(w),
+                "partner tables agree"
+            );
             matching
                 .add_pair(m, w)
                 .expect("players hold disjoint pairs");
@@ -381,15 +597,15 @@ fn run(
     let mut removed = Vec::new();
     let mut good = 0;
     for m in ids.men() {
-        let p = net.node(m);
-        if p.removed_from_play() {
+        let f = &arts.finals[m.index()];
+        if f.removed {
             removed.push(m);
-            if p.partner().is_some() {
+            if f.partner.is_some() {
                 good += 1; // matched before removal; counted as in the fast engine
             }
             continue;
         }
-        if p.is_good() {
+        if f.good {
             good += 1;
         } else {
             bad.push(m);
@@ -397,7 +613,7 @@ fn run(
     }
     Ok(CongestReport {
         matching,
-        stats: net.stats().clone(),
+        stats: arts.stats,
         scheduled_proposal_rounds: scheduled,
         executed_proposal_rounds: executed,
         good_men: good,
@@ -406,71 +622,76 @@ fn run(
     })
 }
 
-/// Executes one `ProposalRound` worth of synchronous rounds.
-fn run_proposal_round(
-    net: &mut Network<Player>,
-    inst: &Instance,
+/// Executes one `ProposalRound` worth of synchronous rounds on `driver`,
+/// returning the summary after the closing `Idle` flip.
+fn run_proposal_round<D>(
+    driver: &mut D,
     backend: CongestBackend,
     tag: u64,
     mm_cap: u64,
     amm_removal: bool,
-) -> Result<(), CongestError> {
-    for p in net.nodes_mut() {
-        p.begin_proposal_round(tag); // phase = Propose
-    }
-    net.step_par()?; // men send PROPOSE
-    set_phase(net, Phase::Respond);
-    net.step_par()?; // women receive, send ACCEPT, learn G0
+) -> Result<AsmSummary, DriveError<D::Error>>
+where
+    D: RoundDriver<Ctl = AsmCtl, Summary = AsmSummary, Final = RunArtifacts>,
+{
+    driver
+        .control(&[AsmCtl::BeginProposalRound { tag }]) // phase = Propose
+        .map_err(DriveError::Driver)?;
+    driver.step().map_err(DriveError::Driver)?; // men send PROPOSE
+    driver
+        .control(&[AsmCtl::SetPhase(Phase::Respond)])
+        .map_err(DriveError::Driver)?;
+    // Women receive, send ACCEPT, learn G0.
+    let (_, summary) = driver.step().map_err(DriveError::Driver)?;
     if backend == CongestBackend::PanconesiRizzi {
         // Panconesi–Rizzi assumes Δ(G0) is globally known; the driver
-        // plays that oracle by reading the women's accept lists.
-        let mut out_degree: std::collections::HashMap<NodeId, u16> =
-            std::collections::HashMap::new();
-        for w in inst.ids().women() {
-            for &m in net.node(w).g0_accepts() {
-                let low = m.min(w);
-                *out_degree.entry(low).or_default() += 1;
-            }
-        }
-        let forests = out_degree.values().copied().max().unwrap_or(0);
-        for p in net.nodes_mut() {
-            p.set_pr_forests(forests);
-        }
+        // plays that oracle from the women's merged accept counts.
+        let forests = summary.pr_forests();
+        driver
+            .control(&[
+                AsmCtl::SetPrForests { forests },
+                AsmCtl::SetPhase(Phase::Mm),
+            ])
+            .map_err(DriveError::Driver)?;
+    } else {
+        driver
+            .control(&[AsmCtl::SetPhase(Phase::Mm)])
+            .map_err(DriveError::Driver)?;
     }
-    set_phase(net, Phase::Mm);
     let mut steps = 0;
     loop {
-        let outcome = net.step_par()?; // matcher subrounds
+        let (outcome, summary) = driver.step().map_err(DriveError::Driver)?; // matcher subrounds
         steps += 1;
-        if outcome.sent == 0 && !net.nodes().iter().any(Player::mm_active) {
+        if outcome.sent == 0 && !summary.mm_active {
             break;
         }
         if steps > mm_cap {
-            return Err(CongestError::PhaseBudgetExhausted { budget: mm_cap });
+            return Err(DriveError::MmBudgetExhausted { budget: mm_cap });
         }
     }
     if amm_removal {
         // Theorem 6's violator detection: unmatched G0 members announce,
         // and unmatched men hearing an announcement leave the game.
-        set_phase(net, Phase::UnmatchedAnnounce);
-        net.step_par()?;
-        set_phase(net, Phase::UnmatchedRecv);
-        net.step_par()?;
+        driver
+            .control(&[AsmCtl::SetPhase(Phase::UnmatchedAnnounce)])
+            .map_err(DriveError::Driver)?;
+        driver.step().map_err(DriveError::Driver)?;
+        driver
+            .control(&[AsmCtl::SetPhase(Phase::UnmatchedRecv)])
+            .map_err(DriveError::Driver)?;
+        driver.step().map_err(DriveError::Driver)?;
     }
-    for p in net.nodes_mut() {
-        p.begin_reject(); // adopt M0, queue rejects; phase = RejectSend
-    }
-    net.step_par()?; // women send REJECT
-    set_phase(net, Phase::RejectRecv);
-    net.step_par()?; // men apply rejections
-    set_phase(net, Phase::Idle);
-    Ok(())
-}
-
-fn set_phase(net: &mut Network<Player>, phase: Phase) {
-    for p in net.nodes_mut() {
-        p.phase = phase;
-    }
+    driver
+        .control(&[AsmCtl::BeginReject]) // adopt M0, queue rejects; phase = RejectSend
+        .map_err(DriveError::Driver)?;
+    driver.step().map_err(DriveError::Driver)?; // women send REJECT
+    driver
+        .control(&[AsmCtl::SetPhase(Phase::RejectRecv)])
+        .map_err(DriveError::Driver)?;
+    driver.step().map_err(DriveError::Driver)?; // men apply rejections
+    driver
+        .control(&[AsmCtl::SetPhase(Phase::Idle)])
+        .map_err(DriveError::Driver)
 }
 
 #[cfg(test)]

@@ -26,18 +26,28 @@ pub enum CongestBackend {
 
 /// Phase of the `ProposalRound` schedule, set by the driver between
 /// rounds (simulating the globally known round clock).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum Phase {
+///
+/// Public so external round drivers (the distributed orchestrator) can
+/// ship phase flips to node processes as [`super::AsmCtl`] operations;
+/// the serde derives define the wire form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Phase {
+    /// Between `ProposalRound`s: every player is silent.
     Idle,
+    /// Step 1: men propose to their active quantile.
     Propose,
+    /// Step 2: women accept the best proposing quantile.
     Respond,
+    /// Step 3: the embedded maximal-matching subroutine runs.
     Mm,
     /// `AlmostRegularASM` only: G0 members unmatched by AMM announce it.
     UnmatchedAnnounce,
     /// `AlmostRegularASM` only: unmatched G0 members receiving an
     /// announcement are maximality violators and leave the game.
     UnmatchedRecv,
+    /// Step 4: women send the rejections queued by adopting `M₀`.
     RejectSend,
+    /// Step 4: men apply the rejections they received.
     RejectRecv,
 }
 
@@ -128,6 +138,11 @@ impl Player {
     /// This player's id.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// This player's gender.
+    pub fn gender(&self) -> Gender {
+        self.gender
     }
 
     /// Current partner.

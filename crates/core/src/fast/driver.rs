@@ -7,8 +7,13 @@ use asm_instance::Instance;
 
 /// One phase of an algorithm schedule: `iterations` calls to
 /// `QuantileMatch` under the activity gate `|Qᵐ| ≥ gate`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct SchedulePhase {
+///
+/// Public (re-exported as `congest::SchedulePhase`) so external round
+/// drivers — the distributed orchestrator — can carry the same schedule
+/// the in-process engines execute; the serde derives define its wire
+/// form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SchedulePhase {
     /// The outer-loop gate (`2^i` in Algorithm 3; `1` = everyone).
     pub gate: usize,
     /// Inner-loop length (`2δ⁻¹k` in Algorithm 3).

@@ -22,9 +22,11 @@ pub use asm::asm;
 pub use rand_asm::{rand_asm, rand_asm_config, RandAsmParams};
 pub use swapped::asm_woman_proposing;
 
+pub use driver::SchedulePhase;
+
 pub(crate) use almost_regular::almost_regular_plan;
 pub(crate) use asm::asm_schedule;
-pub(crate) use driver::{run_schedule, SchedulePhase};
+pub(crate) use driver::run_schedule;
 
 use crate::{AsmConfig, QmSnapshot};
 use asm_congest::{NodeId, SplitRng};

@@ -1,0 +1,39 @@
+//! `asm-node`: hosts a contiguous player range of the CONGEST engine
+//! behind the newline-JSON node wire protocol.
+//!
+//! Usage: `asm-node --connect HOST:PORT`
+//!
+//! The node connects to the orchestrator, waits for its `init` frame,
+//! and serves rounds until `halt` or EOF. It is purely reactive — all
+//! scheduling lives in the orchestrator.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut addr = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => addr = args.next(),
+            "--help" | "-h" => {
+                println!("usage: asm-node --connect HOST:PORT");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("asm-node: unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("asm-node: missing --connect HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    match asm_distributed::run_node(&addr) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("asm-node: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

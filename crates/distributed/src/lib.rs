@@ -1,0 +1,47 @@
+//! Multi-process CONGEST execution for the almost-stable-matching
+//! engine.
+//!
+//! The in-process engine (`asm_core::congest`) simulates the CONGEST
+//! model inside one address space. This crate runs the *same* algorithm
+//! across real OS processes: each `asm-node` process hosts a contiguous
+//! range of players behind [`asm_congest::Process::on_round`], and the
+//! orchestrator partitions an instance across N such processes, runs
+//! the synchronous round loop with a per-round barrier, and collects
+//! the final matching.
+//!
+//! Three properties anchor the design:
+//!
+//! - **Same driver loop.** The orchestrator implements
+//!   [`asm_congest::RoundDriver`], so
+//!   [`asm_core::congest::run_plan_with_driver`] sequences distributed
+//!   runs exactly as it sequences in-process ones — same rounds, same
+//!   control barriers, same early exits.
+//! - **Byte-identical results.** A fault-free distributed run produces
+//!   the same [`asm_core::congest::CongestReport`] — matching, round
+//!   count, message count, bit count — as the in-process engine on the
+//!   same instance and plan.
+//! - **Fault tolerance without divergence.** A seeded [`FaultPlan`]
+//!   proxy drops, delays, reorders, and duplicates frames and severs
+//!   and heals links mid-run; the protocol's at-most-once machinery
+//!   (timeout-resend plus cached-reply replay) keeps even faulted runs
+//!   byte-identical, which `tests/faults.rs` asserts.
+//!
+//! The wire protocol is newline-delimited JSON, documented in
+//! `docs/PROTOCOLS.md` and pinned byte-for-byte by the golden corpus in
+//! `cases/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod node;
+pub mod orchestrator;
+pub mod protocol;
+
+pub use fault::{FaultInjector, FaultPlan, InjectedCounts, KillSpec, PartitionWindow};
+pub use node::{run_node, NodeError, NodeRunner, MAX_FRAME};
+pub use orchestrator::{
+    partition_ranges, run_distributed, sibling_node_bin, DistDriver, DistError, DistOptions,
+    DistRunReport, LinkReport, TransportReport,
+};
+pub use protocol::{FromNode, FromNodeFrame, InitBody, ToNode, ToNodeFrame, DIST_SCHEMA};

@@ -1,0 +1,74 @@
+//! Differential battery: distributed execution vs the in-process engine.
+//!
+//! Twenty seeded instances spanning all nine generator families run
+//! through `run_distributed` — partitioned across 2, 4, and 8 node
+//! processes in rotation, fault-free — and every run must reproduce the
+//! in-process engine's `CongestReport` byte-for-byte: same matching,
+//! same round count, same message and bit tallies, same good/bad-man
+//! classification. The transport must come back perfectly clean (no
+//! retries, no duplicate traffic).
+
+use asm_core::congest::{asm_congest, RunPlan};
+use asm_core::AsmConfig;
+use asm_distributed::{run_distributed, DistOptions};
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+
+fn node_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_asm-node")
+}
+
+#[test]
+fn distributed_runs_are_byte_identical_to_in_process_runs() {
+    // 9 families × sizes/seeds, trimmed to 20 instances.
+    let mut configs = Vec::new();
+    for (n, seed) in [(8, 1), (10, 2), (12, 3)] {
+        configs.extend(GeneratorConfig::all_families(n, seed));
+    }
+    configs.truncate(20);
+    assert_eq!(configs.len(), 20);
+
+    for (i, gen) in configs.iter().enumerate() {
+        let procs = [2, 4, 8][i % 3];
+        let inst = gen.build();
+        let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+        let expected = asm_congest(&inst, &config).expect("in-process run succeeds");
+
+        let plan = RunPlan::asm(&inst, &config).expect("valid plan");
+        let opts = DistOptions::new(procs, node_bin());
+        let run = run_distributed(&inst, &plan, &opts)
+            .unwrap_or_else(|e| panic!("{gen} across {procs} procs failed: {e}"));
+
+        assert_eq!(
+            run.report, expected,
+            "{gen} across {procs} procs diverged from the in-process engine"
+        );
+        assert!(
+            run.transport.is_clean(),
+            "{gen} across {procs} procs used retries on a fault-free transport: {:?}",
+            run.transport
+        );
+    }
+}
+
+#[test]
+fn process_count_never_changes_the_run() {
+    // The same instance under every partition width, including procs >
+    // players (empty trailing ranges) and procs = 1 (a single node
+    // hosting everything).
+    let gen = GeneratorConfig::Regular {
+        n: 6,
+        d: 3,
+        seed: 44,
+    };
+    let inst = gen.build();
+    let config = AsmConfig::new(0.5).with_backend(MatcherBackend::DetGreedy);
+    let expected = asm_congest(&inst, &config).expect("in-process run succeeds");
+    let plan = RunPlan::asm(&inst, &config).expect("valid plan");
+    for procs in [1, 2, 3, 5, 16] {
+        let run = run_distributed(&inst, &plan, &DistOptions::new(procs, node_bin()))
+            .unwrap_or_else(|e| panic!("procs={procs} failed: {e}"));
+        assert_eq!(run.report, expected, "procs={procs} diverged");
+        assert!(run.transport.is_clean(), "procs={procs} transport dirty");
+    }
+}

@@ -1,0 +1,190 @@
+//! Fault-injection battery for the distributed runtime.
+//!
+//! The differential suite pins what a clean transport produces; this
+//! suite pins how the runtime behaves when the transport misbehaves —
+//! frames dropped, delayed past their successors, duplicated, and whole
+//! links severed and healed mid-run, plus a node SIGKILLed between
+//! rounds. Faults are transport-level only, so every surviving run must
+//! still be byte-identical to the in-process engine, pass the
+//! conformance oracles, and close with transport books that reconcile:
+//! every duplicate frame a node answered traces to a retry or an
+//! injected duplicate, and every stale reply the orchestrator discarded
+//! traces to a node resend or an injected duplicate.
+//!
+//! `ASM_FAULT_ITERS` (default 1) repeats each scenario with rotated
+//! seeds — the nightly battery runs at 10×.
+
+use asm_conformance::check_congest_run;
+use asm_core::congest::{asm_congest, CongestReport, RunPlan};
+use asm_core::AsmConfig;
+use asm_distributed::{
+    run_distributed, DistError, DistOptions, FaultPlan, KillSpec, PartitionWindow,
+};
+use asm_instance::generators::GeneratorConfig;
+use asm_maximal::MatcherBackend;
+use std::time::{Duration, Instant};
+
+const EPS: f64 = 1.0;
+
+fn node_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_asm-node")
+}
+
+fn iterations() -> u64 {
+    std::env::var("ASM_FAULT_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+fn instance_and_plan(seed: u64) -> (asm_instance::Instance, RunPlan, CongestReport) {
+    let gen = GeneratorConfig::Zipf {
+        n: 12,
+        d: 4,
+        s: 1.2,
+        seed,
+    };
+    let inst = gen.build();
+    let config = AsmConfig::new(EPS).with_backend(MatcherBackend::DetGreedy);
+    let expected = asm_congest(&inst, &config).expect("in-process run succeeds");
+    let plan = RunPlan::asm(&inst, &config).expect("valid plan");
+    (inst, plan, expected)
+}
+
+/// Runs the scenario and asserts the full invariant set: byte-identical
+/// report, clean conformance oracles, reconciling transport books.
+fn assert_faulted_run_converges(scenario: &str, faults: FaultPlan, procs: usize) {
+    let (inst, plan, expected) = instance_and_plan(faults.seed ^ 0x5eed);
+    let mut opts = DistOptions::new(procs, node_bin()).with_faults(faults);
+    opts.reply_timeout = Duration::from_millis(40);
+    let run = run_distributed(&inst, &plan, &opts)
+        .unwrap_or_else(|e| panic!("{scenario}: run failed: {e}"));
+
+    assert_eq!(
+        run.report, expected,
+        "{scenario}: faulted run diverged from the in-process engine"
+    );
+    let violations = check_congest_run(&inst, &run.report, Some(EPS), None);
+    assert!(
+        violations.is_empty(),
+        "{scenario}: conformance violations: {violations:?}"
+    );
+    run.transport
+        .reconcile()
+        .unwrap_or_else(|e| panic!("{scenario}: transport books broken: {e}"));
+}
+
+#[test]
+fn dropped_frames_are_resent_until_the_run_converges() {
+    for i in 0..iterations() {
+        assert_faulted_run_converges("drop p=0.05", FaultPlan::lossy(100 + i, 0.05), 3);
+    }
+}
+
+#[test]
+fn delayed_and_reordered_frames_do_not_change_the_run() {
+    for i in 0..iterations() {
+        let faults = FaultPlan {
+            seed: 200 + i,
+            delay_p: 0.2,
+            max_delay: 4,
+            ..FaultPlan::none()
+        };
+        assert_faulted_run_converges("delay/reorder", faults, 3);
+    }
+}
+
+#[test]
+fn duplicated_frames_are_answered_at_most_once() {
+    for i in 0..iterations() {
+        let faults = FaultPlan {
+            seed: 300 + i,
+            dup_p: 0.15,
+            ..FaultPlan::none()
+        };
+        assert_faulted_run_converges("duplicate p=0.15", faults, 3);
+    }
+}
+
+#[test]
+fn severed_links_heal_and_the_run_converges() {
+    for i in 0..iterations() {
+        let faults = FaultPlan {
+            seed: 400 + i,
+            partitions: vec![
+                PartitionWindow {
+                    proc_index: 0,
+                    from_op: 4,
+                    ops: 5,
+                },
+                PartitionWindow {
+                    proc_index: 2,
+                    from_op: 10 + i,
+                    ops: 4,
+                },
+            ],
+            ..FaultPlan::none()
+        };
+        assert_faulted_run_converges("partition-and-heal", faults, 3);
+    }
+}
+
+#[test]
+fn combined_chaos_still_converges() {
+    for i in 0..iterations() {
+        let faults = FaultPlan {
+            seed: 500 + i,
+            drop_p: 0.05,
+            dup_p: 0.05,
+            delay_p: 0.1,
+            max_delay: 3,
+            partitions: vec![PartitionWindow {
+                proc_index: 1,
+                from_op: 6,
+                ops: 4,
+            }],
+            ..FaultPlan::none()
+        };
+        assert_faulted_run_converges("combined chaos", faults, 4);
+    }
+}
+
+#[test]
+fn killed_node_reports_node_lost_without_hanging() {
+    let (inst, plan, _) = instance_and_plan(77);
+    let faults = FaultPlan {
+        kill: Some(KillSpec {
+            proc_index: 1,
+            at_seq: 4,
+        }),
+        ..FaultPlan::none()
+    };
+    let mut opts = DistOptions::new(3, node_bin()).with_faults(faults);
+    opts.reply_timeout = Duration::from_millis(25);
+    opts.max_attempts = 8;
+
+    let started = Instant::now();
+    let err = run_distributed(&inst, &plan, &opts).expect_err("a dead node cannot finish the run");
+    let elapsed = started.elapsed();
+
+    match err {
+        DistError::NodeLost { proc_index, .. } => assert_eq!(proc_index, 1, "the killed node"),
+        other => panic!("expected NodeLost, got: {other}"),
+    }
+    // No hang, no partial matching: the failure surfaces well within the
+    // retry budget (8 attempts × 25ms, plus spawn overhead).
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "node loss took {elapsed:?} to surface"
+    );
+}
+
+#[test]
+fn fault_free_battery_books_are_all_zero() {
+    let (inst, plan, expected) = instance_and_plan(5);
+    let run = run_distributed(&inst, &plan, &DistOptions::new(3, node_bin()))
+        .expect("clean run succeeds");
+    assert_eq!(run.report, expected);
+    assert!(run.transport.is_clean(), "{:?}", run.transport);
+    run.transport.reconcile().expect("clean books reconcile");
+}

@@ -1,0 +1,263 @@
+//! Golden wire corpus for the node protocol, replayed over a real
+//! socket.
+//!
+//! `src/protocol.rs` unit tests pin individual frame encodings; this
+//! suite pins whole *sessions* — handshake, control barrier, round
+//! exchange, duplicate replay, nack, snapshot, halt, and malformed-frame
+//! rejection — byte-for-byte through a real `TcpStream` served by
+//! [`NodeRunner::serve`]. Any byte of drift in the wire protocol fails
+//! the replay, so protocol changes must regenerate the corpus (the
+//! ignored `regen` test) and show up in review as a `cases/` diff.
+//!
+//! A `step.expect` of `""` means the node answers nothing (stale frames
+//! are dropped silently); oversized-frame rejection is code-driven at
+//! the end because a 64 MiB line does not belong in a corpus file.
+
+use asm_distributed::{NodeRunner, MAX_FRAME};
+use asm_instance::generators::GeneratorConfig;
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct GoldenCase {
+    description: String,
+    steps: Vec<Step>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Step {
+    send: String,
+    expect: String,
+}
+
+fn cases_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("cases")
+}
+
+/// Serves one node session on an ephemeral port and replays `sends`
+/// against it, returning the reply line for each send (`""` when the
+/// node stays silent, detected by a read timeout).
+fn run_session(sends: &[String]) -> Vec<String> {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        // Outcome intentionally ignored: rejection cases end the session
+        // with an error after the node_error reply is on the wire.
+        let _ = NodeRunner::new(stream).serve();
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(300)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut replies = Vec::new();
+    for send in sends {
+        writer.write_all(send.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => replies.push(String::new()),
+            Ok(_) => replies.push(line.trim_end_matches('\n').to_string()),
+        }
+    }
+    drop(writer);
+    drop(reader);
+    let _ = server.join();
+    replies
+}
+
+/// The scripted corpus: (file stem, description, session script). Every
+/// session is self-contained — it opens with its own `init` (or
+/// deliberately omits it) and drives one fresh node.
+fn corpus() -> Vec<(&'static str, &'static str, Vec<String>)> {
+    use asm_core::congest::AsmCtl;
+    use asm_core::AsmConfig;
+    use asm_distributed::{InitBody, ToNode, ToNodeFrame, DIST_SCHEMA};
+    use asm_maximal::MatcherBackend;
+
+    let inst = GeneratorConfig::Chain { n: 3 }.build();
+    let config = AsmConfig::new(1.0).with_backend(MatcherBackend::DetGreedy);
+    let n = inst.ids().num_players() as u32;
+    let frame =
+        |seq: u64, body: ToNode| asm_distributed::protocol::encode(&ToNodeFrame { seq, body });
+    let init = |seq: u64| {
+        frame(
+            seq,
+            ToNode::Init(Box::new(InitBody {
+                schema: DIST_SCHEMA,
+                proc_index: 0,
+                lo: 0,
+                hi: n,
+                instance: inst.clone(),
+                config: config.clone(),
+            })),
+        )
+    };
+
+    vec![
+        (
+            "handshake",
+            "init answers hello with the hosted player count; snapshot and halt close the session",
+            vec![
+                init(1),
+                frame(2, ToNode::Snapshot),
+                frame(3, ToNode::Halt),
+            ],
+        ),
+        (
+            "round_trip",
+            "a control barrier then an empty round: barrier_ok and round_done carry merged summaries",
+            vec![
+                init(1),
+                frame(2, ToNode::RoundBarrier { ops: vec![AsmCtl::BeginQuantileMatch { gate: 1 }] }),
+                frame(3, ToNode::RoundMsgs { msgs: vec![] }),
+                frame(4, ToNode::Halt),
+            ],
+        ),
+        (
+            "duplicate_replay",
+            "a repeated sequence number gets the cached reply, byte-for-byte",
+            vec![
+                init(1),
+                frame(2, ToNode::Snapshot),
+                frame(2, ToNode::Snapshot),
+                frame(3, ToNode::Halt),
+            ],
+        ),
+        (
+            "stale_and_nack",
+            "an older sequence number is dropped silently; a gap is nacked with the expected seq",
+            vec![
+                init(1),
+                frame(2, ToNode::Snapshot),
+                frame(1, ToNode::Snapshot),
+                frame(7, ToNode::Snapshot),
+                frame(3, ToNode::Halt),
+            ],
+        ),
+        (
+            "malformed",
+            "non-JSON, an unknown frame tag, and a missing body are each rejected with node_error",
+            vec![
+                "{this is not json".to_string(),
+                r#"{"frame":"warp","seq":1,"body":{}}"#.to_string(),
+                r#"{"frame":"round_msgs","seq":1}"#.to_string(),
+                init(1),
+                frame(2, ToNode::Halt),
+            ],
+        ),
+        (
+            "frame_before_init",
+            "a round frame before init is a protocol error that ends the session",
+            vec![frame(1, ToNode::RoundMsgs { msgs: vec![] })],
+        ),
+    ]
+}
+
+#[test]
+fn golden_corpus_replays_byte_identically_over_a_socket() {
+    let dir = cases_dir();
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("crates/distributed/cases/ exists")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .filter(|n| n.ends_with(".json"))
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "golden corpus is empty");
+    for name in names {
+        let text = std::fs::read_to_string(dir.join(&name)).unwrap();
+        let case: GoldenCase = serde_json::from_str(&text)
+            .unwrap_or_else(|err| panic!("{name}: unparseable case file: {err}"));
+        let sends: Vec<String> = case.steps.iter().map(|s| s.send.clone()).collect();
+        let actual = run_session(&sends);
+        assert_eq!(case.steps.len(), actual.len(), "{name}: step count");
+        for (i, (step, got)) in case.steps.iter().zip(&actual).enumerate() {
+            assert_eq!(
+                got, &step.expect,
+                "{name} step {i} ({}): reply drifted from the golden corpus",
+                case.description
+            );
+        }
+    }
+}
+
+#[test]
+fn corpus_files_cover_every_scripted_case() {
+    let dir = cases_dir();
+    for (stem, _, _) in corpus() {
+        assert!(
+            dir.join(format!("{stem}.json")).exists(),
+            "missing golden file for case `{stem}` — run the ignored `regen` test"
+        );
+    }
+}
+
+#[test]
+fn oversized_frame_is_rejected_with_node_error() {
+    // Production sessions cap frames at `MAX_FRAME`; the test shrinks
+    // the cap so the identical rejection path runs without a 64 MiB
+    // write.
+    const CAP: usize = 4096;
+    const _: () = assert!(MAX_FRAME > CAP);
+    let cap = CAP;
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        NodeRunner::with_frame_cap(stream, cap).serve()
+    });
+
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    // One unterminated line just past the frame cap.
+    writer.write_all(&vec![b'x'; cap + 1]).unwrap();
+    writer.flush().unwrap();
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(
+        line.contains(r#""frame":"node_error""#) && line.contains("cap"),
+        "expected an oversize node_error, got: {line}"
+    );
+    assert!(
+        server.join().unwrap().is_err(),
+        "the session must end in a framing error"
+    );
+}
+
+/// Regenerates the corpus. Ignored by default: run explicitly after an
+/// intentional protocol change, then review the diff.
+#[test]
+#[ignore = "rewrites the golden corpus; run explicitly after protocol changes"]
+fn regen() {
+    let dir = cases_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (stem, description, sends) in corpus() {
+        let expects = run_session(&sends);
+        let case = GoldenCase {
+            description: description.to_string(),
+            steps: sends
+                .into_iter()
+                .zip(expects)
+                .map(|(send, expect)| Step { send, expect })
+                .collect(),
+        };
+        let path = dir.join(format!("{stem}.json"));
+        let mut text = serde_json::to_string_pretty(&case).unwrap();
+        text.push('\n');
+        std::fs::write(&path, text).unwrap();
+        println!("wrote {}", path.display());
+    }
+}

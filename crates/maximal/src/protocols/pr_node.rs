@@ -18,11 +18,12 @@
 //! to [`crate::panconesi_rizzi`] — checked by this module's tests.
 
 use asm_congest::{Envelope, NodeId, Outbox, Payload, Process};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Messages of the Panconesi–Rizzi protocol. (Kept separate from
 /// [`super::MmMsg`]: colors carry a payload.)
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PrMsg {
     /// Setup: "you are my parent in forest `forest`".
     Child {

@@ -1,0 +1,161 @@
+//! Incremental newline framing.
+//!
+//! One [`LineFramer`] per connection turns an arbitrary byte stream into
+//! newline-delimited frames with the exact semantics the reactor's old
+//! inline framing had (and which `tests/golden_socket.rs` byte-pins):
+//!
+//! * bytes accumulate until a `\n` completes a frame;
+//! * one trailing `\r` is stripped (CRLF tolerance);
+//! * whitespace-only lines are skipped without becoming frames;
+//! * invalid UTF-8 in a completed line is a fatal framing error;
+//! * a partial frame growing past the cap is reported via
+//!   [`LineFramer::overflowed`] so the caller can drop the connection
+//!   instead of buffering without bound.
+//!
+//! Shared by the reactor ([`crate::reactor`]) and by the distributed
+//! node transport (`asm-distributed`), so both ends of every socket in
+//! the workspace frame bytes identically.
+
+use std::fmt;
+
+/// Fatal framing failure: the connection cannot be trusted past it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramingError {
+    /// A completed line held invalid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for FramingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FramingError::InvalidUtf8 => write!(f, "frame holds invalid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FramingError {}
+
+/// Incremental newline-delimited frame extractor.
+///
+/// # Examples
+///
+/// ```
+/// use asm_service::framing::LineFramer;
+///
+/// let mut framer = LineFramer::new(1024);
+/// framer.push(b"{\"op\":\"health\"}\r\n  \npart");
+/// assert_eq!(framer.next_frame().unwrap().as_deref(), Some("{\"op\":\"health\"}"));
+/// assert_eq!(framer.next_frame().unwrap(), None, "blank line skipped, partial retained");
+/// framer.push(b"ial\n");
+/// assert_eq!(framer.next_frame().unwrap().as_deref(), Some("partial"));
+/// ```
+#[derive(Debug, Default)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl LineFramer {
+    /// Creates a framer that flags partial frames larger than
+    /// `max_frame` bytes via [`LineFramer::overflowed`].
+    pub fn new(max_frame: usize) -> Self {
+        LineFramer {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete frame, skipping whitespace-only lines.
+    /// Returns `Ok(None)` when no complete line remains buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`FramingError::InvalidUtf8`] if a completed line is not UTF-8;
+    /// the line is consumed, but the caller should drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<String>, FramingError> {
+        loop {
+            let Some(newline) = self.buf.iter().position(|&b| b == b'\n') else {
+                return Ok(None);
+            };
+            let frame: Vec<u8> = self.buf.drain(..=newline).collect();
+            let mut end = frame.len() - 1;
+            if end > 0 && frame[end - 1] == b'\r' {
+                end -= 1;
+            }
+            let Ok(line) = std::str::from_utf8(&frame[..end]) else {
+                return Err(FramingError::InvalidUtf8);
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Ok(Some(line.to_string()));
+        }
+    }
+
+    /// Whether the buffered partial frame exceeds the cap (checked by
+    /// callers after draining, so completed frames never trip it).
+    pub fn overflowed(&self) -> bool {
+        self.buf.len() > self.max_frame
+    }
+
+    /// Bytes buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_coalesced_frames() {
+        let mut f = LineFramer::new(64);
+        f.push(b"one\ntwo\nthr");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("one"));
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("two"));
+        assert_eq!(f.next_frame().unwrap(), None);
+        assert_eq!(f.buffered(), 3);
+        f.push(b"ee\n");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("three"));
+    }
+
+    #[test]
+    fn strips_one_trailing_cr() {
+        let mut f = LineFramer::new(64);
+        f.push(b"line\r\n\r\r\n");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("line"));
+        // "\r\r\n" strips to "\r", which trims to empty and is skipped.
+        assert_eq!(f.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped_not_framed() {
+        let mut f = LineFramer::new(64);
+        f.push(b"\n   \n\t\npayload\n");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("payload"));
+        assert_eq!(f.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn invalid_utf8_is_fatal() {
+        let mut f = LineFramer::new(64);
+        f.push(b"ok\n\xff\xfe\nafter\n");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("ok"));
+        assert_eq!(f.next_frame(), Err(FramingError::InvalidUtf8));
+    }
+
+    #[test]
+    fn overflow_flags_only_partial_frames() {
+        let mut f = LineFramer::new(8);
+        f.push(b"0123456789abcdef\n");
+        assert!(f.overflowed(), "undelimited bytes past the cap");
+        assert_eq!(f.next_frame().unwrap().as_deref(), Some("0123456789abcdef"));
+        assert!(!f.overflowed(), "drained frames never trip the cap");
+    }
+}

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod framing;
 pub mod metrics;
 pub mod protocol;
 pub mod reactor;

@@ -48,6 +48,7 @@
 //! *retired* (the reactor keeps answering control frames on lingering
 //! connections until they close, then exits).
 
+use crate::framing::LineFramer;
 use crate::metrics::ReactorCounters;
 use crate::service::{CompletionSink, Service};
 use std::collections::{HashMap, VecDeque};
@@ -169,9 +170,9 @@ impl CompletionSink for ReactorSink {
 /// One connection's state: buffers, the ordered outbox, and liveness.
 struct Conn {
     stream: TcpStream,
-    /// Bytes read but not yet framed (at most one partial frame plus
-    /// whatever a stall left unprocessed).
-    read_buf: Vec<u8>,
+    /// Incremental framer over bytes read but not yet framed (at most
+    /// one partial frame plus whatever a stall left unprocessed).
+    framer: LineFramer,
     /// Flushed-in-order response bytes; `write_pos` marks how much has
     /// reached the socket.
     write_buf: Vec<u8>,
@@ -193,10 +194,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, max_frame: usize) -> Self {
         Conn {
             stream,
-            read_buf: Vec::new(),
+            framer: LineFramer::new(max_frame),
             write_buf: Vec::new(),
             write_pos: 0,
             outbox: VecDeque::new(),
@@ -361,7 +362,8 @@ impl Reactor {
                     }
                     let token = self.next_token;
                     self.next_token += 1;
-                    self.conns.insert(token, Conn::new(stream));
+                    self.conns
+                        .insert(token, Conn::new(stream, self.config.max_frame));
                     self.counters.accepted.fetch_add(1, Ordering::Relaxed);
                     self.counters
                         .open_connections
@@ -420,10 +422,10 @@ impl Reactor {
                     progress = true;
                 }
                 Ok(n) => {
-                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.framer.push(&chunk[..n]);
                     progress = true;
                     self.drain_frames(conn, token);
-                    if conn.read_buf.len() > self.config.max_frame {
+                    if conn.framer.overflowed() {
                         conn.dead = true;
                         self.counters.resets.fetch_add(1, Ordering::Relaxed);
                     }
@@ -444,37 +446,33 @@ impl Reactor {
     /// the service; inline replies fill their slot immediately, admitted
     /// jobs leave it pending for the wake queue.
     fn drain_frames(&mut self, conn: &mut Conn, token: u64) -> bool {
-        let mut progress = false;
+        let before = conn.framer.buffered();
         while !conn.dead && !self.is_stalled(conn) {
-            let Some(newline) = conn.read_buf.iter().position(|&b| b == b'\n') else {
-                break;
-            };
-            let frame: Vec<u8> = conn.read_buf.drain(..=newline).collect();
-            progress = true;
-            let mut end = frame.len() - 1;
-            if end > 0 && frame[end - 1] == b'\r' {
-                end -= 1;
-            }
-            let Ok(line) = std::str::from_utf8(&frame[..end]) else {
-                // The old per-connection loop surfaced invalid UTF-8 as
-                // a read error and closed; keep that behavior.
-                conn.dead = true;
-                self.counters.resets.fetch_add(1, Ordering::Relaxed);
-                break;
-            };
-            if line.trim().is_empty() {
-                continue;
-            }
-            self.counters.frames.fetch_add(1, Ordering::Relaxed);
-            let seq = conn.next_seq;
-            conn.next_seq += 1;
-            conn.outbox.push_back(None);
-            match self.service.handle_line_async(line, token, seq, &self.sink) {
-                Some(response) => conn.fill_slot(seq, response),
-                None => self.pending_jobs += 1,
+            match conn.framer.next_frame() {
+                Ok(Some(line)) => {
+                    self.counters.frames.fetch_add(1, Ordering::Relaxed);
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.outbox.push_back(None);
+                    match self
+                        .service
+                        .handle_line_async(&line, token, seq, &self.sink)
+                    {
+                        Some(response) => conn.fill_slot(seq, response),
+                        None => self.pending_jobs += 1,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Invalid UTF-8: the old per-connection loop surfaced
+                    // it as a read error and closed; keep that behavior.
+                    conn.dead = true;
+                    self.counters.resets.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
             }
         }
-        progress
+        conn.framer.buffered() != before
     }
 
     /// Retires dead connections and cleanly-closed ones whose responses

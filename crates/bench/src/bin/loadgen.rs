@@ -9,12 +9,16 @@
 //! ```
 //!
 //! Exit codes: 0 success, 1 a requested check failed (protocol errors,
-//! metrics mismatch, or `--expect-zero-errors` violated), 2 usage error.
+//! metrics mismatch, or an `--expect-*` assertion violated), 2 usage
+//! error. Pointed at an `asm route` front tier, `--expect-backend-spread`
+//! asserts the mix actually fanned out and `--expect-failover` asserts
+//! the router rerouted around a dead backend; the router's merged books
+//! are audited for internal consistency whenever metrics are fetched.
 //! The report's deterministic section depends only on the mix seed (see
 //! `asm_bench::loadgen`); `--sweep-out` writes a `SweepReport` the
 //! perf-gate tooling understands.
 
-use asm_bench::loadgen::{control, run_mix, verify_metrics, MixConfig};
+use asm_bench::loadgen::{control, run_mix, verify_metrics, verify_router_books, MixConfig};
 use asm_service::{Op, Reply, ServiceConfig};
 use std::process::ExitCode;
 
@@ -23,10 +27,16 @@ const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurr
                [--eps E] [--delta D] [--deadline-ms MS] [--distinct-instances K]
                [--open-rate RPS] [--batch N] [--report PATH] [--sweep-out PATH]
                [--verify-metrics] [--expect-zero-errors] [--shutdown]
+               [--expect-backend-spread] [--expect-failover]
                [--shards-sweep 1,2,4,8] [--workers N]
 
 --connections N fans N sockets out across the --concurrency threads
 (one frame in flight per socket); 0 means one socket per thread.
+
+--expect-backend-spread and --expect-failover target an `asm route`
+front tier: spread requires at least two backends to have solved
+something, failover requires the router's failover counter to be
+positive. Both fetch metrics and audit the router's merged books.
 
 With --shards-sweep, loadgen ignores --addr: it starts one in-process
 server per listed shard count (port 0), replays the same mix against
@@ -40,6 +50,8 @@ struct Args {
     sweep_out: Option<String>,
     verify: bool,
     expect_zero_errors: bool,
+    expect_backend_spread: bool,
+    expect_failover: bool,
     shutdown: bool,
     shards_sweep: Vec<u64>,
     workers: usize,
@@ -53,6 +65,8 @@ fn parse_args() -> Result<Args, String> {
         sweep_out: None,
         verify: false,
         expect_zero_errors: false,
+        expect_backend_spread: false,
+        expect_failover: false,
         shutdown: false,
         shards_sweep: Vec::new(),
         workers: 4,
@@ -105,6 +119,8 @@ fn parse_args() -> Result<Args, String> {
             "--sweep-out" => args.sweep_out = Some(value("--sweep-out")?),
             "--verify-metrics" => args.verify = true,
             "--expect-zero-errors" => args.expect_zero_errors = true,
+            "--expect-backend-spread" => args.expect_backend_spread = true,
+            "--expect-failover" => args.expect_failover = true,
             "--shutdown" => args.shutdown = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other}")),
@@ -256,26 +272,80 @@ fn main() -> ExitCode {
 
     let mut failed = false;
 
-    if args.verify {
+    let snapshot = if args.verify || args.expect_backend_spread || args.expect_failover {
         match control(&args.addr, Op::Metrics) {
-            Ok(Reply::Metrics(snapshot)) => {
-                let mismatches = verify_metrics(&report, &snapshot);
-                if mismatches.is_empty() {
-                    println!("loadgen: metrics reconcile with the server's counters");
-                } else {
-                    failed = true;
-                    for m in &mismatches {
-                        eprintln!("loadgen: metrics mismatch: {m}");
-                    }
-                }
-            }
+            Ok(Reply::Metrics(snapshot)) => Some(snapshot),
             Ok(other) => {
                 failed = true;
                 eprintln!("loadgen: metrics request drew `{}`", other.tag());
+                None
             }
             Err(err) => {
                 failed = true;
                 eprintln!("loadgen: cannot fetch metrics: {err}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    if let Some(snapshot) = &snapshot {
+        if args.verify {
+            let mismatches = verify_metrics(&report, snapshot);
+            if mismatches.is_empty() {
+                println!("loadgen: metrics reconcile with the server's counters");
+            } else {
+                failed = true;
+                for m in &mismatches {
+                    eprintln!("loadgen: metrics mismatch: {m}");
+                }
+            }
+        }
+        // A router peer's merged books are audited against themselves
+        // whenever metrics were fetched — this holds even when a dead
+        // backend makes loadgen-vs-server reconciliation impossible.
+        let books = verify_router_books(snapshot);
+        if !snapshot.backends.is_empty() && books.is_empty() {
+            println!(
+                "loadgen: router books balance across {} backends",
+                snapshot.backends.len()
+            );
+        }
+        for m in &books {
+            failed = true;
+            eprintln!("loadgen: router books mismatch: {m}");
+        }
+        if args.expect_backend_spread {
+            let spread = snapshot.backends.iter().filter(|b| b.solved > 0).count();
+            if spread >= 2 {
+                println!("loadgen: solves spread across {spread} backends");
+            } else {
+                failed = true;
+                eprintln!(
+                    "loadgen: --expect-backend-spread violated: {spread} of {} backends solved anything",
+                    snapshot.backends.len()
+                );
+            }
+        }
+        if args.expect_failover {
+            match &snapshot.router {
+                Some(router) if router.failovers > 0 => {
+                    println!("loadgen: router recorded {} failover(s)", router.failovers);
+                }
+                Some(router) => {
+                    failed = true;
+                    eprintln!(
+                        "loadgen: --expect-failover violated: router recorded {} failovers",
+                        router.failovers
+                    );
+                }
+                None => {
+                    failed = true;
+                    eprintln!(
+                        "loadgen: --expect-failover needs an `asm route` peer (no router block in metrics)"
+                    );
+                }
             }
         }
     }

@@ -840,6 +840,125 @@ pub fn verify_metrics(report: &LoadReport, snapshot: &MetricsSnapshot) -> Vec<St
     mismatches
 }
 
+/// Audits a *router-produced* snapshot against itself: the per-backend
+/// array plus the router's own folds must reproduce the merged
+/// aggregates exactly (counters sum, `queue_peak` maxes, sheds fold into
+/// `overloaded`, router errors into `errors`).
+///
+/// Unlike [`verify_metrics`] this needs no [`LoadReport`], so it still
+/// holds after a backend was killed mid-run — the dead backend's books
+/// are lost (its array slice reads zero), which breaks loadgen-vs-server
+/// reconciliation but not the router's internal arithmetic. Returns the
+/// mismatches (empty ⇔ the books balance); an empty `backends` array —
+/// a snapshot not produced by a router — passes vacuously.
+pub fn verify_router_books(snapshot: &MetricsSnapshot) -> Vec<String> {
+    let mut mismatches = Vec::new();
+    if snapshot.backends.is_empty() {
+        return mismatches;
+    }
+    let Some(router) = &snapshot.router else {
+        return vec!["router block missing from a snapshot with a backends array".to_string()];
+    };
+    let mut check = |name: &str, parts: u64, merged: u64| {
+        if parts != merged {
+            mismatches.push(format!(
+                "{name}: backend slices sum to {parts}, merged aggregate says {merged}"
+            ));
+        }
+    };
+    let sum = |f: fn(&asm_service::BackendSnapshot) -> u64| -> u64 {
+        snapshot.backends.iter().map(f).sum()
+    };
+    check("Σ backend solved", sum(|b| b.solved), snapshot.solved);
+    check("Σ backend analyzed", sum(|b| b.analyzed), snapshot.analyzed);
+    check(
+        "Σ backend overloaded + router sheds",
+        sum(|b| b.overloaded) + router.sheds,
+        snapshot.overloaded,
+    );
+    check(
+        "Σ backend errors + router errors",
+        sum(|b| b.errors) + router.errors,
+        snapshot.errors,
+    );
+    check(
+        "Σ backend deadline_exceeded",
+        sum(|b| b.deadline_exceeded),
+        snapshot.deadline_exceeded,
+    );
+    check(
+        "Σ backend cache_hits",
+        sum(|b| b.cache_hits),
+        snapshot.cache_hits,
+    );
+    check(
+        "Σ backend cache_misses",
+        sum(|b| b.cache_misses),
+        snapshot.cache_misses,
+    );
+    check(
+        "Σ backend cache_entries",
+        sum(|b| b.cache_entries),
+        snapshot.cache_entries,
+    );
+    check(
+        "Σ backend queue_depth",
+        sum(|b| b.queue_depth),
+        snapshot.queue_depth,
+    );
+    check(
+        "Σ backend rounds_total",
+        sum(|b| b.rounds_total),
+        snapshot.rounds_total,
+    );
+    check(
+        "Σ backend messages_total",
+        sum(|b| b.messages_total),
+        snapshot.messages_total,
+    );
+    check(
+        "Σ backend blocking_pairs_total",
+        sum(|b| b.blocking_pairs_total),
+        snapshot.blocking_pairs_total,
+    );
+    check(
+        "Σ backend matched_total",
+        sum(|b| b.matched_total),
+        snapshot.matched_total,
+    );
+    check(
+        "max backend queue_peak",
+        snapshot
+            .backends
+            .iter()
+            .map(|b| b.queue_peak)
+            .max()
+            .unwrap_or(0),
+        snapshot.queue_peak,
+    );
+    if router.failovers > router.routed {
+        mismatches.push(format!(
+            "failovers ({}) exceed routed exchanges ({})",
+            router.failovers, router.routed
+        ));
+    }
+    for (i, backend) in snapshot.backends.iter().enumerate() {
+        if backend.backend != i as u64 {
+            mismatches.push(format!(
+                "backends[{i}] reports slice index {}",
+                backend.backend
+            ));
+        }
+        if !matches!(backend.state.as_str(), "up" | "suspect" | "down") {
+            mismatches.push(format!(
+                "backends[{i}] reports unknown state `{}`",
+                backend.state
+            ));
+        }
+    }
+    mismatches
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -968,6 +1087,62 @@ mod tests {
         }
     }
 
+    /// A balanced router snapshot: two backends plus router folds that
+    /// reproduce the merged aggregates exactly.
+    fn router_snapshot_json() -> String {
+        let backend = |i: u64, solved: u64, overloaded: u64, errors: u64, hits: u64, peak: u64| {
+            format!(
+                "{{\"backend\":{i},\"state\":\"up\",\"received\":5,\"solved\":{solved},\
+                 \"analyzed\":0,\"overloaded\":{overloaded},\"deadline_exceeded\":0,\
+                 \"errors\":{errors},\"cache_hits\":{hits},\"cache_misses\":2,\
+                 \"cache_entries\":2,\"queue_depth\":0,\"queue_peak\":{peak},\
+                 \"rounds_total\":{},\"messages_total\":{},\"blocking_pairs_total\":0,\
+                 \"matched_total\":{}}}",
+                solved * 10,
+                solved * 20,
+                solved * 7,
+            )
+        };
+        format!(
+            "{{\"schema\":1,\"received\":10,\"malformed\":1,\"solved\":5,\"analyzed\":0,\
+             \"health\":0,\"metrics\":2,\"shutdown\":0,\"overloaded\":3,\
+             \"deadline_exceeded\":0,\"errors\":4,\"cache_hits\":1,\"cache_misses\":4,\
+             \"cache_hit_rate\":0.2,\"cache_entries\":4,\"queue_depth\":0,\"queue_peak\":2,\
+             \"rounds_total\":50,\"messages_total\":100,\"blocking_pairs_total\":0,\
+             \"matched_total\":35,\"latency_p50_us\":2,\"latency_p95_us\":2,\
+             \"latency_p99_us\":2,\"backends\":[{},{}],\
+             \"router\":{{\"received\":9,\"malformed\":1,\"routed\":8,\"retried\":1,\
+             \"failovers\":1,\"sheds\":2,\"errors\":3,\"probes\":4,\"probe_failures\":1,\
+             \"to_suspect\":1,\"to_down\":0,\"recoveries\":1}}}}",
+            backend(0, 3, 1, 0, 1, 2),
+            backend(1, 2, 0, 1, 0, 1),
+        )
+    }
+
+    #[test]
+    fn router_books_balance_and_mismatches_are_caught() {
+        let snapshot: MetricsSnapshot = serde_json::from_str(&router_snapshot_json()).unwrap();
+        assert_eq!(verify_router_books(&snapshot), Vec::<String>::new());
+
+        // Losing a backend's solves breaks the sum check.
+        let mut broken = snapshot.clone();
+        broken.backends[1].solved = 0;
+        assert!(verify_router_books(&broken)
+            .iter()
+            .any(|m| m.contains("Σ backend solved")));
+
+        // Dropping the router block is itself a mismatch…
+        let mut headless = snapshot.clone();
+        headless.router = None;
+        assert!(verify_router_books(&headless)[0].contains("router block missing"));
+
+        // …but a plain (non-router) snapshot passes vacuously.
+        let mut plain = snapshot;
+        plain.backends.clear();
+        plain.router = None;
+        assert_eq!(verify_router_books(&plain), Vec::<String>::new());
+    }
+
     #[test]
     fn classify_batch_tallies_items_like_singles() {
         let mix = MixConfig::default();
@@ -990,10 +1165,7 @@ mod tests {
             reply: Reply::SolvedBatch(asm_service::BatchResult {
                 items: vec![
                     asm_service::BatchItemResult::Solved(solved),
-                    asm_service::BatchItemResult::Overloaded(asm_service::OverloadInfo {
-                        queue_capacity: 1,
-                        queue_depth: 1,
-                    }),
+                    asm_service::BatchItemResult::Overloaded(asm_service::OverloadInfo::new(1, 1)),
                     asm_service::BatchItemResult::Error(asm_service::ErrorInfo::new(
                         asm_service::kind::INVALID,
                         "nope",

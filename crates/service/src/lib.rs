@@ -62,23 +62,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod framing;
 pub mod metrics;
 pub mod protocol;
 pub mod reactor;
+pub mod router;
 pub mod server;
 pub mod service;
 
+pub use backend::{Backend, BackendState, Transition};
 pub use cache::{instance_hash, ResultCache, SolveKey};
 pub use metrics::{
-    Metrics, MetricsSnapshot, ReactorCounters, ShardCounters, ShardSnapshot, METRICS_SCHEMA,
+    BackendSnapshot, Metrics, MetricsSnapshot, ReactorCounters, RouterSnapshot, ShardCounters,
+    ShardSnapshot, METRICS_SCHEMA,
 };
 pub use protocol::{
     kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchBody, BatchItemResult, BatchResult,
     DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec, Op, OverloadInfo, Reply, Request, Response,
-    SolveBody, SolveResult, PROTOCOL_SCHEMA,
+    SolveBody, SolveResult, OVERLOAD_REASON_ROUTER, PROTOCOL_SCHEMA,
 };
 pub use reactor::ReactorConfig;
+pub use router::{serve_router, serve_router_with, Router, RouterConfig};
 pub use server::{serve, serve_with, ServerHandle};
-pub use service::{CompletionSink, Service, ServiceConfig};
+pub use service::{CompletionSink, FrameHandler, Service, ServiceConfig};

@@ -164,6 +164,8 @@ impl Metrics {
             latency_p95_us: bucket_quantile(&buckets, 0.95),
             latency_p99_us: bucket_quantile(&buckets, 0.99),
             shards: Vec::new(),
+            backends: Vec::new(),
+            router: None,
         }
     }
 }
@@ -307,6 +309,87 @@ pub struct ShardSnapshot {
     pub matched_total: u64,
 }
 
+/// One backend's slice of the router tier's merged books, embedded in
+/// [`MetricsSnapshot`] when the snapshot was produced by `asm route`.
+/// Counter fields are the backend's own aggregates at merge time; a
+/// backend that was down (or failed the fetch) reports all-zero counters
+/// with its `state`, so the array always has one entry per configured
+/// backend, in hash-slice order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BackendSnapshot {
+    /// Backend index (0-based, the `instance_hash % backends` slice).
+    pub backend: u64,
+    /// Probe state at merge time: `"up"`, `"suspect"`, or `"down"`.
+    pub state: String,
+    /// Frames this backend has received.
+    pub received: u64,
+    /// `solved` replies this backend produced.
+    pub solved: u64,
+    /// `analyzed` replies this backend produced.
+    pub analyzed: u64,
+    /// `overloaded` refusals from this backend's queues.
+    pub overloaded: u64,
+    /// Deadline expiries in this backend's queues.
+    pub deadline_exceeded: u64,
+    /// `error` replies this backend produced.
+    pub errors: u64,
+    /// This backend's result-cache hits.
+    pub cache_hits: u64,
+    /// This backend's result-cache misses.
+    pub cache_misses: u64,
+    /// Entries currently in this backend's caches.
+    pub cache_entries: u64,
+    /// Jobs currently in this backend's queues.
+    pub queue_depth: u64,
+    /// This backend's queue-depth high-water mark.
+    pub queue_peak: u64,
+    /// Σ rounds over this backend's solved jobs.
+    pub rounds_total: u64,
+    /// Σ messages over this backend's solved jobs.
+    pub messages_total: u64,
+    /// Σ blocking pairs over this backend's solved jobs.
+    pub blocking_pairs_total: u64,
+    /// Σ matched pairs over this backend's solved jobs.
+    pub matched_total: u64,
+}
+
+/// The router tier's own counters, embedded in [`MetricsSnapshot`] when
+/// the snapshot was produced by `asm route`. These count router-origin
+/// outcomes (which the merged aggregates also fold in, so the books
+/// still balance against client tallies) plus routing/probe activity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouterSnapshot {
+    /// Frames the router itself received from clients.
+    pub received: u64,
+    /// Frames the router failed to parse.
+    pub malformed: u64,
+    /// Successful forwarded exchanges (a batch counts one per
+    /// per-backend sub-batch).
+    pub routed: u64,
+    /// Exchanges retried once on a fresh connection after a pooled
+    /// backend connection died mid-request.
+    pub retried: u64,
+    /// Requests ultimately served by a non-primary backend because their
+    /// hash slice's backend was down or failing.
+    pub failovers: u64,
+    /// Requests shed by the router (`overloaded` with reason `router`):
+    /// every candidate backend down, or the forward queue full.
+    pub sheds: u64,
+    /// Router-origin `error` replies (malformed lines, unavailable
+    /// refusals after shutdown).
+    pub errors: u64,
+    /// Health probes sent.
+    pub probes: u64,
+    /// Health probes that failed or timed out.
+    pub probe_failures: u64,
+    /// up → suspect transitions.
+    pub to_suspect: u64,
+    /// suspect → down transitions.
+    pub to_down: u64,
+    /// Transitions back to up from suspect or down.
+    pub recoveries: u64,
+}
+
 /// The bucket index for a latency sample.
 fn latency_bucket(micros: u64) -> usize {
     // 0..=1 µs → bucket 0; otherwise floor(log2) capped at the last bucket.
@@ -388,6 +471,12 @@ pub struct MetricsSnapshot {
     /// Per-shard books; empty (and omitted from the JSON) when the
     /// service runs a single shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Per-backend books; present only in snapshots merged by the
+    /// router tier (empty and omitted otherwise).
+    pub backends: Vec<BackendSnapshot>,
+    /// Router-local counters; present only in snapshots merged by the
+    /// router tier (omitted otherwise).
+    pub router: Option<RouterSnapshot>,
 }
 
 /// Field order of the flat `u64` counters, shared by both hand-written
@@ -448,6 +537,12 @@ impl Serialize for MetricsSnapshot {
         if !self.shards.is_empty() {
             m.push(("shards".to_string(), self.shards.to_content()));
         }
+        if !self.backends.is_empty() {
+            m.push(("backends".to_string(), self.backends.to_content()));
+        }
+        if let Some(router) = &self.router {
+            m.push(("router".to_string(), router.to_content()));
+        }
         Content::Map(m)
     }
 }
@@ -495,6 +590,14 @@ impl Deserialize for MetricsSnapshot {
             shards: match content_get(map, "shards") {
                 Some(c) => Vec::<ShardSnapshot>::from_content(c)?,
                 None => Vec::new(),
+            },
+            backends: match content_get(map, "backends") {
+                Some(c) => Vec::<BackendSnapshot>::from_content(c)?,
+                None => Vec::new(),
+            },
+            router: match content_get(map, "router") {
+                Some(c) => Some(RouterSnapshot::from_content(c)?),
+                None => None,
             },
         })
     }
@@ -553,6 +656,58 @@ mod tests {
         assert_eq!(back, sharded);
         assert_eq!(back.shards[0].cache_entries, 4);
         assert_eq!(back.shards[1].shard, 1);
+    }
+
+    #[test]
+    fn backends_and_router_are_omitted_when_absent_and_round_trip() {
+        let m = Metrics::new();
+        let plain = m.snapshot(0, 0);
+        let line = serde_json::to_string(&plain).unwrap();
+        assert!(!line.contains("backends"), "{line}");
+        assert!(!line.contains("router"), "{line}");
+
+        let mut merged = m.snapshot(0, 0);
+        merged.backends = vec![BackendSnapshot {
+            backend: 0,
+            state: "up".to_string(),
+            received: 9,
+            solved: 5,
+            analyzed: 1,
+            overloaded: 0,
+            deadline_exceeded: 0,
+            errors: 0,
+            cache_hits: 2,
+            cache_misses: 3,
+            cache_entries: 3,
+            queue_depth: 0,
+            queue_peak: 2,
+            rounds_total: 40,
+            messages_total: 200,
+            blocking_pairs_total: 1,
+            matched_total: 20,
+        }];
+        merged.router = Some(RouterSnapshot {
+            received: 9,
+            malformed: 0,
+            routed: 9,
+            retried: 1,
+            failovers: 2,
+            sheds: 0,
+            errors: 0,
+            probes: 12,
+            probe_failures: 3,
+            to_suspect: 1,
+            to_down: 1,
+            recoveries: 1,
+        });
+        let line = serde_json::to_string(&merged).unwrap();
+        assert!(
+            line.contains("\"backends\":[{\"backend\":0,\"state\":\"up\""),
+            "{line}"
+        );
+        assert!(line.contains("\"router\":{\"received\":9"), "{line}");
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, merged);
     }
 
     #[test]

@@ -167,8 +167,10 @@ pub enum Reply {
     Analyzed(AnalyzeResult),
     /// Wire tag `"health"`.
     Health(HealthInfo),
-    /// Wire tag `"metrics"`.
-    Metrics(crate::metrics::MetricsSnapshot),
+    /// Wire tag `"metrics"`. Boxed: the snapshot (per-shard and
+    /// per-backend arrays included) dwarfs every other variant, and
+    /// `Reply` travels through the hot solve path.
+    Metrics(Box<crate::metrics::MetricsSnapshot>),
     /// Wire tag `"shutting_down"`: shutdown accepted, in-flight jobs
     /// will drain.
     ShuttingDown,
@@ -386,12 +388,83 @@ impl Deserialize for HealthInfo {
 }
 
 /// `overloaded` reply body.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Serialized by hand: the `reason` field is omitted when empty, so
+/// replies shed by the service's own admission control (which never sets
+/// a reason) keep their exact pre-router bytes. The router tier sets
+/// `reason` to [`OVERLOAD_REASON_ROUTER`] when *it* shed the request
+/// (every candidate backend down, or the forward queue full) so clients
+/// can tell a router shed from a backend queue refusal.
+#[derive(Clone, Debug, PartialEq)]
 pub struct OverloadInfo {
     /// The queue's capacity.
     pub queue_capacity: u64,
     /// Queue depth at the moment of refusal.
     pub queue_depth: u64,
+    /// Who shed the request: empty (and omitted from the wire) for the
+    /// service's own queue, [`OVERLOAD_REASON_ROUTER`] for the router.
+    pub reason: String,
+}
+
+/// The `reason` string the router tier stamps on `overloaded` replies it
+/// originates (as opposed to relaying from a backend).
+pub const OVERLOAD_REASON_ROUTER: &str = "router";
+
+impl OverloadInfo {
+    /// A service-origin refusal (no `reason` on the wire).
+    pub fn new(queue_capacity: u64, queue_depth: u64) -> Self {
+        OverloadInfo {
+            queue_capacity,
+            queue_depth,
+            reason: String::new(),
+        }
+    }
+
+    /// A router-origin shed (`reason` = [`OVERLOAD_REASON_ROUTER`]).
+    pub fn shed(queue_capacity: u64, queue_depth: u64) -> Self {
+        OverloadInfo {
+            queue_capacity,
+            queue_depth,
+            reason: OVERLOAD_REASON_ROUTER.to_string(),
+        }
+    }
+}
+
+impl Serialize for OverloadInfo {
+    fn to_content(&self) -> Content {
+        let mut map = vec![
+            (
+                "queue_capacity".to_string(),
+                self.queue_capacity.to_content(),
+            ),
+            ("queue_depth".to_string(), self.queue_depth.to_content()),
+        ];
+        if !self.reason.is_empty() {
+            map.push(("reason".to_string(), self.reason.to_content()));
+        }
+        Content::Map(map)
+    }
+}
+
+impl Deserialize for OverloadInfo {
+    fn from_content(content: &Content) -> Result<Self, serde::Error> {
+        let map = content
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected an overloaded object"))?;
+        let field = |name: &str| {
+            content_get(map, name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in overloaded"))
+            })
+        };
+        Ok(OverloadInfo {
+            queue_capacity: u64::from_content(field("queue_capacity")?)?,
+            queue_depth: u64::from_content(field("queue_depth")?)?,
+            reason: match content_get(map, "reason") {
+                Some(c) => String::from_content(c)?,
+                None => String::new(),
+            },
+        })
+    }
 }
 
 /// `deadline_exceeded` reply body.
@@ -538,7 +611,9 @@ impl Deserialize for Response {
             "solved_batch" => Reply::SolvedBatch(BatchResult::from_content(body()?)?),
             "analyzed" => Reply::Analyzed(AnalyzeResult::from_content(body()?)?),
             "health" => Reply::Health(HealthInfo::from_content(body()?)?),
-            "metrics" => Reply::Metrics(crate::metrics::MetricsSnapshot::from_content(body()?)?),
+            "metrics" => Reply::Metrics(Box::new(crate::metrics::MetricsSnapshot::from_content(
+                body()?,
+            )?)),
             "shutting_down" => Reply::ShuttingDown,
             "overloaded" => Reply::Overloaded(OverloadInfo::from_content(body()?)?),
             "deadline_exceeded" => Reply::DeadlineExceeded(DeadlineInfo::from_content(body()?)?),
@@ -745,10 +820,7 @@ mod tests {
             id: Some(12),
             reply: Reply::SolvedBatch(BatchResult {
                 items: vec![
-                    BatchItemResult::Overloaded(OverloadInfo {
-                        queue_capacity: 4,
-                        queue_depth: 4,
-                    }),
+                    BatchItemResult::Overloaded(OverloadInfo::new(4, 4)),
                     BatchItemResult::DeadlineExceeded(DeadlineInfo { deadline_ms: 5 }),
                     BatchItemResult::Error(ErrorInfo::new(kind::INVALID, "bad eps")),
                 ],
@@ -793,6 +865,25 @@ mod tests {
         let line = render(&info);
         assert!(line.ends_with("\"shards\":4}"), "{line}");
         assert_eq!(serde_json::from_str::<HealthInfo>(&line).unwrap(), info);
+    }
+
+    #[test]
+    fn overloaded_omits_empty_reason_and_round_trips_router_shed() {
+        let plain = OverloadInfo::new(64, 64);
+        let line = render(&plain);
+        assert_eq!(line, "{\"queue_capacity\":64,\"queue_depth\":64}");
+        assert_eq!(
+            serde_json::from_str::<OverloadInfo>(&line).unwrap(),
+            plain,
+            "missing reason must default to empty"
+        );
+        let shed = OverloadInfo::shed(16, 16);
+        let line = render(&shed);
+        assert_eq!(
+            line,
+            "{\"queue_capacity\":16,\"queue_depth\":16,\"reason\":\"router\"}"
+        );
+        assert_eq!(serde_json::from_str::<OverloadInfo>(&line).unwrap(), shed);
     }
 
     #[test]

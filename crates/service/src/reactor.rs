@@ -50,7 +50,7 @@
 
 use crate::framing::LineFramer;
 use crate::metrics::ReactorCounters;
-use crate::service::{CompletionSink, Service};
+use crate::service::{CompletionSink, FrameHandler};
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -232,7 +232,7 @@ impl Conn {
 /// [`serve`](crate::server::serve); everything else is internal.
 pub(crate) struct Reactor {
     listener: Option<TcpListener>,
-    service: Arc<Service>,
+    handler: Arc<dyn FrameHandler>,
     stop: Arc<AtomicBool>,
     wake: Arc<WakeQueue>,
     sink: Arc<dyn CompletionSink>,
@@ -251,7 +251,7 @@ pub(crate) struct Reactor {
 /// Spawns the reactor thread serving `listener`.
 pub(crate) fn spawn_reactor(
     listener: TcpListener,
-    service: Arc<Service>,
+    handler: Arc<dyn FrameHandler>,
     stop: Arc<AtomicBool>,
     wake: Arc<WakeQueue>,
     counters: Arc<ReactorCounters>,
@@ -264,7 +264,7 @@ pub(crate) fn spawn_reactor(
     });
     let reactor = Reactor {
         listener: Some(listener),
-        service,
+        handler,
         stop,
         wake,
         sink,
@@ -327,7 +327,7 @@ impl Reactor {
 
     /// Shutdown observed, via the handle's flag or a `shutdown` frame.
     fn stopping(&self) -> bool {
-        self.stop.load(Ordering::SeqCst) || !self.service.is_accepting()
+        self.stop.load(Ordering::SeqCst) || !self.handler.is_accepting()
     }
 
     fn apply(&mut self, event: Wake) {
@@ -454,10 +454,7 @@ impl Reactor {
                     let seq = conn.next_seq;
                     conn.next_seq += 1;
                     conn.outbox.push_back(None);
-                    match self
-                        .service
-                        .handle_line_async(&line, token, seq, &self.sink)
-                    {
+                    match Arc::clone(&self.handler).handle_frame(&line, token, seq, &self.sink) {
                         Some(response) => conn.fill_slot(seq, response),
                         None => self.pending_jobs += 1,
                     }

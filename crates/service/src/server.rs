@@ -19,16 +19,19 @@
 
 use crate::metrics::ReactorCounters;
 use crate::reactor::{spawn_reactor, ReactorConfig, WakeQueue};
-use crate::service::{Service, ServiceConfig};
+use crate::service::{FrameHandler, Service, ServiceConfig};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
-/// A running server: the service plus its reactor thread.
-pub struct ServerHandle {
-    service: Arc<Service>,
+/// A running server: a [`FrameHandler`] plus its reactor thread. The
+/// default handler is [`Service`] (what [`serve`] builds); the router
+/// tier serves a [`Router`](crate::router::Router) through the same
+/// handle via [`serve_router`](crate::router::serve_router).
+pub struct ServerHandle<H: FrameHandler = Service> {
+    handler: Arc<H>,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     wake: Arc<WakeQueue>,
@@ -37,15 +40,15 @@ pub struct ServerHandle {
     reactor_thread: Option<JoinHandle<()>>,
 }
 
-impl ServerHandle {
+impl<H: FrameHandler> ServerHandle<H> {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    /// The shared service (for in-process probes in tests).
-    pub fn service(&self) -> &Arc<Service> {
-        &self.service
+    /// The shared handler (for in-process probes in tests).
+    pub fn service(&self) -> &Arc<H> {
+        &self.handler
     }
 
     /// The reactor's I/O books: connection gauge, frame/wakeup/
@@ -59,7 +62,7 @@ impl ServerHandle {
     /// the wake queue is poked, so the reactor does not sleep out a poll
     /// interval first. Idempotent.
     pub fn shutdown(&self) {
-        self.service.begin_shutdown();
+        self.handler.begin_shutdown();
         self.stop.store(true, Ordering::SeqCst);
         self.wake.poke();
     }
@@ -76,7 +79,7 @@ impl ServerHandle {
         // recv error means the reactor died; fall through and join.
         let _ = self.drained_rx.recv();
         // Workers exit once the (closed) queues are drained.
-        self.service.join();
+        self.handler.join_work();
         if let Some(reactor) = self.reactor_thread.take() {
             if reactor.is_finished() {
                 let _ = reactor.join();
@@ -85,8 +88,42 @@ impl ServerHandle {
             // connections (control frames, refusals) until they close —
             // the same afterlife the per-connection threads used to have.
         }
-        self.service.metrics().snapshot(0, 0).received
+        self.handler.frames_served()
     }
+}
+
+/// Binds `addr` and spawns a reactor serving `handler`: the shared back
+/// half of [`serve`] and [`serve_router`](crate::router::serve_router).
+pub(crate) fn spawn_server<H: FrameHandler>(
+    addr: &str,
+    handler: Arc<H>,
+    reactor_config: ReactorConfig,
+) -> io::Result<ServerHandle<H>> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let wake = WakeQueue::new();
+    let counters = Arc::new(ReactorCounters::new());
+    let (drained_tx, drained_rx) = mpsc::channel();
+    let reactor_thread = spawn_reactor(
+        listener,
+        Arc::clone(&handler) as Arc<dyn FrameHandler>,
+        Arc::clone(&stop),
+        Arc::clone(&wake),
+        Arc::clone(&counters),
+        drained_tx,
+        reactor_config,
+    );
+    Ok(ServerHandle {
+        handler,
+        addr,
+        stop,
+        wake,
+        counters,
+        drained_rx,
+        reactor_thread: Some(reactor_thread),
+    })
 }
 
 /// Binds `addr` and serves the protocol until a `shutdown` request (or
@@ -112,32 +149,7 @@ pub fn serve_with(
     config: ServiceConfig,
     reactor_config: ReactorConfig,
 ) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    listener.set_nonblocking(true)?;
-    let service = Service::start(config);
-    let stop = Arc::new(AtomicBool::new(false));
-    let wake = WakeQueue::new();
-    let counters = Arc::new(ReactorCounters::new());
-    let (drained_tx, drained_rx) = mpsc::channel();
-    let reactor_thread = spawn_reactor(
-        listener,
-        Arc::clone(&service),
-        Arc::clone(&stop),
-        Arc::clone(&wake),
-        Arc::clone(&counters),
-        drained_tx,
-        reactor_config,
-    );
-    Ok(ServerHandle {
-        service,
-        addr,
-        stop,
-        wake,
-        counters,
-        drained_rx,
-        reactor_thread: Some(reactor_thread),
-    })
+    spawn_server(addr, Service::start(config), reactor_config)
 }
 
 #[cfg(test)]

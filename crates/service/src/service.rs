@@ -144,6 +144,42 @@ pub trait CompletionSink: Send + Sync {
     fn complete(&self, token: u64, seq: u64, line: String);
 }
 
+/// A protocol endpoint the reactor can serve: anything that turns one
+/// request line into one response line, possibly asynchronously.
+///
+/// Implemented by [`Service`] (the single-process matching service) and
+/// by [`Router`](crate::router::Router) (the front tier fanning requests
+/// out to multiple backends). The reactor is generic over this trait, so
+/// both tiers share the exact same framing, outbox ordering,
+/// backpressure, and drain machinery.
+pub trait FrameHandler: Send + Sync + 'static {
+    /// Handles one frame without blocking. Inline replies return
+    /// `Some(line)`; admitted asynchronous work returns `None` and the
+    /// rendered response arrives later via `sink` tagged with
+    /// (`token`, `seq`). The receiver is `Arc<Self>` so handlers can
+    /// park a weak self-reference inside pending jobs.
+    fn handle_frame(
+        self: Arc<Self>,
+        line: &str,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<String>;
+
+    /// Whether new work is still admitted (false once shutdown began).
+    fn is_accepting(&self) -> bool;
+
+    /// Begins graceful shutdown: stop admitting new work. Idempotent.
+    fn begin_shutdown(&self);
+
+    /// Blocks until every accepted piece of work has completed. Implies
+    /// [`begin_shutdown`](FrameHandler::begin_shutdown).
+    fn join_work(&self);
+
+    /// Frames handled so far (the count `ServerHandle::wait` returns).
+    fn frames_served(&self) -> u64;
+}
+
 /// The reactor half of a pending single job: everything needed to count,
 /// render, and deliver the response from the worker thread.
 struct AsyncReply {
@@ -463,7 +499,7 @@ impl Service {
                 })
                 .collect();
         }
-        Reply::Metrics(snap)
+        Reply::Metrics(Box::new(snap))
     }
 
     fn shutdown_reply(&self) -> Reply {
@@ -863,10 +899,7 @@ impl Service {
 
     fn overload_info(&self, shard: usize) -> OverloadInfo {
         let q = &self.shards[shard].queue;
-        OverloadInfo {
-            queue_capacity: q.capacity() as u64,
-            queue_depth: q.len() as u64,
-        }
+        OverloadInfo::new(q.capacity() as u64, q.len() as u64)
     }
 
     /// Attributes a worker-produced reply to the outcome counters —
@@ -974,6 +1007,34 @@ impl Service {
     /// Number of shards actually running (config clamped to ≥ 1).
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+}
+
+impl FrameHandler for Service {
+    fn handle_frame(
+        self: Arc<Self>,
+        line: &str,
+        token: u64,
+        seq: u64,
+        sink: &Arc<dyn CompletionSink>,
+    ) -> Option<String> {
+        self.handle_line_async(line, token, seq, sink)
+    }
+
+    fn is_accepting(&self) -> bool {
+        Service::is_accepting(self)
+    }
+
+    fn begin_shutdown(&self) {
+        Service::begin_shutdown(self);
+    }
+
+    fn join_work(&self) {
+        Service::join(self);
+    }
+
+    fn frames_served(&self) -> u64 {
+        self.metrics.received.load(Ordering::SeqCst)
     }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Waits for a freshly started asm-service / asm-router process to
+# announce its bound address, then prints that address on stdout.
+#
+# Usage: wait_for_service.sh LOGFILE [TRIES]
+#
+# The server's first stdout line is "asm-service listening on HOST:PORT"
+# (or "asm-router listening on ..."), flushed before serving — with
+# `--addr 127.0.0.1:0` the OS picks the port, so CI scrapes it from the
+# log. Polls LOGFILE every 0.1 s, up to TRIES times (default 100).
+set -euo pipefail
+
+log="${1:?usage: wait_for_service.sh LOGFILE [TRIES]}"
+tries="${2:-100}"
+
+for _ in $(seq 1 "$tries"); do
+  if grep -q "listening on" "$log" 2>/dev/null; then
+    sed -n 's/^.* listening on //p' "$log" | head -n 1
+    exit 0
+  fi
+  sleep 0.1
+done
+
+echo "wait_for_service: no 'listening on' line in $log after $tries polls" >&2
+echo "---- $log ----" >&2
+cat "$log" >&2 || true
+exit 1

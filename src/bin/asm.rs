@@ -9,6 +9,11 @@
 //! asm info     --input inst.json
 //! asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
 //!              [--cache-capacity N] [--worker-delay-ms MS] [--shards N]
+//! asm route    --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+//!              [--forwarders N] [--queue-capacity N]
+//!              [--probe-interval-ms MS] [--probe-timeout-ms MS]
+//!              [--down-after K] [--connect-timeout-ms MS]
+//!              [--read-timeout-ms MS]
 //! ```
 //!
 //! Instances and matchings are JSON (serde representations of
@@ -36,7 +41,7 @@ use almost_stable::{
     InstanceMetrics, MatcherBackend, Matching, RandAsmParams, StabilityReport,
 };
 use asm_matching::{verify_matching, InstabilityMeasures, WelfareReport};
-use asm_service::ServiceConfig;
+use asm_service::{RouterConfig, ServiceConfig};
 use std::collections::HashMap;
 use std::fmt;
 use std::fs;
@@ -55,6 +60,11 @@ const USAGE: &str = "usage:
   asm info     --input FILE
   asm serve    [--addr HOST:PORT] [--workers N] [--queue-capacity N]
                [--cache-capacity N] [--worker-delay-ms MS] [--shards N]
+  asm route    --backends HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
+               [--forwarders N] [--queue-capacity N]
+               [--probe-interval-ms MS] [--probe-timeout-ms MS]
+               [--down-after K] [--connect-timeout-ms MS]
+               [--read-timeout-ms MS]
 
 exit codes: 0 success, 2 usage error, 3 input/I-O error, 4 solve error";
 
@@ -163,6 +173,7 @@ fn run() -> CliResult<()> {
         "analyze" => analyze(&flags),
         "info" => info(&flags),
         "serve" => serve(&flags),
+        "route" => route(&flags),
         other => Err(CliError::usage(format!("unknown subcommand {other:?}"))),
     }
 }
@@ -363,5 +374,49 @@ fn serve(flags: &HashMap<String, String>) -> CliResult<()> {
         .map_err(|e| CliError::input(format!("stdout: {e}")))?;
     let served = handle.wait();
     println!("asm-service drained after {served} frames");
+    Ok(())
+}
+
+/// Runs the front-tier router until a `shutdown` request arrives (which
+/// it also broadcasts to every live backend).
+///
+/// Prints `asm-router listening on ADDR` as the first stdout line (and
+/// flushes it) so wrappers can scrape the bound address — with
+/// `--addr 127.0.0.1:0` the OS picks the port.
+fn route(flags: &HashMap<String, String>) -> CliResult<()> {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7465".to_string());
+    let backends: Vec<String> = flags
+        .get("backends")
+        .ok_or_else(|| CliError::usage("--backends is required (comma-separated HOST:PORT list)"))?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    if backends.is_empty() {
+        return Err(CliError::usage("--backends must name at least one backend"));
+    }
+    let defaults = RouterConfig::default();
+    let config = RouterConfig {
+        backends,
+        forwarders: get_parsed(flags, "forwarders", defaults.forwarders)?,
+        queue_capacity: get_parsed(flags, "queue-capacity", defaults.queue_capacity)?,
+        probe_interval_ms: get_parsed(flags, "probe-interval-ms", defaults.probe_interval_ms)?,
+        probe_timeout_ms: get_parsed(flags, "probe-timeout-ms", defaults.probe_timeout_ms)?,
+        down_after: get_parsed(flags, "down-after", defaults.down_after)?,
+        connect_timeout_ms: get_parsed(flags, "connect-timeout-ms", defaults.connect_timeout_ms)?,
+        read_timeout_ms: get_parsed(flags, "read-timeout-ms", defaults.read_timeout_ms)?,
+    };
+    let handle = asm_service::serve_router(&addr, config)
+        .map_err(|e| CliError::input(format!("cannot start router on {addr}: {e}")))?;
+    println!("asm-router listening on {}", handle.addr());
+    std::io::stdout()
+        .flush()
+        .map_err(|e| CliError::input(format!("stdout: {e}")))?;
+    let served = handle.wait();
+    println!("asm-router drained after {served} frames");
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! `asm_bench::loadgen`); `--sweep-out` writes a `SweepReport` the
 //! perf-gate tooling understands.
 
+use asm_bench::churn::{run_churn, verify_market_metrics, ChurnConfig};
 use asm_bench::loadgen::{control, run_mix, verify_metrics, verify_router_books, MixConfig};
 use asm_service::{Op, Reply, ServiceConfig};
 use std::process::ExitCode;
@@ -29,6 +30,8 @@ const USAGE: &str = "usage: loadgen [--addr HOST:PORT] [--requests N] [--concurr
                [--verify-metrics] [--expect-zero-errors] [--shutdown]
                [--expect-backend-spread] [--expect-failover]
                [--shards-sweep 1,2,4,8] [--workers N]
+               [--churn] [--markets N] [--mutations N] [--resolve-mode auto|warm|cold]
+               [--normalized-report PATH]
 
 --connections N fans N sockets out across the --concurrency threads
 (one frame in flight per socket); 0 means one socket per thread.
@@ -41,7 +44,17 @@ positive. Both fetch metrics and audit the router's merged books.
 With --shards-sweep, loadgen ignores --addr: it starts one in-process
 server per listed shard count (port 0), replays the same mix against
 each, verifies metrics reconciliation, and writes one combined
-SweepReport (cells annotated with their shard count) to --sweep-out.";
+SweepReport (cells annotated with their shard count) to --sweep-out.
+
+With --churn, loadgen drives the persistent-market tier instead of the
+solve mix: it creates --markets markets over --families/--sizes, sends
+--mutations seeded single-op mutation+resolve pairs round-robin across
+them (verifying every resolve against the conformance oracles and a
+local cold solve of the same mutated instance), drops the markets, and
+reports warm vs cold convergence. --verify-metrics reconciles against
+the server's market counters; --report writes the full ChurnReport and
+--normalized-report a wall-clock-free view two same-seed runs must
+reproduce byte-identically.";
 
 struct Args {
     addr: String,
@@ -55,6 +68,11 @@ struct Args {
     shutdown: bool,
     shards_sweep: Vec<u64>,
     workers: usize,
+    churn: bool,
+    markets: u64,
+    mutations: u64,
+    resolve_mode: String,
+    normalized_report: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -70,6 +88,11 @@ fn parse_args() -> Result<Args, String> {
         shutdown: false,
         shards_sweep: Vec::new(),
         workers: 4,
+        churn: false,
+        markets: 4,
+        mutations: 1000,
+        resolve_mode: "auto".to_string(),
+        normalized_report: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -115,6 +138,11 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?
             }
             "--workers" => args.workers = parsed(&value("--workers")?, "--workers")?,
+            "--churn" => args.churn = true,
+            "--markets" => args.markets = parsed(&value("--markets")?, "--markets")?,
+            "--mutations" => args.mutations = parsed(&value("--mutations")?, "--mutations")?,
+            "--resolve-mode" => args.resolve_mode = value("--resolve-mode")?,
+            "--normalized-report" => args.normalized_report = Some(value("--normalized-report")?),
             "--report" => args.report = Some(value("--report")?),
             "--sweep-out" => args.sweep_out = Some(value("--sweep-out")?),
             "--verify-metrics" => args.verify = true,
@@ -128,6 +156,9 @@ fn parse_args() -> Result<Args, String> {
     }
     if args.mix.families.is_empty() || args.mix.sizes.is_empty() || args.mix.algorithms.is_empty() {
         return Err("families, sizes, and algorithms must be non-empty".to_string());
+    }
+    if args.churn && args.markets == 0 {
+        return Err("--churn needs --markets >= 1".to_string());
     }
     Ok(args)
 }
@@ -232,6 +263,136 @@ fn run_shards_sweep(args: &Args) -> ExitCode {
     }
 }
 
+/// Churn mode: drive the persistent-market tier with a seeded mutation
+/// stream and report warm-vs-cold convergence (see `asm_bench::churn`).
+fn run_churn_mode(args: &Args) -> ExitCode {
+    let config = ChurnConfig {
+        markets: args.markets,
+        mutations: args.mutations,
+        seed: args.mix.seed,
+        families: args.mix.families.clone(),
+        sizes: args.mix.sizes.clone(),
+        eps: args.mix.eps,
+        mode: args.resolve_mode.clone(),
+    };
+    // Reconciliation is a delta over whatever market activity the
+    // server saw before this run, so repeated runs against one
+    // long-lived server stay verifiable.
+    let baseline = if args.verify {
+        match control(&args.addr, Op::Metrics) {
+            Ok(Reply::Metrics(snapshot)) => snapshot.market,
+            _ => {
+                eprintln!("loadgen: cannot fetch the pre-run metrics baseline");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        None
+    };
+    let report = match run_churn(&args.addr, &config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen: cannot reach {}: {err}", args.addr);
+            return ExitCode::from(1);
+        }
+    };
+
+    println!(
+        "loadgen: churn over {} markets | {} mutations applied | {} warm / {} cold resolves | {} fallbacks",
+        report.markets_created,
+        report.ops_applied,
+        report.warm_resolves,
+        report.cold_resolves,
+        report.fallbacks
+    );
+    match (report.warm_median_rounds, report.cold_median_rounds) {
+        (Some(warm), Some(cold)) => println!(
+            "loadgen: median rounds per single-op mutation: {warm} warm vs {cold} cold baseline"
+        ),
+        _ => println!("loadgen: no warm resolves happened (no medians to compare)"),
+    }
+    println!(
+        "loadgen: {:.1} ms wall, {:.0} mutation+resolve pairs/s",
+        report.wall.total_ms, report.wall.pairs_per_sec
+    );
+
+    let mut failed = false;
+    if report.protocol_errors > 0 {
+        failed = true;
+        eprintln!(
+            "loadgen: {} protocol errors (run aborted at the first one — the mirror lost lockstep)",
+            report.protocol_errors
+        );
+    }
+    for failure in &report.oracle_failures {
+        failed = true;
+        eprintln!("loadgen: oracle violation: {failure}");
+    }
+    if args.expect_zero_errors && report.ops_applied != args.mutations {
+        failed = true;
+        eprintln!(
+            "loadgen: --expect-zero-errors violated: {} of {} mutations applied",
+            report.ops_applied, args.mutations
+        );
+    }
+
+    if args.verify {
+        match control(&args.addr, Op::Metrics) {
+            Ok(Reply::Metrics(snapshot)) => {
+                let mismatches = verify_market_metrics(&report, baseline.as_ref(), &snapshot);
+                if mismatches.is_empty() {
+                    println!("loadgen: market metrics reconcile with the server's counters");
+                }
+                for m in mismatches {
+                    failed = true;
+                    eprintln!("loadgen: market metrics mismatch: {m}");
+                }
+            }
+            Ok(other) => {
+                failed = true;
+                eprintln!("loadgen: metrics request drew `{}`", other.tag());
+            }
+            Err(err) => {
+                failed = true;
+                eprintln!("loadgen: cannot fetch metrics: {err}");
+            }
+        }
+    }
+
+    if let Some(path) = &args.report {
+        if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("loadgen: cannot write report {path}: {err}");
+            failed = true;
+        }
+    }
+    if let Some(path) = &args.normalized_report {
+        if let Err(err) = std::fs::write(path, report.normalized().to_json()) {
+            eprintln!("loadgen: cannot write normalized report {path}: {err}");
+            failed = true;
+        }
+    }
+
+    if args.shutdown {
+        match control(&args.addr, Op::Shutdown) {
+            Ok(Reply::ShuttingDown) => println!("loadgen: server acknowledged shutdown"),
+            Ok(other) => {
+                failed = true;
+                eprintln!("loadgen: shutdown request drew `{}`", other.tag());
+            }
+            Err(err) => {
+                failed = true;
+                eprintln!("loadgen: cannot send shutdown: {err}");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -244,6 +405,9 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.churn {
+        return run_churn_mode(&args);
+    }
     if !args.shards_sweep.is_empty() {
         return run_shards_sweep(&args);
     }

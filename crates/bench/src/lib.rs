@@ -27,6 +27,7 @@
 //!
 //! Criterion wall-clock benchmarks live in `benches/`.
 
+pub mod churn;
 pub mod exp;
 pub mod loadgen;
 mod table;

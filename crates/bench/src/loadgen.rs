@@ -187,8 +187,9 @@ impl MixConfig {
     }
 }
 
-/// Maps a family name + size + seed to a generator recipe.
-fn instance_config(family: &str, n: u64, seed: u64) -> GeneratorConfig {
+/// Maps a family name + size + seed to a generator recipe (shared with
+/// the churn workload, which draws markets from the same families).
+pub(crate) fn instance_config(family: &str, n: u64, seed: u64) -> GeneratorConfig {
     let n = n as usize;
     match family {
         "complete" => GeneratorConfig::Complete { n, seed },
@@ -391,6 +392,10 @@ impl Tally {
             | Reply::Analyzed(_)
             | Reply::Health(_)
             | Reply::Metrics(_)
+            | Reply::MarketCreated(_)
+            | Reply::MarketMutated(_)
+            | Reply::Resolved(_)
+            | Reply::MarketDropped(_)
             | Reply::ShuttingDown => self.protocol_errors += 1,
         }
     }

@@ -1,0 +1,101 @@
+//! Shard-local registry of persistent markets.
+
+use crate::state::{MarketError, MarketState};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A registry of live markets keyed by market id.
+///
+/// The service tier owns one registry per shard and routes every market
+/// op for a given id to the shard `label_hash(id) % shards`, so a
+/// market's mutations are serialized by construction. Each market is
+/// individually locked: resolves on different markets of the same shard
+/// never contend beyond the brief map lookup.
+#[derive(Default)]
+pub struct MarketRegistry {
+    inner: Mutex<HashMap<String, Arc<Mutex<MarketState>>>>,
+}
+
+impl MarketRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new market under `id`.
+    ///
+    /// Fails with [`MarketError::MarketExists`] when the id is taken —
+    /// re-creating a live market would silently discard its cached
+    /// matching, so callers must `drop` first.
+    pub fn create(&self, id: &str, state: MarketState) -> Result<(), MarketError> {
+        let mut map = self.inner.lock().expect("registry lock");
+        if map.contains_key(id) {
+            return Err(MarketError::MarketExists(id.to_string()));
+        }
+        map.insert(id.to_string(), Arc::new(Mutex::new(state)));
+        Ok(())
+    }
+
+    /// Looks up a live market. The returned handle stays valid across a
+    /// concurrent `drop_market` (the state is reference-counted).
+    pub fn get(&self, id: &str) -> Option<Arc<Mutex<MarketState>>> {
+        self.inner.lock().expect("registry lock").get(id).cloned()
+    }
+
+    /// Removes a market, returning its final state handle.
+    pub fn drop_market(&self, id: &str) -> Option<Arc<Mutex<MarketState>>> {
+        self.inner.lock().expect("registry lock").remove(id)
+    }
+
+    /// Number of live markets.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").len()
+    }
+
+    /// Whether the registry holds no markets.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asm_instance::generators;
+
+    fn state() -> MarketState {
+        MarketState::from_instance(&generators::regular(6, 3, 1), 0.5).unwrap()
+    }
+
+    #[test]
+    fn create_get_drop_lifecycle() {
+        let reg = MarketRegistry::new();
+        assert!(reg.is_empty());
+        reg.create("alpha", state()).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("alpha").is_some());
+        assert!(reg.get("beta").is_none());
+        assert!(reg.drop_market("alpha").is_some());
+        assert!(reg.drop_market("alpha").is_none());
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn duplicate_create_is_rejected() {
+        let reg = MarketRegistry::new();
+        reg.create("alpha", state()).unwrap();
+        let err = reg.create("alpha", state()).unwrap_err();
+        assert!(matches!(err, MarketError::MarketExists(ref id) if id == "alpha"));
+        assert_eq!(reg.len(), 1, "original market untouched");
+    }
+
+    #[test]
+    fn handles_survive_a_concurrent_drop() {
+        let reg = MarketRegistry::new();
+        reg.create("alpha", state()).unwrap();
+        let handle = reg.get("alpha").unwrap();
+        reg.drop_market("alpha");
+        let guard = handle.lock().unwrap();
+        assert_eq!(guard.agents(), 12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-family churn property: after `k` seeded mutations, a `resolve`
+//! (in every mode) must stay within the cold solve's `ε·|E|` blocking
+//! budget — checked with the same conformance oracles the differential
+//! batteries use, so "stable" means the same thing here as everywhere
+//! else in the repo.
+
+use asm_conformance::oracle::{check_blocking_budget, check_matching};
+use asm_core::RunSummary;
+use asm_instance::generators::GeneratorConfig;
+use asm_market::{MarketState, ResolveMode, ResolveReport};
+use proptest::prelude::*;
+
+const EPS: f64 = 0.5;
+
+/// Wraps a resolve result as the `RunSummary` the oracles consume. The
+/// engine runs to quiescence, so every man is good and none is removed.
+fn as_summary(report: &ResolveReport) -> RunSummary {
+    RunSummary {
+        matching: report.matching.clone(),
+        scheduled_proposal_rounds: report.cycles,
+        executed_proposal_rounds: report.cycles,
+        good_men: 0,
+        bad_men: Vec::new(),
+        removed_men: Vec::new(),
+    }
+}
+
+fn check(family: usize, n: usize, gseed: u64, k: usize, mode_idx: usize, op_seed: u64) {
+    let families = GeneratorConfig::all_families(n, gseed);
+    let config = families[family % families.len()].clone();
+    let inst = config.build();
+    let mut state = MarketState::from_instance(&inst, EPS).expect("valid eps");
+    state.resolve(ResolveMode::Cold);
+    for i in 0..k {
+        let op = state.seeded_op(op_seed.wrapping_add(i as u64).wrapping_mul(0x9E37));
+        state.apply(&op).expect("derived ops always validate");
+    }
+    let mode = [ResolveMode::Auto, ResolveMode::Warm, ResolveMode::Cold][mode_idx % 3];
+    let mut fork = state.clone();
+    let report = state.resolve(mode);
+    let mutated = state.instance();
+    let summary = as_summary(&report);
+    let label = format!(
+        "family {} n {n} gseed {gseed} k {k} mode {} op_seed {op_seed}",
+        config.family(),
+        mode.name()
+    );
+    if let Some(v) = check_matching(&mutated, &summary) {
+        panic!("invalid matching after churn ({label}): {v}");
+    }
+    if let Some(v) = check_blocking_budget(&mutated, &summary, EPS) {
+        panic!("blocking budget busted after churn ({label}): {v}");
+    }
+    // The warm path must match the cold solve's budget exactly: both
+    // converge, so both are fully stable on the mutated instance.
+    let cold = fork.resolve(ResolveMode::Cold);
+    assert_eq!(
+        report.blocking_pairs, cold.blocking_pairs,
+        "warm and cold resolves are equally stable ({label})"
+    );
+    assert_eq!(
+        report.blocking_pairs, 0,
+        "quiescence is stability ({label})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn churned_markets_stay_within_the_blocking_budget(
+        family in 0usize..16,
+        n in 2usize..14,
+        gseed in 0u64..1_000,
+        k in 1usize..6,
+        mode_idx in 0usize..3,
+        op_seed in 0u64..100_000,
+    ) {
+        check(family, n, gseed, k, mode_idx, op_seed);
+    }
+}

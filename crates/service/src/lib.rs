@@ -75,13 +75,15 @@ pub mod service;
 pub use backend::{Backend, BackendState, Transition};
 pub use cache::{instance_hash, ResultCache, SolveKey};
 pub use metrics::{
-    BackendSnapshot, Metrics, MetricsSnapshot, ReactorCounters, RouterSnapshot, ShardCounters,
-    ShardSnapshot, METRICS_SCHEMA,
+    BackendSnapshot, MarketSnapshot, Metrics, MetricsSnapshot, ReactorCounters, RouterSnapshot,
+    ShardCounters, ShardSnapshot, METRICS_SCHEMA,
 };
 pub use protocol::{
     kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchBody, BatchItemResult, BatchResult,
-    DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec, Op, OverloadInfo, Reply, Request, Response,
-    SolveBody, SolveResult, OVERLOAD_REASON_ROUTER, PROTOCOL_SCHEMA,
+    DeadlineInfo, ErrorInfo, HealthInfo, InstanceSpec, MarketCreateBody, MarketCreatedInfo,
+    MarketDropBody, MarketDroppedInfo, MarketMutateBody, MarketMutatedInfo, Op, OverloadInfo,
+    Reply, Request, ResolveBody, ResolveResult, Response, SolveBody, SolveResult,
+    OVERLOAD_REASON_ROUTER, PROTOCOL_SCHEMA,
 };
 pub use reactor::ReactorConfig;
 pub use router::{serve_router, serve_router_with, Router, RouterConfig};

@@ -70,6 +70,26 @@ pub struct Metrics {
     pub blocking_pairs_total: AtomicU64,
     /// Total matched pairs across all solved jobs.
     pub matched_total: AtomicU64,
+    /// `market_created` replies. Market counters are aggregate-only: a
+    /// market's ops all route to one shard by id hash, so per-shard
+    /// market books would merely partition by market id; the aggregate
+    /// is what `loadgen --churn` reconciles.
+    pub markets_created: AtomicU64,
+    /// `market_dropped` replies.
+    pub markets_dropped: AtomicU64,
+    /// Mutation ops applied across all `market_mutated` replies.
+    pub market_mutations: AtomicU64,
+    /// `resolved` replies that ran the warm path.
+    pub warm_resolves: AtomicU64,
+    /// `resolved` replies that ran cold.
+    pub cold_resolves: AtomicU64,
+    /// Cold resolves that were warm-eligible but fell back (dirty
+    /// fraction over the limit, or the divergence safety net).
+    pub market_fallbacks: AtomicU64,
+    /// Σ propose-accept rounds over warm resolves.
+    pub warm_rounds_total: AtomicU64,
+    /// Σ propose-accept rounds over cold resolves.
+    pub cold_rounds_total: AtomicU64,
     /// Enqueue→reply latency histogram (µs, log₂ buckets).
     latency: [AtomicU64; LATENCY_BUCKETS],
 }
@@ -94,6 +114,14 @@ impl Default for Metrics {
             messages_total: AtomicU64::new(0),
             blocking_pairs_total: AtomicU64::new(0),
             matched_total: AtomicU64::new(0),
+            markets_created: AtomicU64::new(0),
+            markets_dropped: AtomicU64::new(0),
+            market_mutations: AtomicU64::new(0),
+            warm_resolves: AtomicU64::new(0),
+            cold_resolves: AtomicU64::new(0),
+            market_fallbacks: AtomicU64::new(0),
+            warm_rounds_total: AtomicU64::new(0),
+            cold_rounds_total: AtomicU64::new(0),
             latency: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -164,9 +192,38 @@ impl Metrics {
             latency_p95_us: bucket_quantile(&buckets, 0.95),
             latency_p99_us: bucket_quantile(&buckets, 0.99),
             shards: Vec::new(),
+            market: None,
             backends: Vec::new(),
             router: None,
         }
+    }
+
+    /// The market tier's slice of the books, or `None` when no market
+    /// activity has ever occurred — which keeps market-free snapshots
+    /// byte-identical to the pre-market wire format the golden corpus
+    /// pins. `markets_open` is a point-in-time gauge the caller reads
+    /// from its registries.
+    pub fn market_snapshot(&self, markets_open: u64) -> Option<MarketSnapshot> {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let snap = MarketSnapshot {
+            markets_open,
+            markets_created: load(&self.markets_created),
+            markets_dropped: load(&self.markets_dropped),
+            mutations: load(&self.market_mutations),
+            warm_resolves: load(&self.warm_resolves),
+            cold_resolves: load(&self.cold_resolves),
+            fallbacks: load(&self.market_fallbacks),
+            warm_rounds_total: load(&self.warm_rounds_total),
+            cold_rounds_total: load(&self.cold_rounds_total),
+        };
+        let active = markets_open > 0
+            || snap.markets_created
+                + snap.markets_dropped
+                + snap.mutations
+                + snap.warm_resolves
+                + snap.cold_resolves
+                > 0;
+        active.then_some(snap)
     }
 }
 
@@ -307,6 +364,40 @@ pub struct ShardSnapshot {
     pub blocking_pairs_total: u64,
     /// Σ matched pairs over this shard's solved jobs.
     pub matched_total: u64,
+}
+
+/// The market tier's slice of the books, embedded in [`MetricsSnapshot`]
+/// once any market activity has occurred (and omitted before that, so
+/// market-free deployments keep their exact wire bytes). Counters are
+/// aggregate-only: one market's ops all land on one shard, so per-shard
+/// market columns would partition by market id rather than by load.
+///
+/// The warm-start contract reconciles here: every `resolved` reply is
+/// counted in exactly one of `warm_resolves`/`cold_resolves`, so
+/// `warm_resolves + cold_resolves` equals the resolves a client sent,
+/// and `mutations` equals the mutation ops it had applied.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MarketSnapshot {
+    /// Markets currently registered (point-in-time gauge).
+    pub markets_open: u64,
+    /// `market_created` replies.
+    pub markets_created: u64,
+    /// `market_dropped` replies.
+    pub markets_dropped: u64,
+    /// Mutation ops applied across all `market_mutated` replies.
+    pub mutations: u64,
+    /// `resolved` replies that ran the warm path.
+    pub warm_resolves: u64,
+    /// `resolved` replies that ran cold.
+    pub cold_resolves: u64,
+    /// Cold resolves that were warm-eligible but fell back (dirty
+    /// fraction over [`WARM_DIRTY_LIMIT`](asm_market::WARM_DIRTY_LIMIT),
+    /// or the divergence safety net).
+    pub fallbacks: u64,
+    /// Σ propose-accept rounds over warm resolves.
+    pub warm_rounds_total: u64,
+    /// Σ propose-accept rounds over cold resolves.
+    pub cold_rounds_total: u64,
 }
 
 /// One backend's slice of the router tier's merged books, embedded in
@@ -471,6 +562,9 @@ pub struct MetricsSnapshot {
     /// Per-shard books; empty (and omitted from the JSON) when the
     /// service runs a single shard.
     pub shards: Vec<ShardSnapshot>,
+    /// Market-tier books; present once any market activity has occurred
+    /// (omitted otherwise, keeping market-free snapshots byte-stable).
+    pub market: Option<MarketSnapshot>,
     /// Per-backend books; present only in snapshots merged by the
     /// router tier (empty and omitted otherwise).
     pub backends: Vec<BackendSnapshot>,
@@ -537,6 +631,9 @@ impl Serialize for MetricsSnapshot {
         if !self.shards.is_empty() {
             m.push(("shards".to_string(), self.shards.to_content()));
         }
+        if let Some(market) = &self.market {
+            m.push(("market".to_string(), market.to_content()));
+        }
         if !self.backends.is_empty() {
             m.push(("backends".to_string(), self.backends.to_content()));
         }
@@ -590,6 +687,10 @@ impl Deserialize for MetricsSnapshot {
             shards: match content_get(map, "shards") {
                 Some(c) => Vec::<ShardSnapshot>::from_content(c)?,
                 None => Vec::new(),
+            },
+            market: match content_get(map, "market") {
+                Some(c) => Some(MarketSnapshot::from_content(c)?),
+                None => None,
             },
             backends: match content_get(map, "backends") {
                 Some(c) => Vec::<BackendSnapshot>::from_content(c)?,
@@ -656,6 +757,33 @@ mod tests {
         assert_eq!(back, sharded);
         assert_eq!(back.shards[0].cache_entries, 4);
         assert_eq!(back.shards[1].shard, 1);
+    }
+
+    #[test]
+    fn market_block_appears_only_after_market_activity_and_round_trips() {
+        let m = Metrics::new();
+        assert_eq!(m.market_snapshot(0), None);
+        let plain = m.snapshot(0, 0);
+        let line = serde_json::to_string(&plain).unwrap();
+        assert!(!line.contains("market"), "{line}");
+
+        m.incr(&m.markets_created);
+        m.incr(&m.warm_resolves);
+        m.add(&m.warm_rounds_total, 3);
+        m.add(&m.market_mutations, 2);
+        let mut active = m.snapshot(0, 0);
+        active.market = m.market_snapshot(1);
+        let line = serde_json::to_string(&active).unwrap();
+        assert!(
+            line.contains("\"market\":{\"markets_open\":1,\"markets_created\":1"),
+            "{line}"
+        );
+        let back: MetricsSnapshot = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, active);
+        assert_eq!(back.market.unwrap().warm_rounds_total, 3);
+
+        // An open market keeps the gauge visible even with zero counters.
+        assert_eq!(Metrics::new().market_snapshot(2).unwrap().markets_open, 2);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use asm_instance::generators::GeneratorConfig;
 use asm_instance::Instance;
+use asm_market::MutationOp;
 use asm_matching::Matching;
 use asm_maximal::MatcherBackend;
 use serde::{content_get, Content, Deserialize, Serialize};
@@ -51,6 +52,14 @@ pub enum Op {
     SolveBatch(BatchBody),
     /// Audit a matching against an instance; wire tag `"analyze"`.
     Analyze(AnalyzeBody),
+    /// Register a persistent market; wire tag `"market_create"`.
+    MarketCreate(MarketCreateBody),
+    /// Apply mutations to a market; wire tag `"market_mutate"`.
+    MarketMutate(MarketMutateBody),
+    /// Re-solve a market (warm or cold); wire tag `"resolve"`.
+    Resolve(ResolveBody),
+    /// Discard a market; wire tag `"market_drop"`.
+    MarketDrop(MarketDropBody),
     /// Liveness + configuration probe; wire tag `"health"`.
     Health,
     /// Metrics snapshot; wire tag `"metrics"`.
@@ -66,6 +75,10 @@ impl Op {
             Op::Solve(_) => "solve",
             Op::SolveBatch(_) => "solve_batch",
             Op::Analyze(_) => "analyze",
+            Op::MarketCreate(_) => "market_create",
+            Op::MarketMutate(_) => "market_mutate",
+            Op::Resolve(_) => "resolve",
+            Op::MarketDrop(_) => "market_drop",
             Op::Health => "health",
             Op::Metrics => "metrics",
             Op::Shutdown => "shutdown",
@@ -124,6 +137,48 @@ pub struct AnalyzeBody {
     pub eps: f64,
 }
 
+/// Body of a `market_create` request. Market ops route by
+/// `label_hash(market) % shards`, so one market's entire lifetime lives
+/// on one shard and its mutations are serialized by construction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketCreateBody {
+    /// Client-chosen market id (the shard-affinity key).
+    pub market: String,
+    /// The initial preferences.
+    pub instance: InstanceSpec,
+    /// The market's blocking-pair budget ε (`0 < ε < ∞`): the divergence
+    /// threshold every warm resolve is checked against.
+    pub eps: f64,
+}
+
+/// Body of a `market_mutate` request: an ordered batch of mutations
+/// applied atomically-per-op (the first invalid op stops the batch; ops
+/// before it stay applied and are reported in `applied`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketMutateBody {
+    /// The market to mutate.
+    pub market: String,
+    /// Mutations, applied in order.
+    pub ops: Vec<MutationOp>,
+}
+
+/// Body of a `resolve` request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolveBody {
+    /// The market to re-solve.
+    pub market: String,
+    /// `auto` (warm under the dirty-fraction limit), `warm` (force), or
+    /// `cold` (force a from-scratch solve).
+    pub mode: String,
+}
+
+/// Body of a `market_drop` request.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketDropBody {
+    /// The market to discard.
+    pub market: String,
+}
+
 /// An instance, either inline or as a pure generator recipe.
 ///
 /// Generator specs are preferred for load generation: the request stays
@@ -165,6 +220,14 @@ pub enum Reply {
     SolvedBatch(BatchResult),
     /// Wire tag `"analyzed"`.
     Analyzed(AnalyzeResult),
+    /// Wire tag `"market_created"`.
+    MarketCreated(MarketCreatedInfo),
+    /// Wire tag `"market_mutated"`.
+    MarketMutated(MarketMutatedInfo),
+    /// Wire tag `"resolved"`.
+    Resolved(ResolveResult),
+    /// Wire tag `"market_dropped"`.
+    MarketDropped(MarketDroppedInfo),
     /// Wire tag `"health"`.
     Health(HealthInfo),
     /// Wire tag `"metrics"`. Boxed: the snapshot (per-shard and
@@ -189,6 +252,10 @@ impl Reply {
             Reply::Solved(_) => "solved",
             Reply::SolvedBatch(_) => "solved_batch",
             Reply::Analyzed(_) => "analyzed",
+            Reply::MarketCreated(_) => "market_created",
+            Reply::MarketMutated(_) => "market_mutated",
+            Reply::Resolved(_) => "resolved",
+            Reply::MarketDropped(_) => "market_dropped",
             Reply::Health(_) => "health",
             Reply::Metrics(_) => "metrics",
             Reply::ShuttingDown => "shutting_down",
@@ -321,6 +388,71 @@ pub struct AnalyzeResult {
     pub eps_blocking_pairs: u64,
     /// Whether the matching is (1−ε)-stable at the request's ε.
     pub one_minus_eps_stable: bool,
+}
+
+/// `market_created` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketCreatedInfo {
+    /// The echoed market id.
+    pub market: String,
+    /// Agent slots at creation (women + men).
+    pub agents: u64,
+    /// `|E|` at creation.
+    pub num_edges: u64,
+    /// Mutation epoch (0 at creation).
+    pub epoch: u64,
+}
+
+/// `market_mutated` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketMutatedInfo {
+    /// The echoed market id.
+    pub market: String,
+    /// Ops applied (equals the request's op count unless one failed).
+    pub applied: u64,
+    /// Men currently dirty (pending for the next warm start).
+    pub dirty_men: u64,
+    /// Women currently dirty.
+    pub dirty_women: u64,
+    /// Mutation epoch after this batch.
+    pub epoch: u64,
+}
+
+/// `resolved` reply body. Mirrors [`SolveResult`] where the fields mean
+/// the same thing; `mode`/`fallback`/`epoch` are the warm-start contract.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolveResult {
+    /// The matching produced (node ids of the market's instance: women
+    /// `0..num_women`, men after).
+    pub matching: Matching,
+    /// Number of matched pairs.
+    pub matched: u64,
+    /// `|E|` of the market at this resolve.
+    pub num_edges: u64,
+    /// Blocking pairs of the result (0: the engine runs to quiescence).
+    pub blocking_pairs: u64,
+    /// Propose-accept communication rounds this resolve executed — the
+    /// number a warm start shrinks.
+    pub rounds: u64,
+    /// PROPOSE messages sent by this resolve.
+    pub proposals: u64,
+    /// The path that actually ran: `warm` or `cold`.
+    pub mode: String,
+    /// Whether a cached matching was eligible to warm from but the
+    /// engine ran cold anyway (dirty fraction over the limit, or the
+    /// divergence safety net tripped).
+    pub fallback: bool,
+    /// The market's mutation epoch this matching reflects.
+    pub epoch: u64,
+}
+
+/// `market_dropped` reply body.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MarketDroppedInfo {
+    /// The echoed market id.
+    pub market: String,
+    /// The market's final mutation epoch.
+    pub epoch: u64,
 }
 
 /// `health` reply body.
@@ -520,6 +652,10 @@ impl Serialize for Request {
             Op::Solve(body) => map.push(("body".to_string(), body.to_content())),
             Op::SolveBatch(body) => map.push(("body".to_string(), body.to_content())),
             Op::Analyze(body) => map.push(("body".to_string(), body.to_content())),
+            Op::MarketCreate(body) => map.push(("body".to_string(), body.to_content())),
+            Op::MarketMutate(body) => map.push(("body".to_string(), body.to_content())),
+            Op::Resolve(body) => map.push(("body".to_string(), body.to_content())),
+            Op::MarketDrop(body) => map.push(("body".to_string(), body.to_content())),
             Op::Health | Op::Metrics | Op::Shutdown => {}
         }
         Content::Map(map)
@@ -531,6 +667,15 @@ impl Deserialize for Request {
         let map = content
             .as_map()
             .ok_or_else(|| serde::Error::custom("expected a request object"))?;
+        // The envelope is strict: a typoed key (`"bdy"`, `"opp"`) would
+        // otherwise silently change the request's meaning.
+        for (key, _) in map {
+            if key != "id" && key != "op" && key != "body" {
+                return Err(serde::Error::custom(format!(
+                    "unknown field `{key}` in request envelope (expected `id`, `op`, `body`)"
+                )));
+            }
+        }
         let id = match content_get(map, "id") {
             Some(c) => Option::<u64>::from_content(c)?,
             None => return Err(serde::Error::custom("missing field `id` in request")),
@@ -553,6 +698,10 @@ impl Deserialize for Request {
             "solve" => Op::Solve(SolveBody::from_content(body()?)?),
             "solve_batch" => Op::SolveBatch(BatchBody::from_content(body()?)?),
             "analyze" => Op::Analyze(AnalyzeBody::from_content(body()?)?),
+            "market_create" => Op::MarketCreate(MarketCreateBody::from_content(body()?)?),
+            "market_mutate" => Op::MarketMutate(MarketMutateBody::from_content(body()?)?),
+            "resolve" => Op::Resolve(ResolveBody::from_content(body()?)?),
+            "market_drop" => Op::MarketDrop(MarketDropBody::from_content(body()?)?),
             "health" => Op::Health,
             "metrics" => Op::Metrics,
             "shutdown" => Op::Shutdown,
@@ -575,6 +724,10 @@ impl Serialize for Response {
             Reply::Solved(b) => Some(b.to_content()),
             Reply::SolvedBatch(b) => Some(b.to_content()),
             Reply::Analyzed(b) => Some(b.to_content()),
+            Reply::MarketCreated(b) => Some(b.to_content()),
+            Reply::MarketMutated(b) => Some(b.to_content()),
+            Reply::Resolved(b) => Some(b.to_content()),
+            Reply::MarketDropped(b) => Some(b.to_content()),
             Reply::Health(b) => Some(b.to_content()),
             Reply::Metrics(b) => Some(b.to_content()),
             Reply::Overloaded(b) => Some(b.to_content()),
@@ -610,6 +763,10 @@ impl Deserialize for Response {
             "solved" => Reply::Solved(SolveResult::from_content(body()?)?),
             "solved_batch" => Reply::SolvedBatch(BatchResult::from_content(body()?)?),
             "analyzed" => Reply::Analyzed(AnalyzeResult::from_content(body()?)?),
+            "market_created" => Reply::MarketCreated(MarketCreatedInfo::from_content(body()?)?),
+            "market_mutated" => Reply::MarketMutated(MarketMutatedInfo::from_content(body()?)?),
+            "resolved" => Reply::Resolved(ResolveResult::from_content(body()?)?),
+            "market_dropped" => Reply::MarketDropped(MarketDroppedInfo::from_content(body()?)?),
             "health" => Reply::Health(HealthInfo::from_content(body()?)?),
             "metrics" => Reply::Metrics(Box::new(crate::metrics::MetricsSnapshot::from_content(
                 body()?,
@@ -751,6 +908,165 @@ mod tests {
             let line = render(&req);
             assert_eq!(line, format!("{{\"id\":1,\"op\":\"{tag}\"}}"));
             assert_eq!(parse_request(&line).unwrap().op.tag(), tag);
+        }
+    }
+
+    /// One request per [`Op`] variant — `every_request_variant_round_trips`
+    /// fails to compile when a new variant is added without extending it.
+    fn one_of_every_request() -> Vec<Request> {
+        use asm_market::{MutationOp, Side};
+        let every_op = |op: &Op| match op {
+            Op::Solve(_)
+            | Op::SolveBatch(_)
+            | Op::Analyze(_)
+            | Op::MarketCreate(_)
+            | Op::MarketMutate(_)
+            | Op::Resolve(_)
+            | Op::MarketDrop(_)
+            | Op::Health
+            | Op::Metrics
+            | Op::Shutdown => (),
+        };
+        let ops = vec![
+            Op::Solve(solve_body()),
+            Op::SolveBatch(BatchBody {
+                items: vec![solve_body()],
+            }),
+            Op::Analyze(AnalyzeBody {
+                instance: InstanceSpec::Generator(GeneratorConfig::Complete { n: 3, seed: 1 }),
+                matching: Matching::new(6),
+                eps: 1.0,
+            }),
+            Op::MarketCreate(MarketCreateBody {
+                market: "m1".to_string(),
+                instance: InstanceSpec::Generator(GeneratorConfig::Regular {
+                    n: 8,
+                    d: 3,
+                    seed: 7,
+                }),
+                eps: 0.5,
+            }),
+            Op::MarketMutate(MarketMutateBody {
+                market: "m1".to_string(),
+                ops: vec![
+                    MutationOp::SetPrefs {
+                        side: Side::Men,
+                        index: 2,
+                        prefs: vec![1, 0],
+                    },
+                    MutationOp::AddAgent {
+                        side: Side::Women,
+                        prefs: vec![3],
+                    },
+                    MutationOp::RemoveAgent {
+                        side: Side::Men,
+                        index: 0,
+                    },
+                ],
+            }),
+            Op::Resolve(ResolveBody {
+                market: "m1".to_string(),
+                mode: "auto".to_string(),
+            }),
+            Op::MarketDrop(MarketDropBody {
+                market: "m1".to_string(),
+            }),
+            Op::Health,
+            Op::Metrics,
+            Op::Shutdown,
+        ];
+        ops.iter().for_each(every_op);
+        ops.into_iter()
+            .enumerate()
+            .map(|(i, op)| Request {
+                id: Some(i as u64),
+                op,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_request_variant_round_trips() {
+        for req in one_of_every_request() {
+            let line = render(&req);
+            assert_eq!(
+                parse_request(&line).unwrap(),
+                req,
+                "round-trip failed for op `{}`: {line}",
+                req.op.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_envelope_fields_are_rejected() {
+        for req in one_of_every_request() {
+            let line = render(&req);
+            let salted = format!("{},\"extra\":1}}", &line[..line.len() - 1]);
+            let err = parse_request(&salted).unwrap_err();
+            assert!(
+                err.to_string().contains("extra"),
+                "op `{}` must reject the unknown envelope field: {err}",
+                req.op.tag()
+            );
+        }
+    }
+
+    #[test]
+    fn market_requests_render_their_lowercase_tags() {
+        let req = Request {
+            id: Some(5),
+            op: Op::Resolve(ResolveBody {
+                market: "alpha".to_string(),
+                mode: "warm".to_string(),
+            }),
+        };
+        assert_eq!(
+            render(&req),
+            "{\"id\":5,\"op\":\"resolve\",\"body\":{\"market\":\"alpha\",\"mode\":\"warm\"}}"
+        );
+    }
+
+    #[test]
+    fn market_replies_round_trip() {
+        let replies = vec![
+            Reply::MarketCreated(MarketCreatedInfo {
+                market: "m".to_string(),
+                agents: 16,
+                num_edges: 24,
+                epoch: 0,
+            }),
+            Reply::MarketMutated(MarketMutatedInfo {
+                market: "m".to_string(),
+                applied: 2,
+                dirty_men: 1,
+                dirty_women: 3,
+                epoch: 2,
+            }),
+            Reply::Resolved(ResolveResult {
+                matching: Matching::new(4),
+                matched: 0,
+                num_edges: 4,
+                blocking_pairs: 0,
+                rounds: 6,
+                proposals: 9,
+                mode: "warm".to_string(),
+                fallback: false,
+                epoch: 2,
+            }),
+            Reply::MarketDropped(MarketDroppedInfo {
+                market: "m".to_string(),
+                epoch: 2,
+            }),
+        ];
+        for reply in replies {
+            let resp = Response { id: Some(1), reply };
+            let line = render(&resp);
+            assert_eq!(
+                parse_response(&line).unwrap(),
+                resp,
+                "round-trip failed: {line}"
+            );
         }
     }
 

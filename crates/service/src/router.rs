@@ -43,7 +43,9 @@
 
 use crate::backend::{Backend, BackendState, Transition};
 use crate::cache::instance_hash;
-use crate::metrics::{BackendSnapshot, Metrics, MetricsSnapshot, RouterSnapshot, ShardSnapshot};
+use crate::metrics::{
+    BackendSnapshot, MarketSnapshot, Metrics, MetricsSnapshot, RouterSnapshot, ShardSnapshot,
+};
 use crate::protocol::{
     kind, parse_request, parse_response, render, BatchBody, BatchItemResult, BatchResult,
     ErrorInfo, HealthInfo, InstanceSpec, Op, OverloadInfo, Reply, Request, Response, SolveBody,
@@ -52,7 +54,7 @@ use crate::protocol::{
 use crate::reactor::ReactorConfig;
 use crate::server::{spawn_server, ServerHandle};
 use crate::service::{CompletionSink, FrameHandler};
-use asm_runtime::{JobQueue, PushError, WorkerPool};
+use asm_runtime::{label_hash, JobQueue, PushError, WorkerPool};
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, Weak};
@@ -626,6 +628,20 @@ impl Router {
             merged.latency_p50_us = merged.latency_p50_us.max(snap.latency_p50_us);
             merged.latency_p95_us = merged.latency_p95_us.max(snap.latency_p95_us);
             merged.latency_p99_us = merged.latency_p99_us.max(snap.latency_p99_us);
+            // Market books sum across backends (each market lives on
+            // exactly one backend, so the merged block partitions).
+            if let Some(market) = snap.market {
+                let slot = merged.market.get_or_insert_with(MarketSnapshot::default);
+                slot.markets_open += market.markets_open;
+                slot.markets_created += market.markets_created;
+                slot.markets_dropped += market.markets_dropped;
+                slot.mutations += market.mutations;
+                slot.warm_resolves += market.warm_resolves;
+                slot.cold_resolves += market.cold_resolves;
+                slot.fallbacks += market.fallbacks;
+                slot.warm_rounds_total += market.warm_rounds_total;
+                slot.cold_rounds_total += market.cold_rounds_total;
+            }
             if snap.shards.is_empty() {
                 all_sharded = false;
             } else {
@@ -718,6 +734,45 @@ impl FrameHandler for Router {
                 Work::Batch {
                     line: line.to_string(),
                     items: batch.items,
+                }
+            }
+            // Market ops route by the market id's label hash — the same
+            // affinity rule the backend's shards use, so one market's
+            // lifetime pins to one backend (and one shard within it).
+            Op::MarketCreate(body) => {
+                if !self.is_accepting() {
+                    return Some(self.refuse_unavailable(id));
+                }
+                Work::Forward {
+                    line: line.to_string(),
+                    hash: label_hash(&body.market),
+                }
+            }
+            Op::MarketMutate(body) => {
+                if !self.is_accepting() {
+                    return Some(self.refuse_unavailable(id));
+                }
+                Work::Forward {
+                    line: line.to_string(),
+                    hash: label_hash(&body.market),
+                }
+            }
+            Op::Resolve(body) => {
+                if !self.is_accepting() {
+                    return Some(self.refuse_unavailable(id));
+                }
+                Work::Forward {
+                    line: line.to_string(),
+                    hash: label_hash(&body.market),
+                }
+            }
+            Op::MarketDrop(body) => {
+                if !self.is_accepting() {
+                    return Some(self.refuse_unavailable(id));
+                }
+                Work::Forward {
+                    line: line.to_string(),
+                    hash: label_hash(&body.market),
                 }
             }
         };

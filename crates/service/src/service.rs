@@ -37,6 +37,15 @@
 //! as one job per shard group, and the per-item outcomes are merged back
 //! into request order.
 //!
+//! ## Markets
+//!
+//! Market ops (`market_create`/`market_mutate`/`resolve`/`market_drop`)
+//! are routed by the **market id's label hash** instead of an instance
+//! hash: one market's entire lifetime lands on one shard, whose
+//! [`MarketRegistry`] owns its state. That affinity is the concurrency
+//! story — two mutations of the same market serialize through one
+//! shard's queue and one market mutex; no cross-shard locking exists.
+//!
 //! ## Shutdown
 //!
 //! `shutdown` flips `accepting` and closes every shard queue.
@@ -48,16 +57,18 @@ use crate::cache::{instance_hash, ResultCache, SolveKey};
 use crate::metrics::{Metrics, ShardCounters};
 use crate::protocol::{
     kind, Algorithm, AnalyzeBody, AnalyzeResult, BatchItemResult, BatchResult, DeadlineInfo,
-    ErrorInfo, HealthInfo, Op, OverloadInfo, Reply, Request, Response, SolveBody, SolveResult,
-    PROTOCOL_SCHEMA,
+    ErrorInfo, HealthInfo, MarketCreateBody, MarketCreatedInfo, MarketDroppedInfo,
+    MarketMutateBody, MarketMutatedInfo, Op, OverloadInfo, Reply, Request, ResolveResult, Response,
+    SolveBody, SolveResult, PROTOCOL_SCHEMA,
 };
 use asm_core::baselines::{distributed_gs, truncated_gs};
 use asm_core::{almost_regular_asm, asm, rand_asm, AlmostRegularParams, AsmConfig, RandAsmParams};
+use asm_market::{MarketRegistry, MarketState, ResolveMode};
 use asm_matching::{
     count_eps_blocking_pairs_with, verify_matching, BlockingScratch, StabilityReport,
 };
 use asm_maximal::MatcherBackend;
-use asm_runtime::{JobQueue, PushError, WorkerPool};
+use asm_runtime::{label_hash, JobQueue, PushError, WorkerPool};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, Weak};
 use std::time::Instant;
@@ -291,6 +302,30 @@ enum JobBody {
     Analyze(AnalyzeBody),
     /// One shard's slice of a `solve_batch`, in request order.
     SolveBatch(Vec<BatchItem>),
+    /// A market-tier op, already validated and routed to the shard that
+    /// owns its market.
+    Market(MarketJob),
+}
+
+/// One validated market op. Resolve modes are parsed at admission so an
+/// unknown mode is refused before consuming queue capacity.
+enum MarketJob {
+    Create(MarketCreateBody),
+    Mutate(MarketMutateBody),
+    Resolve { market: String, mode: ResolveMode },
+    Drop(String),
+}
+
+impl MarketJob {
+    /// The market id — the routing key for shard affinity.
+    fn market(&self) -> &str {
+        match self {
+            MarketJob::Create(body) => &body.market,
+            MarketJob::Mutate(body) => &body.market,
+            MarketJob::Resolve { market, .. } => market,
+            MarketJob::Drop(market) => market,
+        }
+    }
 }
 
 /// One validated `solve_batch` item, tagged with its request position.
@@ -310,10 +345,12 @@ enum JobOutcome {
     Many(Vec<(usize, BatchItemResult)>),
 }
 
-/// One shard: its queue, its result cache, its slice of the books.
+/// One shard: its queue, its result cache, its market registry, its
+/// slice of the books.
 struct Shard {
     queue: Arc<JobQueue<Job>>,
     cache: Arc<ResultCache>,
+    registry: Arc<MarketRegistry>,
     counters: Arc<ShardCounters>,
 }
 
@@ -339,6 +376,7 @@ impl Service {
             .map(|_| Shard {
                 queue: JobQueue::new(config.queue_capacity),
                 cache: Arc::new(ResultCache::new(config.cache_capacity)),
+                registry: Arc::new(MarketRegistry::new()),
                 counters: Arc::new(ShardCounters::new()),
             })
             .collect();
@@ -348,10 +386,12 @@ impl Service {
                 shards.iter().map(|s| Arc::clone(&s.queue)).collect();
             let caches: Vec<Arc<ResultCache>> =
                 shards.iter().map(|s| Arc::clone(&s.cache)).collect();
+            let registries: Vec<Arc<MarketRegistry>> =
+                shards.iter().map(|s| Arc::clone(&s.registry)).collect();
             let metrics = Arc::clone(&metrics);
             let delay_ms = config.worker_delay_ms;
             WorkerPool::spawn_sharded(workers, &queues, move |shard, _worker, job: Job| {
-                run_job(job, &caches[shard], &metrics, delay_ms);
+                run_job(job, &caches[shard], &registries[shard], &metrics, delay_ms);
             })
         };
         Arc::new(Service {
@@ -398,6 +438,16 @@ impl Service {
             },
             Op::SolveBatch(batch) => self.submit_batch(batch.items),
             Op::Analyze(body) => match self.route_analyze(body) {
+                Ok((shard, job)) => self.submit(0, shard, job),
+                Err(reply) => {
+                    self.metrics.incr(&self.metrics.errors);
+                    *reply
+                }
+            },
+            op @ (Op::MarketCreate(_)
+            | Op::MarketMutate(_)
+            | Op::Resolve(_)
+            | Op::MarketDrop(_)) => match self.route_market(op) {
                 Ok((shard, job)) => self.submit(0, shard, job),
                 Err(reply) => {
                     self.metrics.incr(&self.metrics.errors);
@@ -468,6 +518,16 @@ impl Service {
                     Some(*reply)
                 }
             },
+            op @ (Op::MarketCreate(_)
+            | Op::MarketMutate(_)
+            | Op::Resolve(_)
+            | Op::MarketDrop(_)) => match self.route_market(op) {
+                Ok((shard, job)) => self.submit_async(id, 0, shard, job, token, seq, sink),
+                Err(reply) => {
+                    self.metrics.incr(&self.metrics.errors);
+                    Some(*reply)
+                }
+            },
         }
     }
 
@@ -499,6 +559,7 @@ impl Service {
                 })
                 .collect();
         }
+        snap.market = self.metrics.market_snapshot(self.total_markets_open());
         Reply::Metrics(Box::new(snap))
     }
 
@@ -538,6 +599,43 @@ impl Service {
         Ok((shard, JobBody::Analyze(body)))
     }
 
+    /// Validates a market op and routes it by the market id's label
+    /// hash. Every op on one market lands on one shard, whose registry
+    /// owns the market — the shard-affinity rule clients (and the
+    /// router tier) can rely on.
+    fn route_market(&self, op: Op) -> Result<(usize, JobBody), Box<Reply>> {
+        let invalid =
+            |message: String| Box::new(Reply::Error(ErrorInfo::new(kind::INVALID, message)));
+        let job = match op {
+            Op::MarketCreate(body) => {
+                if !(body.eps > 0.0 && body.eps.is_finite()) {
+                    return Err(invalid(format!(
+                        "market eps must be positive and finite, got {}",
+                        body.eps
+                    )));
+                }
+                MarketJob::Create(body)
+            }
+            Op::MarketMutate(body) => MarketJob::Mutate(body),
+            Op::Resolve(body) => {
+                let mode = ResolveMode::parse(&body.mode).ok_or_else(|| {
+                    invalid(format!(
+                        "unknown resolve mode `{}` (expected auto, warm, or cold)",
+                        body.mode
+                    ))
+                })?;
+                MarketJob::Resolve {
+                    market: body.market,
+                    mode,
+                }
+            }
+            Op::MarketDrop(body) => MarketJob::Drop(body.market),
+            _ => unreachable!("route_market is only called with market ops"),
+        };
+        let shard = self.route_hash(label_hash(job.market()));
+        Ok((shard, JobBody::Market(job)))
+    }
+
     /// The shard an instance hash routes to. Deterministic in the hash
     /// and the shard count only — the property the cache depends on.
     fn route_hash(&self, hash: u64) -> usize {
@@ -556,6 +654,10 @@ impl Service {
 
     fn total_cache_entries(&self) -> u64 {
         self.shards.iter().map(|s| s.cache.len() as u64).sum()
+    }
+
+    fn total_markets_open(&self) -> u64 {
+        self.shards.iter().map(|s| s.registry.len() as u64).sum()
     }
 
     /// Enqueues a single job on `shard` and blocks until its reply.
@@ -924,6 +1026,23 @@ impl Service {
             // shard, so a shard `errors` column could not sum to the
             // aggregate.
             Reply::Error(_) => m.incr(&m.errors),
+            // Market counters are aggregate-only too: one market pins to
+            // one shard, so shard columns would partition by market id.
+            Reply::MarketCreated(_) => m.incr(&m.markets_created),
+            Reply::MarketMutated(info) => m.add(&m.market_mutations, info.applied),
+            Reply::Resolved(result) => {
+                if result.mode == "warm" {
+                    m.incr(&m.warm_resolves);
+                    m.add(&m.warm_rounds_total, result.rounds);
+                } else {
+                    m.incr(&m.cold_resolves);
+                    m.add(&m.cold_rounds_total, result.rounds);
+                }
+                if result.fallback {
+                    m.incr(&m.market_fallbacks);
+                }
+            }
+            Reply::MarketDropped(_) => m.incr(&m.markets_dropped),
             // Workers never produce the remaining variants.
             _ => {}
         }
@@ -1107,8 +1226,14 @@ thread_local! {
 }
 
 /// Executes one dequeued job on a worker thread against its shard's
-/// cache.
-fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
+/// cache and market registry.
+fn run_job(
+    job: Job,
+    cache: &ResultCache,
+    registry: &MarketRegistry,
+    metrics: &Metrics,
+    delay_ms: u64,
+) {
     let Job {
         enqueued,
         deadline_ms,
@@ -1143,6 +1268,10 @@ fn run_job(job: Job, cache: &ResultCache, metrics: &Metrics, delay_ms: u64) {
             } else {
                 run_analyze(&body)
             })
+        }
+        JobBody::Market(market_job) => {
+            delay();
+            JobOutcome::One(run_market(market_job, registry))
         }
         JobBody::SolveBatch(group) => {
             let mut parts = Vec::with_capacity(group.len());
@@ -1266,6 +1395,82 @@ fn solve_error(err: impl std::fmt::Display) -> Reply {
     Reply::Error(ErrorInfo::new(kind::SOLVE, err.to_string()))
 }
 
+/// Executes one market op against the owning shard's registry. All
+/// market failures are `invalid` errors — the request named a market or
+/// mutation the registry cannot honor; nothing here is a solver fault.
+fn run_market(job: MarketJob, registry: &MarketRegistry) -> Reply {
+    let invalid = |message: String| Reply::Error(ErrorInfo::new(kind::INVALID, message));
+    match job {
+        MarketJob::Create(body) => {
+            let inst = body.instance.build();
+            let state = match MarketState::from_instance(&inst, body.eps) {
+                Ok(state) => state,
+                Err(err) => return invalid(err.to_string()),
+            };
+            let info = MarketCreatedInfo {
+                market: body.market.clone(),
+                agents: state.agents() as u64,
+                num_edges: state.num_edges() as u64,
+                epoch: state.epoch(),
+            };
+            match registry.create(&body.market, state) {
+                Ok(()) => Reply::MarketCreated(info),
+                Err(err) => invalid(err.to_string()),
+            }
+        }
+        MarketJob::Mutate(body) => {
+            let Some(handle) = registry.get(&body.market) else {
+                return invalid(format!("unknown market `{}`", body.market));
+            };
+            let mut state = handle.lock().expect("market lock");
+            for (i, op) in body.ops.iter().enumerate() {
+                if let Err(err) = state.apply(op) {
+                    // The first invalid op stops the batch; ops before it
+                    // stay applied (each bumped the epoch), and the error
+                    // names how far the batch got so clients can resync.
+                    return invalid(format!(
+                        "mutation {i} rejected after {i} of {} applied: {err}",
+                        body.ops.len()
+                    ));
+                }
+            }
+            let (dirty_men, dirty_women) = state.dirty_counts();
+            Reply::MarketMutated(MarketMutatedInfo {
+                market: body.market.clone(),
+                applied: body.ops.len() as u64,
+                dirty_men: dirty_men as u64,
+                dirty_women: dirty_women as u64,
+                epoch: state.epoch(),
+            })
+        }
+        MarketJob::Resolve { market, mode } => {
+            let Some(handle) = registry.get(&market) else {
+                return invalid(format!("unknown market `{market}`"));
+            };
+            let mut state = handle.lock().expect("market lock");
+            let report = state.resolve(mode);
+            Reply::Resolved(ResolveResult {
+                matching: report.matching,
+                matched: report.matched,
+                num_edges: report.num_edges,
+                blocking_pairs: report.blocking_pairs,
+                rounds: report.rounds,
+                proposals: report.proposals,
+                mode: if report.warm { "warm" } else { "cold" }.to_string(),
+                fallback: report.fallback,
+                epoch: report.epoch,
+            })
+        }
+        MarketJob::Drop(market) => {
+            let Some(handle) = registry.drop_market(&market) else {
+                return invalid(format!("unknown market `{market}`"));
+            };
+            let epoch = handle.lock().expect("market lock").epoch();
+            Reply::MarketDropped(MarketDroppedInfo { market, epoch })
+        }
+    }
+}
+
 fn run_analyze(body: &AnalyzeBody) -> Reply {
     let inst = body.instance.build();
     // Untrusted matchings must be verified before analysis: `Matching`
@@ -1295,8 +1500,9 @@ fn run_analyze(body: &AnalyzeBody) -> Reply {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{parse_response, BatchBody, InstanceSpec};
+    use crate::protocol::{parse_response, BatchBody, InstanceSpec, MarketDropBody, ResolveBody};
     use asm_instance::generators::GeneratorConfig;
+    use asm_market::{MutationOp, Side};
 
     fn service() -> Arc<Service> {
         Service::start(ServiceConfig {
@@ -1671,6 +1877,174 @@ mod tests {
             snap.shards.iter().map(|s| s.queue_peak).max().unwrap(),
             snap.queue_peak
         );
+        service.join();
+    }
+
+    fn create_line(id: u64, market: &str, eps: f64) -> String {
+        crate::protocol::render(&Request {
+            id: Some(id),
+            op: Op::MarketCreate(MarketCreateBody {
+                market: market.to_string(),
+                instance: InstanceSpec::Generator(GeneratorConfig::Regular {
+                    n: 12,
+                    d: 4,
+                    seed: 7,
+                }),
+                eps,
+            }),
+        })
+    }
+
+    fn resolve_line(id: u64, market: &str, mode: &str) -> String {
+        crate::protocol::render(&Request {
+            id: Some(id),
+            op: Op::Resolve(ResolveBody {
+                market: market.to_string(),
+                mode: mode.to_string(),
+            }),
+        })
+    }
+
+    #[test]
+    fn market_lifecycle_warms_resolves_and_balances_the_books() {
+        let service = Service::start(ServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            cache_capacity: 8,
+            worker_delay_ms: 0,
+            shards: 4,
+        });
+        let Reply::MarketCreated(created) = reply_of(&service, &create_line(1, "alpha", 0.5))
+        else {
+            panic!("expected market_created");
+        };
+        assert_eq!(created.market, "alpha");
+        assert_eq!(created.agents, 24);
+        assert_eq!(created.epoch, 0);
+        match reply_of(&service, &create_line(2, "alpha", 0.5)) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::INVALID),
+            other => panic!("duplicate create: {other:?}"),
+        }
+        // The first resolve has no cached matching: cold, not a fallback.
+        let Reply::Resolved(cold) = reply_of(&service, &resolve_line(3, "alpha", "auto")) else {
+            panic!("expected resolved");
+        };
+        assert_eq!(cold.mode, "cold");
+        assert!(!cold.fallback);
+        assert_eq!(cold.blocking_pairs, 0);
+        let mutate = crate::protocol::render(&Request {
+            id: Some(4),
+            op: Op::MarketMutate(MarketMutateBody {
+                market: "alpha".to_string(),
+                ops: vec![MutationOp::RemoveAgent {
+                    side: Side::Men,
+                    index: 0,
+                }],
+            }),
+        });
+        let Reply::MarketMutated(mutated) = reply_of(&service, &mutate) else {
+            panic!("expected market_mutated");
+        };
+        assert_eq!(mutated.applied, 1);
+        assert_eq!(mutated.epoch, 1);
+        assert_eq!(mutated.dirty_men, 1);
+        // One dirty man out of 24 agents is far under the dirty limit:
+        // auto re-enters warm and stays fully stable.
+        let Reply::Resolved(warm) = reply_of(&service, &resolve_line(5, "alpha", "auto")) else {
+            panic!("expected resolved");
+        };
+        assert_eq!(warm.mode, "warm");
+        assert!(!warm.fallback);
+        assert_eq!(warm.blocking_pairs, 0);
+        assert_eq!(warm.epoch, 1);
+        assert!(
+            warm.rounds <= cold.rounds,
+            "{} > {}",
+            warm.rounds,
+            cold.rounds
+        );
+        let Reply::Metrics(snap) = reply_of(&service, "{\"id\":6,\"op\":\"metrics\"}") else {
+            panic!("expected metrics");
+        };
+        let market = snap.market.expect("market block present after activity");
+        assert_eq!(market.markets_open, 1);
+        assert_eq!(market.markets_created, 1);
+        assert_eq!(market.mutations, 1);
+        assert_eq!(market.warm_resolves, 1);
+        assert_eq!(market.cold_resolves, 1);
+        assert_eq!(market.fallbacks, 0);
+        assert_eq!(market.cold_rounds_total, cold.rounds);
+        assert_eq!(market.warm_rounds_total, warm.rounds);
+        let drop_line = crate::protocol::render(&Request {
+            id: Some(7),
+            op: Op::MarketDrop(MarketDropBody {
+                market: "alpha".to_string(),
+            }),
+        });
+        let Reply::MarketDropped(dropped) = reply_of(&service, &drop_line) else {
+            panic!("expected market_dropped");
+        };
+        assert_eq!(dropped.epoch, 1);
+        match reply_of(&service, &resolve_line(8, "alpha", "cold")) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::INVALID),
+            other => panic!("resolve after drop: {other:?}"),
+        }
+        service.join();
+    }
+
+    #[test]
+    fn market_validation_rejects_before_the_queue() {
+        let service = service();
+        // Bad eps on create, unknown resolve mode, unknown market on
+        // mutate, invalid mutation index — all invalid, never queued.
+        match reply_of(&service, &create_line(1, "m", 0.0)) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::INVALID),
+            other => panic!("bad eps: {other:?}"),
+        }
+        match reply_of(&service, &resolve_line(2, "m", "lukewarm")) {
+            Reply::Error(err) => {
+                assert_eq!(err.kind, kind::INVALID);
+                assert!(err.message.contains("lukewarm"), "{}", err.message);
+            }
+            other => panic!("bad mode: {other:?}"),
+        }
+        let mutate_unknown = crate::protocol::render(&Request {
+            id: Some(3),
+            op: Op::MarketMutate(MarketMutateBody {
+                market: "ghost".to_string(),
+                ops: Vec::new(),
+            }),
+        });
+        match reply_of(&service, &mutate_unknown) {
+            Reply::Error(err) => assert_eq!(err.kind, kind::INVALID),
+            other => panic!("unknown market: {other:?}"),
+        }
+        assert!(matches!(
+            reply_of(&service, &create_line(4, "m", 0.5)),
+            Reply::MarketCreated(_)
+        ));
+        let mutate_bad = crate::protocol::render(&Request {
+            id: Some(5),
+            op: Op::MarketMutate(MarketMutateBody {
+                market: "m".to_string(),
+                ops: vec![MutationOp::RemoveAgent {
+                    side: Side::Women,
+                    index: 99,
+                }],
+            }),
+        });
+        match reply_of(&service, &mutate_bad) {
+            Reply::Error(err) => {
+                assert_eq!(err.kind, kind::INVALID);
+                assert!(err.message.contains("0 of 1 applied"), "{}", err.message);
+            }
+            other => panic!("bad mutation: {other:?}"),
+        }
+        // The failed batch applied nothing: the epoch is untouched.
+        let Reply::Resolved(result) = reply_of(&service, &resolve_line(6, "m", "cold")) else {
+            panic!("expected resolved");
+        };
+        assert_eq!(result.epoch, 0);
         service.join();
     }
 

@@ -122,6 +122,9 @@ const SOLVE_BODY: &str = r#"{"instance":{"Generator":{"Regular":{"n":8,"d":3,"se
 
 const SOLVE_REGULAR: &str = r#"{"id":1,"op":"solve","body":{"instance":{"Generator":{"Regular":{"n":8,"d":3,"seed":7}}},"algorithm":"asm","eps":0.5,"delta":0.1,"seed":42,"backend":"greedy","deadline_ms":0,"cycles":0}}"#;
 
+/// Shared opener for the market cases: a Regular(4,2,3) market `alpha`.
+const MARKET_CREATE: &str = r#"{"id":1,"op":"market_create","body":{"market":"alpha","instance":{"Generator":{"Regular":{"n":4,"d":2,"seed":3}}},"eps":0.5}}"#;
+
 /// The corpus: (file stem, config, description, request lines). The
 /// expected bytes are whatever the service answers at regen time; the
 /// checked-in files then pin them.
@@ -258,6 +261,63 @@ fn corpus() -> Vec<(&'static str, CaseConfig, &'static str, Vec<String>)> {
             default_config(),
             "two solves pipelined in a single TCP segment answer in request order; the single worker completes the first before the second, so the repeat is cached",
             vec![SOLVE_REGULAR.to_string(), solve2_cached],
+        ),
+        (
+            "market_create",
+            default_config(),
+            "market_create registers a persistent market; duplicate ids and bad eps are invalid",
+            vec![
+                MARKET_CREATE.to_string(),
+                MARKET_CREATE.replacen("\"id\":1", "\"id\":2", 1),
+                MARKET_CREATE
+                    .replacen("\"id\":1", "\"id\":3", 1)
+                    .replacen("\"market\":\"alpha\"", "\"market\":\"beta\"", 1)
+                    .replacen("\"eps\":0.5", "\"eps\":0.0", 1),
+            ],
+        ),
+        (
+            "market_mutate",
+            default_config(),
+            "market_mutate applies ordered batches, tracks dirty sets and the epoch; unknown markets and invalid ops are invalid (the failed batch reports its applied prefix)",
+            vec![
+                MARKET_CREATE.to_string(),
+                r#"{"id":2,"op":"market_mutate","body":{"market":"alpha","ops":[{"SetPrefs":{"side":"Women","index":0,"prefs":[1,0]}},{"RemoveAgent":{"side":"Men","index":3}}]}}"#
+                    .to_string(),
+                r#"{"id":3,"op":"market_mutate","body":{"market":"ghost","ops":[]}}"#.to_string(),
+                r#"{"id":4,"op":"market_mutate","body":{"market":"alpha","ops":[{"AddAgent":{"side":"Men","prefs":[0,1]}},{"RemoveAgent":{"side":"Women","index":99}}]}}"#
+                    .to_string(),
+            ],
+        ),
+        (
+            "market_resolve",
+            default_config(),
+            "resolve runs cold on the first solve, warm after a single-agent mutation (same stability, no fallback); unknown modes are invalid",
+            vec![
+                // A 16-agent market: removing one man dirties 3/16 of the
+                // agents, safely under the 0.25 auto dirty limit, so the
+                // second resolve exercises the warm path.
+                MARKET_CREATE.replacen(
+                    "\"Regular\":{\"n\":4,\"d\":2,\"seed\":3}",
+                    "\"Regular\":{\"n\":8,\"d\":2,\"seed\":3}",
+                    1,
+                ),
+                r#"{"id":2,"op":"resolve","body":{"market":"alpha","mode":"auto"}}"#.to_string(),
+                r#"{"id":3,"op":"market_mutate","body":{"market":"alpha","ops":[{"RemoveAgent":{"side":"Men","index":0}}]}}"#
+                    .to_string(),
+                r#"{"id":4,"op":"resolve","body":{"market":"alpha","mode":"auto"}}"#.to_string(),
+                r#"{"id":5,"op":"resolve","body":{"market":"alpha","mode":"lukewarm"}}"#.to_string(),
+            ],
+        ),
+        (
+            "market_drop",
+            default_config(),
+            "market_drop discards the market and its cached matching; later ops on it are invalid",
+            vec![
+                MARKET_CREATE.to_string(),
+                r#"{"id":2,"op":"market_drop","body":{"market":"alpha"}}"#.to_string(),
+                r#"{"id":3,"op":"resolve","body":{"market":"alpha","mode":"cold"}}"#.to_string(),
+                r#"{"id":4,"op":"market_drop","body":{"market":"alpha"}}"#.to_string(),
+            ],
         ),
         (
             "sharded_metrics",

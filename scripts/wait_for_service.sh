@@ -8,19 +8,58 @@
 # (or "asm-router listening on ..."), flushed before serving — with
 # `--addr 127.0.0.1:0` the OS picks the port, so CI scrapes it from the
 # log. Polls LOGFILE every 0.1 s, up to TRIES times (default 100).
+#
+# Exit-code contract: when the port never opens, the failure exit code
+# is the *wrapped process's* exit code whenever it is knowable, so the
+# caller sees "the server crashed with 101" instead of a generic
+# timeout. The caller opts in by running the server under a wrapper
+# that records the code next to the log (NAME.exit beside NAME.log):
+#
+#   ( server > name.log 2>&1 & child=$!
+#     echo "$child" > name.pid
+#     wait "$child"; echo $? > name.exit ) &
+#
+# If NAME.exit appears before the listening line, the process died
+# during startup: the script stops polling immediately and exits with
+# the recorded code (mapped to 1 if the process somehow exited 0
+# without ever listening — success codes must not mask a missing
+# address). Without a sidecar the timeout still exits 1.
 set -euo pipefail
 
 log="${1:?usage: wait_for_service.sh LOGFILE [TRIES]}"
 tries="${2:-100}"
+exit_file="${log%.log}.exit"
+
+# Exits with the wrapped process's recorded code (0 mapped to 1).
+propagate() {
+  local code
+  code=$(cat "$exit_file" 2>/dev/null || echo 1)
+  case "$code" in
+    '' | *[!0-9]*) code=1 ;;
+    0) code=1 ;;
+  esac
+  echo "wait_for_service: process behind $log exited with code $code before listening" >&2
+  echo "---- $log ----" >&2
+  cat "$log" >&2 || true
+  exit "$code"
+}
 
 for _ in $(seq 1 "$tries"); do
   if grep -q "listening on" "$log" 2>/dev/null; then
     sed -n 's/^.* listening on //p' "$log" | head -n 1
     exit 0
   fi
+  # A recorded exit code means the process is already gone: no amount
+  # of further polling will produce an address.
+  if [ -s "$exit_file" ]; then
+    propagate
+  fi
   sleep 0.1
 done
 
+if [ -s "$exit_file" ]; then
+  propagate
+fi
 echo "wait_for_service: no 'listening on' line in $log after $tries polls" >&2
 echo "---- $log ----" >&2
 cat "$log" >&2 || true
